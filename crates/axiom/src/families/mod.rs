@@ -1,0 +1,14 @@
+//! The concrete dependency families behind the paper's negative results.
+//!
+//! * [`theorem44`] — finite implication ≠ unrestricted implication for
+//!   FDs + INDs (Theorem 4.4; Figures 4.1 and 4.2).
+//! * [`emvd`] — the Sagiv–Walecka EMVD family of Theorem 5.3.
+//! * [`section6`] — no k-ary complete axiomatization for **finite**
+//!   implication of FDs + INDs (+ RDs) (Theorem 6.1; Figure 6.1).
+//! * [`section7`] — no k-ary complete axiomatization for **unrestricted**
+//!   implication (Theorem 7.1; Lemmas 7.2–7.9; Figures 7.1–7.5).
+
+pub mod emvd;
+pub mod section6;
+pub mod section7;
+pub mod theorem44;

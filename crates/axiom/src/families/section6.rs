@@ -1,0 +1,448 @@
+//! Theorem 6.1: no k-ary complete axiomatization for **finite**
+//! implication of FDs and INDs (nor of FDs, INDs, and RDs).
+//!
+//! The family (paper, proof of Theorem 6.1), with arithmetic mod `k + 1`:
+//!
+//! ```text
+//! schemes:  R_0(A, B), ..., R_k(A, B)
+//! Σ  =  { R_i: A → B,  R_i[A] ⊆ R_{i+1}[B]  :  0 ≤ i ≤ k }
+//! σ  =  R_0[B] ⊆ R_k[A]          (the reversal of the cycle IND at i = k)
+//! Γ  =  Σ ∪ { trivial FDs, INDs, RDs }
+//! ```
+//!
+//! Over finite databases the cardinality chain
+//! `|r_0[A]| ≤ |r_1[B]| ≤ |r_1[A]| ≤ ... ≤ |r_0[B]| ≤ |r_0[A]|` collapses
+//! to equalities, so `Σ ⊨_fin σ` — the `depkit-solver` counting engine
+//! derives it. But `Γ` is closed under k-ary finite implication: dropping
+//! *any one* IND `δ` from `Σ` admits the Armstrong database of Figure 6.1,
+//! which satisfies exactly `Γ − δ` (property (6.1), machine-checked here
+//! over the full dependency universe). By Theorem 5.1, no k-ary complete
+//! axiomatization exists. All dependencies involved are unary and every
+//! scheme has two attributes — the sharpest form the paper states.
+
+use depkit_core::attr::attrs;
+use depkit_core::database::Database;
+use depkit_core::dependency::{Dependency, Fd, Ind, Rd};
+use depkit_core::schema::{DatabaseSchema, RelationScheme};
+use depkit_core::symbolic::{Pattern, SymbolicDatabase};
+use depkit_core::value::Value;
+use depkit_solver::finite::FiniteEngine;
+
+/// The Theorem 6.1 family for a given `k`.
+#[derive(Debug, Clone)]
+pub struct Section6 {
+    /// The parameter `k` (the family defeats k-ary axiomatizations).
+    pub k: usize,
+    /// Schemes `R_0(A, B) ... R_k(A, B)`.
+    pub schema: DatabaseSchema,
+    /// The FDs `R_i: A → B`.
+    pub fds: Vec<Fd>,
+    /// The cycle INDs `R_i[A] ⊆ R_{i+1}[B]` (index `i` = position).
+    pub inds: Vec<Ind>,
+    /// The target `σ = R_0[B] ⊆ R_k[A]`.
+    pub target: Ind,
+}
+
+fn rel(i: usize) -> String {
+    format!("R{i}")
+}
+
+impl Section6 {
+    /// Build the family (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the family needs k >= 1");
+        let schemes = (0..=k)
+            .map(|i| RelationScheme::new(rel(i).as_str(), attrs(&["A", "B"])))
+            .collect();
+        let schema = DatabaseSchema::new(schemes).expect("distinct names");
+        let fds = (0..=k)
+            .map(|i| Fd::new(rel(i).as_str(), attrs(&["A"]), attrs(&["B"])))
+            .collect();
+        let inds = (0..=k)
+            .map(|i| {
+                Ind::new(
+                    rel(i).as_str(),
+                    attrs(&["A"]),
+                    rel((i + 1) % (k + 1)).as_str(),
+                    attrs(&["B"]),
+                )
+                .expect("unary")
+            })
+            .collect();
+        let target = Ind::new(rel(0).as_str(), attrs(&["B"]), rel(k).as_str(), attrs(&["A"]))
+            .expect("unary");
+        Section6 {
+            k,
+            schema,
+            fds,
+            inds,
+            target,
+        }
+    }
+
+    /// `Σ` as a dependency list.
+    pub fn sigma(&self) -> Vec<Dependency> {
+        let mut out: Vec<Dependency> = self.fds.iter().cloned().map(Into::into).collect();
+        out.extend(self.inds.iter().cloned().map(Dependency::from));
+        out
+    }
+
+    /// The finite dependency universe used for the machine checks: all
+    /// unary FDs (including constant-column FDs `R: ∅ → X`), all unary and
+    /// binary INDs (binary ones normalized to left side `[A, B]`), and all
+    /// unary RDs over the schema. Trivial dependencies included.
+    pub fn universe(&self) -> Vec<Dependency> {
+        let mut out: Vec<Dependency> = Vec::new();
+        let sides = ["A", "B"];
+        for i in 0..=self.k {
+            // FDs with LHS ∅, A, or B and a single-attribute RHS.
+            for rhs in sides {
+                out.push(Fd::new(rel(i).as_str(), depkit_core::AttrSeq::empty(), attrs(&[rhs])).into());
+                for lhs in sides {
+                    out.push(Fd::new(rel(i).as_str(), attrs(&[lhs]), attrs(&[rhs])).into());
+                }
+            }
+            // Unary RD.
+            out.push(
+                Rd::new(rel(i).as_str(), attrs(&["A"]), attrs(&["B"]))
+                    .expect("unary")
+                    .into(),
+            );
+            for j in 0..=self.k {
+                // Unary INDs.
+                for x in sides {
+                    for y in sides {
+                        out.push(
+                            Ind::new(rel(i).as_str(), attrs(&[x]), rel(j).as_str(), attrs(&[y]))
+                                .expect("unary")
+                                .into(),
+                        );
+                    }
+                }
+                // Binary INDs with canonical left side [A, B].
+                for rhs in [["A", "B"], ["B", "A"]] {
+                    out.push(
+                        Ind::new(
+                            rel(i).as_str(),
+                            attrs(&["A", "B"]),
+                            rel(j).as_str(),
+                            attrs(&rhs),
+                        )
+                        .expect("binary")
+                        .into(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Membership in `Γ = Σ ∪ trivia`.
+    pub fn in_gamma(&self, dep: &Dependency) -> bool {
+        dep.is_trivial()
+            || self.sigma().contains(dep)
+    }
+
+    /// The Armstrong database of Figure 6.1, rotated so that the one
+    /// violated dependency is the cycle IND at index `missing`
+    /// (`R_{missing}[A] ⊆ R_{missing+1}[B]`).
+    ///
+    /// Base construction (paper, proof of Theorem 6.1; `missing = k`):
+    ///
+    /// ```text
+    /// r_0 = { ((0,0),(0,k+1)), ((1,0),(1,k+1)), ((2,0),(1,k+1)) }
+    /// r_i = { ((m,i),(m,i−1))      : 0 ≤ m ≤ 2i+1 }
+    ///     ∪ { ((2i+2,i),(2i+1,i−1)) }                 for 1 ≤ i ≤ k
+    /// ```
+    pub fn armstrong_database(&self, missing: usize) -> Database {
+        let k = self.k;
+        assert!(missing <= k);
+        let mut db = Database::empty(self.schema.clone());
+        // The base database violates the IND at index k. To violate the
+        // IND at `missing` instead, send base relation index i to actual
+        // relation index (i + missing + 1) mod (k + 1): the base IND
+        // "R_k[A] ⊆ R_0[B]" then lands on actual indices
+        // (missing, missing + 1).
+        let place = |base: usize| (base + missing + 1) % (k + 1);
+        // Base r_0.
+        let rows0 = vec![
+            (Value::pair(0, 0), Value::pair(0, k as i64 + 1)),
+            (Value::pair(1, 0), Value::pair(1, k as i64 + 1)),
+            (Value::pair(2, 0), Value::pair(1, k as i64 + 1)),
+        ];
+        let name0 = depkit_core::RelName::new(rel(place(0)));
+        for (a, b) in rows0 {
+            db.insert(&name0, depkit_core::Tuple::new(vec![a, b]))
+                .expect("arity 2");
+        }
+        // Base r_i, 1 ≤ i ≤ k.
+        for i in 1..=k {
+            let name = depkit_core::RelName::new(rel(place(i)));
+            let (ii, prev) = (i as i64, i as i64 - 1);
+            for m in 0..=(2 * ii + 1) {
+                db.insert(
+                    &name,
+                    depkit_core::Tuple::new(vec![Value::pair(m, ii), Value::pair(m, prev)]),
+                )
+                .expect("arity 2");
+            }
+            db.insert(
+                &name,
+                depkit_core::Tuple::new(vec![
+                    Value::pair(2 * ii + 2, ii),
+                    Value::pair(2 * ii + 1, prev),
+                ]),
+            )
+            .expect("arity 2");
+        }
+        db
+    }
+
+    /// Machine-check property (6.1) for the database with dependency
+    /// `δ = inds[missing]` removed: for every `τ` in the universe,
+    /// `d ⊨ τ ⟺ τ ∈ Γ − δ`. Returns the first discrepancy.
+    pub fn verify_armstrong_property(&self, missing: usize) -> Result<(), String> {
+        let d = self.armstrong_database(missing);
+        let delta: Dependency = self.inds[missing].clone().into();
+        for tau in self.universe() {
+            let holds = d
+                .satisfies(&tau)
+                .map_err(|e| format!("checking {tau}: {e}"))?;
+            let in_gamma_minus_delta = self.in_gamma(&tau) && tau != delta;
+            if holds != in_gamma_minus_delta {
+                return Err(format!(
+                    "property (6.1) fails at missing={missing}: {tau} holds={holds}, \
+                     in Γ−δ={in_gamma_minus_delta}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// `Σ ⊨_fin σ`, derived by the counting engine.
+    pub fn finite_implication_holds(&self) -> bool {
+        FiniteEngine::new(&self.sigma()).implies(&self.target.clone().into())
+    }
+
+    /// The infinite witness showing `Σ ⊭ σ` under *unrestricted*
+    /// implication: `r_i = {((k+1)m + i + 1, (k+1)m + i) : m ≥ 0}`
+    /// (the Figure 4.1 chain threaded around the cycle).
+    pub fn infinite_countermodel(&self) -> SymbolicDatabase {
+        let step = self.k as i64 + 1;
+        let mut db = SymbolicDatabase::empty(self.schema.clone());
+        for i in 0..=self.k {
+            db.relation_mut(&rel(i))
+                .expect("exists")
+                .add_pattern(Pattern::from_pairs(&[
+                    (step, i as i64 + 1),
+                    (step, i as i64),
+                ]))
+                .expect("arity 2");
+        }
+        db
+    }
+
+    /// Full machine-check of the theorem's ingredients for this `k`.
+    pub fn verify(&self) -> Result<Section6Report, String> {
+        // 1. Σ ⊨_fin σ and σ ∉ Γ.
+        if !self.finite_implication_holds() {
+            return Err("counting engine failed to derive σ".into());
+        }
+        if self.in_gamma(&self.target.clone().into()) {
+            return Err("σ unexpectedly in Γ".into());
+        }
+        // 2. Property (6.1) for every rotation.
+        for missing in 0..=self.k {
+            self.verify_armstrong_property(missing)?;
+        }
+        // 3. Unrestricted implication fails (infinite witness).
+        let witness = self.infinite_countermodel();
+        for d in self.sigma() {
+            if !witness.satisfies(&d).map_err(|e| e.to_string())? {
+                return Err(format!("infinite witness violates Σ member {d}"));
+            }
+        }
+        if witness
+            .satisfies(&self.target.clone().into())
+            .map_err(|e| e.to_string())?
+        {
+            return Err("infinite witness unexpectedly satisfies σ".into());
+        }
+        Ok(Section6Report {
+            k: self.k,
+            armstrong_databases_checked: self.k + 1,
+            universe_size: self.universe().len(),
+        })
+    }
+}
+
+/// Summary of a successful Section 6 verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section6Report {
+    /// The family parameter.
+    pub k: usize,
+    /// Number of rotated Figure 6.1 databases fully checked.
+    pub armstrong_databases_checked: usize,
+    /// Size of the dependency universe checked against property (6.1).
+    pub universe_size: usize,
+}
+
+/// An exact finite-implication oracle for subsets of `Γ` on this family:
+/// `T ⊨_fin τ` is answered positively by the sound counting engine and
+/// refuted by whichever rotated Armstrong database models `T` but not `τ`.
+/// Panics if neither side answers — by the paper's proof of Theorem 6.1
+/// that cannot happen for `T ⊆ Γ`, so a panic indicates a bug.
+pub struct Section6Oracle {
+    family: Section6,
+    databases: Vec<Database>,
+}
+
+impl Section6Oracle {
+    /// Build the oracle (constructs all `k + 1` rotated databases).
+    pub fn new(family: &Section6) -> Self {
+        let databases = (0..=family.k)
+            .map(|m| family.armstrong_database(m))
+            .collect();
+        Section6Oracle {
+            family: family.clone(),
+            databases,
+        }
+    }
+}
+
+impl crate::kary::ImplicationOracle for Section6Oracle {
+    fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
+        if tau.is_trivial() || sigma.contains(tau) {
+            return true;
+        }
+        if FiniteEngine::new(sigma).implies(tau) {
+            return true;
+        }
+        for d in &self.databases {
+            let models_sigma = sigma.iter().all(|s| d.satisfies(s).unwrap_or(false));
+            if models_sigma && !d.satisfies(tau).unwrap_or(true) {
+                return false;
+            }
+        }
+        // Last resort: the symbolic infinite countermodel (handles τ that
+        // hold finitely but are asked under Σ-subsets modeled by it).
+        let w = self.family.infinite_countermodel();
+        let models_sigma = sigma.iter().all(|s| w.satisfies(s).unwrap_or(false));
+        if models_sigma && !w.satisfies(tau).unwrap_or(true) {
+            return false;
+        }
+        panic!(
+            "Section6Oracle undecided for T={sigma:?}, τ={tau} — outside the family's \
+             guaranteed fragment"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kary::{close_under_k_ary, implication_closure_witness};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn family_shape() {
+        let f = Section6::new(3);
+        assert_eq!(f.schema.schemes().len(), 4);
+        assert_eq!(f.fds.len(), 4);
+        assert_eq!(f.inds.len(), 4);
+        assert_eq!(f.target.to_string(), "R0[B] <= R3[A]");
+        assert_eq!(f.inds[3].to_string(), "R3[A] <= R0[B]");
+        // Everything is unary over two-attribute schemes.
+        assert!(f.fds.iter().all(|fd| fd.is_unary()));
+        assert!(f.inds.iter().all(|i| i.is_unary()));
+        assert_eq!(f.schema.max_arity(), 2);
+    }
+
+    #[test]
+    fn figure_6_1_matches_paper_at_k3() {
+        // Spot-check the printed Figure 6.1 (k = 3): r_3 has 9 tuples with
+        // A entries (0,3)..(8,3) and the last B entry repeated.
+        let f = Section6::new(3);
+        let d = f.armstrong_database(3); // base orientation
+        let r3 = d
+            .relation(&depkit_core::RelName::new("R3"))
+            .unwrap();
+        assert_eq!(r3.len(), 9);
+        let a_col = r3.project(&[0]);
+        assert!(a_col.contains(&vec![Value::pair(8, 3)]));
+        let b_col = r3.project(&[1]);
+        // B entries (0,2)..(7,2): 8 distinct values for 9 tuples.
+        assert_eq!(b_col.len(), 8);
+        // r_0 has 3 tuples with B entries (·, k+1) = (·, 4).
+        let r0 = d.relation(&depkit_core::RelName::new("R0")).unwrap();
+        assert_eq!(r0.len(), 3);
+        assert!(r0.project(&[1]).contains(&vec![Value::pair(0, 4)]));
+    }
+
+    #[test]
+    fn verify_small_k() {
+        for k in 1..=4 {
+            let f = Section6::new(k);
+            let report = f.verify().unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(report.armstrong_databases_checked, k + 1);
+        }
+    }
+
+    #[test]
+    fn theorem_5_1_gap_at_small_k() {
+        // The full Theorem 5.1 pipeline: Γ ∩ universe is closed under
+        // k-ary finite implication, yet implies σ ∉ Γ.
+        for k in 1..=2 {
+            let f = Section6::new(k);
+            let oracle = Section6Oracle::new(&f);
+            let universe = f.universe();
+            let gamma: BTreeSet<Dependency> = universe
+                .iter()
+                .filter(|d| f.in_gamma(d))
+                .cloned()
+                .collect();
+            let closed = close_under_k_ary(&universe, &gamma, k, &oracle);
+            assert_eq!(
+                closed, gamma,
+                "k={k}: Γ must already be closed under k-ary implication"
+            );
+            // Any implied-but-missing sentence witnesses non-closure; the
+            // universe may surface the FD flip R0: B → A before σ itself.
+            let witness = implication_closure_witness(&universe, &gamma, &oracle)
+                .unwrap_or_else(|| panic!("k={k}: expected a closure witness"));
+            assert!(!gamma.contains(&witness), "k={k}");
+            // And σ specifically is implied by the full Γ yet outside it.
+            use crate::kary::ImplicationOracle as _;
+            let gamma_vec: Vec<Dependency> = gamma.iter().cloned().collect();
+            let sigma_dep: Dependency = f.target.clone().into();
+            assert!(oracle.implies(&gamma_vec, &sigma_dep), "k={k}");
+            assert!(!gamma.contains(&sigma_dep), "k={k}");
+        }
+    }
+
+    #[test]
+    fn full_sigma_is_not_kary_limited() {
+        // Sanity: with all k+1 INDs available (a (k+1)-sized subset), the
+        // oracle confirms σ — the gap is about subsets of size ≤ k only.
+        let f = Section6::new(2);
+        let oracle = Section6Oracle::new(&f);
+        use crate::kary::ImplicationOracle as _;
+        assert!(oracle.implies(&f.sigma(), &f.target.clone().into()));
+    }
+
+    #[test]
+    fn armstrong_database_violates_exactly_delta() {
+        let f = Section6::new(2);
+        for missing in 0..=2 {
+            let d = f.armstrong_database(missing);
+            for (i, ind) in f.inds.iter().enumerate() {
+                let holds = d.satisfies(&ind.clone().into()).unwrap();
+                assert_eq!(holds, i != missing, "missing={missing}, ind {i}");
+            }
+            for fd in &f.fds {
+                assert!(d.satisfies(&fd.clone().into()).unwrap());
+            }
+            assert!(!d.satisfies(&f.target.clone().into()).unwrap());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Theorem 4.4: finite implication differs from unrestricted implication
+//! for FDs and INDs taken together.
+//!
+//! The family is `Σ = {R: A → B, R[A] ⊆ R[B]}` over `R(A, B)` with two
+//! targets:
+//!
+//! * part (a): `σ = R[B] ⊆ R[A]` — an IND;
+//! * part (b): `σ = R: B → A` — an FD.
+//!
+//! Over **finite** databases both follow by counting (`|r[B]| ≤ |r[A]| ≤
+//! |r[B]|` forces equalities); the `depkit-solver` finite engine derives
+//! both. Over unrestricted databases both fail: Figure 4.1 (the infinite
+//! relation `{(i+1, i) : i ≥ 0}`) refutes (a) and Figure 4.2
+//! (`{(1,1)} ∪ {(i+1, i) : i ≥ 1}`) refutes (b). The figures are
+//! represented exactly as affine-pattern symbolic relations.
+
+use depkit_core::dependency::Dependency;
+use depkit_core::parser::parse_dependencies;
+use depkit_core::schema::DatabaseSchema;
+use depkit_core::symbolic::{Pattern, SymbolicDatabase};
+use depkit_solver::finite::FiniteEngine;
+
+/// The Theorem 4.4 family.
+#[derive(Debug, Clone)]
+pub struct Theorem44 {
+    /// The schema `R(A, B)`.
+    pub schema: DatabaseSchema,
+    /// `Σ = {R: A → B, R[A] ⊆ R[B]}`.
+    pub sigma: Vec<Dependency>,
+    /// Part (a) target: `R[B] ⊆ R[A]`.
+    pub target_ind: Dependency,
+    /// Part (b) target: `R: B → A`.
+    pub target_fd: Dependency,
+}
+
+impl Default for Theorem44 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Theorem44 {
+    /// Build the family.
+    pub fn new() -> Self {
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).expect("static schema");
+        let sigma = parse_dependencies(&["R: A -> B", "R[A] <= R[B]"]).expect("static deps");
+        let targets = parse_dependencies(&["R[B] <= R[A]", "R: B -> A"]).expect("static deps");
+        Theorem44 {
+            schema,
+            sigma,
+            target_ind: targets[0].clone(),
+            target_fd: targets[1].clone(),
+        }
+    }
+
+    /// Figure 4.1: the infinite relation `{(i+1, i) : i ≥ 0}`.
+    pub fn figure_4_1(&self) -> SymbolicDatabase {
+        let mut db = SymbolicDatabase::empty(self.schema.clone());
+        db.relation_mut("R")
+            .expect("R exists")
+            .add_pattern(Pattern::from_pairs(&[(1, 1), (1, 0)]))
+            .expect("arity 2");
+        db
+    }
+
+    /// Figure 4.2: the infinite relation `{(1,1)} ∪ {(i+1, i) : i ≥ 1}`.
+    pub fn figure_4_2(&self) -> SymbolicDatabase {
+        let mut db = SymbolicDatabase::empty(self.schema.clone());
+        let r = db.relation_mut("R").expect("R exists");
+        r.add_constant(&[1, 1]).expect("arity 2");
+        // i ≥ 1 re-parameterized through i' = i − 1 ≥ 0.
+        r.add_pattern(Pattern::from_pairs(&[(1, 2), (1, 1)]))
+            .expect("arity 2");
+        db
+    }
+
+    /// Machine-check the whole theorem; panics with a description on any
+    /// failed sub-check (so tests and the bench harness surface exactly
+    /// which claim broke).
+    pub fn verify(&self) -> Theorem44Report {
+        let engine = FiniteEngine::new(&self.sigma);
+        let finite_a = engine.implies(&self.target_ind);
+        let finite_b = engine.implies(&self.target_fd);
+
+        let fig41 = self.figure_4_1();
+        let fig42 = self.figure_4_2();
+        let fig41_satisfies_sigma = self
+            .sigma
+            .iter()
+            .all(|d| fig41.satisfies(d).expect("decidable"));
+        let fig42_satisfies_sigma = self
+            .sigma
+            .iter()
+            .all(|d| fig42.satisfies(d).expect("decidable"));
+        let fig41_violates_a = !fig41.satisfies(&self.target_ind).expect("decidable");
+        let fig42_violates_b = !fig42.satisfies(&self.target_fd).expect("decidable");
+
+        Theorem44Report {
+            finite_implies_ind: finite_a,
+            finite_implies_fd: finite_b,
+            fig41_satisfies_sigma,
+            fig41_violates_ind: fig41_violates_a,
+            fig42_satisfies_sigma,
+            fig42_violates_fd: fig42_violates_b,
+        }
+    }
+}
+
+/// The machine-checked facts of Theorem 4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theorem44Report {
+    /// `Σ ⊨_fin R[B] ⊆ R[A]` (derived by the counting engine).
+    pub finite_implies_ind: bool,
+    /// `Σ ⊨_fin R: B → A`.
+    pub finite_implies_fd: bool,
+    /// Figure 4.1 satisfies `Σ`.
+    pub fig41_satisfies_sigma: bool,
+    /// Figure 4.1 violates `R[B] ⊆ R[A]` (so `Σ ⊭ σ` unrestricted).
+    pub fig41_violates_ind: bool,
+    /// Figure 4.2 satisfies `Σ`.
+    pub fig42_satisfies_sigma: bool,
+    /// Figure 4.2 violates `R: B → A`.
+    pub fig42_violates_fd: bool,
+}
+
+impl Theorem44Report {
+    /// Whether every claim of the theorem checked out.
+    pub fn all_verified(&self) -> bool {
+        self.finite_implies_ind
+            && self.finite_implies_fd
+            && self.fig41_satisfies_sigma
+            && self.fig41_violates_ind
+            && self.fig42_satisfies_sigma
+            && self.fig42_violates_fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_chase::fdind_chase::{ChaseBudget, ChaseOutcome, FdIndChase};
+
+    #[test]
+    fn theorem_4_4_fully_verifies() {
+        let report = Theorem44::new().verify();
+        assert!(report.all_verified(), "{report:?}");
+    }
+
+    #[test]
+    fn finite_prefixes_satisfying_sigma_satisfy_targets() {
+        // Sanity for the counting argument: no finite prefix of Figure 4.1
+        // satisfies Σ (each prefix breaks R[A] ⊆ R[B] at its top element),
+        // which is exactly why the infinite witness is needed.
+        let fam = Theorem44::new();
+        let fig41 = fam.figure_4_1();
+        for n in 1..8 {
+            let prefix = fig41.prefix(n);
+            let sat = fam
+                .sigma
+                .iter()
+                .all(|d| prefix.satisfies(d).expect("finite check"));
+            assert!(!sat, "prefix {n} unexpectedly satisfies Σ");
+        }
+    }
+
+    #[test]
+    fn unrestricted_chase_cannot_decide() {
+        // The goal-directed chase diverges on this family (it is trying to
+        // build Figure 4.1 tuple by tuple): budget exhaustion, not a wrong
+        // answer.
+        let fam = Theorem44::new();
+        let chase = FdIndChase::new(&fam.schema, &fam.sigma).unwrap();
+        let out = chase
+            .implies(
+                &fam.target_ind,
+                ChaseBudget {
+                    max_rounds: 10,
+                    max_tuples: 10_000,
+                },
+            )
+            .unwrap();
+        assert!(matches!(out, ChaseOutcome::Exhausted));
+    }
+}

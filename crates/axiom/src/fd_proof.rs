@@ -1,0 +1,390 @@
+//! Verifiable Armstrong-style proof objects for FDs.
+//!
+//! The paper contrasts the IND axiomatization with Armstrong's classical
+//! FD system [Ar, Fa2]: **reflexivity** (`Y ⊆ X ⟹ X → Y`, 0-ary),
+//! **augmentation** (`X → Y ⟹ XW → YW`, 1-ary), and **transitivity**
+//! (`X → Y, Y → Z ⟹ X → Z`, 2-ary) — a 2-ary complete axiomatization,
+//! which is exactly why the Theorem 5.1 pipeline closes FD sets at k = 2.
+//!
+//! [`prove_fd`] converts the Beeri–Bernstein closure trace of
+//! `depkit-solver` into a checkable derivation; [`FdProof::check`]
+//! validates every line independently. FD sides are compared as **sets**
+//! (Armstrong reasoning is order-insensitive; the sequence form matters
+//! only when FDs interact with INDs).
+
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::Fd;
+use depkit_solver::fd::FdEngine;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How an FD proof line is justified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdJustification {
+    /// The line is `sigma[index]`.
+    Premise {
+        /// Index into the premise list.
+        index: usize,
+    },
+    /// Reflexivity: `X → Y` with `Y ⊆ X`.
+    Reflexivity,
+    /// Augmentation of an earlier line by an attribute set `W`:
+    /// from `X → Y` infer `X ∪ W → Y ∪ W`.
+    Augmentation {
+        /// The earlier line.
+        from_line: usize,
+        /// The attributes added to both sides.
+        with: Vec<Attr>,
+    },
+    /// Transitivity of two earlier lines: `X → Y` and `Y → Z` give
+    /// `X → Z` (middle sets must match exactly, as sets).
+    Transitivity {
+        /// Line holding `X → Y`.
+        left_line: usize,
+        /// Line holding `Y → Z`.
+        right_line: usize,
+    },
+}
+
+/// One line of an FD proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdProofLine {
+    /// The FD asserted by this line.
+    pub fd: Fd,
+    /// Its justification.
+    pub justification: FdJustification,
+}
+
+/// Why an FD proof failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdProofError {
+    /// The proof has no lines.
+    Empty,
+    /// A premise reference is invalid or mismatched.
+    BadPremise(usize),
+    /// A reflexivity line's RHS is not contained in its LHS.
+    NotReflexive(usize),
+    /// An augmentation line does not match its source and `W`.
+    BadAugmentation(usize),
+    /// A transitivity line's sources do not chain.
+    BadTransitivity(usize),
+    /// A line references a later or missing line.
+    ForwardReference(usize),
+    /// Lines mention different relations.
+    MixedRelations(usize),
+}
+
+impl fmt::Display for FdProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdProofError::Empty => write!(f, "proof has no lines"),
+            FdProofError::BadPremise(l) => write!(f, "line {l}: bad premise"),
+            FdProofError::NotReflexive(l) => write!(f, "line {l}: not reflexive"),
+            FdProofError::BadAugmentation(l) => write!(f, "line {l}: bad augmentation"),
+            FdProofError::BadTransitivity(l) => write!(f, "line {l}: sources do not chain"),
+            FdProofError::ForwardReference(l) => write!(f, "line {l}: forward reference"),
+            FdProofError::MixedRelations(l) => write!(f, "line {l}: wrong relation"),
+        }
+    }
+}
+
+impl std::error::Error for FdProofError {}
+
+/// A checkable Armstrong derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdProof {
+    /// The proof lines, in order.
+    pub lines: Vec<FdProofLine>,
+}
+
+fn set_of(seq: &AttrSeq) -> BTreeSet<Attr> {
+    seq.attrs().iter().cloned().collect()
+}
+
+impl FdProof {
+    /// The conclusion (last line).
+    pub fn conclusion(&self) -> Option<&Fd> {
+        self.lines.last().map(|l| &l.fd)
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the proof has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Validate every line against the premises and Armstrong's rules.
+    pub fn check(&self, sigma: &[Fd]) -> Result<(), FdProofError> {
+        if self.lines.is_empty() {
+            return Err(FdProofError::Empty);
+        }
+        let rel = &self.lines[0].fd.rel;
+        for (l, line) in self.lines.iter().enumerate() {
+            if line.fd.rel != *rel {
+                return Err(FdProofError::MixedRelations(l));
+            }
+            match &line.justification {
+                FdJustification::Premise { index } => {
+                    match sigma.get(*index) {
+                        Some(p) if *p == line.fd => {}
+                        _ => return Err(FdProofError::BadPremise(l)),
+                    }
+                }
+                FdJustification::Reflexivity => {
+                    if !set_of(&line.fd.rhs).is_subset(&set_of(&line.fd.lhs)) {
+                        return Err(FdProofError::NotReflexive(l));
+                    }
+                }
+                FdJustification::Augmentation { from_line, with } => {
+                    if *from_line >= l {
+                        return Err(FdProofError::ForwardReference(l));
+                    }
+                    let src = &self.lines[*from_line].fd;
+                    let w: BTreeSet<Attr> = with.iter().cloned().collect();
+                    let want_lhs: BTreeSet<Attr> =
+                        set_of(&src.lhs).union(&w).cloned().collect();
+                    let want_rhs: BTreeSet<Attr> =
+                        set_of(&src.rhs).union(&w).cloned().collect();
+                    if set_of(&line.fd.lhs) != want_lhs || set_of(&line.fd.rhs) != want_rhs {
+                        return Err(FdProofError::BadAugmentation(l));
+                    }
+                }
+                FdJustification::Transitivity {
+                    left_line,
+                    right_line,
+                } => {
+                    if *left_line >= l || *right_line >= l {
+                        return Err(FdProofError::ForwardReference(l));
+                    }
+                    let a = &self.lines[*left_line].fd;
+                    let b = &self.lines[*right_line].fd;
+                    let chains = set_of(&a.rhs) == set_of(&b.lhs)
+                        && set_of(&line.fd.lhs) == set_of(&a.lhs)
+                        && set_of(&line.fd.rhs) == set_of(&b.rhs);
+                    if !chains {
+                        return Err(FdProofError::BadTransitivity(l));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FdProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, line) in self.lines.iter().enumerate() {
+            let just = match &line.justification {
+                FdJustification::Premise { index } => format!("premise {index}"),
+                FdJustification::Reflexivity => "reflexivity".into(),
+                FdJustification::Augmentation { from_line, with } => {
+                    let names: Vec<&str> = with.iter().map(|a| a.name()).collect();
+                    format!("augment line {from_line} with {{{}}}", names.join(", "))
+                }
+                FdJustification::Transitivity {
+                    left_line,
+                    right_line,
+                } => format!("transitivity of lines {left_line}, {right_line}"),
+            };
+            writeln!(f, "{l:>3}. {}    [{just}]", line.fd)?;
+        }
+        Ok(())
+    }
+}
+
+/// Construct a checked Armstrong derivation of `target` from `sigma`, or
+/// `None` when the implication does not hold.
+///
+/// Construction follows the Beeri–Bernstein closure trace: maintain the
+/// derived FD `X → Z` for the growing closure `Z`; for each firing
+/// premise `L → R` (with `L ⊆ Z`), augment it to `Z → Z ∪ R` and chain by
+/// transitivity; finish with a reflexive projection onto the target RHS.
+pub fn prove_fd(sigma: &[Fd], target: &Fd) -> Option<FdProof> {
+    let engine = FdEngine::new(target.rel.clone(), sigma);
+    if !engine.implies(target) {
+        return None;
+    }
+    // Index premises by their position in `sigma` (the engine filters by
+    // relation, so recompute indices against the caller's list).
+    let (closure, trace) = engine.closure_with_trace(&target.lhs);
+    debug_assert!(target.rhs.attrs().iter().all(|a| closure.contains(a)));
+
+    let rel = target.rel.clone();
+    let seq = |s: &BTreeSet<Attr>| AttrSeq::new(s.iter().cloned().collect()).expect("set distinct");
+
+    let mut lines: Vec<FdProofLine> = Vec::new();
+    // Line 0: X → X (reflexivity); the running derivation X → Z.
+    let x = set_of(&target.lhs);
+    lines.push(FdProofLine {
+        fd: Fd::new(rel.clone(), target.lhs.clone(), seq(&x)),
+        justification: FdJustification::Reflexivity,
+    });
+    let mut z = x.clone();
+    let mut running = 0usize; // line index of X → Z
+
+    // Group the trace by firing FD, in firing order.
+    let mut fired: Vec<usize> = Vec::new();
+    for (_, fd_idx) in &trace {
+        // The engine's indices refer to its filtered list; map to sigma by
+        // identity of the FD value.
+        if !fired.contains(fd_idx) {
+            fired.push(*fd_idx);
+        }
+    }
+    for fd_idx in fired {
+        let premise = engine.fds()[fd_idx].clone();
+        let sigma_idx = sigma.iter().position(|f| *f == premise)?;
+        // premise: L → R with L ⊆ Z.
+        let premise_line = lines.len();
+        lines.push(FdProofLine {
+            fd: premise.clone(),
+            justification: FdJustification::Premise { index: sigma_idx },
+        });
+        // Augment with Z: Z → Z ∪ R.
+        let with: Vec<Attr> = z.iter().cloned().collect();
+        let mut z_new = z.clone();
+        z_new.extend(premise.rhs.attrs().iter().cloned());
+        let aug_line = lines.len();
+        lines.push(FdProofLine {
+            fd: Fd::new(rel.clone(), seq(&z), seq(&z_new)),
+            justification: FdJustification::Augmentation {
+                from_line: premise_line,
+                with,
+            },
+        });
+        // Chain: X → Z, Z → Z ∪ R ⟹ X → Z ∪ R.
+        let trans_line = lines.len();
+        lines.push(FdProofLine {
+            fd: Fd::new(rel.clone(), target.lhs.clone(), seq(&z_new)),
+            justification: FdJustification::Transitivity {
+                left_line: running,
+                right_line: aug_line,
+            },
+        });
+        z = z_new;
+        running = trans_line;
+    }
+
+    // Project: Z → Y (reflexivity), then X → Y (transitivity).
+    let y = set_of(&target.rhs);
+    let proj_line = lines.len();
+    lines.push(FdProofLine {
+        fd: Fd::new(rel.clone(), seq(&z), target.rhs.clone()),
+        justification: FdJustification::Reflexivity,
+    });
+    lines.push(FdProofLine {
+        fd: target.clone(),
+        justification: FdJustification::Transitivity {
+            left_line: running,
+            right_line: proj_line,
+        },
+    });
+    let _ = y;
+    Some(FdProof { lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::parser::parse_dependency;
+
+    fn fd(src: &str) -> Fd {
+        match parse_dependency(src).unwrap() {
+            depkit_core::Dependency::Fd(f) => f,
+            _ => panic!("not an FD"),
+        }
+    }
+
+    #[test]
+    fn prove_transitivity_chain() {
+        let sigma = vec![fd("R: A -> B"), fd("R: B -> C"), fd("R: C -> D")];
+        let target = fd("R: A -> D");
+        let proof = prove_fd(&sigma, &target).expect("implied");
+        proof.check(&sigma).expect("must check");
+        assert_eq!(proof.conclusion(), Some(&target));
+    }
+
+    #[test]
+    fn prove_trivial_fd() {
+        let target = fd("R: A, B -> A");
+        let proof = prove_fd(&[], &target).expect("trivial");
+        proof.check(&[]).expect("must check");
+    }
+
+    #[test]
+    fn prove_fails_on_non_consequence() {
+        let sigma = vec![fd("R: A -> B")];
+        assert!(prove_fd(&sigma, &fd("R: B -> A")).is_none());
+    }
+
+    #[test]
+    fn mutated_proofs_fail() {
+        let sigma = vec![fd("R: A -> B"), fd("R: B -> C")];
+        let proof = prove_fd(&sigma, &fd("R: A -> C")).unwrap();
+        let mut bad = proof.clone();
+        let last = bad.lines.len() - 1;
+        bad.lines[last].fd = fd("R: C -> A");
+        assert!(bad.check(&sigma).is_err());
+        let mut bad2 = proof.clone();
+        bad2.lines[0].fd = fd("R: A -> B"); // reflexivity line must be X → X-ish
+        assert!(bad2.check(&sigma).is_err());
+    }
+
+    #[test]
+    fn agreement_with_engine_on_random_sets() {
+        use depkit_core::generate::{random_fd, random_schema, Rng, SchemaConfig};
+        let mut rng = Rng::new(0xF00D);
+        for round in 0..60 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 1,
+                    min_arity: 3,
+                    max_arity: 5,
+                },
+            );
+            let mut sigma = Vec::new();
+            for _ in 0..4 {
+                let lhs_n = 1 + rng.below(2);
+                if let Some(f) = random_fd(&mut rng, &schema, lhs_n, 1) {
+                    sigma.push(f);
+                }
+            }
+            let Some(target) = random_fd(&mut rng, &schema, 1, 2) else {
+                continue;
+            };
+            let expected = FdEngine::new(target.rel.clone(), &sigma).implies(&target);
+            match prove_fd(&sigma, &target) {
+                Some(proof) => {
+                    assert!(expected, "round {round}: over-proved {target}");
+                    proof.check(&sigma).unwrap_or_else(|e| {
+                        panic!("round {round}: produced proof fails: {e}\n{proof}")
+                    });
+                }
+                None => assert!(!expected, "round {round}: under-proved {target}"),
+            }
+        }
+    }
+
+    #[test]
+    fn armstrong_rule_arity_matches_theorem_5_1_control() {
+        // Reflexivity is 0-ary, augmentation 1-ary, transitivity 2-ary:
+        // the k = 2 closure control of kary.rs is about exactly this
+        // system. Here we just assert the proof uses only those rules.
+        let sigma = vec![fd("R: A -> B"), fd("R: B -> C")];
+        let proof = prove_fd(&sigma, &fd("R: A -> C")).unwrap();
+        for line in &proof.lines {
+            match &line.justification {
+                FdJustification::Premise { .. }
+                | FdJustification::Reflexivity
+                | FdJustification::Augmentation { .. }
+                | FdJustification::Transitivity { .. } => {}
+            }
+        }
+        assert!(proof.len() >= 5);
+    }
+}

@@ -1,0 +1,343 @@
+//! Theorem 5.1: characterizing the existence of k-ary complete
+//! axiomatizations.
+//!
+//! > **Theorem 5.1.** Let `D` be a database scheme, `𝒟` a set of sentences
+//! > about `D`, and `k ≥ 0`. There is a k-ary complete axiomatization for
+//! > `𝒟` iff whenever `Γ ⊆ 𝒟` is closed under k-ary implication, `Γ` is
+//! > closed under implication.
+//!
+//! This module implements the two closure notions over **finite** sentence
+//! universes with a pluggable [`ImplicationOracle`]. The negative results
+//! of Sections 6 and 7 are obtained by exhibiting a set closed under
+//! k-ary implication but not under implication ([`families`] builds the
+//! witnesses; this module provides the machinery). The positive direction
+//! is exercised in tests: FDs have a 2-ary complete axiomatization
+//! (Armstrong), so 2-ary-closed FD sets are implication-closed — while
+//! 1-ary-closed sets need not be, pinpointing why transitivity is
+//! genuinely binary.
+//!
+//! [`families`]: crate::families
+
+use depkit_core::dependency::Dependency;
+use std::collections::BTreeSet;
+
+/// Decides `Σ ⊨ τ` for the universe under study. Implementations choose
+/// the implication notion (finite vs unrestricted) and must be **exact**
+/// for the conclusions drawn from them; sound-but-incomplete engines may
+/// be used where only one direction is needed.
+pub trait ImplicationOracle {
+    /// Whether `sigma ⊨ tau`.
+    fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool;
+}
+
+/// An oracle backed by a closure: handy for family-specific exact oracles.
+pub struct FnOracle<F: Fn(&[Dependency], &Dependency) -> bool>(pub F);
+
+impl<F: Fn(&[Dependency], &Dependency) -> bool> ImplicationOracle for FnOracle<F> {
+    fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
+        (self.0)(sigma, tau)
+    }
+}
+
+/// An exact FD oracle (Armstrong completeness via attribute closure).
+pub struct FdOracle;
+
+impl ImplicationOracle for FdOracle {
+    fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
+        let fds: Vec<depkit_core::Fd> = sigma
+            .iter()
+            .filter_map(|d| d.as_fd().cloned())
+            .collect();
+        match tau {
+            Dependency::Fd(f) => depkit_solver::fd::implies_fd(&fds, f),
+            _ => tau.is_trivial(),
+        }
+    }
+}
+
+/// An exact IND oracle (Theorem 3.1 completeness via the expression
+/// search).
+pub struct IndOracle;
+
+impl ImplicationOracle for IndOracle {
+    fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
+        let inds: Vec<depkit_core::Ind> = sigma
+            .iter()
+            .filter_map(|d| d.as_ind().cloned())
+            .collect();
+        match tau {
+            Dependency::Ind(i) => depkit_solver::ind::IndSolver::new(&inds).implies(i),
+            _ => tau.is_trivial(),
+        }
+    }
+}
+
+/// Enumerate subsets of `items` of size at most `k`, invoking `f` on each;
+/// stops early when `f` returns `false`. Returns whether enumeration ran
+/// to completion.
+pub fn for_each_subset_up_to<T: Clone>(
+    items: &[T],
+    k: usize,
+    f: &mut dyn FnMut(&[T]) -> bool,
+) -> bool {
+    fn rec<T: Clone>(
+        items: &[T],
+        k: usize,
+        start: usize,
+        current: &mut Vec<T>,
+        f: &mut dyn FnMut(&[T]) -> bool,
+    ) -> bool {
+        if !f(current) {
+            return false;
+        }
+        if current.len() == k {
+            return true;
+        }
+        for i in start..items.len() {
+            current.push(items[i].clone());
+            if !rec(items, k, i + 1, current, f) {
+                return false;
+            }
+            current.pop();
+        }
+        true
+    }
+    let mut current = Vec::new();
+    rec(items, k, 0, &mut current, f)
+}
+
+/// Close `start` under k-ary implication within `universe`: repeatedly add
+/// every `τ ∈ universe` implied by some subset of the current set of size
+/// at most `k` (0-ary closure adds tautologies).
+pub fn close_under_k_ary(
+    universe: &[Dependency],
+    start: &BTreeSet<Dependency>,
+    k: usize,
+    oracle: &dyn ImplicationOracle,
+) -> BTreeSet<Dependency> {
+    let mut set = start.clone();
+    loop {
+        let mut added: Vec<Dependency> = Vec::new();
+        let members: Vec<Dependency> = set.iter().cloned().collect();
+        for tau in universe {
+            if set.contains(tau) {
+                continue;
+            }
+            let mut implied = false;
+            for_each_subset_up_to(&members, k, &mut |subset| {
+                if oracle.implies(subset, tau) {
+                    implied = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if implied {
+                added.push(tau.clone());
+            }
+        }
+        if added.is_empty() {
+            return set;
+        }
+        set.extend(added);
+    }
+}
+
+/// If `set` is **not** closed under (full) implication within `universe`,
+/// return a witness `τ ∈ universe ∖ set` with `set ⊨ τ`.
+pub fn implication_closure_witness(
+    universe: &[Dependency],
+    set: &BTreeSet<Dependency>,
+    oracle: &dyn ImplicationOracle,
+) -> Option<Dependency> {
+    let members: Vec<Dependency> = set.iter().cloned().collect();
+    universe
+        .iter()
+        .find(|tau| !set.contains(*tau) && oracle.implies(&members, tau))
+        .cloned()
+}
+
+/// The Theorem 5.1 verdict for one candidate set: if the k-ary closure of
+/// `start` admits an implication-closure witness, then **no k-ary complete
+/// axiomatization exists** for this universe (the closure is the set `Γ`
+/// of the theorem's proof).
+#[derive(Debug, Clone)]
+pub struct KaryGap {
+    /// The k-ary-closed set `Γ`.
+    pub closed_set: BTreeSet<Dependency>,
+    /// A sentence implied by `Γ` but outside it.
+    pub witness: Dependency,
+}
+
+/// Search for a Theorem 5.1 gap starting from `start`.
+pub fn find_kary_gap(
+    universe: &[Dependency],
+    start: &BTreeSet<Dependency>,
+    k: usize,
+    oracle: &dyn ImplicationOracle,
+) -> Option<KaryGap> {
+    let closed = close_under_k_ary(universe, start, k, oracle);
+    implication_closure_witness(universe, &closed, oracle).map(|witness| KaryGap {
+        closed_set: closed,
+        witness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::attr::attrs;
+    use depkit_core::parser::parse_dependency;
+    use depkit_core::Fd;
+
+    fn dep(src: &str) -> Dependency {
+        parse_dependency(src).unwrap()
+    }
+
+    /// All FDs over R(A, B, C) with single-attribute sides (the universe
+    /// used by the k-ary experiments on FDs).
+    fn unary_fd_universe() -> Vec<Dependency> {
+        let names = ["A", "B", "C"];
+        let mut out = Vec::new();
+        for l in names {
+            for r in names {
+                out.push(Fd::new("R", attrs(&[l]), attrs(&[r])).into());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let items = [1, 2, 3, 4];
+        let mut count = 0;
+        for_each_subset_up_to(&items, 2, &mut |_s| {
+            count += 1;
+            true
+        });
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11.
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn fds_are_2ary_closed_implies_implication_closed() {
+        // FDs have a 2-ary complete axiomatization (Armstrong), so by
+        // Theorem 5.1 every 2-ary-closed set must be implication-closed.
+        let universe = unary_fd_universe();
+        let oracle = FdOracle;
+        let start: BTreeSet<Dependency> =
+            [dep("R: A -> B"), dep("R: B -> C")].into_iter().collect();
+        let closed = close_under_k_ary(&universe, &start, 2, &oracle);
+        // Transitivity fired at arity 2.
+        assert!(closed.contains(&dep("R: A -> C")));
+        assert!(
+            implication_closure_witness(&universe, &closed, &oracle).is_none(),
+            "2-ary-closed FD sets are implication-closed"
+        );
+    }
+
+    #[test]
+    fn fds_have_no_1ary_axiomatization_gap() {
+        // At k = 1 transitivity cannot fire: the 1-ary closure of
+        // {A -> B, B -> C} misses A -> C, exhibiting the Theorem 5.1 gap
+        // (so there is no 1-ary complete axiomatization of FDs).
+        let universe = unary_fd_universe();
+        let oracle = FdOracle;
+        let start: BTreeSet<Dependency> =
+            [dep("R: A -> B"), dep("R: B -> C")].into_iter().collect();
+        let gap = find_kary_gap(&universe, &start, 1, &oracle).expect("gap must exist");
+        assert_eq!(gap.witness, dep("R: A -> C"));
+        assert!(!gap.closed_set.contains(&dep("R: A -> C")));
+        // Tautologies were added by 0-ary closure.
+        assert!(gap.closed_set.contains(&dep("R: A -> A")));
+    }
+
+    #[test]
+    fn inds_are_2ary_closed_implies_implication_closed_small() {
+        // INDs have a 2-ary complete axiomatization (IND1-3), so 2-ary
+        // closed sets are implication-closed; check on a small universe.
+        let names = ["R", "S", "T"];
+        let mut universe = Vec::new();
+        for a in names {
+            for b in names {
+                universe.push(dep(&format!("{a}[A] <= {b}[A]")));
+            }
+        }
+        let oracle = IndOracle;
+        let start: BTreeSet<Dependency> =
+            [dep("R[A] <= S[A]"), dep("S[A] <= T[A]")].into_iter().collect();
+        let closed = close_under_k_ary(&universe, &start, 2, &oracle);
+        assert!(closed.contains(&dep("R[A] <= T[A]")));
+        assert!(implication_closure_witness(&universe, &closed, &oracle).is_none());
+        // And at k = 1 the transitive consequence is missed.
+        let gap = find_kary_gap(&universe, &start, 1, &oracle).expect("gap at k = 1");
+        assert_eq!(gap.witness, dep("R[A] <= T[A]"));
+    }
+
+    #[test]
+    fn section_5_warning_example() {
+        // The paper's warning at the end of Section 5: the FD chain rule
+        // "if {A1→A2, ..., A_{k+1}→A_{k+2}} then A1→A_{k+2}" has k+1
+        // antecedents, NONE removable — yet FDs still have a 2-ary
+        // complete axiomatization. Irredundant many-antecedent rules do
+        // not, by themselves, refute k-ary axiomatizability.
+        for k in [2usize, 3, 4] {
+            let chain: Vec<Dependency> = (1..=k + 1)
+                .map(|i| dep(&format!("R: A{i} -> A{}", i + 1)))
+                .collect();
+            let tau = dep(&format!("R: A1 -> A{}", k + 2));
+            let oracle = FdOracle;
+            // Sound with all antecedents...
+            let chain_vec: Vec<Dependency> = chain.clone();
+            assert!(oracle.implies(&chain_vec, &tau), "k={k}");
+            // ...and no antecedent is removable.
+            for drop in 0..chain.len() {
+                let reduced: Vec<Dependency> = chain
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, d)| d.clone())
+                    .collect();
+                assert!(!oracle.implies(&reduced, &tau), "k={k}, drop={drop}");
+            }
+            // Yet the 2-ary closure machinery still decides everything:
+            // the chain's conclusion IS in the 2-ary closure.
+            let universe: Vec<Dependency> = {
+                let mut out = chain.clone();
+                out.push(tau.clone());
+                // intermediate transitive consequences
+                for i in 1..=k + 2 {
+                    for j in 1..=k + 2 {
+                        if i != j {
+                            out.push(dep(&format!("R: A{i} -> A{j}")));
+                        }
+                    }
+                }
+                out.sort();
+                out.dedup();
+                out
+            };
+            let start: BTreeSet<Dependency> = chain.into_iter().collect();
+            let closed = close_under_k_ary(&universe, &start, 2, &oracle);
+            assert!(closed.contains(&tau), "k={k}: 2-ary closure reaches the conclusion");
+        }
+    }
+
+    #[test]
+    fn closure_is_monotone_in_k() {
+        let universe = unary_fd_universe();
+        let oracle = FdOracle;
+        let start: BTreeSet<Dependency> = [
+            dep("R: A -> B"),
+            dep("R: B -> C"),
+            dep("R: C -> A"),
+        ]
+        .into_iter()
+        .collect();
+        let c0 = close_under_k_ary(&universe, &start, 0, &oracle);
+        let c1 = close_under_k_ary(&universe, &start, 1, &oracle);
+        let c2 = close_under_k_ary(&universe, &start, 2, &oracle);
+        assert!(c0.is_subset(&c1));
+        assert!(c1.is_subset(&c2));
+    }
+}

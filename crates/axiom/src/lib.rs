@@ -1,0 +1,31 @@
+//! # depkit-axiom — proof theory and the paper's negative results
+//!
+//! This crate turns the axiomatic content of Casanova–Fagin–Papadimitriou
+//! into executable, machine-checked objects:
+//!
+//! * [`proof`] — the IND proof system of Section 3 (rules IND1 reflexivity,
+//!   IND2 projection-and-permutation, IND3 transitivity) as verifiable
+//!   proof objects, with a prover that converts Corollary 3.2 walks into
+//!   checked proofs. Theorem 3.1 (completeness) is machine-checked by
+//!   agreement between the prover, the semantic Rule (*) chase, and the
+//!   syntactic search.
+//! * [`kary`] — Theorem 5.1: a `k`-ary complete axiomatization exists for a
+//!   sentence universe iff every set closed under `k`-ary implication is
+//!   closed under implication. Implemented over finite dependency universes
+//!   with pluggable implication oracles.
+//! * [`families`] — the concrete families driving the negative results:
+//!   Theorem 4.4 (finite ≠ unrestricted, with the Figure 4.1/4.2 infinite
+//!   witnesses), Theorem 5.3 (Sagiv–Walecka EMVDs), Theorem 6.1 (no k-ary
+//!   axiomatization for finite implication; Figure 6.1 Armstrong
+//!   databases), and Theorem 7.1 (no k-ary axiomatization for unrestricted
+//!   implication; Figures 7.1–7.5 witness databases and the Lemma 7.2
+//!   chase proof).
+
+pub mod families;
+pub mod fd_proof;
+pub mod kary;
+pub mod proof;
+
+pub use fd_proof::{prove_fd, FdProof};
+pub use kary::{close_under_k_ary, implication_closure_witness, ImplicationOracle};
+pub use proof::{IndProof, Justification, ProofError, ProofLine};

@@ -1,0 +1,616 @@
+//! Verifiable proof objects for the IND axiomatization of Section 3.
+//!
+//! A proof of `σ` from `Σ` is a finite sequence of INDs, each a member of
+//! `Σ` or obtained from earlier lines by one of:
+//!
+//! * **IND1** (reflexivity): `R[X] ⊆ R[X]`;
+//! * **IND2** (projection and permutation): from `R[A_1..A_m] ⊆
+//!   S[B_1..B_m]` infer `R[A_{i_1}..A_{i_k}] ⊆ S[B_{i_1}..B_{i_k}]` for
+//!   distinct `i_1..i_k`;
+//! * **IND3** (transitivity): from `R[X] ⊆ S[Y]` and `S[Y] ⊆ T[Z]` infer
+//!   `R[X] ⊆ T[Z]`.
+//!
+//! [`IndProof::check`] validates every line, so a checked proof is a
+//! self-contained certificate. [`prove`] produces proofs from the
+//! Corollary 3.2 walks found by `depkit-solver`; Theorem 3.1's
+//! completeness is the (machine-checked) fact that `prove` succeeds
+//! exactly when the semantic Rule (*) chase says the implication holds.
+
+use depkit_core::dependency::Ind;
+use depkit_solver::ind::{IndSolver, WalkStep};
+use std::fmt;
+
+/// How a proof line is justified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Justification {
+    /// The line is `sigma[index]`.
+    Premise {
+        /// Index into the premise set `Σ`.
+        index: usize,
+    },
+    /// IND1 (reflexivity): the line is `R[X] ⊆ R[X]`.
+    Ind1,
+    /// IND2 (projection and permutation) applied to an earlier line.
+    Ind2 {
+        /// The earlier line the rule is applied to.
+        from_line: usize,
+        /// The selected positions `i_1, ..., i_k` (0-based).
+        positions: Vec<usize>,
+    },
+    /// IND3 (transitivity) of two earlier lines.
+    Ind3 {
+        /// Line holding `R[X] ⊆ S[Y]`.
+        left_line: usize,
+        /// Line holding `S[Y] ⊆ T[Z]`.
+        right_line: usize,
+    },
+}
+
+/// One line of a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofLine {
+    /// The IND asserted by this line.
+    pub ind: Ind,
+    /// Its justification.
+    pub justification: Justification,
+}
+
+/// Why a proof failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// The proof has no lines.
+    Empty,
+    /// A line references a premise index outside `Σ`.
+    BadPremiseIndex(usize),
+    /// A line does not match the premise it claims to be.
+    PremiseMismatch(usize),
+    /// An IND1 line is not of the form `R[X] ⊆ R[X]`.
+    NotReflexive(usize),
+    /// A line references a later or nonexistent line.
+    ForwardReference(usize),
+    /// An IND2 line does not equal the claimed projection.
+    BadProjection(usize),
+    /// An IND3 line's sources do not chain.
+    BadComposition(usize),
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::Empty => write!(f, "proof has no lines"),
+            ProofError::BadPremiseIndex(l) => write!(f, "line {l}: premise index out of range"),
+            ProofError::PremiseMismatch(l) => write!(f, "line {l}: IND differs from premise"),
+            ProofError::NotReflexive(l) => write!(f, "line {l}: not an IND1 instance"),
+            ProofError::ForwardReference(l) => write!(f, "line {l}: references a later line"),
+            ProofError::BadProjection(l) => write!(f, "line {l}: not the claimed IND2 instance"),
+            ProofError::BadComposition(l) => write!(f, "line {l}: IND3 sources do not chain"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A proof: a sequence of justified lines whose last line is the
+/// conclusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndProof {
+    /// The proof lines, in order.
+    pub lines: Vec<ProofLine>,
+}
+
+impl IndProof {
+    /// The proof's conclusion (its last line).
+    pub fn conclusion(&self) -> Option<&Ind> {
+        self.lines.last().map(|l| &l.ind)
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the proof has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Validate every line against `Σ` and the three rules.
+    pub fn check(&self, sigma: &[Ind]) -> Result<(), ProofError> {
+        if self.lines.is_empty() {
+            return Err(ProofError::Empty);
+        }
+        for (l, line) in self.lines.iter().enumerate() {
+            match &line.justification {
+                Justification::Premise { index } => {
+                    let premise = sigma.get(*index).ok_or(ProofError::BadPremiseIndex(l))?;
+                    if *premise != line.ind {
+                        return Err(ProofError::PremiseMismatch(l));
+                    }
+                }
+                Justification::Ind1 => {
+                    if !line.ind.is_trivial() {
+                        return Err(ProofError::NotReflexive(l));
+                    }
+                }
+                Justification::Ind2 {
+                    from_line,
+                    positions,
+                } => {
+                    if *from_line >= l {
+                        return Err(ProofError::ForwardReference(l));
+                    }
+                    let source = &self.lines[*from_line].ind;
+                    match source.select(positions) {
+                        Ok(projected) if projected == line.ind => {}
+                        _ => return Err(ProofError::BadProjection(l)),
+                    }
+                }
+                Justification::Ind3 {
+                    left_line,
+                    right_line,
+                } => {
+                    if *left_line >= l || *right_line >= l {
+                        return Err(ProofError::ForwardReference(l));
+                    }
+                    let a = &self.lines[*left_line].ind;
+                    let b = &self.lines[*right_line].ind;
+                    let chains = a.rhs_rel == b.lhs_rel
+                        && a.rhs_attrs == b.lhs_attrs
+                        && line.ind.lhs_rel == a.lhs_rel
+                        && line.ind.lhs_attrs == a.lhs_attrs
+                        && line.ind.rhs_rel == b.rhs_rel
+                        && line.ind.rhs_attrs == b.rhs_attrs;
+                    if !chains {
+                        return Err(ProofError::BadComposition(l));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IndProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, line) in self.lines.iter().enumerate() {
+            let just = match &line.justification {
+                Justification::Premise { index } => format!("premise {index}"),
+                Justification::Ind1 => "IND1".to_string(),
+                Justification::Ind2 {
+                    from_line,
+                    positions,
+                } => format!("IND2 on line {from_line}, positions {positions:?}"),
+                Justification::Ind3 {
+                    left_line,
+                    right_line,
+                } => format!("IND3 of lines {left_line}, {right_line}"),
+            };
+            writeln!(f, "{l:>3}. {}    [{just}]", line.ind)?;
+        }
+        Ok(())
+    }
+}
+
+/// Construct a checked proof of `target` from `Σ`, or return `None` when
+/// `Σ ⊭ target`. Uses the Corollary 3.2 walk and converts each step into a
+/// premise + IND2 pair, chaining with IND3.
+pub fn prove(sigma: &[Ind], target: &Ind) -> Option<IndProof> {
+    let solver = IndSolver::new(sigma);
+    let walk = solver.walk(target)?;
+    Some(proof_from_walk(sigma, &walk))
+}
+
+/// Convert a verified walk into a proof object.
+///
+/// A length-1 walk means the target is reflexive: a single IND1 line.
+/// Otherwise each step contributes a premise line and an IND2 line; the
+/// running composition is maintained with IND3.
+pub fn proof_from_walk(sigma: &[Ind], walk: &[WalkStep]) -> IndProof {
+    let mut lines: Vec<ProofLine> = Vec::new();
+    if walk.len() == 1 {
+        let e = &walk[0].expr;
+        let ind = Ind::new(
+            e.rel.clone(),
+            e.attrs.clone(),
+            e.rel.clone(),
+            e.attrs.clone(),
+        )
+        .expect("equal sides");
+        lines.push(ProofLine {
+            ind,
+            justification: Justification::Ind1,
+        });
+        return IndProof { lines };
+    }
+
+    // Running line index of the composed IND R_a[X_1] ⊆ S_i[X_i].
+    let mut composed: Option<usize> = None;
+    for w in 1..walk.len() {
+        let prev = &walk[w - 1].expr;
+        let cur = &walk[w].expr;
+        let sigma_idx = walk[w].via.expect("non-initial steps record their IND");
+        let premise = &sigma[sigma_idx];
+
+        // Positions: expression attrs located inside the premise's LHS.
+        let positions: Vec<usize> = prev
+            .attrs
+            .attrs()
+            .iter()
+            .map(|a| {
+                premise
+                    .lhs_attrs
+                    .position(a)
+                    .expect("walk steps are IND2 instances")
+            })
+            .collect();
+
+        let premise_line = lines.len();
+        lines.push(ProofLine {
+            ind: premise.clone(),
+            justification: Justification::Premise { index: sigma_idx },
+        });
+
+        let step_ind = Ind::new(
+            prev.rel.clone(),
+            prev.attrs.clone(),
+            cur.rel.clone(),
+            cur.attrs.clone(),
+        )
+        .expect("equal lengths");
+        let step_line = lines.len();
+        lines.push(ProofLine {
+            ind: step_ind,
+            justification: Justification::Ind2 {
+                from_line: premise_line,
+                positions,
+            },
+        });
+
+        composed = Some(match composed {
+            None => step_line,
+            Some(prev_comp) => {
+                let left = lines[prev_comp].ind.clone();
+                let right = lines[step_line].ind.clone();
+                let ind = Ind::new(
+                    left.lhs_rel.clone(),
+                    left.lhs_attrs.clone(),
+                    right.rhs_rel.clone(),
+                    right.rhs_attrs.clone(),
+                )
+                .expect("equal lengths");
+                let line = lines.len();
+                lines.push(ProofLine {
+                    ind,
+                    justification: Justification::Ind3 {
+                        left_line: prev_comp,
+                        right_line: step_line,
+                    },
+                });
+                line
+            }
+        });
+    }
+    let _ = composed;
+    IndProof { lines }
+}
+
+/// A **short** proof of `σ(γ^k)` from `σ(γ)` by repeated squaring:
+/// `O(log k)` squaring/multiplication steps instead of the `k − 1` steps
+/// the breadth-first decision procedure walks.
+///
+/// This is the paper's remark after the Landau example in Section 3: "for
+/// the class of examples we just gave, there are short proofs that
+/// `σ(γ) ⊨ σ(δ)`" — the *procedure* is superpolynomial, the *certificates*
+/// are not. Requires `ind` to be a full-width self-IND `R[U] ⊆ R[πU]`
+/// whose right side is a permutation of its left side; returns `None`
+/// otherwise (or when `k = 0` and the identity IND is not reflexive).
+///
+/// Key step: if a line holds `R[U] ⊆ R[δU]`, then IND2 with positions
+/// `δ(1), ..., δ(m)` applied to the *same* line yields
+/// `R[δU] ⊆ R[δ²U]`, and IND3 chains them to `R[U] ⊆ R[δ²U]`.
+pub fn prove_permutation_power(sigma: &[Ind], ind_index: usize, k: u128) -> Option<IndProof> {
+    let ind = sigma.get(ind_index)?;
+    if ind.lhs_rel != ind.rhs_rel || !ind.lhs_attrs.same_set(&ind.rhs_attrs) {
+        return None;
+    }
+    let m = ind.arity();
+    // The permutation π as positions: rhs[i] = lhs[π(i)].
+    let pi: Vec<usize> = ind
+        .rhs_attrs
+        .attrs()
+        .iter()
+        .map(|a| ind.lhs_attrs.position(a).expect("same attribute set"))
+        .collect();
+
+    // Compose position maps: (a ∘ b)(i) = a[b[i]] — apply b, then a.
+    let compose = |a: &[usize], b: &[usize]| -> Vec<usize> {
+        (0..m).map(|i| a[b[i]]).collect()
+    };
+    // The IND σ(perm) for a position map.
+    let ind_of = |perm: &[usize]| -> Ind {
+        let rhs: Vec<_> = (0..m)
+            .map(|i| ind.lhs_attrs.attrs()[perm[i]].clone())
+            .collect();
+        Ind::new(
+            ind.lhs_rel.clone(),
+            ind.lhs_attrs.clone(),
+            ind.rhs_rel.clone(),
+            depkit_core::attr::AttrSeq::new(rhs).expect("permutation of distinct attrs"),
+        )
+        .expect("equal arity")
+    };
+
+    let mut lines: Vec<ProofLine> = Vec::new();
+    if k == 0 {
+        lines.push(ProofLine {
+            ind: ind_of(&(0..m).collect::<Vec<_>>()),
+            justification: Justification::Ind1,
+        });
+        return Some(IndProof { lines });
+    }
+
+    // `base`: (line index, position map) for σ(π^{2^i}), starting at i = 0.
+    lines.push(ProofLine {
+        ind: ind.clone(),
+        justification: Justification::Premise { index: ind_index },
+    });
+    let mut base: (usize, Vec<usize>) = (0, pi);
+    // `acc`: accumulated σ(π^bits) for the processed low bits of k.
+    let mut acc: Option<(usize, Vec<usize>)> = None;
+
+    let mut remaining = k;
+    loop {
+        if remaining & 1 == 1 {
+            acc = Some(match acc {
+                None => base.clone(),
+                Some((acc_line, acc_perm)) => {
+                    // From base (R[U] ⊆ R[δU]) derive R[αU] ⊆ R[(δ∘α)U]
+                    // via IND2 with positions α, then chain the
+                    // accumulator R[U] ⊆ R[αU] by IND3.
+                    let projected = lines[base.0]
+                        .ind
+                        .select(&acc_perm)
+                        .expect("valid positions");
+                    let shifted = lines.len();
+                    lines.push(ProofLine {
+                        ind: projected,
+                        justification: Justification::Ind2 {
+                            from_line: base.0,
+                            positions: acc_perm.clone(),
+                        },
+                    });
+                    let combined_perm = compose(&base.1, &acc_perm);
+                    let line = lines.len();
+                    lines.push(ProofLine {
+                        ind: ind_of(&combined_perm),
+                        justification: Justification::Ind3 {
+                            left_line: acc_line,
+                            right_line: shifted,
+                        },
+                    });
+                    (line, combined_perm)
+                }
+            });
+        }
+        remaining >>= 1;
+        if remaining == 0 {
+            break;
+        }
+        // Square the base: IND2 on base with positions δ gives
+        // R[δU] ⊆ R[δ²U]; IND3 with base gives R[U] ⊆ R[δ²U].
+        let (base_line, base_perm) = base;
+        let src = lines[base_line].ind.clone();
+        let shifted = lines.len();
+        lines.push(ProofLine {
+            ind: src.select(&base_perm).expect("valid positions"),
+            justification: Justification::Ind2 {
+                from_line: base_line,
+                positions: base_perm.clone(),
+            },
+        });
+        let squared_perm = compose(&base_perm, &base_perm);
+        let line = lines.len();
+        lines.push(ProofLine {
+            ind: ind_of(&squared_perm),
+            justification: Justification::Ind3 {
+                left_line: base_line,
+                right_line: shifted,
+            },
+        });
+        base = (line, squared_perm);
+    }
+
+    let (acc_line, _) = acc.expect("k >= 1 sets the accumulator");
+    // Ensure the conclusion is the last line (IND2 with the identity
+    // selection restates an earlier line verbatim).
+    if acc_line != lines.len() - 1 {
+        let conclusion = lines[acc_line].ind.clone();
+        lines.push(ProofLine {
+            ind: conclusion,
+            justification: Justification::Ind2 {
+                from_line: acc_line,
+                positions: (0..m).collect(),
+            },
+        });
+    }
+    Some(IndProof { lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::parser::parse_dependency;
+    use depkit_core::Dependency;
+
+    fn ind(src: &str) -> Ind {
+        match parse_dependency(src).unwrap() {
+            Dependency::Ind(i) => i,
+            _ => panic!("not an IND"),
+        }
+    }
+
+    fn inds(srcs: &[&str]) -> Vec<Ind> {
+        srcs.iter().map(|s| ind(s)).collect()
+    }
+
+    #[test]
+    fn prove_and_check_transitivity() {
+        let sigma = inds(&["R[A, B] <= S[C, D]", "S[C, D] <= T[E, F]"]);
+        let target = ind("R[B] <= T[F]");
+        let proof = prove(&sigma, &target).expect("implication holds");
+        assert_eq!(proof.conclusion(), Some(&target));
+        proof.check(&sigma).expect("proof must check");
+    }
+
+    #[test]
+    fn prove_reflexive_with_ind1() {
+        let proof = prove(&[], &ind("R[A, B] <= R[A, B]")).unwrap();
+        assert_eq!(proof.len(), 1);
+        assert_eq!(proof.lines[0].justification, Justification::Ind1);
+        proof.check(&[]).unwrap();
+    }
+
+    #[test]
+    fn prove_fails_on_non_consequence() {
+        let sigma = inds(&["R[A] <= S[B]"]);
+        assert!(prove(&sigma, &ind("S[B] <= R[A]")).is_none());
+    }
+
+    #[test]
+    fn tampered_proofs_fail_checking() {
+        let sigma = inds(&["R[A, B] <= S[C, D]", "S[C, D] <= T[E, F]"]);
+        let target = ind("R[B] <= T[F]");
+        let good = prove(&sigma, &target).unwrap();
+
+        // Swap the conclusion.
+        let mut bad = good.clone();
+        let last = bad.lines.len() - 1;
+        bad.lines[last].ind = ind("R[A] <= T[F]");
+        assert!(bad.check(&sigma).is_err());
+
+        // Claim a wrong premise.
+        let mut bad2 = good.clone();
+        bad2.lines[0].justification = Justification::Premise { index: 1 };
+        assert!(bad2.check(&sigma).is_err());
+
+        // Forward reference.
+        let mut bad3 = good.clone();
+        if let Justification::Ind2 { from_line, .. } = &mut bad3.lines[1].justification {
+            *from_line = 99;
+        }
+        assert!(matches!(
+            bad3.check(&sigma),
+            Err(ProofError::ForwardReference(_)) | Err(ProofError::BadProjection(_))
+        ));
+    }
+
+    #[test]
+    fn ind1_rejects_non_reflexive() {
+        let proof = IndProof {
+            lines: vec![ProofLine {
+                ind: ind("R[A, B] <= R[B, A]"),
+                justification: Justification::Ind1,
+            }],
+        };
+        assert_eq!(proof.check(&[]), Err(ProofError::NotReflexive(0)));
+    }
+
+    #[test]
+    fn completeness_against_semantic_chase() {
+        // Theorem 3.1, machine-checked: prover succeeds iff the Rule (*)
+        // chase says the implication holds, and produced proofs check.
+        use depkit_chase::ind_chase::ind_chase;
+        use depkit_core::generate::{random_ind, random_ind_set, random_schema, Rng, SchemaConfig};
+        let mut rng = Rng::new(0x1982);
+        for round in 0..50 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 3,
+                    min_arity: 2,
+                    max_arity: 3,
+                },
+            );
+            let sigma = random_ind_set(&mut rng, &schema, 4, 2);
+            let Some(target) = random_ind(&mut rng, &schema, 2) else {
+                continue;
+            };
+            let semantic = ind_chase(&schema, &sigma, &target, 100_000)
+                .unwrap()
+                .implied;
+            match prove(&sigma, &target) {
+                Some(proof) => {
+                    assert!(semantic, "round {round}: proof exists but chase refutes");
+                    proof.check(&sigma).expect("produced proof must check");
+                    assert_eq!(proof.conclusion(), Some(&target));
+                }
+                None => assert!(!semantic, "round {round}: no proof but chase confirms"),
+            }
+        }
+    }
+
+    #[test]
+    fn short_proofs_for_permutation_powers() {
+        // The paper's Section 3 remark: although the decision procedure
+        // walks f(m) − 1 steps on the Landau pair, there are SHORT proofs
+        // under the axiomatization — repeated squaring gives O(log k)
+        // certificates, independently checkable.
+        use depkit_perm::{landau_function, landau_witness, permutation_ind};
+        for m in [5usize, 7, 10, 13] {
+            let gamma = landau_witness(m);
+            let f = landau_function(m);
+            let sigma = vec![permutation_ind(&gamma)];
+            let k = f - 1;
+            let proof = prove_permutation_power(&sigma, 0, k).expect("applicable");
+            proof.check(&sigma).expect("short proof must check");
+            assert_eq!(
+                proof.conclusion(),
+                Some(&permutation_ind(&gamma.pow(k))),
+                "conclusion must be σ(γ^{k}) at m={m}"
+            );
+            // Short: O(log k) lines versus the walk's k steps.
+            let log_bound = 3 * (128 - k.leading_zeros() as usize) + 4;
+            assert!(
+                proof.len() <= log_bound,
+                "m={m}: proof has {} lines, bound {log_bound} (k={k})",
+                proof.len()
+            );
+            // Strictly shorter than the walk once k is large enough for
+            // the logarithm to win (tiny k favors the direct walk).
+            if k >= 16 {
+                assert!((proof.len() as u128) < k, "m={m}: {} vs k={k}", proof.len());
+            }
+        }
+    }
+
+    #[test]
+    fn power_proof_small_exponents() {
+        use depkit_perm::{permutation_ind, Perm};
+        let gamma = Perm::from_cycles(4, &[vec![0, 1, 2, 3]]).unwrap();
+        let sigma = vec![permutation_ind(&gamma)];
+        for k in 0..=8u128 {
+            let proof = prove_permutation_power(&sigma, 0, k).expect("applicable");
+            proof.check(&sigma).expect("must check");
+            assert_eq!(proof.conclusion(), Some(&permutation_ind(&gamma.pow(k))), "k={k}");
+        }
+    }
+
+    #[test]
+    fn power_proof_rejects_non_permutation_inds() {
+        let sigma = inds(&["R[A] <= S[B]"]);
+        assert!(prove_permutation_power(&sigma, 0, 3).is_none());
+        let sigma2 = inds(&["R[A, B] <= R[A, C]"]);
+        assert!(prove_permutation_power(&sigma2, 0, 3).is_none());
+    }
+
+    #[test]
+    fn long_permutation_proof_checks() {
+        // The Landau-style example: proofs through many IND2/IND3 steps.
+        let sigma = inds(&["R[A, B, C, D, E] <= R[B, C, D, E, A]"]);
+        let target = ind("R[A, B, C, D, E] <= R[E, A, B, C, D]");
+        let proof = prove(&sigma, &target).unwrap();
+        proof.check(&sigma).unwrap();
+        // 4 steps: each contributes premise + IND2, plus IND3 chains.
+        assert!(proof.len() >= 9);
+    }
+}

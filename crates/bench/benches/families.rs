@@ -1,0 +1,70 @@
+//! Criterion bench: the negative-result families — Figure 6.1 Armstrong
+//! database construction + verification (experiment E6.1), the Section 7
+//! lemma pipeline (experiment E7.1), and the Theorem 4.4 symbolic
+//! witnesses (experiment E4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_axiom::families::section6::Section6;
+use depkit_axiom::families::section7::Section7;
+use depkit_axiom::families::theorem44::Theorem44;
+use depkit_chase::fdind_chase::ChaseBudget;
+use std::hint::black_box;
+
+fn bench_section6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section6");
+    for &k in &[1usize, 2, 4] {
+        let fam = Section6::new(k);
+        group.bench_with_input(BenchmarkId::new("armstrong_build", k), &k, |b, _| {
+            b.iter(|| black_box(fam.armstrong_database(black_box(k))))
+        });
+        group.bench_with_input(BenchmarkId::new("property_6_1", k), &k, |b, _| {
+            b.iter(|| fam.verify_armstrong_property(black_box(0)).expect("holds"))
+        });
+        group.bench_with_input(BenchmarkId::new("finite_engine", k), &k, |b, _| {
+            b.iter(|| {
+                assert!(black_box(fam.finite_implication_holds()));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_section7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section7");
+    group.sample_size(20);
+    for &n in &[1usize, 2] {
+        let fam = Section7::new(n);
+        group.bench_with_input(BenchmarkId::new("lemma_7_2_chase", n), &n, |b, _| {
+            b.iter(|| {
+                fam.verify_lemma_7_2(ChaseBudget {
+                    max_rounds: 64,
+                    max_tuples: 500_000,
+                })
+                .expect("chase proves")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lemma_7_6_ind_exactness", n), &n, |b, _| {
+            b.iter(|| fam.verify_lemma_7_6().expect("exact"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem44(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem44");
+    let fam = Theorem44::new();
+    group.bench_function("full_verification", |b| {
+        b.iter(|| {
+            let report = fam.verify();
+            assert!(black_box(report).all_verified());
+        })
+    });
+    let fig41 = fam.figure_4_1();
+    group.bench_function("symbolic_ind_check", |b| {
+        b.iter(|| black_box(fig41.satisfies(black_box(&fam.target_ind)).expect("decidable")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_section6, bench_section7, bench_theorem44);
+criterion_main!(benches);

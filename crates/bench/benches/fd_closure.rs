@@ -1,0 +1,30 @@
+//! Criterion bench: the Beeri–Bernstein linear-time attribute closure
+//! (experiment E3.5). Time per FD should stay flat as the chain grows —
+//! the linear contrast to the PSPACE-complete IND problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use depkit_bench::fd_chain;
+use depkit_solver::fd::FdEngine;
+use std::hint::black_box;
+
+fn bench_fd_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_closure");
+    for &len in &[64usize, 256, 1024, 4096] {
+        let (_scheme, fds, target) = fd_chain(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("chain", len), &len, |b, _| {
+            let engine = FdEngine::new("R", &fds);
+            b.iter(|| black_box(engine.implies(black_box(&target))))
+        });
+        group.bench_with_input(BenchmarkId::new("build_and_query", len), &len, |b, _| {
+            b.iter(|| {
+                let engine = FdEngine::new("R", black_box(&fds));
+                black_box(engine.implies(black_box(&target)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_closure);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the IND decision procedure of Section 3 on random
+//! instances, with the Rule (*) chase as the semantic comparator.
+//! (Experiment E3.1: both must agree; the bench tracks their costs.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_chase::ind_chase::ind_chase;
+use depkit_core::generate::{random_ind, random_ind_set, random_schema, Rng, SchemaConfig};
+use depkit_solver::ind::IndSolver;
+use std::hint::black_box;
+
+fn bench_ind_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ind_implication");
+    for &n_inds in &[4usize, 8, 16] {
+        let mut rng = Rng::new(42 + n_inds as u64);
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 4,
+                min_arity: 2,
+                max_arity: 4,
+            },
+        );
+        let sigma = random_ind_set(&mut rng, &schema, n_inds, 2);
+        let targets: Vec<_> = (0..16)
+            .filter_map(|_| random_ind(&mut rng, &schema, 2))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("syntactic_search", n_inds),
+            &n_inds,
+            |b, _| {
+                let solver = IndSolver::new(&sigma);
+                b.iter(|| {
+                    for t in &targets {
+                        black_box(solver.implies(black_box(t)));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rule_star_chase", n_inds),
+            &n_inds,
+            |b, _| {
+                b.iter(|| {
+                    for t in &targets {
+                        black_box(
+                            ind_chase(&schema, &sigma, black_box(t), 1_000_000)
+                                .expect("within cap")
+                                .implied,
+                        );
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ind_implication);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the Section 4 interaction saturator and the finite
+//! counting engine on random mixed FD+IND sets (experiment E4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_core::generate::{random_mixed_set, random_schema, Rng, SchemaConfig};
+use depkit_solver::finite::FiniteEngine;
+use depkit_solver::interact::Saturator;
+use std::hint::black_box;
+
+fn bench_interaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction");
+    for &size in &[4usize, 8, 12] {
+        let mut rng = Rng::new(1000 + size as u64);
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 3,
+                min_arity: 2,
+                max_arity: 3,
+            },
+        );
+        let sigma = random_mixed_set(&mut rng, &schema, size / 2, size / 2);
+
+        group.bench_with_input(BenchmarkId::new("saturate", size), &size, |b, _| {
+            b.iter(|| {
+                let mut sat = Saturator::new(black_box(&sigma));
+                sat.saturate();
+                black_box(sat.derived().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("finite_engine", size), &size, |b, _| {
+            b.iter(|| {
+                let engine = FiniteEngine::new(black_box(&sigma));
+                black_box(engine.derived().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interaction);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: the Section 3 superpolynomial family — deciding
+//! `σ(γ) ⊨ σ(γ^{f(m)−1})` walks `f(m) − 1` expression steps
+//! (experiment E3.2). Time should grow with Landau's `f(m)`, not
+//! polynomially in `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_perm::landau_pair;
+use depkit_solver::ind::IndSolver;
+use std::hint::black_box;
+
+fn bench_landau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landau_decision");
+    for &m in &[8usize, 12, 16, 20, 24] {
+        let (sigma, target, f) = landau_pair(m);
+        let solver = IndSolver::new(&[sigma]);
+        group.bench_with_input(
+            BenchmarkId::new(format!("m{m}_f{f}"), m),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let (yes, stats) = solver.implies_with_stats(black_box(&target));
+                    assert!(yes);
+                    black_box(stats)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_landau);
+criterion_main!(benches);

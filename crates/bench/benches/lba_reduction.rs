@@ -1,0 +1,33 @@
+//! Criterion bench: the Theorem 3.3 reduction pipeline — reduce an LBA
+//! instance to INDs and decide it, versus deciding acceptance directly
+//! (experiment E3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_lba::{reduce, zoo};
+use depkit_solver::ind::IndSolver;
+use std::hint::black_box;
+
+fn bench_lba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lba_reduction");
+    let machine = zoo::parity();
+    for n in [2usize, 3, 4] {
+        // Alternating input of length n over {0, 1} (glyphs 1, 2).
+        let input: Vec<usize> = (0..n).map(|i| 1 + (i % 2)).collect();
+
+        group.bench_with_input(BenchmarkId::new("direct_bfs", n), &n, |b, _| {
+            b.iter(|| black_box(machine.accepts(black_box(&input), 5_000_000)))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_only", n), &n, |b, _| {
+            b.iter(|| black_box(reduce(&machine, black_box(&input)).expect("well-formed")))
+        });
+        let red = reduce(&machine, &input).expect("well-formed");
+        group.bench_with_input(BenchmarkId::new("solve_reduced", n), &n, |b, _| {
+            let solver = IndSolver::new(&red.sigma);
+            b.iter(|| black_box(solver.implies(black_box(&red.target))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lba);
+criterion_main!(benches);

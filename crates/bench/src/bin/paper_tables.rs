@@ -1,0 +1,472 @@
+//! `paper-tables` — regenerate every figure and result shape of
+//! Casanova–Fagin–Papadimitriou (1982/84).
+//!
+//! Usage: `cargo run --release -p depkit-bench --bin paper-tables [SECTION]`
+//! where SECTION is one of `landau`, `pspace`, `special-cases`,
+//! `fd-closure`, `fig4`, `interaction`, `kary`, `emvd`, `fig61`, `fig7`,
+//! or `all` (default).
+//!
+//! Absolute timings depend on the host; the *shapes* — who wins, what
+//! grows superpolynomially, which implication holds where — are the
+//! reproduced results. See EXPERIMENTS.md for the paper-vs-measured table.
+
+use depkit_axiom::families::emvd::SagivWalecka;
+use depkit_axiom::families::section6::{Section6, Section6Oracle};
+use depkit_axiom::families::section7::Section7;
+use depkit_axiom::families::theorem44::Theorem44;
+use depkit_axiom::kary::{close_under_k_ary, implication_closure_witness, FdOracle};
+use depkit_bench::{fd_chain, timed, typed_chain};
+use depkit_core::Dependency;
+use depkit_lba::{reduce, zoo};
+use depkit_perm::landau_pair;
+use depkit_solver::fd::FdEngine;
+use depkit_solver::ind::IndSolver;
+use depkit_solver::interact::{SaturationLimits, SaturationOptions, Saturator};
+use std::collections::BTreeSet;
+
+fn main() {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = section == "all";
+    if all || section == "landau" {
+        landau();
+    }
+    if all || section == "pspace" {
+        pspace();
+    }
+    if all || section == "special-cases" {
+        special_cases();
+    }
+    if all || section == "fd-closure" {
+        fd_closure();
+    }
+    if all || section == "fig4" {
+        fig4();
+    }
+    if all || section == "interaction" {
+        interaction();
+    }
+    if all || section == "kary" {
+        kary();
+    }
+    if all || section == "emvd" {
+        emvd();
+    }
+    if all || section == "fig61" {
+        fig61();
+    }
+    if all || section == "fig7" {
+        fig7();
+    }
+    if all || section == "ablation" {
+        ablation();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// E3.2 — Section 3's superpolynomial lower bound for the IND decision
+/// procedure: deciding σ(γ) ⊨ σ(γ^{f(m)−1}) walks f(m) − 1 steps, where
+/// f is Landau's function, log f(m) ~ √(m log m).
+fn landau() {
+    header("E3.2  Landau lower bound: steps to decide σ(γ) ⊨ σ(δ)  [Section 3]");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12} {:>11} {:>10} {:>22}",
+        "m", "f(m)", "walk len", "expressions", "short proof", "time (s)", "log f / sqrt(m log m)"
+    );
+    for m in [3usize, 5, 7, 10, 13, 16, 19, 24, 30, 36, 42, 48] {
+        let (sigma, target, f) = landau_pair(m);
+        let sigma_vec = vec![sigma];
+        let solver = IndSolver::new(&sigma_vec);
+        let ((implied, stats), secs) = timed(|| solver.implies_with_stats(&target));
+        assert!(implied);
+        // The paper's remark: certificates stay short (repeated squaring)
+        // even though the procedure walks f(m) − 1 steps.
+        let short = depkit_axiom::proof::prove_permutation_power(&sigma_vec, 0, f - 1)
+            .expect("applicable");
+        short.check(&sigma_vec).expect("short proof checks");
+        assert_eq!(short.conclusion(), Some(&target));
+        let ratio = (f as f64).ln() / ((m as f64) * (m as f64).ln()).sqrt();
+        println!(
+            "{:>4} {:>14} {:>12} {:>12} {:>11} {:>10.4} {:>22.3}",
+            m,
+            f,
+            stats.walk_length.unwrap_or(0),
+            stats.expressions_visited,
+            short.len(),
+            secs,
+            ratio
+        );
+    }
+    println!("shape: walk length = f(m), superpolynomial in m (paper: f(m) − 1 applications);");
+    println!("checked proof certificates stay O(log f(m)) — the paper's 'short proofs' remark.");
+}
+
+/// E3.3 — Theorem 3.3: LBA acceptance reduced to IND implication; the
+/// direct configuration-graph decider and the IND solver must agree.
+fn pspace() {
+    header("E3.3  PSPACE reduction: LBA acceptance as IND implication  [Theorem 3.3]");
+    println!(
+        "{:>10} {:>8} {:>4} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "machine", "input", "n", "direct", "via-IND", "agree", "|Σ|", "time (s)"
+    );
+    let machines: Vec<(&str, depkit_lba::Machine)> = vec![
+        ("blanker", zoo::blanker()),
+        ("never", zoo::never_accept()),
+        ("parity", zoo::parity()),
+        ("allzeros", zoo::all_zeros()),
+    ];
+    let inputs: Vec<(&str, Vec<usize>)> = vec![
+        ("00", vec![1, 1]),
+        ("11", vec![2, 2]),
+        ("101", vec![2, 1, 2]),
+        ("0000", vec![1, 1, 1, 1]),
+        ("1011", vec![2, 1, 2, 2]),
+    ];
+    for (mname, machine) in &machines {
+        for (iname, input) in &inputs {
+            let direct = machine.accepts(input, 5_000_000).expect("budget");
+            let red = reduce(machine, input).expect("well-formed");
+            let solver = IndSolver::new(&red.sigma);
+            let (via, secs) = timed(|| solver.implies(&red.target));
+            println!(
+                "{:>10} {:>8} {:>4} {:>8} {:>8} {:>8} {:>10} {:>10.4}",
+                mname,
+                iname,
+                input.len(),
+                direct,
+                via,
+                direct == via,
+                red.sigma.len(),
+                secs
+            );
+            assert_eq!(direct, via);
+        }
+    }
+    println!("shape: perfect agreement; Σ grows as |Δ|·(n−1) INDs of arity |Γ|(n−2)+3.");
+}
+
+/// E3.4 — Section 3's polynomial special cases: typed INDs and
+/// bounded-arity INDs against the general procedure.
+fn special_cases() {
+    header("E3.4  Polynomial special cases: typed and bounded-arity INDs  [Section 3]");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>10}",
+        "chain", "width", "general (s)", "typed path (s)", "speedup"
+    );
+    for len in [16usize, 64, 256, 1024] {
+        let (_schema, sigma, target) = typed_chain(len, 3);
+        let solver = IndSolver::new(&sigma);
+        let (r1, general) = timed(|| solver.implies(&target));
+        let (r2, typed) = timed(|| solver.implies_typed(&target));
+        assert!(r1 && r2 == Some(true));
+        println!(
+            "{:>8} {:>8} {:>14.6} {:>14.6} {:>10.1}x",
+            len,
+            3,
+            general,
+            typed,
+            general / typed.max(1e-9)
+        );
+    }
+    println!("shape: both polynomial on typed chains; the dedicated path is reachability-fast.");
+    println!("(bounded arity k: the expression space is O(relations · arity^k), polynomial —");
+    println!(" the same worklist search, automatically; cf. KCV NLOGSPACE-completeness.)");
+}
+
+/// E3.5 — the Beeri–Bernstein FD closure is linear time (contrast with
+/// the PSPACE-complete IND problem).
+fn fd_closure() {
+    header("E3.5  FD attribute closure scales linearly  [BB, cited in Section 3]");
+    println!("{:>8} {:>12} {:>16}", "|FDs|", "time (s)", "ns per FD");
+    for len in [64usize, 256, 1024, 4096, 16384] {
+        let (_scheme, fds, target) = fd_chain(len);
+        let engine = FdEngine::new("R", &fds);
+        let (ok, secs) = timed(|| engine.implies(&target));
+        assert!(ok);
+        println!(
+            "{:>8} {:>12.6} {:>16.1}",
+            len,
+            secs,
+            secs * 1e9 / len as f64
+        );
+    }
+    println!("shape: ns/FD roughly flat — linear total time.");
+}
+
+/// E4.4 — Theorem 4.4 and Figures 4.1/4.2: finite vs unrestricted
+/// implication separate.
+fn fig4() {
+    header("E4.4  Finite vs unrestricted implication  [Theorem 4.4, Figures 4.1-4.2]");
+    let fam = Theorem44::new();
+    let report = fam.verify();
+    println!("Σ = {{R: A -> B, R[A] <= R[B]}}");
+    println!(
+        "  (a) σ = R[B] <= R[A]:  ⊨_fin {}   |   Figure 4.1 satisfies Σ: {}, violates σ: {}",
+        report.finite_implies_ind, report.fig41_satisfies_sigma, report.fig41_violates_ind
+    );
+    println!(
+        "  (b) σ = R: B -> A:     ⊨_fin {}   |   Figure 4.2 satisfies Σ: {}, violates σ: {}",
+        report.finite_implies_fd, report.fig42_satisfies_sigma, report.fig42_violates_fd
+    );
+    assert!(report.all_verified());
+    println!("shape: both finite implications hold; both infinite witnesses separate — verified.");
+}
+
+/// E4.1 — the Section 4 interaction rules at work.
+fn interaction() {
+    header("E4.1  FD/IND interaction rules  [Propositions 4.1-4.3]");
+    let cases: Vec<(&str, Vec<&str>, &str)> = vec![
+        (
+            "Prop 4.1",
+            vec!["R[X, Y] <= S[T, U]", "S: T -> U"],
+            "R: X -> Y",
+        ),
+        (
+            "Prop 4.2",
+            vec!["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, V]", "S: T -> U"],
+            "R[X, Y, Z] <= S[T, U, V]",
+        ),
+        (
+            "Prop 4.3",
+            vec!["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, U]", "S: T -> U"],
+            "R[Y = Z]",
+        ),
+    ];
+    println!(
+        "{:>10} {:>3} {:>40} {:>8} {:>10}",
+        "rule", "|Σ|", "derived", "holds", "time (s)"
+    );
+    for (name, sigma_src, tau_src) in cases {
+        let sigma: Vec<Dependency> = sigma_src.iter().map(|s| s.parse().unwrap()).collect();
+        let tau: Dependency = tau_src.parse().unwrap();
+        let (holds, secs) = timed(|| {
+            let mut sat = Saturator::new(&sigma);
+            sat.saturate();
+            sat.implies(&tau)
+        });
+        println!(
+            "{:>10} {:>3} {:>40} {:>8} {:>10.5}",
+            name,
+            sigma.len(),
+            tau_src,
+            holds,
+            secs
+        );
+        assert!(holds);
+    }
+    println!("shape: all three paper propositions derived by the saturation engine.");
+}
+
+/// E5.1 — Theorem 5.1 controls: FDs have a 2-ary axiomatization, so 2-ary
+/// closure = implication closure; 1-ary closure is strictly weaker.
+fn kary() {
+    header("E5.1  Theorem 5.1 controls on FDs: 1-ary vs 2-ary closure");
+    let universe: Vec<Dependency> = {
+        let names = ["A", "B", "C"];
+        let mut out = Vec::new();
+        for l in names {
+            for r in names {
+                out.push(format!("R: {l} -> {r}").parse().unwrap());
+            }
+        }
+        out
+    };
+    let start: BTreeSet<Dependency> = ["R: A -> B".parse().unwrap(), "R: B -> C".parse().unwrap()]
+        .into_iter()
+        .collect();
+    let oracle = FdOracle;
+    for k in [0usize, 1, 2] {
+        let closed = close_under_k_ary(&universe, &start, k, &oracle);
+        let witness = implication_closure_witness(&universe, &closed, &oracle);
+        println!(
+            "k = {k}: closure size {} / universe {}; implication-closure gap: {}",
+            closed.len(),
+            universe.len(),
+            witness
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "none (closed)".into())
+        );
+    }
+    println!("shape: the gap closes exactly at k = 2 — transitivity is genuinely binary.");
+}
+
+/// E5.3 — the Sagiv–Walecka EMVD family (Theorem 5.3).
+fn emvd() {
+    header("E5.3  Sagiv-Walecka EMVD family  [Theorem 5.3]");
+    println!(
+        "{:>3} {:>6} {:>14} {:>14} {:>10}",
+        "k", "|Σ|", "chase rounds", "countermodels", "time (s)"
+    );
+    for k in [2usize, 3, 4] {
+        let fam = SagivWalecka::new(k);
+        let (report, secs) = timed(|| fam.verify(32).expect("conditions (i)-(ii) hold"));
+        println!(
+            "{:>3} {:>6} {:>14} {:>14} {:>10.4}",
+            k,
+            report.members,
+            report.chase_rounds,
+            report.members,
+            secs
+        );
+    }
+    println!("shape: Σ_k ⊨ σ_k needs the whole (k+1)-cycle; every single member has a");
+    println!("countermodel — conditions (i)-(ii) of Corollary 5.2 (condition (iii) is [SW]).");
+}
+
+/// E6.1 — Theorem 6.1 and Figure 6.1: the finite-implication family and
+/// its Armstrong databases.
+fn fig61() {
+    header("E6.1  No k-ary axiomatization, finite implication  [Theorem 6.1, Figure 6.1]");
+    println!(
+        "{:>3} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "k", "|Σ|", "σ ⊨_fin", "Armstrong dbs", "universe", "time (s)"
+    );
+    for k in [1usize, 2, 3, 4, 5, 6] {
+        let fam = Section6::new(k);
+        let (report, secs) = timed(|| fam.verify().expect("theorem ingredients verify"));
+        println!(
+            "{:>3} {:>8} {:>10} {:>12} {:>12} {:>10.4}",
+            k,
+            2 * (k + 1),
+            true,
+            report.armstrong_databases_checked,
+            report.universe_size,
+            secs
+        );
+    }
+    // The Theorem 5.1 pipeline at small k.
+    for k in [1usize, 2] {
+        let fam = Section6::new(k);
+        let oracle = Section6Oracle::new(&fam);
+        let universe = fam.universe();
+        let gamma: BTreeSet<Dependency> = universe
+            .iter()
+            .filter(|d| fam.in_gamma(d))
+            .cloned()
+            .collect();
+        let closed = close_under_k_ary(&universe, &gamma, k, &oracle);
+        let witness = implication_closure_witness(&universe, &gamma, &oracle);
+        println!(
+            "Theorem 5.1 pipeline at k = {k}: Γ k-ary-closed? {}; implication gap: {}",
+            closed == gamma,
+            witness.map(|w| w.to_string()).unwrap_or_default()
+        );
+    }
+    println!("shape: every rotation of Figure 6.1 satisfies exactly Γ − δ (property 6.1);");
+    println!("Γ is k-ary closed yet implies σ — no k-ary axiomatization (finite case).");
+}
+
+/// E7.1 — Theorem 7.1, Lemmas 7.2–7.9, Figures 7.1–7.5.
+fn fig7() {
+    header("E7.1  No k-ary axiomatization, unrestricted implication  [Theorem 7.1, Figs 7.1-7.5]");
+    println!(
+        "{:>3} {:>6} {:>14} {:>12} {:>12} {:>10}",
+        "n", "|λ|", "chase rounds", "FD universe", "IND universe", "time (s)"
+    );
+    for n in [1usize, 2, 3] {
+        let fam = Section7::new(n);
+        let (report, secs) = timed(|| fam.verify().expect("all lemmas verify"));
+        println!(
+            "{:>3} {:>6} {:>14} {:>12} {:>12} {:>10.4}",
+            n,
+            fam.lambda.len(),
+            report.chase_rounds,
+            report.fd_universe,
+            report.ind_universe,
+            secs
+        );
+    }
+    let fam = Section7::new(2);
+    depkit_axiom::families::section7::verify_kary_gap(&fam, 1).expect("gap at k=1 < n=2");
+    println!("Theorem 5.1 pipeline at n = 2, k = 1: Γ 1-ary-closed, implies σ ∉ Γ ✓");
+    let mut sat = Saturator::new(&fam.sigma());
+    sat.saturate();
+    println!(
+        "sound Section-4 saturator derives σ? {} (must be false — Theorem 7.1)",
+        sat.implies(&fam.target.clone().into())
+    );
+    println!("shape: chase proves Σ ⊨ σ; every lemma's witness database checks exactly;");
+    println!("no bounded rule set can span the n-step equality chain.");
+}
+
+/// Ablation — which interaction rule earns which derivation (DESIGN.md
+/// design-choice ablations): rerun the three Section 4 propositions and a
+/// composed-feeding case with each rule disabled in turn.
+fn ablation() {
+    header("Ablation  Section 4 rule contributions in the saturation engine");
+    let cases: Vec<(&str, Vec<&str>, &str)> = vec![
+        (
+            "4.1 pullback",
+            vec!["R[X, Y] <= S[T, U]", "S: T -> U"],
+            "R: X -> Y",
+        ),
+        (
+            "4.2 augment",
+            vec!["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, V]", "S: T -> U"],
+            "R[X, Y, Z] <= S[T, U, V]",
+        ),
+        (
+            "4.3 rd-gen",
+            vec!["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, U]", "S: T -> U"],
+            "R[Y = Z]",
+        ),
+        (
+            "pullback-thru-composed",
+            vec!["R[X, Y] <= M[P, Q]", "M[P, Q] <= S[T, U]", "S: T -> U"],
+            "R: X -> Y",
+        ),
+    ];
+    let configs: Vec<(&str, SaturationOptions)> = vec![
+        ("all rules", SaturationOptions::default()),
+        (
+            "-pullback",
+            SaturationOptions {
+                pullback: false,
+                ..SaturationOptions::default()
+            },
+        ),
+        (
+            "-augment",
+            SaturationOptions {
+                augmentation: false,
+                ..SaturationOptions::default()
+            },
+        ),
+        (
+            "-rd rules",
+            SaturationOptions {
+                rd_rules: false,
+                ..SaturationOptions::default()
+            },
+        ),
+        (
+            "-composition",
+            SaturationOptions {
+                composition: false,
+                ..SaturationOptions::default()
+            },
+        ),
+    ];
+    print!("{:>26}", "case \\ config");
+    for (name, _) in &configs {
+        print!(" {name:>14}");
+    }
+    println!();
+    for (case, sigma_src, tau_src) in &cases {
+        let sigma: Vec<Dependency> = sigma_src.iter().map(|s| s.parse().unwrap()).collect();
+        let tau: Dependency = tau_src.parse().unwrap();
+        print!("{case:>26}");
+        for (_, opts) in &configs {
+            let mut sat = Saturator::with_options(&sigma, SaturationLimits::default(), *opts);
+            sat.saturate();
+            print!(" {:>14}", if sat.implies(&tau) { "derived" } else { "lost" });
+        }
+        println!();
+    }
+    println!("shape: each rule is load-bearing for its proposition; composition feeds 4.1");
+    println!("through IND chains. (All configurations remain sound — they only derive less.)");
+}

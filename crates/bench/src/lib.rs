@@ -1,0 +1,87 @@
+//! Shared workload builders for the benchmark suite and the
+//! `paper-tables` harness.
+
+use depkit_core::attr::{attrs, Attr, AttrSeq};
+use depkit_core::dependency::{Fd, Ind};
+use depkit_core::schema::{DatabaseSchema, RelationScheme};
+
+/// A chain of typed INDs `R_0[A..] ⊆ R_1[A..] ⊆ ... ⊆ R_len[A..]` over
+/// `width`-attribute schemes, plus the end-to-end target. Exercises both
+/// the general solver and the typed fast path.
+pub fn typed_chain(len: usize, width: usize) -> (DatabaseSchema, Vec<Ind>, Ind) {
+    let names: Vec<String> = (0..width).map(|i| format!("A{i}")).collect();
+    let attr_seq =
+        AttrSeq::new(names.iter().map(Attr::new).collect()).expect("distinct generated names");
+    let schemes = (0..=len)
+        .map(|i| RelationScheme::new(format!("R{i}").as_str(), attr_seq.clone()))
+        .collect();
+    let schema = DatabaseSchema::new(schemes).expect("distinct names");
+    let sigma: Vec<Ind> = (0..len)
+        .map(|i| {
+            Ind::new(
+                format!("R{i}").as_str(),
+                attr_seq.clone(),
+                format!("R{}", i + 1).as_str(),
+                attr_seq.clone(),
+            )
+            .expect("equal arity")
+        })
+        .collect();
+    let target = Ind::new(
+        "R0",
+        attr_seq.clone(),
+        format!("R{len}").as_str(),
+        attr_seq,
+    )
+    .expect("equal arity");
+    (schema, sigma, target)
+}
+
+/// An FD chain `A_0 → A_1 → ... → A_len` over one wide relation, with the
+/// end-to-end closure query. The Beeri–Bernstein algorithm should scale
+/// linearly in `len`.
+pub fn fd_chain(len: usize) -> (RelationScheme, Vec<Fd>, Fd) {
+    let names: Vec<String> = (0..=len).map(|i| format!("A{i}")).collect();
+    let scheme = RelationScheme::new(
+        "R",
+        AttrSeq::new(names.iter().map(Attr::new).collect()).expect("distinct"),
+    );
+    let fds: Vec<Fd> = (0..len)
+        .map(|i| {
+            Fd::new(
+                "R",
+                attrs(&[&format!("A{i}")]),
+                attrs(&[&format!("A{}", i + 1)]),
+            )
+        })
+        .collect();
+    let target = Fd::new("R", attrs(&["A0"]), attrs(&[&format!("A{len}")]));
+    (scheme, fds, target)
+}
+
+/// Wall-clock a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_solver::ind::IndSolver;
+
+    #[test]
+    fn typed_chain_is_implied() {
+        let (_schema, sigma, target) = typed_chain(6, 2);
+        let solver = IndSolver::new(&sigma);
+        assert!(solver.implies(&target));
+        assert_eq!(solver.implies_typed(&target), Some(true));
+    }
+
+    #[test]
+    fn fd_chain_closure_reaches_end() {
+        let (_scheme, fds, target) = fd_chain(10);
+        assert!(depkit_solver::fd::implies_fd(&fds, &target));
+    }
+}

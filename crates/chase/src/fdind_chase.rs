@@ -1,0 +1,538 @@
+//! A goal-directed chase for FDs and INDs together.
+//!
+//! The combined implication problem for FDs and INDs is **undecidable**
+//! (Mitchell \[Mi2\]; Chandra–Vardi \[CV\], both cited in the paper's
+//! introduction), so no terminating complete procedure exists. This module
+//! implements the standard chase with labeled nulls as a *semi-decision
+//! procedure* with three outcomes:
+//!
+//! * [`ChaseOutcome::Proved`] — the goal became true after finitely many
+//!   steps: `Σ ⊨ target` (sound, a genuine proof);
+//! * [`ChaseOutcome::Disproved`] — the chase *terminated* without reaching
+//!   the goal; the final instance is a universal model of `Σ` ∪ {tableau}
+//!   violating `target` (sound refutation, countermodel returned);
+//! * [`ChaseOutcome::Exhausted`] — the step budget ran out (no answer).
+//!
+//! FDs act as equality-generating rules (merging null ids via union–find);
+//! INDs act as tuple-generating rules (adding a tuple with fresh nulls in
+//! the unconstrained columns). Rounds interleave an FD fixpoint with one
+//! breadth-first layer of IND applications, which keeps the procedure fair.
+//!
+//! The flagship use is the mechanical verification of the paper's
+//! **Lemma 7.2**: for the Section 7 family, the chase proves
+//! `Σ ⊨ F: A → C` in finitely many rounds (see `depkit-axiom`).
+
+use crate::fd_chase::UnionFind;
+use depkit_core::database::Database;
+use depkit_core::dependency::{Dependency, Fd, Ind, Rd};
+use depkit_core::error::CoreError;
+use depkit_core::relation::Tuple;
+use depkit_core::schema::{DatabaseSchema, RelName};
+use depkit_core::value::Value;
+use std::collections::HashSet;
+
+/// Step budget for the (potentially nonterminating) combined chase.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseBudget {
+    /// Maximum interleaved rounds.
+    pub max_rounds: usize,
+    /// Maximum total tuples across all relations.
+    pub max_tuples: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_rounds: 64,
+            max_tuples: 100_000,
+        }
+    }
+}
+
+/// Result of a goal-directed chase.
+#[derive(Debug, Clone)]
+pub enum ChaseOutcome {
+    /// The goal was derived: `Σ ⊨ target`.
+    Proved {
+        /// Rounds executed before the goal held.
+        rounds: usize,
+    },
+    /// The chase saturated without the goal: `Σ ⊭ target`, with the
+    /// universal countermodel (nulls materialized as [`Value::Null`]).
+    Disproved {
+        /// A database satisfying `Σ` and violating the target.
+        model: Database,
+    },
+    /// Budget exhausted; no answer.
+    Exhausted,
+}
+
+impl ChaseOutcome {
+    /// Whether this outcome is a proof.
+    pub fn proved(&self) -> bool {
+        matches!(self, ChaseOutcome::Proved { .. })
+    }
+
+    /// Whether this outcome is a refutation.
+    pub fn disproved(&self) -> bool {
+        matches!(self, ChaseOutcome::Disproved { .. })
+    }
+}
+
+/// The chase engine for a fixed `Σ` of FDs, INDs, and RDs.
+#[derive(Debug, Clone)]
+pub struct FdIndChase {
+    schema: DatabaseSchema,
+    fds: Vec<Fd>,
+    rds: Vec<Rd>,
+    inds: Vec<Ind>,
+}
+
+/// Internal chase state: relations of id-tuples plus the null union–find.
+struct State {
+    /// `tuples[r]` = list of tuples (vectors of value ids) in relation `r`.
+    tuples: Vec<Vec<Vec<usize>>>,
+    uf: UnionFind,
+}
+
+impl State {
+    fn fresh(&mut self) -> usize {
+        self.uf.push()
+    }
+
+    fn canonical(&mut self, t: &[usize]) -> Vec<usize> {
+        t.iter().map(|&v| self.uf.find(v)).collect()
+    }
+
+    /// Canonicalize all tuples and drop duplicates (within each relation).
+    fn normalize(&mut self) {
+        for r in 0..self.tuples.len() {
+            let mut seen: HashSet<Vec<usize>> = HashSet::new();
+            let old = std::mem::take(&mut self.tuples[r]);
+            for t in old {
+                let c: Vec<usize> = t.iter().map(|&v| self.uf.find(v)).collect();
+                if seen.insert(c.clone()) {
+                    self.tuples[r].push(c);
+                }
+            }
+        }
+    }
+
+    fn total_tuples(&self) -> usize {
+        self.tuples.iter().map(|r| r.len()).sum()
+    }
+}
+
+impl FdIndChase {
+    /// Build a chase engine. `Σ` may contain FDs, INDs, and RDs; EMVDs are
+    /// rejected (the chase does not implement them).
+    pub fn new(schema: &DatabaseSchema, sigma: &[Dependency]) -> Result<Self, CoreError> {
+        let mut fds = Vec::new();
+        let mut inds = Vec::new();
+        let mut rds = Vec::new();
+        for d in sigma {
+            d.is_well_formed(schema)?;
+            match d {
+                Dependency::Fd(f) => fds.push(f.clone()),
+                Dependency::Ind(i) => inds.push(i.clone()),
+                Dependency::Rd(r) => rds.push(r.clone()),
+                Dependency::Emvd(_) => {
+                    return Err(CoreError::SymbolicTooComplex(
+                        "the FD+IND chase does not support EMVDs".into(),
+                    ))
+                }
+            }
+        }
+        Ok(FdIndChase {
+            schema: schema.clone(),
+            fds,
+            rds,
+            inds,
+        })
+    }
+
+    /// Run the goal-directed chase for `Σ ⊨ target`.
+    pub fn implies(
+        &self,
+        target: &Dependency,
+        budget: ChaseBudget,
+    ) -> Result<ChaseOutcome, CoreError> {
+        target.is_well_formed(&self.schema)?;
+        let mut state = State {
+            tuples: vec![Vec::new(); self.schema.schemes().len()],
+            uf: UnionFind::new(0),
+        };
+
+        // Seed the tableau and capture the goal cells.
+        let goal: Goal = self.seed(target, &mut state)?;
+
+        for round in 0..budget.max_rounds {
+            self.fd_fixpoint(&mut state);
+            if self.goal_holds(&goal, &mut state) {
+                return Ok(ChaseOutcome::Proved { rounds: round });
+            }
+            let added = self.ind_round(&mut state);
+            if state.total_tuples() > budget.max_tuples {
+                return Ok(ChaseOutcome::Exhausted);
+            }
+            if !added {
+                // Saturated: the instance is a universal model.
+                let model = self.materialize(&mut state);
+                debug_assert!(
+                    self.sigma_holds(&model),
+                    "saturated chase instance must satisfy Σ"
+                );
+                return Ok(ChaseOutcome::Disproved { model });
+            }
+        }
+        Ok(ChaseOutcome::Exhausted)
+    }
+
+    fn sigma_holds(&self, db: &Database) -> bool {
+        self.fds
+            .iter()
+            .all(|f| db.satisfies(&f.clone().into()).unwrap_or(false))
+            && self
+                .inds
+                .iter()
+                .all(|i| db.satisfies(&i.clone().into()).unwrap_or(false))
+            && self
+                .rds
+                .iter()
+                .all(|r| db.satisfies(&r.clone().into()).unwrap_or(false))
+    }
+
+    fn seed(&self, target: &Dependency, state: &mut State) -> Result<Goal, CoreError> {
+        Ok(match target {
+            Dependency::Fd(fd) => {
+                let scheme = self.schema.require(&fd.rel)?;
+                let rel_idx = self.schema.scheme_index(&fd.rel).expect("checked");
+                let lhs_cols = scheme.columns(&fd.lhs)?;
+                let rhs_cols = scheme.columns(&fd.rhs)?;
+                let t1: Vec<usize> = (0..scheme.arity()).map(|_| state.fresh()).collect();
+                let mut t2: Vec<usize> = (0..scheme.arity()).map(|_| state.fresh()).collect();
+                for &c in &lhs_cols {
+                    t2[c] = t1[c];
+                }
+                let goal_pairs = rhs_cols.iter().map(|&c| (t1[c], t2[c])).collect();
+                state.tuples[rel_idx].push(t1);
+                state.tuples[rel_idx].push(t2);
+                Goal::CellsEqual(goal_pairs)
+            }
+            Dependency::Rd(rd) => {
+                let scheme = self.schema.require(&rd.rel)?;
+                let rel_idx = self.schema.scheme_index(&rd.rel).expect("checked");
+                let lhs_cols = scheme.columns(&rd.lhs)?;
+                let rhs_cols = scheme.columns(&rd.rhs)?;
+                let t: Vec<usize> = (0..scheme.arity()).map(|_| state.fresh()).collect();
+                let goal_pairs = lhs_cols
+                    .iter()
+                    .zip(&rhs_cols)
+                    .map(|(&a, &b)| (t[a], t[b]))
+                    .collect();
+                state.tuples[rel_idx].push(t);
+                Goal::CellsEqual(goal_pairs)
+            }
+            Dependency::Ind(ind) => {
+                let lscheme = self.schema.require(&ind.lhs_rel)?;
+                let rel_idx = self.schema.scheme_index(&ind.lhs_rel).expect("checked");
+                let lhs_cols = lscheme.columns(&ind.lhs_attrs)?;
+                let rscheme = self.schema.require(&ind.rhs_rel)?;
+                let rhs_rel_idx = self.schema.scheme_index(&ind.rhs_rel).expect("checked");
+                let rhs_cols = rscheme.columns(&ind.rhs_attrs)?;
+                let t: Vec<usize> = (0..lscheme.arity()).map(|_| state.fresh()).collect();
+                let wanted: Vec<usize> = lhs_cols.iter().map(|&c| t[c]).collect();
+                state.tuples[rel_idx].push(t);
+                Goal::TupleExists {
+                    rel: rhs_rel_idx,
+                    cols: rhs_cols,
+                    wanted,
+                }
+            }
+            Dependency::Emvd(_) => {
+                return Err(CoreError::SymbolicTooComplex(
+                    "the FD+IND chase does not support EMVD targets".into(),
+                ))
+            }
+        })
+    }
+
+    fn goal_holds(&self, goal: &Goal, state: &mut State) -> bool {
+        match goal {
+            Goal::CellsEqual(pairs) => pairs.iter().all(|&(a, b)| state.uf.same(a, b)),
+            Goal::TupleExists { rel, cols, wanted } => {
+                let want: Vec<usize> = wanted.iter().map(|&v| state.uf.find(v)).collect();
+                let tuples = state.tuples[*rel].clone();
+                tuples.iter().any(|t| {
+                    cols.iter()
+                        .zip(&want)
+                        .all(|(&c, &w)| state.uf.find(t[c]) == w)
+                })
+            }
+        }
+    }
+
+    /// Apply all FDs and RDs of `Σ` as equality-generating rules until no
+    /// merge happens. Terminates (merges strictly decrease class count).
+    fn fd_fixpoint(&self, state: &mut State) {
+        loop {
+            let mut merged = false;
+            for fd in &self.fds {
+                let rel_idx = self.schema.scheme_index(&fd.rel).expect("well-formed");
+                let scheme = &self.schema.schemes()[rel_idx];
+                let lhs_cols = scheme.columns(&fd.lhs).expect("well-formed");
+                let rhs_cols = scheme.columns(&fd.rhs).expect("well-formed");
+                let tuples = state.tuples[rel_idx].clone();
+                for i in 0..tuples.len() {
+                    for j in (i + 1)..tuples.len() {
+                        let agree = lhs_cols
+                            .iter()
+                            .all(|&c| state.uf.same(tuples[i][c], tuples[j][c]));
+                        if agree {
+                            for &c in &rhs_cols {
+                                merged |= state.uf.union(tuples[i][c], tuples[j][c]);
+                            }
+                        }
+                    }
+                }
+            }
+            for rd in &self.rds {
+                let rel_idx = self.schema.scheme_index(&rd.rel).expect("well-formed");
+                let scheme = &self.schema.schemes()[rel_idx];
+                let lhs_cols = scheme.columns(&rd.lhs).expect("well-formed");
+                let rhs_cols = scheme.columns(&rd.rhs).expect("well-formed");
+                let tuples = state.tuples[rel_idx].clone();
+                for t in &tuples {
+                    for (&a, &b) in lhs_cols.iter().zip(&rhs_cols) {
+                        merged |= state.uf.union(t[a], t[b]);
+                    }
+                }
+            }
+            state.normalize();
+            if !merged {
+                return;
+            }
+        }
+    }
+
+    /// One breadth-first layer of IND applications: for every IND and every
+    /// left tuple whose projection is unmatched, add the required right
+    /// tuple with fresh nulls elsewhere. Returns whether anything was added.
+    fn ind_round(&self, state: &mut State) -> bool {
+        let mut added = false;
+        for ind in &self.inds {
+            let l_idx = self.schema.scheme_index(&ind.lhs_rel).expect("well-formed");
+            let r_idx = self.schema.scheme_index(&ind.rhs_rel).expect("well-formed");
+            let lhs_cols = self.schema.schemes()[l_idx]
+                .columns(&ind.lhs_attrs)
+                .expect("well-formed");
+            let rhs_cols = self.schema.schemes()[r_idx]
+                .columns(&ind.rhs_attrs)
+                .expect("well-formed");
+            let rhs_arity = self.schema.schemes()[r_idx].arity();
+
+            // Snapshot of canonical right-side projections.
+            let rhs_tuples = state.tuples[r_idx].clone();
+            let mut rhs_proj: HashSet<Vec<usize>> = HashSet::new();
+            for t in &rhs_tuples {
+                rhs_proj.insert(rhs_cols.iter().map(|&c| state.uf.find(t[c])).collect());
+            }
+
+            let lhs_tuples = state.tuples[l_idx].clone();
+            for u in &lhs_tuples {
+                let proj: Vec<usize> = lhs_cols.iter().map(|&c| state.uf.find(u[c])).collect();
+                if rhs_proj.contains(&proj) {
+                    continue;
+                }
+                let mut t: Vec<usize> = Vec::with_capacity(rhs_arity);
+                for c in 0..rhs_arity {
+                    if let Some(k) = rhs_cols.iter().position(|&rc| rc == c) {
+                        t.push(proj[k]);
+                    } else {
+                        t.push(state.fresh());
+                    }
+                }
+                rhs_proj.insert(proj);
+                state.tuples[r_idx].push(t);
+                added = true;
+            }
+        }
+        if added {
+            state.normalize();
+        }
+        added
+    }
+
+    /// Materialize the chase instance as a database with labeled nulls.
+    fn materialize(&self, state: &mut State) -> Database {
+        let mut db = Database::empty(self.schema.clone());
+        let names: Vec<RelName> = self
+            .schema
+            .schemes()
+            .iter()
+            .map(|s| s.name().clone())
+            .collect();
+        for (r, name) in names.iter().enumerate() {
+            let tuples = state.tuples[r].clone();
+            for t in tuples {
+                let vals: Vec<Value> = state
+                    .canonical(&t)
+                    .into_iter()
+                    .map(|id| Value::Null(id as u64))
+                    .collect();
+                db.insert(name, Tuple::new(vals)).expect("arity matches");
+            }
+        }
+        db
+    }
+}
+
+/// The goal condition tracked through the chase.
+enum Goal {
+    /// All listed cell pairs must become equal (FD and RD targets).
+    CellsEqual(Vec<(usize, usize)>),
+    /// Some tuple in `rel` must match `wanted` on `cols` (IND targets).
+    TupleExists {
+        rel: usize,
+        cols: Vec<usize>,
+        wanted: Vec<usize>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::parser::{parse_dependencies, parse_dependency};
+
+    fn deps(srcs: &[&str]) -> Vec<Dependency> {
+        parse_dependencies(srcs).unwrap()
+    }
+
+    #[test]
+    fn proves_proposition_4_1() {
+        // {R[X Y] ⊆ S[T U], S: T -> U} ⊨ R: X -> Y.
+        let schema = DatabaseSchema::parse(&["R(X, Y)", "S(T, U)"]).unwrap();
+        let sigma = deps(&["R[X, Y] <= S[T, U]", "S: T -> U"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let out = chase
+            .implies(&parse_dependency("R: X -> Y").unwrap(), ChaseBudget::default())
+            .unwrap();
+        assert!(out.proved(), "expected proof, got {out:?}");
+    }
+
+    #[test]
+    fn disproves_with_countermodel() {
+        let schema = DatabaseSchema::parse(&["R(X, Y)", "S(T, U)"]).unwrap();
+        let sigma = deps(&["R[X] <= S[T]"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let target = parse_dependency("R: X -> Y").unwrap();
+        match chase.implies(&target, ChaseBudget::default()).unwrap() {
+            ChaseOutcome::Disproved { model } => {
+                assert!(model.satisfies(&sigma[0]).unwrap());
+                assert!(!model.satisfies(&target).unwrap());
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proves_proposition_4_3_rd() {
+        let schema = DatabaseSchema::parse(&["R(X, Y, Z)", "S(T, U)"]).unwrap();
+        let sigma = deps(&["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, U]", "S: T -> U"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let out = chase
+            .implies(&parse_dependency("R[Y = Z]").unwrap(), ChaseBudget::default())
+            .unwrap();
+        assert!(out.proved(), "expected proof, got {out:?}");
+    }
+
+    #[test]
+    fn proves_ind_targets_via_transitivity() {
+        let schema = DatabaseSchema::parse(&["R(A)", "S(B)", "T(C)"]).unwrap();
+        let sigma = deps(&["R[A] <= S[B]", "S[B] <= T[C]"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let out = chase
+            .implies(&parse_dependency("R[A] <= T[C]").unwrap(), ChaseBudget::default())
+            .unwrap();
+        assert!(out.proved());
+        let out2 = chase
+            .implies(&parse_dependency("T[C] <= R[A]").unwrap(), ChaseBudget::default())
+            .unwrap();
+        assert!(out2.disproved());
+    }
+
+    #[test]
+    fn proves_proposition_4_2_ind() {
+        let schema = DatabaseSchema::parse(&["R(X, Y, Z)", "S(T, U, V)"]).unwrap();
+        let sigma = deps(&["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, V]", "S: T -> U"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let out = chase
+            .implies(
+                &parse_dependency("R[X, Y, Z] <= S[T, U, V]").unwrap(),
+                ChaseBudget::default(),
+            )
+            .unwrap();
+        assert!(out.proved(), "expected proof, got {out:?}");
+    }
+
+    #[test]
+    fn nonterminating_family_exhausts_budget() {
+        // R[A] ⊆ R[B] with R: A -> B keeps the chase producing fresh
+        // nulls forever (this is exactly the unrestricted-implication side
+        // of Theorem 4.4: Figure 4.1 is the infinite model the chase is
+        // trying to build). The budget must trip, NOT report either answer.
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let sigma = deps(&["R: A -> B", "R[A] <= R[B]"]);
+        let chase = FdIndChase::new(&schema, &sigma).unwrap();
+        let out = chase
+            .implies(
+                &parse_dependency("R[B] <= R[A]").unwrap(),
+                ChaseBudget {
+                    max_rounds: 12,
+                    max_tuples: 1_000,
+                },
+            )
+            .unwrap();
+        assert!(matches!(out, ChaseOutcome::Exhausted), "got {out:?}");
+    }
+
+    #[test]
+    fn chase_agrees_with_fd_engine_on_pure_fds() {
+        use depkit_core::generate::{random_fd, random_schema, Rng, SchemaConfig};
+        use depkit_solver::fd::FdEngine;
+        let mut rng = Rng::new(0xABCD);
+        for _ in 0..40 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 1,
+                    min_arity: 3,
+                    max_arity: 4,
+                },
+            );
+            let mut sigma: Vec<Dependency> = Vec::new();
+            let mut fds = Vec::new();
+            for _ in 0..3 {
+                if let Some(f) = random_fd(&mut rng, &schema, 1, 1) {
+                    fds.push(f.clone());
+                    sigma.push(f.into());
+                }
+            }
+            let Some(target) = random_fd(&mut rng, &schema, 1, 1) else {
+                continue;
+            };
+            let expected = FdEngine::new(target.rel.clone(), &fds).implies(&target);
+            let chase = FdIndChase::new(&schema, &sigma).unwrap();
+            match chase
+                .implies(&target.clone().into(), ChaseBudget::default())
+                .unwrap()
+            {
+                ChaseOutcome::Proved { .. } => assert!(expected, "chase over-proved {target}"),
+                ChaseOutcome::Disproved { .. } => {
+                    assert!(!expected, "chase under-proved {target}")
+                }
+                ChaseOutcome::Exhausted => panic!("pure-FD chase must terminate"),
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # depkit-chase — chase engines for dependency reasoning
+//!
+//! Three chase variants, each tied to a construction in the paper
+//! (Casanova–Fagin–Papadimitriou 1982/84):
+//!
+//! * [`ind_chase`](mod@crate::ind_chase) — the **Rule (\*) construction** from the proof of
+//!   Theorem 3.1: a chase that pads with the constant `0` instead of fresh
+//!   nulls. It decides IND implication *semantically* and produces the
+//!   finite counterexample database of the completeness proof; agreement
+//!   with the syntactic search of `depkit-solver` is the machine-checked
+//!   content of Theorem 3.1 (and of the finite = unrestricted claim).
+//! * [`fd_chase`] — the classical two-tuple equality chase for FDs, used to
+//!   cross-validate the Beeri–Bernstein closure (Armstrong completeness).
+//! * [`fdind_chase`] — a goal-directed chase for FDs and INDs **together**,
+//!   with labeled nulls and a step budget. The combined implication problem
+//!   is undecidable (Mitchell; Chandra–Vardi), so this is a semi-decision
+//!   procedure: it proves goals (e.g. Lemma 7.2's `Σ ⊨ F: A → C`) or, when
+//!   it saturates, refutes them with a universal countermodel.
+
+//!
+//! A fourth module, [`acyclic`], answers the paper's Section 8 call for
+//! restricted IND classes with easier decision problems: for **weakly
+//! acyclic** IND sets the chase terminates, making [`acyclic::decide`] an
+//! exact decision procedure on that fragment.
+
+pub mod acyclic;
+pub mod fd_chase;
+pub mod fdind_chase;
+pub mod ind_chase;
+
+pub use acyclic::{decide as decide_weakly_acyclic, weakly_acyclic};
+pub use fd_chase::implies_fd_semantic;
+pub use fdind_chase::{ChaseBudget, ChaseOutcome, FdIndChase};
+pub use ind_chase::{ind_chase, IndChaseResult};

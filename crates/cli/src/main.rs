@@ -1,0 +1,226 @@
+//! `depkit` — command-line front end for the dependency toolkit.
+//!
+//! ```text
+//! depkit check <spec.dep>              validate the inline data against the constraints
+//! depkit implies <spec.dep> <DEP>      does the constraint set imply DEP?
+//! depkit keys <spec.dep> <RELATION>    candidate keys of a relation under its FDs
+//! depkit design <spec.dep> <RELATION>  BCNF check, 3NF synthesis, decomposition
+//! ```
+//!
+//! Spec files are plain text (see `spec.rs`): `schema R(A, B)` /
+//! `dep R: A -> B` / `row R 1 2` lines. Exit code 0 = success/consistent,
+//! 1 = violations or "not implied", 2 = usage or parse errors.
+
+mod spec;
+
+use depkit_chase::acyclic;
+use depkit_chase::fdind_chase::{ChaseBudget, ChaseOutcome, FdIndChase};
+use depkit_core::prelude::*;
+use depkit_solver::design::{bcnf_decompose, is_bcnf, threenf_synthesis};
+use depkit_solver::fd::FdEngine;
+use depkit_solver::interact::Saturator;
+use spec::parse_spec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<spec::Spec, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_spec(&text)?)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match args {
+        [cmd, path] if cmd == "check" => check(path),
+        [cmd, path, dep] if cmd == "implies" => implies(path, dep),
+        [cmd, path, rel] if cmd == "keys" => keys(path, rel),
+        [cmd, path, rel] if cmd == "design" => design(path, rel),
+        _ => {
+            eprintln!(
+                "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
+                 depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>"
+            );
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn check(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let violations = spec.constraints.validate(&spec.database)?;
+    if violations.is_empty() {
+        println!(
+            "consistent: {} tuples satisfy {} dependencies",
+            spec.database.total_tuples(),
+            spec.constraints.dependencies().len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            println!("violation: {v}");
+        }
+        println!("{} violation(s)", violations.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn implies(path: &str, dep_src: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let target: Dependency = dep_src.parse()?;
+    target.is_well_formed(spec.constraints.schema())?;
+    let sigma = spec.constraints.dependencies().to_vec();
+
+    // 1. Exact decision on the weakly acyclic fragment.
+    if let Some(answer) = acyclic::decide(spec.constraints.schema(), &sigma, &target)? {
+        println!(
+            "{} (exact: IND set is weakly acyclic, chase terminates)",
+            if answer { "implied" } else { "not implied" }
+        );
+        return Ok(if answer { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+
+    // 2. Sound saturation (k-ary rules; may under-approximate).
+    let mut sat = Saturator::new(&sigma);
+    sat.saturate();
+    if sat.implies(&target) {
+        println!("implied (derived by the sound interaction rules)");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // 3. Budgeted chase: may prove, refute, or give up (the combined
+    // problem is undecidable in general).
+    let chase = FdIndChase::new(spec.constraints.schema(), &sigma)?;
+    match chase.implies(&target, ChaseBudget::default())? {
+        ChaseOutcome::Proved { rounds } => {
+            println!("implied (chase proof in {rounds} rounds)");
+            Ok(ExitCode::SUCCESS)
+        }
+        ChaseOutcome::Disproved { .. } => {
+            println!("not implied (chase countermodel found)");
+            Ok(ExitCode::FAILURE)
+        }
+        ChaseOutcome::Exhausted => {
+            println!(
+                "unknown (chase budget exhausted; FD+IND implication is undecidable in general)"
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn keys(path: &str, rel: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let scheme = spec
+        .constraints
+        .schema()
+        .require(&RelName::new(rel))?
+        .clone();
+    let (fds, _, _, _) = spec.constraints.partition();
+    let engine = FdEngine::new(rel, &fds);
+    for key in engine.candidate_keys(&scheme) {
+        let names: Vec<&str> = key.iter().map(|a| a.name()).collect();
+        println!("key: {{{}}}", names.join(", "));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn design(path: &str, rel: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let scheme = spec
+        .constraints
+        .schema()
+        .require(&RelName::new(rel))?
+        .clone();
+    let (all_fds, _, _, _) = spec.constraints.partition();
+    let fds: Vec<Fd> = all_fds.into_iter().filter(|f| f.rel.name() == rel).collect();
+    let engine = FdEngine::new(rel, &fds);
+
+    println!("relation: {scheme}");
+    println!("BCNF: {}", is_bcnf(&engine, &scheme));
+
+    println!("3NF synthesis:");
+    for frag in threenf_synthesis(&fds, &scheme) {
+        println!("  {}   embeds via {}", frag.scheme, frag.embedding);
+    }
+    println!("BCNF decomposition:");
+    for frag in bcnf_decompose(&fds, &scheme) {
+        println!("  {}   embeds via {}", frag.scheme, frag.embedding);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("depkit-test-{name}-{}.dep", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const HR: &str = "\
+schema EMP(NAME, DEPT)
+schema MGR(NAME, DEPT)
+dep MGR[NAME, DEPT] <= EMP[NAME, DEPT]
+dep EMP: NAME -> DEPT
+row EMP hilbert math
+row MGR hilbert math
+";
+
+    #[test]
+    fn check_consistent_spec() {
+        let path = write_temp("ok", HR);
+        let code = run(&["check".into(), path.clone()]).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn check_detects_violations() {
+        let bad = format!("{HR}row MGR ghost cs\n");
+        let path = write_temp("bad", &bad);
+        let code = run(&["check".into(), path.clone()]).unwrap();
+        assert_eq!(code, ExitCode::FAILURE);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn implies_answers_exactly_on_acyclic_specs() {
+        let path = write_temp("imp", HR);
+        let yes = run(&["implies".into(), path.clone(), "MGR[NAME] <= EMP[NAME]".into()]).unwrap();
+        assert_eq!(yes, ExitCode::SUCCESS);
+        let no = run(&["implies".into(), path.clone(), "EMP[NAME] <= MGR[NAME]".into()]).unwrap();
+        assert_eq!(no, ExitCode::FAILURE);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn keys_and_design_run() {
+        let path = write_temp("keys", HR);
+        assert_eq!(
+            run(&["keys".into(), path.clone(), "EMP".into()]).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&["design".into(), path.clone(), "EMP".into()]).unwrap(),
+            ExitCode::SUCCESS
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn usage_error_on_bad_args() {
+        assert_eq!(run(&[]).unwrap(), ExitCode::from(2));
+        assert_eq!(run(&["bogus".into()]).unwrap(), ExitCode::from(2));
+    }
+}

@@ -1,0 +1,180 @@
+//! The `.dep` spec file format: schema, dependencies, and data in one
+//! plain-text file.
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored
+//! schema EMP(NAME, DEPT)
+//! schema MGR(NAME, DEPT)
+//!
+//! dep MGR[NAME, DEPT] <= EMP[NAME, DEPT]
+//! dep EMP: NAME -> DEPT
+//!
+//! row EMP hilbert math
+//! row MGR hilbert math
+//! ```
+//!
+//! `row` entries are whitespace-separated values; an entry parses as an
+//! integer when it looks like one, otherwise as a string.
+
+use depkit_core::constraint::ConstraintSet;
+use depkit_core::prelude::*;
+use depkit_core::schema::RelationScheme;
+
+/// A parsed spec file: constraints plus the optional inline database.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Schema + dependencies.
+    pub constraints: ConstraintSet,
+    /// The inline database (empty when the file has no `row` lines).
+    pub database: Database,
+}
+
+/// A parse error with its line number (1-based).
+#[derive(Debug)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a spec from text.
+pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
+    let mut schemes: Vec<RelationScheme> = Vec::new();
+    let mut deps: Vec<(usize, Dependency)> = Vec::new();
+    let mut rows: Vec<(usize, String, Vec<Value>)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "schema" => {
+                let scheme = depkit_core::parser::parse_scheme(rest)
+                    .map_err(|e| err(line_no, e.to_string()))?;
+                schemes.push(scheme);
+            }
+            "dep" => {
+                let dep: Dependency = rest
+                    .parse()
+                    .map_err(|e: CoreError| err(line_no, e.to_string()))?;
+                deps.push((line_no, dep));
+            }
+            "row" => {
+                let mut parts = rest.split_whitespace();
+                let rel = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "row needs a relation name"))?
+                    .to_string();
+                let values: Vec<Value> = parts
+                    .map(|p| match p.parse::<i64>() {
+                        Ok(i) => Value::Int(i),
+                        Err(_) => Value::str(p),
+                    })
+                    .collect();
+                rows.push((line_no, rel, values));
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unknown directive `{other}` (expected schema/dep/row)"),
+                ))
+            }
+        }
+    }
+
+    let schema = DatabaseSchema::new(schemes).map_err(|e| err(0, e.to_string()))?;
+    let mut constraints = ConstraintSet::new(schema.clone(), Vec::new())
+        .map_err(|e| err(0, e.to_string()))?;
+    for (line_no, dep) in deps {
+        constraints
+            .push(dep)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    let mut database = Database::empty(schema);
+    for (line_no, rel, values) in rows {
+        database
+            .insert(&RelName::new(&rel), Tuple::new(values))
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    Ok(Spec {
+        constraints,
+        database,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# example
+schema EMP(NAME, DEPT)
+schema MGR(NAME, DEPT)
+
+dep MGR[NAME, DEPT] <= EMP[NAME, DEPT]
+dep EMP: NAME -> DEPT
+
+row EMP hilbert math
+row EMP noether math
+row MGR hilbert math
+";
+
+    #[test]
+    fn parses_sample() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        assert_eq!(spec.constraints.dependencies().len(), 2);
+        assert_eq!(spec.database.total_tuples(), 3);
+        assert!(spec.constraints.is_consistent(&spec.database).unwrap());
+    }
+
+    #[test]
+    fn integer_values_parse_as_ints() {
+        let spec = parse_spec("schema R(A, B)\nrow R 1 x\n").unwrap();
+        let r = spec.database.relation(&RelName::new("R")).unwrap();
+        let t = r.tuples().next().unwrap();
+        assert_eq!(t.at(0), &Value::Int(1));
+        assert_eq!(t.at(1), &Value::str("x"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_spec("schema R(A)\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e2 = parse_spec("schema R(A)\nrow R 1 2\n").unwrap_err();
+        assert_eq!(e2.line, 2); // arity mismatch
+        let e3 = parse_spec("schema R(A)\ndep S[A] <= R[A]\n").unwrap_err();
+        assert_eq!(e3.line, 2); // unknown relation in dep
+    }
+
+    #[test]
+    fn violations_detected() {
+        let spec = parse_spec(
+            "schema R(A, B)\ndep R: A -> B\nrow R 1 2\nrow R 1 3\n",
+        )
+        .unwrap();
+        let v = spec.constraints.validate(&spec.database).unwrap();
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Attributes and attribute sequences.
+//!
+//! The paper (Section 2) defines relation schemes over *sequences* of
+//! attributes, and both sides of every dependency are sequences of
+//! **distinct** attributes. [`AttrSeq`] enforces the distinctness invariant
+//! at construction time so the rest of the workspace can rely on it.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An attribute name.
+///
+/// Attributes are cheap to clone (shared, immutable string) and are compared,
+/// ordered, and hashed by name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Create an attribute with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+/// A sequence of **distinct** attributes, as used on either side of an FD,
+/// IND, or RD, and as the attribute list of a relation scheme.
+///
+/// The distinctness invariant is established by [`AttrSeq::new`] and
+/// preserved by every method. `AttrSeq` dereferences to `[Attr]` so slice
+/// methods are available directly.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Attr>", into = "Vec<Attr>")]
+pub struct AttrSeq(Vec<Attr>);
+
+impl AttrSeq {
+    /// Create an attribute sequence, checking that all attributes are
+    /// distinct.
+    pub fn new(attrs: Vec<Attr>) -> Result<Self, CoreError> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(CoreError::DuplicateAttribute(a.name().to_owned()));
+            }
+        }
+        Ok(AttrSeq(attrs))
+    }
+
+    /// Create an attribute sequence from names, checking distinctness.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<Self, CoreError> {
+        Self::new(names.iter().map(|n| Attr::new(n.as_ref())).collect())
+    }
+
+    /// The empty attribute sequence (used, e.g., for FDs with an empty
+    /// left-hand side, which assert that the right-hand side is constant).
+    pub fn empty() -> Self {
+        AttrSeq(Vec::new())
+    }
+
+    /// The underlying attributes, in order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.0
+    }
+
+    /// Position of `attr` within this sequence, if present.
+    pub fn position(&self, attr: &Attr) -> Option<usize> {
+        self.0.iter().position(|a| a == attr)
+    }
+
+    /// Whether `attr` occurs in this sequence.
+    pub fn contains_attr(&self, attr: &Attr) -> bool {
+        self.0.contains(attr)
+    }
+
+    /// Whether every attribute of `self` occurs in `other` (set inclusion;
+    /// order is ignored).
+    pub fn subset_of(&self, other: &AttrSeq) -> bool {
+        self.0.iter().all(|a| other.contains_attr(a))
+    }
+
+    /// Whether `self` and `other` contain the same attributes, ignoring
+    /// order.
+    pub fn same_set(&self, other: &AttrSeq) -> bool {
+        self.len() == other.len() && self.subset_of(other)
+    }
+
+    /// Whether `self` and `other` share no attribute.
+    pub fn disjoint_from(&self, other: &AttrSeq) -> bool {
+        self.0.iter().all(|a| !other.contains_attr(a))
+    }
+
+    /// Concatenate two sequences. Fails if they share an attribute.
+    pub fn concat(&self, other: &AttrSeq) -> Result<AttrSeq, CoreError> {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        AttrSeq::new(v)
+    }
+
+    /// The subsequence at the given positions. Positions must be distinct and
+    /// in range; this is the `i_1, ..., i_k` selection of rule IND2.
+    pub fn select(&self, positions: &[usize]) -> Result<AttrSeq, CoreError> {
+        let mut v = Vec::with_capacity(positions.len());
+        for &p in positions {
+            let a = self.0.get(p).ok_or_else(|| {
+                CoreError::UnknownAttribute {
+                    relation: String::from("<sequence>"),
+                    attribute: format!("position {p}"),
+                }
+            })?;
+            v.push(a.clone());
+        }
+        AttrSeq::new(v)
+    }
+
+    /// A canonical (sorted) copy of this sequence. Useful as a set key.
+    pub fn sorted(&self) -> AttrSeq {
+        let mut v = self.0.clone();
+        v.sort();
+        AttrSeq(v)
+    }
+
+    /// Attributes of `self` that do not occur in `other`, in order.
+    pub fn minus(&self, other: &AttrSeq) -> AttrSeq {
+        AttrSeq(
+            self.0
+                .iter()
+                .filter(|a| !other.contains_attr(a))
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+impl Deref for AttrSeq {
+    type Target = [Attr];
+    fn deref(&self) -> &[Attr] {
+        &self.0
+    }
+}
+
+impl fmt::Display for AttrSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl TryFrom<Vec<Attr>> for AttrSeq {
+    type Error = CoreError;
+    fn try_from(v: Vec<Attr>) -> Result<Self, CoreError> {
+        AttrSeq::new(v)
+    }
+}
+
+impl From<AttrSeq> for Vec<Attr> {
+    fn from(s: AttrSeq) -> Vec<Attr> {
+        s.0
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSeq {
+    type Item = &'a Attr;
+    type IntoIter = std::slice::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Shorthand for building an [`AttrSeq`] from string literals in tests and
+/// examples. Panics on duplicates, so only use with literal input.
+pub fn attrs<S: AsRef<str>>(names: &[S]) -> AttrSeq {
+    AttrSeq::from_names(names).expect("attribute names must be distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinctness_enforced() {
+        assert!(AttrSeq::from_names(&["A", "B", "A"]).is_err());
+        assert!(AttrSeq::from_names(&["A", "B", "C"]).is_ok());
+    }
+
+    #[test]
+    fn empty_sequence_allowed() {
+        let e = AttrSeq::empty();
+        assert_eq!(e.len(), 0);
+        assert!(e.subset_of(&attrs(&["A"])));
+    }
+
+    #[test]
+    fn select_positions() {
+        let s = attrs(&["A", "B", "C", "D"]);
+        let t = s.select(&[2, 0]).unwrap();
+        assert_eq!(t.attrs(), &[Attr::new("C"), Attr::new("A")]);
+        assert!(s.select(&[4]).is_err());
+    }
+
+    #[test]
+    fn select_rejects_duplicate_positions() {
+        let s = attrs(&["A", "B"]);
+        assert!(s.select(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn set_operations() {
+        let x = attrs(&["A", "B"]);
+        let y = attrs(&["B", "A"]);
+        let z = attrs(&["C"]);
+        assert!(x.same_set(&y));
+        assert!(!x.same_set(&z));
+        assert!(x.disjoint_from(&z));
+        assert!(!x.disjoint_from(&y));
+        assert_eq!(x.concat(&z).unwrap().len(), 3);
+        assert!(x.concat(&y).is_err());
+    }
+
+    #[test]
+    fn minus_preserves_order() {
+        let x = attrs(&["A", "B", "C", "D"]);
+        let y = attrs(&["B", "D"]);
+        assert_eq!(x.minus(&y), attrs(&["A", "C"]));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let s = attrs(&["A", "B"]);
+        assert_eq!(s.to_string(), "A, B");
+    }
+}

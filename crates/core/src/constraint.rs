@@ -1,0 +1,192 @@
+//! A user-facing bundle of a schema and its integrity constraints.
+//!
+//! [`ConstraintSet`] is the "production" entry point: declare a schema and
+//! dependencies once (optionally from text), then validate databases
+//! against all of them, collecting every violation with its witness. It
+//! serializes with `serde`, so constraint catalogs can live beside the
+//! data they govern.
+
+use crate::database::Database;
+use crate::dependency::Dependency;
+use crate::error::CoreError;
+use crate::satisfy::Violation;
+use crate::schema::DatabaseSchema;
+use serde::{Deserialize, Serialize};
+
+/// A schema together with the dependencies that must hold over it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    schema: DatabaseSchema,
+    dependencies: Vec<Dependency>,
+}
+
+impl ConstraintSet {
+    /// Create a constraint set, checking every dependency is well formed
+    /// for the schema.
+    pub fn new(schema: DatabaseSchema, dependencies: Vec<Dependency>) -> Result<Self, CoreError> {
+        for d in &dependencies {
+            d.is_well_formed(&schema)?;
+        }
+        Ok(ConstraintSet {
+            schema,
+            dependencies,
+        })
+    }
+
+    /// Parse a constraint set from schema declarations and dependency
+    /// strings.
+    ///
+    /// ```
+    /// use depkit_core::constraint::ConstraintSet;
+    /// let cs = ConstraintSet::parse(
+    ///     &["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"],
+    ///     &["MGR[NAME, DEPT] <= EMP[NAME, DEPT]", "EMP: NAME -> DEPT"],
+    /// ).unwrap();
+    /// assert_eq!(cs.dependencies().len(), 2);
+    /// ```
+    pub fn parse<S1: AsRef<str>, S2: AsRef<str>>(
+        schema_decls: &[S1],
+        dep_decls: &[S2],
+    ) -> Result<Self, CoreError> {
+        let schema = DatabaseSchema::parse(schema_decls)?;
+        let dependencies = dep_decls
+            .iter()
+            .map(|d| crate::parser::parse_dependency(d.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        ConstraintSet::new(schema, dependencies)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The dependencies, in declaration order.
+    pub fn dependencies(&self) -> &[Dependency] {
+        &self.dependencies
+    }
+
+    /// Add a dependency (validated against the schema).
+    pub fn push(&mut self, dep: Dependency) -> Result<(), CoreError> {
+        dep.is_well_formed(&self.schema)?;
+        self.dependencies.push(dep);
+        Ok(())
+    }
+
+    /// An empty database over this schema.
+    pub fn empty_database(&self) -> Database {
+        Database::empty(self.schema.clone())
+    }
+
+    /// Validate `db` against every dependency, returning all violations
+    /// (empty means the database is consistent).
+    pub fn validate(&self, db: &Database) -> Result<Vec<Violation>, CoreError> {
+        let mut out = Vec::new();
+        for d in &self.dependencies {
+            if let Some(v) = db.check(d)? {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `db` satisfies every dependency.
+    pub fn is_consistent(&self, db: &Database) -> Result<bool, CoreError> {
+        for d in &self.dependencies {
+            if !db.satisfies(d)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Split the dependencies by kind: (FDs, INDs, RDs, EMVDs) — handy for
+    /// feeding the specialized engines in `depkit-solver`.
+    pub fn partition(
+        &self,
+    ) -> (
+        Vec<crate::Fd>,
+        Vec<crate::Ind>,
+        Vec<crate::Rd>,
+        Vec<crate::Emvd>,
+    ) {
+        let mut fds = Vec::new();
+        let mut inds = Vec::new();
+        let mut rds = Vec::new();
+        let mut emvds = Vec::new();
+        for d in &self.dependencies {
+            match d {
+                Dependency::Fd(x) => fds.push(x.clone()),
+                Dependency::Ind(x) => inds.push(x.clone()),
+                Dependency::Rd(x) => rds.push(x.clone()),
+                Dependency::Emvd(x) => emvds.push(x.clone()),
+            }
+        }
+        (fds, inds, rds, emvds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hr() -> ConstraintSet {
+        ConstraintSet::parse(
+            &["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"],
+            &["MGR[NAME, DEPT] <= EMP[NAME, DEPT]", "EMP: NAME -> DEPT"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dependencies() {
+        let err = ConstraintSet::parse(&["R(A)"], &["R: A -> B"]);
+        assert!(err.is_err());
+        let err2 = ConstraintSet::parse(&["R(A)"], &["S[A] <= R[A]"]);
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    fn validate_collects_all_violations() {
+        let cs = hr();
+        let mut db = cs.empty_database();
+        db.insert_str("EMP", &[&["a", "x"], &["a", "y"]]).unwrap(); // FD violation
+        db.insert_str("MGR", &[&["ghost", "z"]]).unwrap(); // IND violation
+        let violations = cs.validate(&db).unwrap();
+        assert_eq!(violations.len(), 2);
+        assert!(!cs.is_consistent(&db).unwrap());
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut cs = hr();
+        assert!(cs.push("EMP[NAME] <= MGR[NAME]".parse().unwrap()).is_ok());
+        assert!(cs.push("EMP: NOPE -> DEPT".parse::<Dependency>().unwrap()).is_err());
+        assert_eq!(cs.dependencies().len(), 3);
+    }
+
+    #[test]
+    fn partition_by_kind() {
+        let cs = ConstraintSet::parse(
+            &["R(A, B, C)"],
+            &["R: A -> B", "R[A] <= R[B]", "R[A = B]", "R: A ->> B | C"],
+        )
+        .unwrap();
+        let (fds, inds, rds, emvds) = cs.partition();
+        assert_eq!((fds.len(), inds.len(), rds.len(), emvds.len()), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cs = hr();
+        let json = serde_json_like(&cs);
+        assert!(json.contains("EMP"));
+    }
+
+    // Minimal smoke for Serialize without pulling serde_json: use the
+    // debug formatter as a stand-in shape check, and ensure Serialize is
+    // at least derivable by touching the trait bound.
+    fn serde_json_like<T: Serialize + std::fmt::Debug>(t: &T) -> String {
+        format!("{t:?}")
+    }
+}

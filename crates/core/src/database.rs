@@ -1,0 +1,143 @@
+//! Databases: an assignment of a relation to each relation scheme.
+
+use crate::dependency::Dependency;
+use crate::error::CoreError;
+use crate::relation::{Relation, Tuple};
+use crate::satisfy::Violation;
+use crate::schema::{DatabaseSchema, RelName};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database over a [`DatabaseSchema`]: one relation per scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    schema: DatabaseSchema,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// The empty database over `schema` (every relation empty).
+    pub fn empty(schema: DatabaseSchema) -> Self {
+        let relations = schema
+            .schemes()
+            .iter()
+            .map(|s| Relation::empty(s.clone()))
+            .collect();
+        Database { schema, relations }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The relation for `name`.
+    pub fn relation(&self, name: &RelName) -> Result<&Relation, CoreError> {
+        let i = self
+            .schema
+            .scheme_index(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))?;
+        Ok(&self.relations[i])
+    }
+
+    /// Mutable access to the relation for `name`.
+    pub fn relation_mut(&mut self, name: &RelName) -> Result<&mut Relation, CoreError> {
+        let i = self
+            .schema
+            .scheme_index(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))?;
+        Ok(&mut self.relations[i])
+    }
+
+    /// All relations in schema order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Insert a tuple into the named relation. Returns whether it was new.
+    pub fn insert(&mut self, name: &RelName, t: Tuple) -> Result<bool, CoreError> {
+        self.relation_mut(name)?.insert(t)
+    }
+
+    /// Insert integer tuples into the named relation (test convenience).
+    pub fn insert_ints(&mut self, name: &str, rows: &[&[i64]]) -> Result<(), CoreError> {
+        let name = RelName::new(name);
+        for row in rows {
+            self.insert(&name, Tuple::ints(row))?;
+        }
+        Ok(())
+    }
+
+    /// Insert string tuples into the named relation (test convenience).
+    pub fn insert_str<S: AsRef<str>>(&mut self, name: &str, rows: &[&[S]]) -> Result<(), CoreError> {
+        let name = RelName::new(name);
+        for row in rows {
+            self.insert(&name, Tuple::strs(row))?;
+        }
+        Ok(())
+    }
+
+    /// Insert [`Value`] tuples into the named relation.
+    pub fn insert_values(&mut self, name: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError> {
+        let name = RelName::new(name);
+        for row in rows {
+            self.insert(&name, Tuple::new(row))?;
+        }
+        Ok(())
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether the database satisfies `dep` (see [`crate::satisfy`]).
+    pub fn satisfies(&self, dep: &Dependency) -> Result<bool, CoreError> {
+        Ok(self.check(dep)?.is_none())
+    }
+
+    /// Whether the database satisfies every dependency in `deps`.
+    pub fn satisfies_all<'a>(
+        &self,
+        deps: impl IntoIterator<Item = &'a Dependency>,
+    ) -> Result<bool, CoreError> {
+        for d in deps {
+            if !self.satisfies(d)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Check `dep`, returning a violation witness when it fails.
+    pub fn check(&self, dep: &Dependency) -> Result<Option<Violation>, CoreError> {
+        crate::satisfy::check(self, dep)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.relations {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let schema = DatabaseSchema::parse(&["R(A, B)", "S(C)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", &[&[1, 2], &[3, 4]]).unwrap();
+        db.insert_ints("S", &[&[1]]).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.relation(&RelName::new("R")).unwrap().len(), 2);
+        assert!(db.relation(&RelName::new("T")).is_err());
+        assert!(db.insert_ints("R", &[&[1, 2, 3]]).is_err());
+    }
+}

@@ -1,0 +1,496 @@
+//! Dependency terms: FDs, INDs, RDs, and EMVDs.
+//!
+//! All four classes appear in the paper: FDs and INDs are the subject
+//! matter, repeating dependencies (RDs) arise from their interaction
+//! (Section 4), and embedded multivalued dependencies (EMVDs) are used in
+//! Section 5 to re-derive the Sagiv–Walecka non-axiomatizability result.
+
+use crate::attr::AttrSeq;
+use crate::error::CoreError;
+use crate::schema::{DatabaseSchema, RelName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A functional dependency `R: X -> Y`.
+///
+/// `X` and `Y` are sequences of distinct attributes of `R`. The paper allows
+/// an empty left-hand side (`R: ∅ -> Y`), which asserts that every `Y` entry
+/// of the relation is constant (see the proof of Theorem 6.1, Case 1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd {
+    /// The relation the FD speaks about.
+    pub rel: RelName,
+    /// Left-hand side `X`.
+    pub lhs: AttrSeq,
+    /// Right-hand side `Y`.
+    pub rhs: AttrSeq,
+}
+
+impl Fd {
+    /// Create an FD.
+    pub fn new(rel: impl Into<RelName>, lhs: AttrSeq, rhs: AttrSeq) -> Self {
+        Fd {
+            rel: rel.into(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// An FD is *trivial* (holds in every relation) iff every right-hand
+    /// side attribute already occurs on the left-hand side.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.subset_of(&self.lhs)
+    }
+
+    /// An FD is *unary* if each side has exactly one attribute (Section 6).
+    pub fn is_unary(&self) -> bool {
+        self.lhs.len() == 1 && self.rhs.len() == 1
+    }
+
+    /// Check well-formedness against a schema: the relation exists and both
+    /// sides mention only its attributes.
+    pub fn is_well_formed(&self, schema: &DatabaseSchema) -> Result<(), CoreError> {
+        let s = schema.require(&self.rel)?;
+        s.columns(&self.lhs)?;
+        s.columns(&self.rhs)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.rel, self.lhs, self.rhs)
+    }
+}
+
+/// An inclusion dependency `R[X] ⊆ S[Y]` (written `R[X] <= S[Y]` in the
+/// text syntax).
+///
+/// `X` and `Y` are equal-length sequences of distinct attributes of `R` and
+/// `S` respectively; `R` and `S` may be the same relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ind {
+    /// Left relation `R`.
+    pub lhs_rel: RelName,
+    /// Left attribute sequence `X`.
+    pub lhs_attrs: AttrSeq,
+    /// Right relation `S`.
+    pub rhs_rel: RelName,
+    /// Right attribute sequence `Y`.
+    pub rhs_attrs: AttrSeq,
+}
+
+impl Ind {
+    /// Create an IND, checking that the two sides have equal length.
+    pub fn new(
+        lhs_rel: impl Into<RelName>,
+        lhs_attrs: AttrSeq,
+        rhs_rel: impl Into<RelName>,
+        rhs_attrs: AttrSeq,
+    ) -> Result<Self, CoreError> {
+        if lhs_attrs.len() != rhs_attrs.len() {
+            return Err(CoreError::ArityMismatch {
+                left: lhs_attrs.len(),
+                right: rhs_attrs.len(),
+            });
+        }
+        if lhs_attrs.is_empty() {
+            return Err(CoreError::EmptyInd);
+        }
+        Ok(Ind {
+            lhs_rel: lhs_rel.into(),
+            lhs_attrs,
+            rhs_rel: rhs_rel.into(),
+            rhs_attrs,
+        })
+    }
+
+    /// The common length of the two sides (the IND's arity).
+    pub fn arity(&self) -> usize {
+        self.lhs_attrs.len()
+    }
+
+    /// An IND is *trivial* iff it is an instance of rule IND1 (reflexivity):
+    /// `R[X] ⊆ R[X]` with identical sequences.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs_rel == self.rhs_rel && self.lhs_attrs == self.rhs_attrs
+    }
+
+    /// An IND is *unary* if each side has exactly one attribute.
+    pub fn is_unary(&self) -> bool {
+        self.arity() == 1
+    }
+
+    /// An IND is *typed* if both sides carry the same attribute sequence
+    /// (`R[X] ⊆ S[X]`); Section 3 notes the decision problem for typed INDs
+    /// is polynomial.
+    pub fn is_typed(&self) -> bool {
+        self.lhs_attrs == self.rhs_attrs
+    }
+
+    /// `IND2` (projection and permutation): the IND obtained by selecting
+    /// the given positions on both sides.
+    pub fn select(&self, positions: &[usize]) -> Result<Ind, CoreError> {
+        Ind::new(
+            self.lhs_rel.clone(),
+            self.lhs_attrs.select(positions)?,
+            self.rhs_rel.clone(),
+            self.rhs_attrs.select(positions)?,
+        )
+    }
+
+    /// The reversed inclusion `S[Y] ⊆ R[X]` (sound only in special
+    /// situations, e.g. the finite-implication counting rule of Section 6).
+    pub fn reversed(&self) -> Ind {
+        Ind {
+            lhs_rel: self.rhs_rel.clone(),
+            lhs_attrs: self.rhs_attrs.clone(),
+            rhs_rel: self.lhs_rel.clone(),
+            rhs_attrs: self.lhs_attrs.clone(),
+        }
+    }
+
+    /// Check well-formedness against a schema.
+    pub fn is_well_formed(&self, schema: &DatabaseSchema) -> Result<(), CoreError> {
+        let l = schema.require(&self.lhs_rel)?;
+        l.columns(&self.lhs_attrs)?;
+        let r = schema.require(&self.rhs_rel)?;
+        r.columns(&self.rhs_attrs)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] <= {}[{}]",
+            self.lhs_rel, self.lhs_attrs, self.rhs_rel, self.rhs_attrs
+        )
+    }
+}
+
+/// A repeating dependency `R[X = Y]` (Section 4).
+///
+/// A relation obeys `R[X = Y]` iff every tuple `t` has `t[X] = t[Y]`.
+/// `X` and `Y` are equal-length sequences of distinct attributes (they may
+/// overlap each other). The paper notes `R[A_1...A_m = B_1...B_m]` is
+/// equivalent to the set of unary RDs `{R[A_i = B_i]}` — see
+/// [`Rd::unary_decomposition`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rd {
+    /// The relation the RD speaks about.
+    pub rel: RelName,
+    /// Left sequence `X`.
+    pub lhs: AttrSeq,
+    /// Right sequence `Y`.
+    pub rhs: AttrSeq,
+}
+
+impl Rd {
+    /// Create an RD, checking the two sides have equal length.
+    pub fn new(rel: impl Into<RelName>, lhs: AttrSeq, rhs: AttrSeq) -> Result<Self, CoreError> {
+        if lhs.len() != rhs.len() {
+            return Err(CoreError::ArityMismatch {
+                left: lhs.len(),
+                right: rhs.len(),
+            });
+        }
+        Ok(Rd {
+            rel: rel.into(),
+            lhs,
+            rhs,
+        })
+    }
+
+    /// An RD is *trivial* iff the two sequences are identical (`X = Y`
+    /// positionwise), in which case it holds in every relation.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// The equivalent set of unary RDs `R[A_i = B_i]`, skipping positions
+    /// where the attributes coincide (those unary RDs are trivial).
+    pub fn unary_decomposition(&self) -> Vec<Rd> {
+        self.lhs
+            .attrs()
+            .iter()
+            .zip(self.rhs.attrs())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Rd {
+                rel: self.rel.clone(),
+                lhs: AttrSeq::new(vec![a.clone()]).expect("single attribute"),
+                rhs: AttrSeq::new(vec![b.clone()]).expect("single attribute"),
+            })
+            .collect()
+    }
+
+    /// Canonical form of a unary RD: attributes ordered so `lhs <= rhs`.
+    /// (`R[A = B]` and `R[B = A]` are logically equivalent.)
+    pub fn canonical(&self) -> Rd {
+        if self.lhs.len() == 1 && self.rhs.len() == 1 && self.lhs.attrs()[0] > self.rhs.attrs()[0] {
+            Rd {
+                rel: self.rel.clone(),
+                lhs: self.rhs.clone(),
+                rhs: self.lhs.clone(),
+            }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Check well-formedness against a schema.
+    pub fn is_well_formed(&self, schema: &DatabaseSchema) -> Result<(), CoreError> {
+        let s = schema.require(&self.rel)?;
+        s.columns(&self.lhs)?;
+        s.columns(&self.rhs)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} = {}]", self.rel, self.lhs, self.rhs)
+    }
+}
+
+/// An embedded multivalued dependency `R: X ->> Y | Z` (Section 5).
+///
+/// A relation obeys it iff whenever `t1[X] = t2[X]` there is a tuple `t3`
+/// with `t3[XY] = t1[XY]` and `t3[XZ] = t2[XZ]`. `Y` and `Z` must be
+/// disjoint; all three are treated as attribute sets here (order is
+/// irrelevant to EMVD semantics).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Emvd {
+    /// The relation the EMVD speaks about.
+    pub rel: RelName,
+    /// The fixed set `X`.
+    pub x: AttrSeq,
+    /// The first swapped set `Y`.
+    pub y: AttrSeq,
+    /// The second swapped set `Z`.
+    pub z: AttrSeq,
+}
+
+impl Emvd {
+    /// Create an EMVD, checking that `Y` and `Z` are disjoint.
+    pub fn new(
+        rel: impl Into<RelName>,
+        x: AttrSeq,
+        y: AttrSeq,
+        z: AttrSeq,
+    ) -> Result<Self, CoreError> {
+        if !y.disjoint_from(&z) {
+            return Err(CoreError::EmvdOverlap);
+        }
+        Ok(Emvd {
+            rel: rel.into(),
+            x,
+            y,
+            z,
+        })
+    }
+
+    /// Sufficient triviality test: the EMVD holds in every relation if
+    /// `Y ⊆ X` (choose `t3 = t2`) or `Z ⊆ X` (choose `t3 = t1`).
+    pub fn is_trivial(&self) -> bool {
+        self.y.subset_of(&self.x) || self.z.subset_of(&self.x)
+    }
+
+    /// Check well-formedness against a schema.
+    pub fn is_well_formed(&self, schema: &DatabaseSchema) -> Result<(), CoreError> {
+        let s = schema.require(&self.rel)?;
+        s.columns(&self.x)?;
+        s.columns(&self.y)?;
+        s.columns(&self.z)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Emvd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ->> {} | {}", self.rel, self.x, self.y, self.z)
+    }
+}
+
+/// Any dependency handled by this workspace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dependency {
+    /// A functional dependency.
+    Fd(Fd),
+    /// An inclusion dependency.
+    Ind(Ind),
+    /// A repeating dependency.
+    Rd(Rd),
+    /// An embedded multivalued dependency.
+    Emvd(Emvd),
+}
+
+impl Dependency {
+    /// Whether the dependency holds in every database (is a tautology).
+    pub fn is_trivial(&self) -> bool {
+        match self {
+            Dependency::Fd(d) => d.is_trivial(),
+            Dependency::Ind(d) => d.is_trivial(),
+            Dependency::Rd(d) => d.is_trivial(),
+            Dependency::Emvd(d) => d.is_trivial(),
+        }
+    }
+
+    /// Check well-formedness against a schema.
+    pub fn is_well_formed(&self, schema: &DatabaseSchema) -> Result<(), CoreError> {
+        match self {
+            Dependency::Fd(d) => d.is_well_formed(schema),
+            Dependency::Ind(d) => d.is_well_formed(schema),
+            Dependency::Rd(d) => d.is_well_formed(schema),
+            Dependency::Emvd(d) => d.is_well_formed(schema),
+        }
+    }
+
+    /// The inner FD, if any.
+    pub fn as_fd(&self) -> Option<&Fd> {
+        match self {
+            Dependency::Fd(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The inner IND, if any.
+    pub fn as_ind(&self) -> Option<&Ind> {
+        match self {
+            Dependency::Ind(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The inner RD, if any.
+    pub fn as_rd(&self) -> Option<&Rd> {
+        match self {
+            Dependency::Rd(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dependency::Fd(d) => write!(f, "{d}"),
+            Dependency::Ind(d) => write!(f, "{d}"),
+            Dependency::Rd(d) => write!(f, "{d}"),
+            Dependency::Emvd(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<Fd> for Dependency {
+    fn from(d: Fd) -> Self {
+        Dependency::Fd(d)
+    }
+}
+
+impl From<Ind> for Dependency {
+    fn from(d: Ind) -> Self {
+        Dependency::Ind(d)
+    }
+}
+
+impl From<Rd> for Dependency {
+    fn from(d: Rd) -> Self {
+        Dependency::Rd(d)
+    }
+}
+
+impl From<Emvd> for Dependency {
+    fn from(d: Emvd) -> Self {
+        Dependency::Emvd(d)
+    }
+}
+
+impl std::str::FromStr for Dependency {
+    type Err = CoreError;
+    fn from_str(s: &str) -> Result<Self, CoreError> {
+        crate::parser::parse_dependency(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    #[test]
+    fn fd_triviality() {
+        assert!(Fd::new("R", attrs(&["A", "B"]), attrs(&["A"])).is_trivial());
+        assert!(!Fd::new("R", attrs(&["A"]), attrs(&["B"])).is_trivial());
+        // Empty RHS is trivially implied.
+        assert!(Fd::new("R", attrs(&["A"]), AttrSeq::empty()).is_trivial());
+        // Empty LHS ("Y is constant") is not trivial.
+        assert!(!Fd::new("R", AttrSeq::empty(), attrs(&["A"])).is_trivial());
+    }
+
+    #[test]
+    fn ind_construction_and_classification() {
+        let i = Ind::new("R", attrs(&["A", "B"]), "S", attrs(&["C", "D"])).unwrap();
+        assert_eq!(i.arity(), 2);
+        assert!(!i.is_trivial());
+        assert!(!i.is_typed());
+        assert!(Ind::new("R", attrs(&["A"]), "S", attrs(&["C", "D"])).is_err());
+
+        let t = Ind::new("R", attrs(&["A", "B"]), "S", attrs(&["A", "B"])).unwrap();
+        assert!(t.is_typed());
+        assert!(!t.is_trivial());
+
+        let refl = Ind::new("R", attrs(&["A", "B"]), "R", attrs(&["A", "B"])).unwrap();
+        assert!(refl.is_trivial());
+
+        // Same relation, permuted attributes: NOT trivial.
+        let perm = Ind::new("R", attrs(&["A", "B"]), "R", attrs(&["B", "A"])).unwrap();
+        assert!(!perm.is_trivial());
+    }
+
+    #[test]
+    fn ind_select_is_ind2() {
+        let i = Ind::new("R", attrs(&["A", "B", "C"]), "S", attrs(&["D", "E", "F"])).unwrap();
+        let j = i.select(&[2, 0]).unwrap();
+        assert_eq!(j.to_string(), "R[C, A] <= S[F, D]");
+    }
+
+    #[test]
+    fn rd_decomposition() {
+        let rd = Rd::new("R", attrs(&["A", "B"]), attrs(&["B", "C"])).unwrap();
+        let unary = rd.unary_decomposition();
+        assert_eq!(unary.len(), 2);
+        assert_eq!(unary[0].to_string(), "R[A = B]");
+        assert_eq!(unary[1].to_string(), "R[B = C]");
+        assert!(Rd::new("R", attrs(&["A", "B"]), attrs(&["A", "B"]))
+            .unwrap()
+            .is_trivial());
+    }
+
+    #[test]
+    fn rd_canonical_orders_sides() {
+        let rd = Rd::new("R", attrs(&["B"]), attrs(&["A"])).unwrap();
+        assert_eq!(rd.canonical().to_string(), "R[A = B]");
+    }
+
+    #[test]
+    fn emvd_checks() {
+        assert!(Emvd::new("R", attrs(&["A"]), attrs(&["B"]), attrs(&["B", "C"])).is_err());
+        let e = Emvd::new("R", attrs(&["A"]), attrs(&["B"]), attrs(&["C"])).unwrap();
+        assert!(!e.is_trivial());
+        let t = Emvd::new("R", attrs(&["A", "B"]), attrs(&["B"]), attrs(&["C"])).unwrap();
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn well_formedness() {
+        let schema = DatabaseSchema::parse(&["R(A, B)", "S(C, D)"]).unwrap();
+        let ok = Ind::new("R", attrs(&["A"]), "S", attrs(&["D"])).unwrap();
+        assert!(ok.is_well_formed(&schema).is_ok());
+        let bad_rel = Ind::new("R", attrs(&["A"]), "T", attrs(&["D"])).unwrap();
+        assert!(bad_rel.is_well_formed(&schema).is_err());
+        let bad_attr = Ind::new("R", attrs(&["C"]), "S", attrs(&["D"])).unwrap();
+        assert!(bad_attr.is_well_formed(&schema).is_err());
+    }
+}

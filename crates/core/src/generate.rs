@@ -1,0 +1,421 @@
+//! Deterministic generators for schemas, dependencies, and databases.
+//!
+//! Property tests and benchmarks need reproducible random instances. To keep
+//! `depkit-core` dependency-free, this module ships a tiny SplitMix64 PRNG
+//! ([`Rng`]) rather than pulling in an external crate; downstream crates that
+//! prefer the `rand` ecosystem can seed from the same integers.
+
+use crate::attr::{Attr, AttrSeq};
+use crate::database::Database;
+use crate::dependency::{Dependency, Fd, Ind, Rd};
+use crate::relation::Tuple;
+use crate::schema::{DatabaseSchema, RelName, RelationScheme};
+use crate::value::Value;
+
+/// A SplitMix64 pseudo-random number generator: tiny, fast, and entirely
+/// deterministic from its seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// Choose a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// A random subsequence of `k` distinct indices from `0..n`
+    /// (Fisher–Yates prefix), in random order.
+    pub fn distinct_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        debug_assert!(k <= n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range(i, n - 1);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Configuration for random schema generation.
+#[derive(Debug, Clone)]
+pub struct SchemaConfig {
+    /// Number of relation schemes.
+    pub relations: usize,
+    /// Minimum attributes per scheme.
+    pub min_arity: usize,
+    /// Maximum attributes per scheme.
+    pub max_arity: usize,
+}
+
+impl Default for SchemaConfig {
+    fn default() -> Self {
+        SchemaConfig {
+            relations: 3,
+            min_arity: 2,
+            max_arity: 4,
+        }
+    }
+}
+
+/// Generate a random database schema with relations `R0, R1, ...` and
+/// attributes `A0, A1, ...` (attribute names are shared across relations, so
+/// typed INDs are expressible).
+pub fn random_schema(rng: &mut Rng, cfg: &SchemaConfig) -> DatabaseSchema {
+    let schemes = (0..cfg.relations)
+        .map(|r| {
+            let arity = rng.range(cfg.min_arity, cfg.max_arity);
+            let attrs: Vec<Attr> = (0..arity).map(|a| Attr::new(format!("A{a}"))).collect();
+            RelationScheme::new(
+                format!("R{r}").as_str(),
+                AttrSeq::new(attrs).expect("generated attributes are distinct"),
+            )
+        })
+        .collect();
+    DatabaseSchema::new(schemes).expect("generated relation names are distinct")
+}
+
+/// Generate a random IND of the given arity over `schema`, if the schema has
+/// two (not necessarily distinct) relations wide enough.
+pub fn random_ind(rng: &mut Rng, schema: &DatabaseSchema, arity: usize) -> Option<Ind> {
+    let wide: Vec<&RelationScheme> = schema
+        .schemes()
+        .iter()
+        .filter(|s| s.arity() >= arity)
+        .collect();
+    if wide.is_empty() {
+        return None;
+    }
+    let lhs = *rng.choose(&wide);
+    let rhs = *rng.choose(&wide);
+    let lpos = rng.distinct_indices(lhs.arity(), arity);
+    let rpos = rng.distinct_indices(rhs.arity(), arity);
+    let lattrs = lhs.attrs().select(&lpos).expect("positions are distinct");
+    let rattrs = rhs.attrs().select(&rpos).expect("positions are distinct");
+    Some(
+        Ind::new(lhs.name().clone(), lattrs, rhs.name().clone(), rattrs)
+            .expect("equal lengths by construction"),
+    )
+}
+
+/// Generate a random FD over `schema` with the given side sizes.
+pub fn random_fd(rng: &mut Rng, schema: &DatabaseSchema, lhs: usize, rhs: usize) -> Option<Fd> {
+    let wide: Vec<&RelationScheme> = schema
+        .schemes()
+        .iter()
+        .filter(|s| s.arity() >= lhs.max(rhs))
+        .collect();
+    if wide.is_empty() {
+        return None;
+    }
+    let s = *rng.choose(&wide);
+    let lpos = rng.distinct_indices(s.arity(), lhs);
+    let rpos = rng.distinct_indices(s.arity(), rhs);
+    Some(Fd::new(
+        s.name().clone(),
+        s.attrs().select(&lpos).expect("distinct positions"),
+        s.attrs().select(&rpos).expect("distinct positions"),
+    ))
+}
+
+/// Generate a random unary RD over `schema`.
+pub fn random_rd(rng: &mut Rng, schema: &DatabaseSchema) -> Option<Rd> {
+    let wide: Vec<&RelationScheme> = schema
+        .schemes()
+        .iter()
+        .filter(|s| s.arity() >= 2)
+        .collect();
+    if wide.is_empty() {
+        return None;
+    }
+    let s = *rng.choose(&wide);
+    let pos = rng.distinct_indices(s.arity(), 2);
+    Some(
+        Rd::new(
+            s.name().clone(),
+            s.attrs().select(&pos[..1]).expect("distinct"),
+            s.attrs().select(&pos[1..]).expect("distinct"),
+        )
+        .expect("equal lengths"),
+    )
+}
+
+/// Generate a random set of INDs.
+pub fn random_ind_set(
+    rng: &mut Rng,
+    schema: &DatabaseSchema,
+    count: usize,
+    max_arity: usize,
+) -> Vec<Ind> {
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0;
+    while out.len() < count && guard < count * 20 {
+        guard += 1;
+        let arity = rng.range(1, max_arity.max(1));
+        if let Some(ind) = random_ind(rng, schema, arity) {
+            out.push(ind);
+        }
+    }
+    out
+}
+
+/// Generate a random mixed set of FDs and INDs.
+pub fn random_mixed_set(
+    rng: &mut Rng,
+    schema: &DatabaseSchema,
+    fds: usize,
+    inds: usize,
+) -> Vec<Dependency> {
+    let mut out: Vec<Dependency> = Vec::with_capacity(fds + inds);
+    let mut guard = 0;
+    while out.iter().filter(|d| d.as_fd().is_some()).count() < fds && guard < fds * 20 {
+        guard += 1;
+        if let Some(fd) = random_fd(rng, schema, 1, 1) {
+            out.push(fd.into());
+        }
+    }
+    guard = 0;
+    while out.iter().filter(|d| d.as_ind().is_some()).count() < inds && guard < inds * 20 {
+        guard += 1;
+        let arity = rng.range(1, 2);
+        if let Some(ind) = random_ind(rng, schema, arity) {
+            out.push(ind.into());
+        }
+    }
+    out
+}
+
+/// Generate a random database over `schema` with up to `max_tuples` tuples
+/// per relation and integer entries in `0..domain`.
+pub fn random_database(
+    rng: &mut Rng,
+    schema: &DatabaseSchema,
+    max_tuples: usize,
+    domain: i64,
+) -> Database {
+    let mut db = Database::empty(schema.clone());
+    for scheme in schema.schemes() {
+        let n = rng.below(max_tuples + 1);
+        for _ in 0..n {
+            let t = Tuple::new(
+                (0..scheme.arity())
+                    .map(|_| Value::Int(rng.below(domain as usize) as i64))
+                    .collect(),
+            );
+            db.insert(scheme.name(), t).expect("arity correct");
+        }
+    }
+    db
+}
+
+/// Enumerate all databases over `schema` whose relations contain at most
+/// `max_tuples` tuples with entries drawn from `0..domain`, invoking `f` on
+/// each; stops early when `f` returns `false`.
+///
+/// This is the exhaustive small-model search used as a refutation oracle:
+/// exponential, so keep `schema`, `max_tuples`, and `domain` tiny.
+pub fn for_each_small_database(
+    schema: &DatabaseSchema,
+    max_tuples: usize,
+    domain: i64,
+    f: &mut dyn FnMut(&Database) -> bool,
+) -> bool {
+    // All candidate tuples per relation.
+    let candidate_sets: Vec<Vec<Tuple>> = schema
+        .schemes()
+        .iter()
+        .map(|s| all_tuples(s.arity(), domain))
+        .collect();
+    // Choose, per relation, a subset of candidates of size <= max_tuples.
+    let mut db = Database::empty(schema.clone());
+    rec(schema, &candidate_sets, max_tuples, 0, &mut db, f)
+}
+
+fn all_tuples(arity: usize, domain: i64) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let mut current = vec![0i64; arity];
+    loop {
+        out.push(Tuple::ints(&current));
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == arity {
+                return out;
+            }
+            current[k] += 1;
+            if current[k] < domain {
+                break;
+            }
+            current[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+fn rec(
+    schema: &DatabaseSchema,
+    candidates: &[Vec<Tuple>],
+    max_tuples: usize,
+    rel: usize,
+    db: &mut Database,
+    f: &mut dyn FnMut(&Database) -> bool,
+) -> bool {
+    if rel == schema.schemes().len() {
+        return f(db);
+    }
+    let name = schema.schemes()[rel].name().clone();
+    // Choose subsets by recursive inclusion with a size bound.
+    #[allow(clippy::too_many_arguments)]
+    fn subsets(
+        schema: &DatabaseSchema,
+        candidates: &[Vec<Tuple>],
+        max_tuples: usize,
+        rel: usize,
+        idx: usize,
+        used: usize,
+        name: &RelName,
+        db: &mut Database,
+        f: &mut dyn FnMut(&Database) -> bool,
+    ) -> bool {
+        if idx == candidates[rel].len() || used == max_tuples {
+            return rec(schema, candidates, max_tuples, rel + 1, db, f);
+        }
+        // Exclude candidate idx.
+        if !subsets(schema, candidates, max_tuples, rel, idx + 1, used, name, db, f) {
+            return false;
+        }
+        // Include candidate idx.
+        let t = candidates[rel][idx].clone();
+        db.insert(name, t.clone()).expect("arity matches");
+        let cont = subsets(
+            schema,
+            candidates,
+            max_tuples,
+            rel,
+            idx + 1,
+            used + 1,
+            name,
+            db,
+            f,
+        );
+        db.relation_mut(name)
+            .expect("relation exists")
+            .retain(|u| u != &t);
+        cont
+    }
+    subsets(schema, candidates, max_tuples, rel, 0, 0, &name, db, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct() {
+        let mut rng = Rng::new(7);
+        for _ in 0..50 {
+            let v = rng.distinct_indices(8, 5);
+            assert_eq!(v.len(), 5);
+            let mut s = v.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 5, "indices must be distinct: {v:?}");
+            assert!(v.iter().all(|&i| i < 8));
+        }
+    }
+
+    #[test]
+    fn generated_dependencies_are_well_formed() {
+        let mut rng = Rng::new(123);
+        let schema = random_schema(&mut rng, &SchemaConfig::default());
+        for _ in 0..100 {
+            if let Some(ind) = random_ind(&mut rng, &schema, 2) {
+                ind.is_well_formed(&schema).unwrap();
+            }
+            if let Some(fd) = random_fd(&mut rng, &schema, 1, 1) {
+                fd.is_well_formed(&schema).unwrap();
+            }
+            if let Some(rd) = random_rd(&mut rng, &schema) {
+                rd.is_well_formed(&schema).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_database_respects_schema() {
+        let mut rng = Rng::new(5);
+        let schema = random_schema(&mut rng, &SchemaConfig::default());
+        let db = random_database(&mut rng, &schema, 5, 3);
+        for r in db.relations() {
+            for t in r.tuples() {
+                assert_eq!(t.len(), r.scheme().arity());
+            }
+        }
+    }
+
+    #[test]
+    fn small_model_enumeration_counts() {
+        // One unary relation, domain 2, up to 2 tuples: subsets of {0, 1}
+        // of size <= 2: {}, {0}, {1}, {0,1} = 4 databases.
+        let schema = DatabaseSchema::parse(&["R(A)"]).unwrap();
+        let mut count = 0;
+        for_each_small_database(&schema, 2, 2, &mut |_db| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn small_model_enumeration_early_stop() {
+        let schema = DatabaseSchema::parse(&["R(A)"]).unwrap();
+        let mut count = 0;
+        let completed = for_each_small_database(&schema, 1, 3, &mut |_db| {
+            count += 1;
+            count < 2
+        });
+        assert!(!completed);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! # depkit-core — dependency terms and the relational model layer
+//!
+//! This crate implements the definitions of Section 2 of Casanova, Fagin &
+//! Papadimitriou, *Inclusion Dependencies and Their Interaction with
+//! Functional Dependencies* (PODS 1982 / JCSS 28(1), 1984), together with
+//! exact satisfaction checking and supporting machinery used by the rest of
+//! the `depkit` workspace.
+//!
+//! ## The model
+//!
+//! Following the paper, a *relation scheme* is a named finite **sequence** of
+//! attributes (not a set — sequences are essential so that functional and
+//! inclusion dependencies can be interrelated positionally), a *tuple* over a
+//! scheme is a sequence of values of the same length, and a *relation* is a
+//! set of tuples. A *database schema* is a finite set of relation schemes and
+//! a *database* assigns a relation to each scheme.
+//!
+//! ## Dependencies
+//!
+//! * [`Fd`] — functional dependency `R: X -> Y` with `X`, `Y` sequences of
+//!   distinct attributes of `R`.
+//! * [`Ind`] — inclusion dependency `R[X] ⊆ S[Y]` with `|X| = |Y|`.
+//! * [`Rd`] — repeating dependency `R[X = Y]` (Section 4 of the paper).
+//! * [`Emvd`] — embedded multivalued dependency `R: X ->> Y | Z`
+//!   (used by Theorem 5.3, the Sagiv–Walecka family).
+//!
+//! ## Infinite relations
+//!
+//! Theorem 4.4 of the paper separates finite from unrestricted implication by
+//! exhibiting *infinite* relations (Figures 4.1 and 4.2). The [`symbolic`]
+//! module provides affine-pattern relations — a decidable class of infinite
+//! relations closed under the reasoning the paper needs — so those witnesses
+//! can be represented and checked exactly.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use depkit_core::prelude::*;
+//!
+//! let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"]).unwrap();
+//! let ind: Dependency = "MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse().unwrap();
+//! assert!(ind.is_well_formed(&schema).is_ok());
+//!
+//! let mut db = Database::empty(schema);
+//! db.insert_str("EMP", &[&["hilbert", "math"], &["noether", "math"]]).unwrap();
+//! db.insert_str("MGR", &[&["hilbert", "math"]]).unwrap();
+//! assert!(db.satisfies(&ind).unwrap());
+//! ```
+
+pub mod attr;
+pub mod constraint;
+pub mod database;
+pub mod dependency;
+pub mod error;
+pub mod generate;
+pub mod parser;
+pub mod relation;
+pub mod satisfy;
+pub mod schema;
+pub mod symbolic;
+pub mod value;
+
+pub use attr::{Attr, AttrSeq};
+pub use constraint::ConstraintSet;
+pub use database::Database;
+pub use dependency::{Dependency, Emvd, Fd, Ind, Rd};
+pub use error::CoreError;
+pub use relation::{Relation, Tuple};
+pub use schema::{DatabaseSchema, RelName, RelationScheme};
+pub use value::Value;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::attr::{Attr, AttrSeq};
+    pub use crate::constraint::ConstraintSet;
+    pub use crate::database::Database;
+    pub use crate::dependency::{Dependency, Emvd, Fd, Ind, Rd};
+    pub use crate::error::CoreError;
+    pub use crate::relation::{Relation, Tuple};
+    pub use crate::satisfy::Violation;
+    pub use crate::schema::{DatabaseSchema, RelName, RelationScheme};
+    pub use crate::value::Value;
+}

@@ -1,0 +1,320 @@
+//! A small text syntax for schemas and dependencies.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! scheme     := NAME '(' attrlist ')'
+//! dependency := ind | fd | rd | emvd
+//! ind        := NAME '[' attrlist ']' ('<=' | '⊆') NAME '[' attrlist ']'
+//! fd         := NAME ':' attrlist? '->' attrlist
+//! rd         := NAME '[' attrlist '=' attrlist ']'
+//! emvd       := NAME ':' attrlist '->>' attrlist '|' attrlist
+//! attrlist   := NAME (',' NAME)*
+//! ```
+//!
+//! Examples: `MGR[NAME] <= EMP[NAME]`, `R: A, B -> C`, `R: -> C`
+//! (constant column), `R[A = B]`, `R: A ->> B | C`.
+
+use crate::attr::{Attr, AttrSeq};
+use crate::dependency::{Dependency, Emvd, Fd, Ind, Rd};
+use crate::error::CoreError;
+use crate::schema::RelationScheme;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Eq,
+    Pipe,
+    Arrow,       // ->
+    DoubleArrow, // ->>
+    Subseteq,    // <= or ⊆
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, CoreError> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let rest = &self.src[self.pos..];
+            let c = rest.chars().next().expect("non-empty remainder");
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+                continue;
+            }
+            let tok = if rest.starts_with("->>") {
+                self.pos += 3;
+                Tok::DoubleArrow
+            } else if rest.starts_with("->") {
+                self.pos += 2;
+                Tok::Arrow
+            } else if rest.starts_with("<=") {
+                self.pos += 2;
+                Tok::Subseteq
+            } else if rest.starts_with('⊆') {
+                self.pos += '⊆'.len_utf8();
+                Tok::Subseteq
+            } else if c.is_alphanumeric() || c == '_' {
+                let len = rest
+                    .char_indices()
+                    .take_while(|(_, ch)| ch.is_alphanumeric() || *ch == '_' || *ch == '\'')
+                    .last()
+                    .map(|(i, ch)| i + ch.len_utf8())
+                    .unwrap_or(0);
+                self.pos += len;
+                Tok::Name(rest[..len].to_owned())
+            } else {
+                self.pos += c.len_utf8();
+                match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '=' => Tok::Eq,
+                    '|' => Tok::Pipe,
+                    other => {
+                        return Err(CoreError::Parse {
+                            message: format!("unexpected character `{other}`"),
+                            offset: start,
+                        })
+                    }
+                }
+            };
+            out.push((tok, start));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, CoreError> {
+        let toks = Lexer::new(src).tokenize()?;
+        Ok(Parser {
+            toks,
+            idx: 0,
+            end: src.len(),
+        })
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.idx).map(|(_, o)| *o).unwrap_or(self.end)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), CoreError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn name(&mut self, what: &str) -> Result<String, CoreError> {
+        match self.next() {
+            Some(Tok::Name(n)) => Ok(n),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    /// Parse `NAME (',' NAME)*`; empty when the next token is not a name.
+    fn attrlist(&mut self) -> Result<AttrSeq, CoreError> {
+        let mut names: Vec<Attr> = Vec::new();
+        if matches!(self.peek(), Some(Tok::Name(_))) {
+            loop {
+                names.push(Attr::new(self.name("attribute name")?));
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        AttrSeq::new(names)
+    }
+
+    fn finish(&self) -> Result<(), CoreError> {
+        if self.idx < self.toks.len() {
+            Err(self.error("unexpected trailing input"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Parse a relation scheme declaration `R(A, B, C)`.
+pub fn parse_scheme(src: &str) -> Result<RelationScheme, CoreError> {
+    let mut p = Parser::new(src)?;
+    let rel = p.name("relation name")?;
+    p.expect(Tok::LParen, "`(`")?;
+    let attrs = p.attrlist()?;
+    p.expect(Tok::RParen, "`)`")?;
+    p.finish()?;
+    Ok(RelationScheme::new(rel.as_str(), attrs))
+}
+
+/// Parse a dependency in the syntax documented at module level.
+pub fn parse_dependency(src: &str) -> Result<Dependency, CoreError> {
+    let mut p = Parser::new(src)?;
+    let rel = p.name("relation name")?;
+    match p.next() {
+        Some(Tok::LBracket) => {
+            let lhs = p.attrlist()?;
+            match p.next() {
+                Some(Tok::Eq) => {
+                    // RD: R[X = Y]
+                    let rhs = p.attrlist()?;
+                    p.expect(Tok::RBracket, "`]`")?;
+                    p.finish()?;
+                    Ok(Rd::new(rel.as_str(), lhs, rhs)?.into())
+                }
+                Some(Tok::RBracket) => {
+                    // IND: R[X] <= S[Y]
+                    p.expect(Tok::Subseteq, "`<=`")?;
+                    let rhs_rel = p.name("relation name")?;
+                    p.expect(Tok::LBracket, "`[`")?;
+                    let rhs = p.attrlist()?;
+                    p.expect(Tok::RBracket, "`]`")?;
+                    p.finish()?;
+                    Ok(Ind::new(rel.as_str(), lhs, rhs_rel.as_str(), rhs)?.into())
+                }
+                _ => Err(p.error("expected `]` or `=`")),
+            }
+        }
+        Some(Tok::Colon) => {
+            let lhs = p.attrlist()?;
+            match p.next() {
+                Some(Tok::Arrow) => {
+                    let rhs = p.attrlist()?;
+                    p.finish()?;
+                    Ok(Fd::new(rel.as_str(), lhs, rhs).into())
+                }
+                Some(Tok::DoubleArrow) => {
+                    let y = p.attrlist()?;
+                    p.expect(Tok::Pipe, "`|`")?;
+                    let z = p.attrlist()?;
+                    p.finish()?;
+                    Ok(Emvd::new(rel.as_str(), lhs, y, z)?.into())
+                }
+                _ => Err(p.error("expected `->` or `->>`")),
+            }
+        }
+        _ => Err(p.error("expected `[` (IND/RD) or `:` (FD/EMVD)")),
+    }
+}
+
+/// Parse several dependencies at once (test convenience).
+pub fn parse_dependencies<S: AsRef<str>>(srcs: &[S]) -> Result<Vec<Dependency>, CoreError> {
+    srcs.iter().map(|s| parse_dependency(s.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scheme_basic() {
+        let s = parse_scheme("R(A, B, C)").unwrap();
+        assert_eq!(s.to_string(), "R(A, B, C)");
+        assert!(parse_scheme("R(A, A)").is_err());
+        assert!(parse_scheme("R(A").is_err());
+        assert!(parse_scheme("R(A) extra").is_err());
+    }
+
+    #[test]
+    fn parse_ind() {
+        let d = parse_dependency("MGR[NAME, DEPT] <= EMP[NAME, DEPT]").unwrap();
+        assert_eq!(d.to_string(), "MGR[NAME, DEPT] <= EMP[NAME, DEPT]");
+        let d2 = parse_dependency("R[A] ⊆ S[B]").unwrap();
+        assert_eq!(d2.to_string(), "R[A] <= S[B]");
+        assert!(parse_dependency("R[A, B] <= S[C]").is_err());
+    }
+
+    #[test]
+    fn parse_fd() {
+        let d = parse_dependency("R: A, B -> C").unwrap();
+        assert_eq!(d.to_string(), "R: A, B -> C");
+        // Empty LHS.
+        let d2 = parse_dependency("R: -> C").unwrap();
+        match &d2 {
+            Dependency::Fd(fd) => assert!(fd.lhs.is_empty()),
+            _ => panic!("expected FD"),
+        }
+    }
+
+    #[test]
+    fn parse_rd() {
+        let d = parse_dependency("R[A, B = C, D]").unwrap();
+        assert_eq!(d.to_string(), "R[A, B = C, D]");
+        assert!(parse_dependency("R[A = C, D]").is_err());
+    }
+
+    #[test]
+    fn parse_emvd() {
+        let d = parse_dependency("R: A ->> B | C").unwrap();
+        assert_eq!(d.to_string(), "R: A ->> B | C");
+        assert!(parse_dependency("R: A ->> B | B").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "R[A, B] <= S[C, D]",
+            "R: A -> B",
+            "R: A, B -> C, D",
+            "R[A = B]",
+            "R: A ->> B | C",
+        ] {
+            let d = parse_dependency(src).unwrap();
+            let d2 = parse_dependency(&d.to_string()).unwrap();
+            assert_eq!(d, d2, "roundtrip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        match parse_dependency("R[A] ** S[B]") {
+            Err(CoreError::Parse { offset, .. }) => assert_eq!(offset, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Tuples and relations.
+
+use crate::error::CoreError;
+use crate::schema::RelationScheme;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple: a fixed-length sequence of values.
+///
+/// The paper treats tuples as sequences (not attribute maps); positions are
+/// interpreted relative to a relation scheme's attribute sequence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// Create a tuple of integers.
+    pub fn ints(values: &[i64]) -> Self {
+        Tuple(values.iter().map(|&i| Value::Int(i)).collect())
+    }
+
+    /// Create a tuple of strings.
+    pub fn strs<S: AsRef<str>>(values: &[S]) -> Self {
+        Tuple(values.iter().map(|s| Value::str(s.as_ref())).collect())
+    }
+
+    /// The tuple's entries.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tuple has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `t[X]` — the projection of this tuple onto the given column indices
+    /// (the paper's `t[X]` where `X` is resolved to positions).
+    pub fn project(&self, columns: &[usize]) -> Vec<Value> {
+        columns.iter().map(|&c| self.0[c].clone()).collect()
+    }
+
+    /// Entry at a single column.
+    pub fn at(&self, column: usize) -> &Value {
+        &self.0[column]
+    }
+
+    /// Replace the entry at `column`, returning a new tuple.
+    pub fn with(&self, column: usize, value: Value) -> Tuple {
+        let mut v: Vec<Value> = self.0.to_vec();
+        v[column] = value;
+        Tuple::new(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A relation: a set of tuples over a relation scheme.
+///
+/// Tuples are stored in a `BTreeSet` so iteration order is deterministic,
+/// which keeps the chase, the generators, and test output reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    scheme: RelationScheme,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation over `scheme`.
+    pub fn empty(scheme: RelationScheme) -> Self {
+        Relation {
+            scheme,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Create a relation from tuples, verifying arities.
+    pub fn from_tuples(
+        scheme: RelationScheme,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, CoreError> {
+        let mut r = Relation::empty(scheme);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation's scheme.
+    pub fn scheme(&self) -> &RelationScheme {
+        &self.scheme
+    }
+
+    /// Insert a tuple, verifying its arity. Returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, CoreError> {
+        if t.len() != self.scheme.arity() {
+            return Err(CoreError::TupleArity {
+                relation: self.scheme.name().name().to_owned(),
+                expected: self.scheme.arity(),
+                actual: t.len(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Whether the relation contains `t`.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over tuples in deterministic order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// `r[X]` — the set of projections of all tuples onto the given columns.
+    pub fn project(&self, columns: &[usize]) -> BTreeSet<Vec<Value>> {
+        self.tuples.iter().map(|t| t.project(columns)).collect()
+    }
+
+    /// Remove all tuples for which `keep` returns `false`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) {
+        self.tuples.retain(|t| keep(t));
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.scheme)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    fn scheme_ab() -> RelationScheme {
+        RelationScheme::new("R", attrs(&["A", "B"]))
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::empty(scheme_ab());
+        assert!(r.insert(Tuple::ints(&[1, 2])).unwrap());
+        assert!(r.insert(Tuple::ints(&[1, 2, 3])).is_err());
+        // duplicate insert is a no-op
+        assert!(!r.insert(Tuple::ints(&[1, 2])).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn projection_is_a_set() {
+        let r = Relation::from_tuples(
+            scheme_ab(),
+            vec![Tuple::ints(&[1, 2]), Tuple::ints(&[1, 3]), Tuple::ints(&[4, 2])],
+        )
+        .unwrap();
+        // Projecting onto A collapses duplicates: {1, 1, 4} -> {1, 4}.
+        assert_eq!(r.project(&[0]).len(), 2);
+        assert_eq!(r.project(&[1]).len(), 2);
+        assert_eq!(r.project(&[0, 1]).len(), 3);
+        // Column order matters in projections.
+        let ba = r.project(&[1, 0]);
+        assert!(ba.contains(&vec![Value::Int(2), Value::Int(1)]));
+    }
+
+    #[test]
+    fn tuple_projection_order() {
+        let t = Tuple::ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), vec![Value::Int(30), Value::Int(10)]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Satisfaction checking with violation witnesses.
+//!
+//! Semantics follow Section 2 of the paper exactly:
+//!
+//! * `r` obeys `R: X -> Y` iff any two tuples agreeing on `X` agree on `Y`.
+//! * `d` obeys `R[X] ⊆ S[Y]` iff `r[X] ⊆ s[Y]` as sets of value sequences.
+//! * `r` obeys `R[X = Y]` iff every tuple has `t[X] = t[Y]`.
+//! * `r` obeys `R: X ->> Y | Z` iff whenever `t1[X] = t2[X]` there is `t3`
+//!   with `t3[XY] = t1[XY]` and `t3[XZ] = t2[XZ]`.
+
+use crate::database::Database;
+use crate::dependency::{Dependency, Emvd, Fd, Ind, Rd};
+use crate::error::CoreError;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A witness that a dependency fails in a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two tuples agree on the FD's left-hand side but not its right-hand
+    /// side.
+    Fd {
+        /// The violated dependency.
+        fd: Fd,
+        /// First offending tuple.
+        t1: Tuple,
+        /// Second offending tuple.
+        t2: Tuple,
+    },
+    /// A projected tuple on the IND's left side is missing from the right
+    /// side.
+    Ind {
+        /// The violated dependency.
+        ind: Ind,
+        /// The left-side tuple whose projection is not covered.
+        witness: Tuple,
+        /// Its projection (what was missing on the right).
+        missing: Vec<Value>,
+    },
+    /// A tuple whose `X` and `Y` projections differ.
+    Rd {
+        /// The violated dependency.
+        rd: Rd,
+        /// The offending tuple.
+        witness: Tuple,
+    },
+    /// Tuples `t1`, `t2` agree on `X` but no tuple recombines them.
+    Emvd {
+        /// The violated dependency.
+        emvd: Emvd,
+        /// First tuple.
+        t1: Tuple,
+        /// Second tuple.
+        t2: Tuple,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Fd { fd, t1, t2 } => {
+                write!(f, "FD {fd} violated by tuples {t1} and {t2}")
+            }
+            Violation::Ind { ind, witness, .. } => {
+                write!(f, "IND {ind} violated: projection of {witness} missing on the right")
+            }
+            Violation::Rd { rd, witness } => write!(f, "RD {rd} violated by tuple {witness}"),
+            Violation::Emvd { emvd, t1, t2 } => {
+                write!(f, "EMVD {emvd} violated by tuples {t1} and {t2}")
+            }
+        }
+    }
+}
+
+/// Check a dependency against a database, returning `None` when satisfied
+/// and a [`Violation`] witness otherwise. Errors when the dependency is not
+/// well formed for the database's schema.
+pub fn check(db: &Database, dep: &Dependency) -> Result<Option<Violation>, CoreError> {
+    match dep {
+        Dependency::Fd(fd) => check_fd(db.relation(&fd.rel)?, fd),
+        Dependency::Ind(ind) => check_ind(db, ind),
+        Dependency::Rd(rd) => check_rd(db.relation(&rd.rel)?, rd),
+        Dependency::Emvd(e) => check_emvd(db.relation(&e.rel)?, e),
+    }
+}
+
+/// Check an FD against a relation.
+pub fn check_fd(r: &Relation, fd: &Fd) -> Result<Option<Violation>, CoreError> {
+    let lhs_cols = r.scheme().columns(&fd.lhs)?;
+    let rhs_cols = r.scheme().columns(&fd.rhs)?;
+    // Map each LHS projection to (representative tuple, RHS projection).
+    let mut seen: HashMap<Vec<Value>, (&Tuple, Vec<Value>)> = HashMap::with_capacity(r.len());
+    for t in r.tuples() {
+        let key = t.project(&lhs_cols);
+        let val = t.project(&rhs_cols);
+        match seen.get(&key) {
+            Some((rep, rep_val)) => {
+                if *rep_val != val {
+                    return Ok(Some(Violation::Fd {
+                        fd: fd.clone(),
+                        t1: (*rep).clone(),
+                        t2: t.clone(),
+                    }));
+                }
+            }
+            None => {
+                seen.insert(key, (t, val));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Check an IND against a database.
+pub fn check_ind(db: &Database, ind: &Ind) -> Result<Option<Violation>, CoreError> {
+    let left = db.relation(&ind.lhs_rel)?;
+    let right = db.relation(&ind.rhs_rel)?;
+    let lcols = left.scheme().columns(&ind.lhs_attrs)?;
+    let rcols = right.scheme().columns(&ind.rhs_attrs)?;
+    let rhs_proj: HashSet<Vec<Value>> = right.tuples().map(|t| t.project(&rcols)).collect();
+    for t in left.tuples() {
+        let p = t.project(&lcols);
+        if !rhs_proj.contains(&p) {
+            return Ok(Some(Violation::Ind {
+                ind: ind.clone(),
+                witness: t.clone(),
+                missing: p,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Check an RD against a relation.
+pub fn check_rd(r: &Relation, rd: &Rd) -> Result<Option<Violation>, CoreError> {
+    let lcols = r.scheme().columns(&rd.lhs)?;
+    let rcols = r.scheme().columns(&rd.rhs)?;
+    for t in r.tuples() {
+        if t.project(&lcols) != t.project(&rcols) {
+            return Ok(Some(Violation::Rd {
+                rd: rd.clone(),
+                witness: t.clone(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Check an EMVD against a relation.
+///
+/// Within each group of tuples sharing an `X` projection, the set of
+/// `(Y, Z)` projection pairs must be the full cross product of the observed
+/// `Y` projections and `Z` projections.
+pub fn check_emvd(r: &Relation, e: &Emvd) -> Result<Option<Violation>, CoreError> {
+    let xc = r.scheme().columns(&e.x)?;
+    let yc = r.scheme().columns(&e.y)?;
+    let zc = r.scheme().columns(&e.z)?;
+
+    let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for t in r.tuples() {
+        groups.entry(t.project(&xc)).or_default().push(t);
+    }
+    for group in groups.values() {
+        let yz: HashSet<(Vec<Value>, Vec<Value>)> = group
+            .iter()
+            .map(|t| (t.project(&yc), t.project(&zc)))
+            .collect();
+        for t1 in group {
+            for t2 in group {
+                let need = (t1.project(&yc), t2.project(&zc));
+                if !yz.contains(&need) {
+                    return Ok(Some(Violation::Emvd {
+                        emvd: e.clone(),
+                        t1: (*t1).clone(),
+                        t2: (*t2).clone(),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{attrs, AttrSeq};
+    use crate::schema::DatabaseSchema;
+
+    fn db_r_ab(rows: &[&[i64]]) -> Database {
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", rows).unwrap();
+        db
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let fd: Dependency = Fd::new("R", attrs(&["A"]), attrs(&["B"])).into();
+        assert!(db_r_ab(&[&[1, 2], &[2, 2]]).satisfies(&fd).unwrap());
+        assert!(!db_r_ab(&[&[1, 2], &[1, 3]]).satisfies(&fd).unwrap());
+    }
+
+    #[test]
+    fn fd_violation_witness() {
+        let fd = Fd::new("R", attrs(&["A"]), attrs(&["B"]));
+        let db = db_r_ab(&[&[1, 2], &[1, 3]]);
+        match db.check(&fd.clone().into()).unwrap() {
+            Some(Violation::Fd { t1, t2, .. }) => {
+                assert_eq!(t1.at(0), t2.at(0));
+                assert_ne!(t1.at(1), t2.at(1));
+            }
+            other => panic!("expected FD violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fd_empty_lhs_means_constant() {
+        let fd: Dependency = Fd::new("R", AttrSeq::empty(), attrs(&["B"])).into();
+        assert!(db_r_ab(&[&[1, 5], &[2, 5]]).satisfies(&fd).unwrap());
+        assert!(!db_r_ab(&[&[1, 5], &[2, 6]]).satisfies(&fd).unwrap());
+        // Empty relation satisfies it vacuously.
+        assert!(db_r_ab(&[]).satisfies(&fd).unwrap());
+    }
+
+    #[test]
+    fn ind_satisfaction_and_witness() {
+        let schema = DatabaseSchema::parse(&["MGR(N, D)", "EMP(N, D)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_str("EMP", &[&["h", "math"], &["n", "math"]]).unwrap();
+        db.insert_str("MGR", &[&["h", "math"]]).unwrap();
+        let ind: Dependency = "MGR[N, D] <= EMP[N, D]".parse().unwrap();
+        assert!(db.satisfies(&ind).unwrap());
+
+        db.insert_str("MGR", &[&["x", "cs"]]).unwrap();
+        match db.check(&ind).unwrap() {
+            Some(Violation::Ind { missing, .. }) => {
+                assert_eq!(missing, vec![Value::str("x"), Value::str("cs")]);
+            }
+            other => panic!("expected IND violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ind_respects_attribute_order() {
+        // R[A,B] <= R[B,A] is satisfied only when the projection sets match
+        // under the swap.
+        let ind: Dependency = "R[A, B] <= R[B, A]".parse().unwrap();
+        // {(1,2)}: lhs projection {(1,2)}, rhs (swapped) {(2,1)} -- violated.
+        assert!(!db_r_ab(&[&[1, 2]]).satisfies(&ind).unwrap());
+        // {(1,2),(2,1)}: swapped set equals original -- satisfied.
+        assert!(db_r_ab(&[&[1, 2], &[2, 1]]).satisfies(&ind).unwrap());
+        // Diagonal tuples are self-covering.
+        assert!(db_r_ab(&[&[3, 3]]).satisfies(&ind).unwrap());
+    }
+
+    #[test]
+    fn rd_satisfaction() {
+        let rd: Dependency = Rd::new("R", attrs(&["A"]), attrs(&["B"])).unwrap().into();
+        assert!(db_r_ab(&[&[1, 1], &[2, 2]]).satisfies(&rd).unwrap());
+        assert!(!db_r_ab(&[&[1, 1], &[2, 3]]).satisfies(&rd).unwrap());
+    }
+
+    #[test]
+    fn emvd_satisfaction() {
+        // R(A, B, C), EMVD A ->> B | C.
+        let schema = DatabaseSchema::parse(&["R(A, B, C)"]).unwrap();
+        let e: Dependency = Emvd::new("R", attrs(&["A"]), attrs(&["B"]), attrs(&["C"]))
+            .unwrap()
+            .into();
+
+        let mut db = Database::empty(schema.clone());
+        // Group a=1 has (b,c) pairs {(1,1),(2,2)}; recombination (1,2) missing.
+        db.insert_ints("R", &[&[1, 1, 1], &[1, 2, 2]]).unwrap();
+        assert!(!db.satisfies(&e).unwrap());
+
+        let mut db2 = Database::empty(schema);
+        // Full cross product {1,2} x {1,2} present.
+        db2.insert_ints("R", &[&[1, 1, 1], &[1, 1, 2], &[1, 2, 1], &[1, 2, 2]])
+            .unwrap();
+        assert!(db2.satisfies(&e).unwrap());
+    }
+
+    #[test]
+    fn trivial_dependencies_always_hold() {
+        let db = db_r_ab(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let trivial_fd: Dependency = Fd::new("R", attrs(&["A", "B"]), attrs(&["A"])).into();
+        let trivial_ind: Dependency = "R[A, B] <= R[A, B]".parse().unwrap();
+        let trivial_rd: Dependency = Rd::new("R", attrs(&["A"]), attrs(&["A"])).unwrap().into();
+        assert!(db.satisfies(&trivial_fd).unwrap());
+        assert!(db.satisfies(&trivial_ind).unwrap());
+        assert!(db.satisfies(&trivial_rd).unwrap());
+    }
+}

@@ -1,0 +1,206 @@
+//! Relation schemes and database schemas (paper, Section 2).
+
+use crate::attr::{Attr, AttrSeq};
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RelName(Arc<str>);
+
+impl RelName {
+    /// Create a relation name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        RelName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+/// A relation scheme `R[A_1, ..., A_m]`: a name together with a sequence of
+/// distinct attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationScheme {
+    name: RelName,
+    attrs: AttrSeq,
+}
+
+impl RelationScheme {
+    /// Create a relation scheme.
+    pub fn new(name: impl Into<RelName>, attrs: AttrSeq) -> Self {
+        RelationScheme {
+            name: name.into(),
+            attrs,
+        }
+    }
+
+    /// Create a relation scheme from attribute names.
+    pub fn from_names<S: AsRef<str>>(name: &str, attr_names: &[S]) -> Result<Self, CoreError> {
+        Ok(RelationScheme::new(name, AttrSeq::from_names(attr_names)?))
+    }
+
+    /// The scheme's name.
+    pub fn name(&self) -> &RelName {
+        &self.name
+    }
+
+    /// The scheme's attribute sequence.
+    pub fn attrs(&self) -> &AttrSeq {
+        &self.attrs
+    }
+
+    /// Number of attributes (the scheme's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Column index of `attr`, if it belongs to this scheme.
+    pub fn column(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.position(attr)
+    }
+
+    /// Column indices of all attributes in `seq`; errors if any attribute is
+    /// not part of this scheme.
+    pub fn columns(&self, seq: &AttrSeq) -> Result<Vec<usize>, CoreError> {
+        seq.attrs()
+            .iter()
+            .map(|a| {
+                self.column(a).ok_or_else(|| CoreError::UnknownAttribute {
+                    relation: self.name.name().to_owned(),
+                    attribute: a.name().to_owned(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RelationScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs)
+    }
+}
+
+/// A database schema `D = {R_1[U_1], ..., R_n[U_n]}`: a finite set of
+/// relation schemes with distinct names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseSchema {
+    schemes: Vec<RelationScheme>,
+    #[serde(skip)]
+    index: HashMap<RelName, usize>,
+}
+
+impl DatabaseSchema {
+    /// Create a schema from relation schemes, checking name uniqueness.
+    pub fn new(schemes: Vec<RelationScheme>) -> Result<Self, CoreError> {
+        let mut index = HashMap::with_capacity(schemes.len());
+        for (i, s) in schemes.iter().enumerate() {
+            if index.insert(s.name().clone(), i).is_some() {
+                return Err(CoreError::DuplicateRelation(s.name().name().to_owned()));
+            }
+        }
+        Ok(DatabaseSchema { schemes, index })
+    }
+
+    /// Parse a schema from declarations of the form `"R(A, B, C)"`.
+    ///
+    /// ```
+    /// use depkit_core::DatabaseSchema;
+    /// let s = DatabaseSchema::parse(&["R(A, B)", "S(C)"]).unwrap();
+    /// assert_eq!(s.schemes().len(), 2);
+    /// ```
+    pub fn parse<S: AsRef<str>>(decls: &[S]) -> Result<Self, CoreError> {
+        let schemes = decls
+            .iter()
+            .map(|d| crate::parser::parse_scheme(d.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        DatabaseSchema::new(schemes)
+    }
+
+    /// All relation schemes, in declaration order.
+    pub fn schemes(&self) -> &[RelationScheme] {
+        &self.schemes
+    }
+
+    /// Look up a scheme by name.
+    pub fn scheme(&self, name: &RelName) -> Option<&RelationScheme> {
+        self.index.get(name).map(|&i| &self.schemes[i])
+    }
+
+    /// Look up a scheme by name, erroring when absent.
+    pub fn require(&self, name: &RelName) -> Result<&RelationScheme, CoreError> {
+        self.scheme(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))
+    }
+
+    /// Index of a scheme in declaration order.
+    pub fn scheme_index(&self, name: &RelName) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The largest arity among the schemes.
+    pub fn max_arity(&self) -> usize {
+        self.schemes.iter().map(|s| s.arity()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for DatabaseSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    #[test]
+    fn schema_rejects_duplicate_names() {
+        let r1 = RelationScheme::new("R", attrs(&["A"]));
+        let r2 = RelationScheme::new("R", attrs(&["B"]));
+        assert!(DatabaseSchema::new(vec![r1, r2]).is_err());
+    }
+
+    #[test]
+    fn scheme_lookup() {
+        let s = DatabaseSchema::parse(&["R(A, B)", "S(C, D, E)"]).unwrap();
+        let r = s.scheme(&RelName::new("R")).unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.column(&Attr::new("B")), Some(1));
+        assert!(s.scheme(&RelName::new("T")).is_none());
+        assert_eq!(s.max_arity(), 3);
+    }
+
+    #[test]
+    fn columns_of_sequence() {
+        let s = DatabaseSchema::parse(&["R(A, B, C)"]).unwrap();
+        let r = s.require(&RelName::new("R")).unwrap();
+        assert_eq!(r.columns(&attrs(&["C", "A"])).unwrap(), vec![2, 0]);
+        assert!(r.columns(&attrs(&["Z"])).is_err());
+    }
+}

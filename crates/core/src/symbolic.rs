@@ -1,0 +1,1075 @@
+//! Affine-pattern infinite relations with exact dependency checking.
+//!
+//! Theorem 4.4 of the paper separates finite implication from unrestricted
+//! implication for FDs and INDs taken together, by exhibiting **infinite**
+//! relations: Figure 4.1 is `{(i+1, i) : i ≥ 0}` and Figure 4.2 is
+//! `{(1, 1)} ∪ {(i+1, i) : i ≥ 1}`. Such witnesses cannot be materialized,
+//! but they *can* be represented symbolically and checked exactly.
+//!
+//! A [`Pattern`] denotes the set of integer tuples
+//! `{(a_1·i + b_1, ..., a_m·i + b_m) : i ∈ ℕ}` for per-column
+//! [`LinearTerm`]s `a_k·i + b_k`. A [`SymbolicRelation`] is a finite union
+//! of patterns (a constant tuple is a pattern with all slopes zero), and a
+//! [`SymbolicDatabase`] assigns one to each relation scheme.
+//!
+//! Satisfaction of FDs, INDs, and RDs over these infinite relations is
+//! **decidable**, by linear Diophantine reasoning:
+//!
+//! * two tuples drawn from patterns `p(i)` and `q(j)` agree on a column set
+//!   iff `(i, j)` solves a system of two-variable linear Diophantine
+//!   equations, whose solution set is empty, a point, a line, or the whole
+//!   plane ([`DioSet`]);
+//! * an IND `R[X] ⊆ S[Y]` reduces to covering `ℕ` by finitely many
+//!   arithmetic progressions of matched parameters, which is decidable
+//!   because coverage is eventually periodic with period `lcm` of the steps.
+//!
+//! The `lcm` is capped; inputs exceeding the cap return
+//! [`CoreError::SymbolicTooComplex`] rather than an unsound answer. EMVDs
+//! over infinite relations are not supported (the paper never needs them).
+
+use crate::database::Database;
+use crate::dependency::{Dependency, Fd, Ind, Rd};
+use crate::error::CoreError;
+use crate::relation::Tuple;
+use crate::schema::{DatabaseSchema, RelName};
+use crate::value::Value;
+use std::fmt;
+
+/// Cap on the lcm of arithmetic-progression steps in IND coverage checks.
+const LCM_CAP: i128 = 1 << 22;
+
+/// A per-column affine term `slope·i + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinearTerm {
+    /// Coefficient of the pattern parameter `i`.
+    pub slope: i64,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl LinearTerm {
+    /// A constant term.
+    pub const fn constant(c: i64) -> Self {
+        LinearTerm { slope: 0, offset: c }
+    }
+
+    /// The term `slope·i + offset`.
+    pub const fn new(slope: i64, offset: i64) -> Self {
+        LinearTerm { slope, offset }
+    }
+
+    fn eval(&self, i: i128) -> i128 {
+        self.slope as i128 * i + self.offset as i128
+    }
+}
+
+impl fmt::Display for LinearTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.slope, self.offset) {
+            (0, b) => write!(f, "{b}"),
+            (1, 0) => write!(f, "i"),
+            (a, 0) => write!(f, "{a}i"),
+            (1, b) if b > 0 => write!(f, "i+{b}"),
+            (1, b) => write!(f, "i{b}"),
+            (a, b) if b > 0 => write!(f, "{a}i+{b}"),
+            (a, b) => write!(f, "{a}i{b}"),
+        }
+    }
+}
+
+/// One affine family of tuples, `i ↦ (a_1·i+b_1, ..., a_m·i+b_m)`, `i ∈ ℕ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern(Vec<LinearTerm>);
+
+impl Pattern {
+    /// Create a pattern from per-column terms.
+    pub fn new(terms: Vec<LinearTerm>) -> Self {
+        Pattern(terms)
+    }
+
+    /// A constant pattern (a single concrete tuple).
+    pub fn constant(values: &[i64]) -> Self {
+        Pattern(values.iter().map(|&v| LinearTerm::constant(v)).collect())
+    }
+
+    /// Shorthand: build from `(slope, offset)` pairs.
+    pub fn from_pairs(pairs: &[(i64, i64)]) -> Self {
+        Pattern(
+            pairs
+                .iter()
+                .map(|&(a, b)| LinearTerm::new(a, b))
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The per-column terms.
+    pub fn terms(&self) -> &[LinearTerm] {
+        &self.0
+    }
+
+    /// Whether every column is constant (the pattern denotes one tuple).
+    pub fn is_constant(&self) -> bool {
+        self.0.iter().all(|t| t.slope == 0)
+    }
+
+    /// The concrete tuple at parameter `i`.
+    pub fn tuple_at(&self, i: u64) -> Tuple {
+        Tuple::new(
+            self.0
+                .iter()
+                .map(|t| Value::Int(t.eval(i as i128) as i64))
+                .collect(),
+        )
+    }
+
+    /// The pattern restricted to the given columns.
+    pub fn project(&self, cols: &[usize]) -> Pattern {
+        Pattern(cols.iter().map(|&c| self.0[c]).collect())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (k, t) in self.0.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-variable linear Diophantine solution sets
+// ---------------------------------------------------------------------------
+
+/// Solution set of a system of equations `a_k·i − c_k·j = e_k` over `ℤ²`.
+///
+/// Every such system's solution set is empty, a single point, a line
+/// (1-parameter family), or all of `ℤ²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DioSet {
+    /// No solutions.
+    Empty,
+    /// Exactly one solution.
+    Point(i128, i128),
+    /// `(i, j) = (i0 + di·t, j0 + dj·t)` for `t ∈ ℤ`.
+    Line {
+        /// Base point, `i` coordinate.
+        i0: i128,
+        /// Base point, `j` coordinate.
+        j0: i128,
+        /// Step in `i` per unit `t`.
+        di: i128,
+        /// Step in `j` per unit `t`.
+        dj: i128,
+    },
+    /// All of `ℤ²`.
+    Full,
+}
+
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a.abs(), if a >= 0 { 1 } else { -1 }, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a.rem_euclid(b));
+        (g, y, x - (a.div_euclid(b)) * y)
+    }
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    a.div_euclid(b)
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    -((-a).div_euclid(b))
+}
+
+impl DioSet {
+    /// Intersect this solution set with the equation `a·i − c·j = e`.
+    pub fn intersect(self, a: i128, c: i128, e: i128) -> DioSet {
+        match self {
+            DioSet::Empty => DioSet::Empty,
+            DioSet::Point(i, j) => {
+                if a * i - c * j == e {
+                    DioSet::Point(i, j)
+                } else {
+                    DioSet::Empty
+                }
+            }
+            DioSet::Full => {
+                if a == 0 && c == 0 {
+                    if e == 0 {
+                        DioSet::Full
+                    } else {
+                        DioSet::Empty
+                    }
+                } else if a == 0 {
+                    // −c·j = e: j fixed, i free.
+                    if e % c == 0 {
+                        DioSet::Line {
+                            i0: 0,
+                            j0: -e / c,
+                            di: 1,
+                            dj: 0,
+                        }
+                    } else {
+                        DioSet::Empty
+                    }
+                } else if c == 0 {
+                    if e % a == 0 {
+                        DioSet::Line {
+                            i0: e / a,
+                            j0: 0,
+                            di: 0,
+                            dj: 1,
+                        }
+                    } else {
+                        DioSet::Empty
+                    }
+                } else {
+                    // a·i − c·j = e, both nonzero.
+                    let (g, x, y) = ext_gcd(a, -c);
+                    if e % g != 0 {
+                        return DioSet::Empty;
+                    }
+                    let k = e / g;
+                    DioSet::Line {
+                        i0: x * k,
+                        j0: y * k,
+                        di: c / g,
+                        dj: a / g,
+                    }
+                }
+            }
+            DioSet::Line { i0, j0, di, dj } => {
+                // Substitute the parametrization into the new equation:
+                // (a·di − c·dj)·t = e − a·i0 + c·j0.
+                let coef = a * di - c * dj;
+                let rhs = e - a * i0 + c * j0;
+                if coef == 0 {
+                    if rhs == 0 {
+                        self
+                    } else {
+                        DioSet::Empty
+                    }
+                } else if rhs % coef == 0 {
+                    let t = rhs / coef;
+                    DioSet::Point(i0 + di * t, j0 + dj * t)
+                } else {
+                    DioSet::Empty
+                }
+            }
+        }
+    }
+
+    /// Solve the full matching system for two patterns restricted to the
+    /// given columns: `p(i)[cols_p] = q(j)[cols_q]` componentwise.
+    pub fn match_columns(p: &Pattern, cols_p: &[usize], q: &Pattern, cols_q: &[usize]) -> DioSet {
+        let mut s = DioSet::Full;
+        for (&cp, &cq) in cols_p.iter().zip(cols_q) {
+            let tp = p.terms()[cp];
+            let tq = q.terms()[cq];
+            // tp.slope·i + tp.offset = tq.slope·j + tq.offset
+            s = s.intersect(
+                tp.slope as i128,
+                tq.slope as i128,
+                tq.offset as i128 - tp.offset as i128,
+            );
+            if s == DioSet::Empty {
+                return s;
+            }
+        }
+        s
+    }
+}
+
+/// An inclusive range of the line parameter `t`, possibly unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TRange {
+    lo: Option<i128>,
+    hi: Option<i128>,
+}
+
+impl TRange {
+    const ALL: TRange = TRange { lo: None, hi: None };
+    const EMPTY: TRange = TRange {
+        lo: Some(1),
+        hi: Some(0),
+    };
+
+    fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// Constrain `base + step·t ≥ 0`.
+    fn constrain_nonneg(self, base: i128, step: i128) -> TRange {
+        if self.is_empty() {
+            return TRange::EMPTY;
+        }
+        if step == 0 {
+            return if base >= 0 { self } else { TRange::EMPTY };
+        }
+        let (mut lo, mut hi) = (self.lo, self.hi);
+        if step > 0 {
+            // t ≥ ceil(−base / step)
+            let bound = ceil_div(-base, step);
+            lo = Some(lo.map_or(bound, |l| l.max(bound)));
+        } else {
+            // t ≤ floor(−base / step) = floor(base / −step)
+            let bound = floor_div(base, -step);
+            hi = Some(hi.map_or(bound, |h| h.min(bound)));
+        }
+        let r = TRange { lo, hi };
+        if r.is_empty() {
+            TRange::EMPTY
+        } else {
+            r
+        }
+    }
+
+    /// Number of integers in the range (`None` = infinite).
+    fn count(&self) -> Option<i128> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => Some((h - l + 1).max(0)),
+            _ => None,
+        }
+    }
+
+    /// Some value in the range, preferring the finite endpoint.
+    fn sample(&self) -> Option<i128> {
+        if self.is_empty() {
+            return None;
+        }
+        match (self.lo, self.hi) {
+            (Some(l), _) => Some(l),
+            (None, Some(h)) => Some(h),
+            (None, None) => Some(0),
+        }
+    }
+
+    /// Some value in the range different from `t`, if one exists.
+    fn sample_avoiding(&self, avoid: i128) -> Option<i128> {
+        let first = self.sample()?;
+        if first != avoid {
+            return Some(first);
+        }
+        // Try the next value inward.
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => {
+                if l < h {
+                    Some(l + 1)
+                } else {
+                    None
+                }
+            }
+            (Some(l), None) => Some(l + 1),
+            (None, Some(h)) => Some(h - 1),
+            (None, None) => Some(avoid + 1),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic relations and databases
+// ---------------------------------------------------------------------------
+
+/// A finite union of affine patterns over a relation scheme: a possibly
+/// infinite relation with decidable FD/IND/RD satisfaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicRelation {
+    scheme: crate::schema::RelationScheme,
+    patterns: Vec<Pattern>,
+}
+
+impl SymbolicRelation {
+    /// An empty symbolic relation.
+    pub fn empty(scheme: crate::schema::RelationScheme) -> Self {
+        SymbolicRelation {
+            scheme,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// The relation's scheme.
+    pub fn scheme(&self) -> &crate::schema::RelationScheme {
+        &self.scheme
+    }
+
+    /// The relation's patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Add a pattern; its width must match the scheme's arity.
+    pub fn add_pattern(&mut self, p: Pattern) -> Result<(), CoreError> {
+        if p.width() != self.scheme.arity() {
+            return Err(CoreError::TupleArity {
+                relation: self.scheme.name().name().to_owned(),
+                expected: self.scheme.arity(),
+                actual: p.width(),
+            });
+        }
+        self.patterns.push(p);
+        Ok(())
+    }
+
+    /// Add a single constant tuple.
+    pub fn add_constant(&mut self, values: &[i64]) -> Result<(), CoreError> {
+        self.add_pattern(Pattern::constant(values))
+    }
+
+    /// Materialize the finite sub-relation with pattern parameters `i ≤ max_i`.
+    pub fn prefix(&self, max_i: u64) -> crate::relation::Relation {
+        let mut r = crate::relation::Relation::empty(self.scheme.clone());
+        for p in &self.patterns {
+            let top = if p.is_constant() { 0 } else { max_i };
+            for i in 0..=top {
+                r.insert(p.tuple_at(i)).expect("arity verified at insert");
+            }
+        }
+        r
+    }
+}
+
+/// A violation witness for a symbolic relation, with concrete tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicViolation {
+    /// FD violated by the two concrete tuples.
+    Fd(Tuple, Tuple),
+    /// IND violated: this left-side tuple's projection is uncovered.
+    Ind(Tuple),
+    /// RD violated by this tuple.
+    Rd(Tuple),
+}
+
+/// A database of symbolic relations.
+#[derive(Debug, Clone)]
+pub struct SymbolicDatabase {
+    schema: DatabaseSchema,
+    relations: Vec<SymbolicRelation>,
+}
+
+impl SymbolicDatabase {
+    /// The empty symbolic database over `schema`.
+    pub fn empty(schema: DatabaseSchema) -> Self {
+        let relations = schema
+            .schemes()
+            .iter()
+            .map(|s| SymbolicRelation::empty(s.clone()))
+            .collect();
+        SymbolicDatabase { schema, relations }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The symbolic relation for `name`.
+    pub fn relation(&self, name: &RelName) -> Result<&SymbolicRelation, CoreError> {
+        let i = self
+            .schema
+            .scheme_index(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))?;
+        Ok(&self.relations[i])
+    }
+
+    /// Mutable access to the symbolic relation for `name`.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut SymbolicRelation, CoreError> {
+        let name = RelName::new(name);
+        let i = self
+            .schema
+            .scheme_index(&name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))?;
+        Ok(&mut self.relations[i])
+    }
+
+    /// Materialize the finite prefix database with parameters `i ≤ max_i`.
+    pub fn prefix(&self, max_i: u64) -> Database {
+        let mut db = Database::empty(self.schema.clone());
+        for r in &self.relations {
+            let fin = r.prefix(max_i);
+            let name = fin.scheme().name().clone();
+            for t in fin.tuples() {
+                db.insert(&name, t.clone()).expect("schema matches");
+            }
+        }
+        db
+    }
+
+    /// Whether the (possibly infinite) database satisfies `dep`.
+    pub fn satisfies(&self, dep: &Dependency) -> Result<bool, CoreError> {
+        Ok(self.check(dep)?.is_none())
+    }
+
+    /// Check `dep` exactly, returning a concrete violation witness when it
+    /// fails. EMVDs are unsupported over infinite relations.
+    pub fn check(&self, dep: &Dependency) -> Result<Option<SymbolicViolation>, CoreError> {
+        match dep {
+            Dependency::Fd(fd) => self.check_fd(fd),
+            Dependency::Ind(ind) => self.check_ind(ind),
+            Dependency::Rd(rd) => self.check_rd(rd),
+            Dependency::Emvd(_) => Err(CoreError::SymbolicTooComplex(
+                "EMVD satisfaction over infinite relations is not supported".into(),
+            )),
+        }
+    }
+
+    fn check_rd(&self, rd: &Rd) -> Result<Option<SymbolicViolation>, CoreError> {
+        let r = self.relation(&rd.rel)?;
+        let lcols = r.scheme.columns(&rd.lhs)?;
+        let rcols = r.scheme.columns(&rd.rhs)?;
+        for p in &r.patterns {
+            for (&cl, &cr) in lcols.iter().zip(&rcols) {
+                let (tl, tr) = (p.terms()[cl], p.terms()[cr]);
+                if tl != tr {
+                    // Two distinct affine functions differ at i = 0 or i = 1.
+                    let i = if tl.eval(0) != tr.eval(0) { 0 } else { 1 };
+                    debug_assert_ne!(tl.eval(i as i128), tr.eval(i as i128));
+                    return Ok(Some(SymbolicViolation::Rd(p.tuple_at(i))));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn check_fd(&self, fd: &Fd) -> Result<Option<SymbolicViolation>, CoreError> {
+        let r = self.relation(&fd.rel)?;
+        let xcols = r.scheme.columns(&fd.lhs)?;
+        let ycols = r.scheme.columns(&fd.rhs)?;
+        for p in &r.patterns {
+            for q in &r.patterns {
+                if let Some((i, j)) = fd_violating_pair(p, q, &xcols, &ycols) {
+                    return Ok(Some(SymbolicViolation::Fd(
+                        p.tuple_at(i as u64),
+                        q.tuple_at(j as u64),
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn check_ind(&self, ind: &Ind) -> Result<Option<SymbolicViolation>, CoreError> {
+        let left = self.relation(&ind.lhs_rel)?;
+        let right = self.relation(&ind.rhs_rel)?;
+        let lcols = left.scheme.columns(&ind.lhs_attrs)?;
+        let rcols = right.scheme.columns(&ind.rhs_attrs)?;
+        for p in &left.patterns {
+            if let Some(i) = uncovered_parameter(p, &lcols, &right.patterns, &rcols)? {
+                return Ok(Some(SymbolicViolation::Ind(p.tuple_at(i))));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Find `(i, j) ∈ ℕ²` such that `p(i)[X] = q(j)[X]` but
+/// `p(i)[Y] ≠ q(j)[Y]`, if such a pair exists. Exact.
+fn fd_violating_pair(
+    p: &Pattern,
+    q: &Pattern,
+    xcols: &[usize],
+    ycols: &[usize],
+) -> Option<(i128, i128)> {
+    match DioSet::match_columns(p, xcols, q, xcols) {
+        DioSet::Empty => None,
+        DioSet::Point(i, j) => {
+            if i >= 0 && j >= 0 && differs_at(p, q, ycols, i, j) {
+                Some((i, j))
+            } else {
+                None
+            }
+        }
+        DioSet::Full => {
+            // X matches for every (i, j). A nonzero affine difference on a
+            // Y column is nonzero somewhere on the {0,1}² grid.
+            for i in 0..=1i128 {
+                for j in 0..=1i128 {
+                    if differs_at(p, q, ycols, i, j) {
+                        return Some((i, j));
+                    }
+                }
+            }
+            None
+        }
+        DioSet::Line { i0, j0, di, dj } => {
+            let range = TRange::ALL
+                .constrain_nonneg(i0, di)
+                .constrain_nonneg(j0, dj);
+            if range.is_empty() {
+                return None;
+            }
+            for &yc in ycols {
+                let (ty, uy) = (p.terms()[yc], q.terms()[yc]);
+                // Difference along the line, as a function of t:
+                // alpha·t + beta.
+                let alpha = ty.slope as i128 * di - uy.slope as i128 * dj;
+                let beta = ty.slope as i128 * i0 + ty.offset as i128
+                    - uy.slope as i128 * j0
+                    - uy.offset as i128;
+                let t = if alpha == 0 {
+                    if beta == 0 {
+                        continue;
+                    }
+                    range.sample()
+                } else {
+                    // Nonzero at every t except possibly t* = −beta/alpha.
+                    let tstar = if beta % alpha == 0 {
+                        Some(-beta / alpha)
+                    } else {
+                        None
+                    };
+                    match tstar {
+                        Some(ts) => range.sample_avoiding(ts),
+                        None => range.sample(),
+                    }
+                };
+                if let Some(t) = t {
+                    let (i, j) = (i0 + di * t, j0 + dj * t);
+                    debug_assert!(i >= 0 && j >= 0);
+                    debug_assert!(differs_at(p, q, &[yc], i, j));
+                    return Some((i, j));
+                }
+            }
+            None
+        }
+    }
+}
+
+fn differs_at(p: &Pattern, q: &Pattern, ycols: &[usize], i: i128, j: i128) -> bool {
+    ycols
+        .iter()
+        .any(|&c| p.terms()[c].eval(i) != q.terms()[c].eval(j))
+}
+
+/// An arithmetic progression of covered parameters.
+#[derive(Debug, Clone, Copy)]
+enum Covered {
+    /// All of `ℕ`.
+    All,
+    /// A single parameter.
+    One(i128),
+    /// `{start + k·step : 0 ≤ k < count}` (`count = None` means infinite).
+    Ap {
+        start: i128,
+        step: i128,
+        count: Option<i128>,
+    },
+}
+
+/// Find the least `i ∈ ℕ` such that `p(i)[lcols]` is matched by no
+/// `q(j)[rcols]`, or `None` when every `i` is covered.
+fn uncovered_parameter(
+    p: &Pattern,
+    lcols: &[usize],
+    rhs: &[Pattern],
+    rcols: &[usize],
+) -> Result<Option<u64>, CoreError> {
+    let mut pieces: Vec<Covered> = Vec::new();
+    for q in rhs {
+        match DioSet::match_columns(p, lcols, q, rcols) {
+            DioSet::Empty => {}
+            DioSet::Point(i, j) => {
+                if i >= 0 && j >= 0 {
+                    pieces.push(Covered::One(i));
+                }
+            }
+            DioSet::Full => pieces.push(Covered::All),
+            DioSet::Line { i0, j0, di, dj } => {
+                let range = TRange::ALL
+                    .constrain_nonneg(i0, di)
+                    .constrain_nonneg(j0, dj);
+                if range.is_empty() {
+                    continue;
+                }
+                if di == 0 {
+                    pieces.push(Covered::One(i0));
+                    continue;
+                }
+                // i(t) = i0 + di·t over the valid t range. Normalize to an
+                // ascending progression of i values.
+                let count = range.count();
+                let (start, step) = if di > 0 {
+                    match range.lo {
+                        Some(lo) => (i0 + di * lo, di),
+                        None => {
+                            // t unbounded below with di > 0: i takes all
+                            // values ≡ i0 (mod di) down to −∞, so all
+                            // residue-compatible naturals are covered.
+                            (i0.rem_euclid(di), di)
+                        }
+                    }
+                } else {
+                    match range.hi {
+                        Some(hi) => (i0 + di * hi, -di),
+                        None => (i0.rem_euclid(-di), -di),
+                    }
+                };
+                pieces.push(Covered::Ap { start, step, count });
+            }
+        }
+    }
+
+    // Coverage of ℕ by the pieces is eventually periodic: beyond every
+    // start, membership depends only on the residue mod lcm(steps).
+    let mut lcm: i128 = 1;
+    let mut max_start: i128 = 0;
+    for piece in &pieces {
+        if let Covered::Ap {
+            start,
+            step,
+            count: None,
+        } = piece
+        {
+            let g = gcd(lcm, *step);
+            lcm = lcm / g * step;
+            if lcm > LCM_CAP {
+                return Err(CoreError::SymbolicTooComplex(format!(
+                    "progression step lcm exceeds cap {LCM_CAP}"
+                )));
+            }
+            max_start = max_start.max(*start);
+        }
+    }
+    let horizon = max_start + lcm;
+    if horizon > LCM_CAP {
+        return Err(CoreError::SymbolicTooComplex(
+            "coverage horizon exceeds cap".into(),
+        ));
+    }
+
+    // When the LHS pattern is constant on the projected columns, one
+    // covered parameter covers them all; the general scan below still
+    // answers correctly because every i yields the same projection, but it
+    // could scan far — short-circuit for clarity and speed.
+    if lcols.iter().all(|&c| p.terms()[c].slope == 0) {
+        let zero_covered = pieces.iter().any(|piece| match piece {
+            Covered::All => true,
+            Covered::One(i) => *i == 0,
+            Covered::Ap { start, step, count } => {
+                covers(*start, *step, *count, 0)
+                    || covers_any(*start, *step, *count)
+            }
+        });
+        return Ok(if zero_covered { None } else { Some(0) });
+    }
+
+    'outer: for i in 0..=horizon {
+        for piece in &pieces {
+            let hit = match piece {
+                Covered::All => true,
+                Covered::One(x) => *x == i,
+                Covered::Ap { start, step, count } => covers(*start, *step, *count, i),
+            };
+            if hit {
+                continue 'outer;
+            }
+        }
+        return Ok(Some(i as u64));
+    }
+    Ok(None)
+}
+
+fn covers(start: i128, step: i128, count: Option<i128>, i: i128) -> bool {
+    if i < start || (i - start) % step != 0 {
+        return false;
+    }
+    match count {
+        None => true,
+        Some(n) => (i - start) / step < n,
+    }
+}
+
+fn covers_any(start: i128, step: i128, count: Option<i128>) -> bool {
+    // Does the progression contain any element at all (used only for the
+    // constant-LHS shortcut, where any covered parameter suffices)?
+    let _ = (start, step);
+    match count {
+        None => true,
+        Some(n) => n > 0,
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dependency;
+
+    fn fig_4_1() -> SymbolicDatabase {
+        // Figure 4.1: r = {(i+1, i) : i ≥ 0} over R(A, B).
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 1), (1, 0)]))
+            .unwrap();
+        db
+    }
+
+    fn fig_4_2() -> SymbolicDatabase {
+        // Figure 4.2: r = {(1,1)} ∪ {(i+1, i) : i ≥ 1} over R(A, B).
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        let r = db.relation_mut("R").unwrap();
+        r.add_constant(&[1, 1]).unwrap();
+        // i ≥ 1 re-parameterized as i' = i − 1 ≥ 0: (i'+2, i'+1).
+        r.add_pattern(Pattern::from_pairs(&[(1, 2), (1, 1)])).unwrap();
+        db
+    }
+
+    #[test]
+    fn figure_4_1_separates_unrestricted_from_finite() {
+        let db = fig_4_1();
+        // Satisfies Σ = {R: A -> B, R[A] <= R[B]}.
+        assert!(db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R[A] <= R[B]").unwrap())
+            .unwrap());
+        // Violates σ = R[B] <= R[A]: entry 0 is in r[B] but not r[A].
+        let v = db.check(&parse_dependency("R[B] <= R[A]").unwrap()).unwrap();
+        match v {
+            Some(SymbolicViolation::Ind(t)) => assert_eq!(t.at(1), &Value::Int(0)),
+            other => panic!("expected IND violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_4_2_separates_for_the_fd_case() {
+        let db = fig_4_2();
+        assert!(db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R[A] <= R[B]").unwrap())
+            .unwrap());
+        // Violates σ = R: B -> A: (1,1) and (2,1) share B = 1.
+        let v = db.check(&parse_dependency("R: B -> A").unwrap()).unwrap();
+        match v {
+            Some(SymbolicViolation::Fd(t1, t2)) => {
+                assert_eq!(t1.at(1), t2.at(1));
+                assert_ne!(t1.at(0), t2.at(0));
+            }
+            other => panic!("expected FD violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rd_on_patterns() {
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema.clone());
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 0), (1, 0)]))
+            .unwrap();
+        assert!(db.satisfies(&parse_dependency("R[A = B]").unwrap()).unwrap());
+
+        let mut db2 = SymbolicDatabase::empty(schema);
+        db2.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 0), (1, 1)]))
+            .unwrap();
+        assert!(!db2.satisfies(&parse_dependency("R[A = B]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn ind_progression_coverage() {
+        // lhs column {2i : i ≥ 0}; rhs column {i : i ≥ 0} covers it.
+        let schema = DatabaseSchema::parse(&["L(A)", "R(B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema.clone());
+        db.relation_mut("L")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(2, 0)]))
+            .unwrap();
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 0)]))
+            .unwrap();
+        assert!(db
+            .satisfies(&parse_dependency("L[A] <= R[B]").unwrap())
+            .unwrap());
+        // But {i} is NOT covered by {2i}: 1 is a witness.
+        assert!(!db
+            .satisfies(&parse_dependency("R[B] <= L[A]").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn ind_union_of_progressions() {
+        // {i} covered by {2i} ∪ {2i+1}.
+        let schema = DatabaseSchema::parse(&["L(A)", "R(B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("L")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 0)]))
+            .unwrap();
+        let r = db.relation_mut("R").unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(2, 0)])).unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(2, 1)])).unwrap();
+        assert!(db
+            .satisfies(&parse_dependency("L[A] <= R[B]").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn fd_detects_cross_pattern_collision() {
+        // Patterns (i, 0) and (i, 1) collide on A for equal parameters.
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        let r = db.relation_mut("R").unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 0)])).unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 1)])).unwrap();
+        assert!(!db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn fd_within_single_pattern_constant_column() {
+        // Pattern (0, i): A constant, B varies: A -> B violated.
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(0, 5), (1, 0)]))
+            .unwrap();
+        assert!(!db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        // But B -> A holds.
+        assert!(db.satisfies(&parse_dependency("R: B -> A").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn symbolic_agrees_with_prefix_on_fd_violations() {
+        // If the symbolic checker reports an FD violation, the violating
+        // tuples appear in a sufficiently large prefix, which then also
+        // violates the FD.
+        let db = fig_4_2();
+        let fd = parse_dependency("R: B -> A").unwrap();
+        assert!(!db.satisfies(&fd).unwrap());
+        let prefix = db.prefix(10);
+        assert!(!prefix.satisfies(&fd).unwrap());
+    }
+
+    #[test]
+    fn diophantine_point_solution() {
+        // i − j = 1 and i − 2j = −6: substituting i = j + 1 gives
+        // j + 1 − 2j = −6, so j = 7 and i = 8.
+        let s = DioSet::Full.intersect(1, 1, 1).intersect(1, 2, -6);
+        match s {
+            DioSet::Point(i, j) => {
+                assert_eq!((i, j), (8, 7));
+                assert_eq!(i - j, 1);
+                assert_eq!(i - 2 * j, -6);
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diophantine_inconsistent() {
+        // i − j = 0 and i − j = 1: empty.
+        let s = DioSet::Full.intersect(1, 1, 0).intersect(1, 1, 1);
+        assert_eq!(s, DioSet::Empty);
+    }
+
+    #[test]
+    fn diophantine_divisibility() {
+        // 2i − 2j = 1 has no integer solutions.
+        assert_eq!(DioSet::Full.intersect(2, 2, 1), DioSet::Empty);
+        // 2i − 4j = 6 has solutions (i, j) = (3 + 2t, t).
+        match DioSet::Full.intersect(2, 4, 6) {
+            DioSet::Line { .. } => {}
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lcm_cap_fails_honestly() {
+        // Two rhs progressions with coprime steps whose lcm exceeds the
+        // cap: the checker must error, never guess.
+        let schema = DatabaseSchema::parse(&["L(A)", "R(B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("L")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, 0)]))
+            .unwrap();
+        let r = db.relation_mut("R").unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(2048, 0)])).unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(2049, 0)])).unwrap();
+        let ind = parse_dependency("L[A] <= R[B]").unwrap();
+        match db.check(&ind) {
+            Err(CoreError::SymbolicTooComplex(_)) => {}
+            other => panic!("expected TooComplex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emvd_over_symbolic_is_rejected() {
+        let schema = DatabaseSchema::parse(&["R(A, B, C)"]).unwrap();
+        let db = SymbolicDatabase::empty(schema);
+        let e = parse_dependency("R: A ->> B | C").unwrap();
+        assert!(matches!(
+            db.check(&e),
+            Err(CoreError::SymbolicTooComplex(_))
+        ));
+    }
+
+    #[test]
+    fn negative_offsets_handled() {
+        // Pattern (i − 5, i): A takes values −5, −4, ...; B takes 0, 1, ...
+        // A ⊆ B fails at i = 0 (value −5); B ⊆ A holds (B's value v occurs
+        // as A's value at i = v + 5).
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(1, -5), (1, 0)]))
+            .unwrap();
+        assert!(!db.satisfies(&parse_dependency("R[A] <= R[B]").unwrap()).unwrap());
+        assert!(db.satisfies(&parse_dependency("R[B] <= R[A]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn constant_lhs_ind_shortcut() {
+        // Constant left column: covered iff its single value is matched.
+        let schema = DatabaseSchema::parse(&["L(A)", "R(B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema.clone());
+        db.relation_mut("L").unwrap().add_constant(&[7]).unwrap();
+        db.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(7, 0)]))
+            .unwrap();
+        // 7 = 7·1: covered.
+        assert!(db.satisfies(&parse_dependency("L[A] <= R[B]").unwrap()).unwrap());
+
+        let mut db2 = SymbolicDatabase::empty(schema);
+        db2.relation_mut("L").unwrap().add_constant(&[5]).unwrap();
+        db2.relation_mut("R")
+            .unwrap()
+            .add_pattern(Pattern::from_pairs(&[(7, 0)]))
+            .unwrap();
+        // 5 is not a multiple of 7.
+        assert!(!db2.satisfies(&parse_dependency("L[A] <= R[B]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn prefix_materialization() {
+        let db = fig_4_1();
+        let p = db.prefix(3);
+        let r = p.relation(&RelName::new("R")).unwrap();
+        assert_eq!(r.len(), 4); // i = 0..=3
+        assert!(r.contains(&Tuple::ints(&[4, 3])));
+    }
+}

@@ -1,0 +1,27 @@
+//! # depkit-lba — linear bounded automata and the Theorem 3.3 reduction
+//!
+//! Theorem 3.3 of Casanova–Fagin–Papadimitriou proves the IND decision
+//! problem PSPACE-complete by reducing **linear bounded automaton
+//! acceptance** to IND implication. This crate builds both sides:
+//!
+//! * [`machine`] — nondeterministic machines in the paper's formulation:
+//!   configurations are strings over `K ∪ Γ` of length `n + 1` (the state
+//!   symbol sits immediately left of the scanned cell), and moves are
+//!   window rewriting rules `abc → a′b′c′`; [`machine::Machine::accepts`]
+//!   decides acceptance directly by breadth-first search over the (finite)
+//!   configuration graph.
+//! * [`reduce`](crate::reduce()) — the construction of Theorem 3.3: one relation scheme over
+//!   attributes `(K ∪ Γ) × {1..n+1}`, an IND `S(m, j)` per move and window
+//!   position, and the goal IND from the initial to the final
+//!   configuration. `Σ ⊨ σ` iff the machine accepts — validated in tests by
+//!   comparing against the direct decider.
+//! * [`zoo`] — hand-built machines with known acceptance behaviour (accept
+//!   everything, reject everything, parity of 1-bits, all-zeros check) plus
+//!   seeded random rewriting systems for agreement testing.
+
+pub mod machine;
+pub mod reduce;
+pub mod zoo;
+
+pub use machine::{Config, Machine, Rule};
+pub use reduce::{reduce, Reduction};

@@ -1,0 +1,280 @@
+//! Nondeterministic machines as configuration rewriting systems.
+//!
+//! Following the proof of Theorem 3.3: a machine `M = (K, Γ, Δ, s, h)` on an
+//! input of length `n` works on *configurations* — strings over `K ∪ Γ` of
+//! length `n + 1`, with the state symbol placed immediately to the left of
+//! the scanned cell. Moves are rewriting rules `abc → a′b′c′` over
+//! length-3 windows; a rule may fire at window position `j` only when every
+//! cell **outside** the window holds a tape symbol (this matches the
+//! reduction, whose context attributes range over `Γ × positions` only).
+//! The initial configuration is `s·x`; the accepting configuration is
+//! `h·Bⁿ`.
+
+use std::collections::{HashSet, VecDeque};
+
+/// A window rewriting rule `from[0] from[1] from[2] → to[0] to[1] to[2]`,
+/// with glyph indices into the machine glyph table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Pattern window.
+    pub from: [usize; 3],
+    /// Replacement window.
+    pub to: [usize; 3],
+}
+
+/// A configuration: glyph indices, length `n + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config(pub Vec<usize>);
+
+/// A nondeterministic machine in the paper's rewriting formulation.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Names of all glyphs (`K ∪ Γ`), indexed by glyph id.
+    glyph_names: Vec<String>,
+    /// Which glyph ids are tape symbols (`Γ`).
+    is_tape: Vec<bool>,
+    /// Start state `s`.
+    start: usize,
+    /// Halt state `h`.
+    halt: usize,
+    /// Blank tape symbol `B`.
+    blank: usize,
+    /// The move relation `Δ` as window rules.
+    rules: Vec<Rule>,
+}
+
+impl Machine {
+    /// Create a machine. `tape` lists which glyph ids belong to `Γ`;
+    /// the rest are states `K`.
+    pub fn new(
+        glyph_names: Vec<String>,
+        tape: &[usize],
+        start: usize,
+        halt: usize,
+        blank: usize,
+        rules: Vec<Rule>,
+    ) -> Self {
+        let mut is_tape = vec![false; glyph_names.len()];
+        for &t in tape {
+            is_tape[t] = true;
+        }
+        assert!(!is_tape[start], "start must be a state");
+        assert!(!is_tape[halt], "halt must be a state");
+        assert!(is_tape[blank], "blank must be a tape symbol");
+        Machine {
+            glyph_names,
+            is_tape,
+            start,
+            halt,
+            blank,
+            rules,
+        }
+    }
+
+    /// Number of glyphs `|K ∪ Γ|`.
+    pub fn glyph_count(&self) -> usize {
+        self.glyph_names.len()
+    }
+
+    /// Name of glyph `g`.
+    pub fn glyph_name(&self, g: usize) -> &str {
+        &self.glyph_names[g]
+    }
+
+    /// Whether glyph `g` is a tape symbol.
+    pub fn is_tape(&self, g: usize) -> bool {
+        self.is_tape[g]
+    }
+
+    /// The tape glyph ids, ascending.
+    pub fn tape_glyphs(&self) -> Vec<usize> {
+        (0..self.glyph_count()).filter(|&g| self.is_tape[g]).collect()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The halt state.
+    pub fn halt(&self) -> usize {
+        self.halt
+    }
+
+    /// The blank symbol.
+    pub fn blank(&self) -> usize {
+        self.blank
+    }
+
+    /// The rewriting rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Initial configuration `s·x` for input `x` (tape glyph ids).
+    pub fn initial_config(&self, input: &[usize]) -> Config {
+        let mut v = Vec::with_capacity(input.len() + 1);
+        v.push(self.start);
+        v.extend_from_slice(input);
+        Config(v)
+    }
+
+    /// Final configuration `h·Bⁿ`.
+    pub fn final_config(&self, n: usize) -> Config {
+        let mut v = vec![self.blank; n + 1];
+        v[0] = self.halt;
+        Config(v)
+    }
+
+    /// All configurations reachable from `c` by one rule application.
+    ///
+    /// A rule fires at window start `j` (0-based, `j + 3 ≤ len`) when the
+    /// window matches and every position outside the window holds a tape
+    /// glyph.
+    pub fn step(&self, c: &Config) -> Vec<Config> {
+        let len = c.0.len();
+        let mut out = Vec::new();
+        if len < 3 {
+            return out;
+        }
+        // Positions holding non-tape glyphs (states). A window application
+        // requires all of them inside the window.
+        let state_positions: Vec<usize> =
+            (0..len).filter(|&p| !self.is_tape[c.0[p]]).collect();
+        for j in 0..=(len - 3) {
+            if state_positions.iter().any(|&p| p < j || p > j + 2) {
+                continue;
+            }
+            for rule in &self.rules {
+                if c.0[j] == rule.from[0] && c.0[j + 1] == rule.from[1] && c.0[j + 2] == rule.from[2]
+                {
+                    let mut next = c.0.clone();
+                    next[j] = rule.to[0];
+                    next[j + 1] = rule.to[1];
+                    next[j + 2] = rule.to[2];
+                    out.push(Config(next));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decide acceptance of `input` in space `n = |input|` by BFS over the
+    /// configuration graph. Returns `None` if more than `max_configs`
+    /// configurations were explored (the intrinsic bound is
+    /// `|K ∪ Γ|^(n+1)`).
+    pub fn accepts(&self, input: &[usize], max_configs: usize) -> Option<bool> {
+        let initial = self.initial_config(input);
+        let target = self.final_config(input.len());
+        if initial == target {
+            return Some(true);
+        }
+        let mut visited: HashSet<Config> = HashSet::from([initial.clone()]);
+        let mut queue = VecDeque::from([initial]);
+        while let Some(c) = queue.pop_front() {
+            for next in self.step(&c) {
+                if visited.contains(&next) {
+                    continue;
+                }
+                if next == target {
+                    return Some(true);
+                }
+                visited.insert(next.clone());
+                if visited.len() > max_configs {
+                    return None;
+                }
+                queue.push_back(next);
+            }
+        }
+        Some(false)
+    }
+
+    /// Render a configuration using glyph names.
+    pub fn show(&self, c: &Config) -> String {
+        c.0.iter()
+            .map(|&g| self.glyph_names[g].as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+
+    #[test]
+    fn blanker_accepts_everything() {
+        let m = zoo::blanker();
+        for input in [vec![1, 1], vec![1, 2, 1], vec![2, 2, 2, 2], vec![1, 2, 1, 2, 1]] {
+            assert_eq!(m.accepts(&input, 1_000_000), Some(true), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn never_accepts_nothing() {
+        let m = zoo::never_accept();
+        assert_eq!(m.accepts(&[1, 2], 1_000_000), Some(false));
+        assert_eq!(m.accepts(&[0, 0, 0], 1_000_000), Some(false));
+    }
+
+    #[test]
+    fn parity_machine_checks_ones() {
+        let m = zoo::parity();
+        // Glyph ids: 1 = '0', 2 = '1' (0 = B). Even number of 1s accepts.
+        let cases: &[(&[usize], bool)] = &[
+            (&[1, 1], true),        // "00" -> zero ones, even
+            (&[2, 2], true),        // "11" -> two ones, even
+            (&[2, 1], false),       // "10" -> one one, odd
+            (&[1, 2], false),       // "01"
+            (&[2, 2, 2], false),    // "111"
+            (&[2, 1, 2, 2], false), // "1011" -> three ones
+            (&[2, 2, 1, 2, 2], true), // "11011" -> four ones
+        ];
+        for &(input, expected) in cases {
+            assert_eq!(
+                m.accepts(input, 1_000_000),
+                Some(expected),
+                "input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zeros_machine() {
+        let m = zoo::all_zeros();
+        assert_eq!(m.accepts(&[1, 1, 1], 1_000_000), Some(true));
+        assert_eq!(m.accepts(&[1, 2, 1], 1_000_000), Some(false));
+        assert_eq!(m.accepts(&[2, 2], 1_000_000), Some(false));
+    }
+
+    #[test]
+    fn short_inputs_have_no_windows() {
+        // Config length 2 has no length-3 window: nothing moves.
+        let m = zoo::blanker();
+        assert_eq!(m.accepts(&[1], 1_000), Some(false));
+    }
+
+    #[test]
+    fn budget_returns_none() {
+        let m = zoo::blanker();
+        assert_eq!(m.accepts(&[1, 2, 1, 2], 1), None);
+    }
+
+    #[test]
+    fn step_requires_tape_context() {
+        // A config with the state at position 0 cannot fire a rule at
+        // windows that exclude position 0.
+        let m = zoo::blanker();
+        let c = m.initial_config(&[1, 1, 1]);
+        for next in m.step(&c) {
+            // The state glyph never appears outside a fired window, so each
+            // successor still has exactly one state glyph.
+            let states = next
+                .0
+                .iter()
+                .filter(|&&g| !m.is_tape(g))
+                .count();
+            assert_eq!(states, 1);
+        }
+    }
+}

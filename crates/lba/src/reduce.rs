@@ -1,0 +1,198 @@
+//! The Theorem 3.3 reduction: LBA acceptance → IND implication.
+//!
+//! Given a machine `M` and input `x` with `|x| = n`, build INDs over a
+//! single relation scheme `R` whose attributes are `(K ∪ Γ) × {1..n+1}`.
+//! The intuition (paper, proof of Theorem 3.3): attribute `(γ, j)`
+//! corresponds to "the j-th symbol of the configuration is γ". For each
+//! move `m: abc → a′b′c′` and window position `j ∈ {1..n−1}` there is an
+//! IND
+//!
+//! ```text
+//! S(m, j):  R[P_j, (a,j), (b,j+1), (c,j+2)] ⊆ R[P_j, (a′,j), (b′,j+1), (c′,j+2)]
+//! ```
+//!
+//! where `P_j` is a fixed ordering of the attributes
+//! `Γ × ({1..j−1} ∪ {j+3..n+1})` (tape symbols only — this is what forces
+//! every non-window cell of a configuration to hold a tape symbol). The
+//! goal IND runs from the initial configuration `s·x` to the accepting
+//! configuration `h·Bⁿ`. Then `Σ ⊨ σ` iff `M` accepts `x` in space `n`:
+//! by Corollary 3.2, walks of expressions are exactly runs of `M`.
+
+use crate::machine::Machine;
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::Ind;
+use depkit_core::error::CoreError;
+use depkit_core::schema::{DatabaseSchema, RelationScheme};
+
+/// Output of the reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The single-relation schema over `(K ∪ Γ) × {1..n+1}`.
+    pub schema: DatabaseSchema,
+    /// The move INDs `S(m, j)`.
+    pub sigma: Vec<Ind>,
+    /// The goal IND `σ` (initial ⊆ accepting configuration).
+    pub target: Ind,
+}
+
+/// Attribute `(glyph g, position p)`; `p` is 1-based as in the paper.
+fn attr(m: &Machine, g: usize, p: usize) -> Attr {
+    Attr::new(format!("{}_{p}", m.glyph_name(g)))
+}
+
+/// Build the Theorem 3.3 reduction for machine `m` on `input`
+/// (`input.len() = n ≥ 1`; entries must be tape glyph ids).
+pub fn reduce(m: &Machine, input: &[usize]) -> Result<Reduction, CoreError> {
+    let n = input.len();
+    let width = n + 1;
+
+    // Schema: all attributes (K ∪ Γ) × {1..n+1}.
+    let mut attrs = Vec::with_capacity(m.glyph_count() * width);
+    for g in 0..m.glyph_count() {
+        for p in 1..=width {
+            attrs.push(attr(m, g, p));
+        }
+    }
+    let schema = DatabaseSchema::new(vec![RelationScheme::new("R", AttrSeq::new(attrs)?)])?;
+
+    // Move INDs.
+    let tape = m.tape_glyphs();
+    let mut sigma = Vec::new();
+    if width >= 3 {
+        for rule in m.rules() {
+            for j in 1..=(width - 2) {
+                // Context P_j: Γ × (positions outside the window), in a
+                // fixed order shared by both sides.
+                let mut lhs = Vec::new();
+                let mut rhs = Vec::new();
+                for p in (1..=width).filter(|&p| p < j || p > j + 2) {
+                    for &g in &tape {
+                        lhs.push(attr(m, g, p));
+                        rhs.push(attr(m, g, p));
+                    }
+                }
+                for (k, p) in (j..=j + 2).enumerate() {
+                    lhs.push(attr(m, rule.from[k], p));
+                    rhs.push(attr(m, rule.to[k], p));
+                }
+                sigma.push(Ind::new("R", AttrSeq::new(lhs)?, "R", AttrSeq::new(rhs)?)?);
+            }
+        }
+    }
+
+    // Goal IND: initial configuration ⊆ accepting configuration.
+    let mut lhs = vec![attr(m, m.start(), 1)];
+    for (i, &g) in input.iter().enumerate() {
+        lhs.push(attr(m, g, i + 2));
+    }
+    let mut rhs = vec![attr(m, m.halt(), 1)];
+    for p in 2..=width {
+        rhs.push(attr(m, m.blank(), p));
+    }
+    let target = Ind::new("R", AttrSeq::new(lhs)?, "R", AttrSeq::new(rhs)?)?;
+
+    Ok(Reduction {
+        schema,
+        sigma,
+        target,
+    })
+}
+
+impl Reduction {
+    /// Total number of attribute occurrences across `Σ` (a size measure
+    /// for the experiment tables).
+    pub fn sigma_size(&self) -> usize {
+        self.sigma.iter().map(|i| 2 * i.arity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use depkit_solver::ind::IndSolver;
+
+    fn agree(m: &Machine, input: &[usize]) {
+        let direct = m.accepts(input, 5_000_000).expect("budget");
+        let red = reduce(m, input).unwrap();
+        let solver = IndSolver::new(&red.sigma);
+        let via_inds = solver.implies(&red.target);
+        assert_eq!(
+            direct,
+            via_inds,
+            "direct decider and reduction disagree on input {input:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_agrees_with_blanker() {
+        let m = zoo::blanker();
+        agree(&m, &[1, 2]);
+        agree(&m, &[2, 1, 2]);
+    }
+
+    #[test]
+    fn reduction_agrees_with_never() {
+        let m = zoo::never_accept();
+        agree(&m, &[1, 1]);
+        agree(&m, &[2, 1, 2]);
+    }
+
+    #[test]
+    fn reduction_agrees_with_parity() {
+        let m = zoo::parity();
+        for input in [
+            vec![1, 1],
+            vec![2, 2],
+            vec![2, 1],
+            vec![1, 2, 2],
+            vec![2, 2, 2],
+        ] {
+            agree(&m, &input);
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_with_all_zeros() {
+        let m = zoo::all_zeros();
+        agree(&m, &[1, 1, 1]);
+        agree(&m, &[1, 2, 1]);
+    }
+
+    #[test]
+    fn reduction_agrees_with_random_machines() {
+        for seed in 0..12u64 {
+            let m = zoo::random_machine(seed, 2, 12);
+            agree(&m, &[1, 2]);
+            agree(&m, &[2, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let m = zoo::never_accept();
+        let red = reduce(&m, &[1, 2, 1]).unwrap();
+        // n = 3: width 4; no rules, so Σ is empty; target arity n + 1.
+        assert!(red.sigma.is_empty());
+        assert_eq!(red.target.arity(), 4);
+        // Schema has |K ∪ Γ| * (n+1) attributes.
+        assert_eq!(
+            red.schema.schemes()[0].arity(),
+            m.glyph_count() * 4
+        );
+        red.target.is_well_formed(&red.schema).unwrap();
+    }
+
+    #[test]
+    fn move_ind_arity_matches_formula() {
+        let m = zoo::blanker();
+        let n = 3;
+        let red = reduce(&m, &[1, 1, 1]).unwrap();
+        // |Γ|·(n−2) context attributes + 3 window attributes.
+        let expected = 3 * (n - 2) + 3;
+        for ind in &red.sigma {
+            assert_eq!(ind.arity(), expected);
+            ind.is_well_formed(&red.schema).unwrap();
+        }
+    }
+}

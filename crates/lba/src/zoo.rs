@@ -1,0 +1,209 @@
+//! Hand-built machines with known acceptance behaviour, plus seeded random
+//! rewriting systems.
+//!
+//! Glyph conventions for the zoo: tape alphabet `Γ = {B, 0, 1}` with ids
+//! `0 = B`, `1 = '0'`, `2 = '1'`; states follow. Inputs are sequences over
+//! `{1, 2}` (the machines' contracts assume the input contains no blanks).
+//! All machines require `n ≥ 2` to do anything (length-2 configurations
+//! have no length-3 window, exactly as in the paper's encoding).
+
+use crate::machine::{Machine, Rule};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const B: usize = 0;
+const ZERO: usize = 1;
+const ONE: usize = 2;
+const GAMMA: [usize; 3] = [B, ZERO, ONE];
+
+/// A machine that accepts **every** input (n ≥ 2): sweep right blanking
+/// the tape, turn at the right edge, sweep left, halt at the left edge.
+pub fn blanker() -> Machine {
+    // Glyphs: 0=B, 1='0', 2='1', 3=s (right sweep), 4=u (left sweep), 5=h.
+    let (s, u, h) = (3, 4, 5);
+    let mut rules = Vec::new();
+    for &a in &GAMMA {
+        for &x in &GAMMA {
+            // Right sweep: s a x -> B s x.
+            rules.push(Rule {
+                from: [s, a, x],
+                to: [B, s, x],
+            });
+            // Right-edge turn: x s a -> u B B (blanks the last two cells).
+            rules.push(Rule {
+                from: [x, s, a],
+                to: [u, B, B],
+            });
+        }
+        // Left sweep: x u B -> u B B.
+        rules.push(Rule {
+            from: [a, u, B],
+            to: [u, B, B],
+        });
+    }
+    // Accept at the left edge: u B B -> h B B.
+    rules.push(Rule {
+        from: [u, B, B],
+        to: [h, B, B],
+    });
+    Machine::new(
+        vec!["B".into(), "0".into(), "1".into(), "s".into(), "u".into(), "h".into()],
+        &GAMMA,
+        s,
+        h,
+        B,
+        rules,
+    )
+}
+
+/// A machine with no moves at all: accepts **nothing**.
+pub fn never_accept() -> Machine {
+    Machine::new(
+        vec!["B".into(), "0".into(), "1".into(), "s".into(), "h".into()],
+        &GAMMA,
+        3,
+        4,
+        B,
+        Vec::new(),
+    )
+}
+
+/// A machine accepting inputs over `{0, 1}` with an **even number of 1s**
+/// (n ≥ 2). Two sweep states track parity; the right-edge turn folds in the
+/// last cell; a dead state swallows odd-parity runs.
+pub fn parity() -> Machine {
+    // Glyphs: 0=B, 1='0', 2='1', 3=s0 (even), 4=s1 (odd), 5=u, 6=v(dead), 7=h.
+    let (s0, s1, u, v, h) = (3, 4, 5, 6, 7);
+    let mut rules = Vec::new();
+    for &x in &GAMMA {
+        // Right sweep, even state.
+        rules.push(Rule { from: [s0, ZERO, x], to: [B, s0, x] });
+        rules.push(Rule { from: [s0, B, x], to: [B, s0, x] });
+        rules.push(Rule { from: [s0, ONE, x], to: [B, s1, x] });
+        // Right sweep, odd state.
+        rules.push(Rule { from: [s1, ZERO, x], to: [B, s1, x] });
+        rules.push(Rule { from: [s1, B, x], to: [B, s1, x] });
+        rules.push(Rule { from: [s1, ONE, x], to: [B, s0, x] });
+        // Right-edge turn, folding in the final cell's parity.
+        rules.push(Rule { from: [x, s0, ZERO], to: [u, B, B] });
+        rules.push(Rule { from: [x, s0, B], to: [u, B, B] });
+        rules.push(Rule { from: [x, s0, ONE], to: [v, B, B] });
+        rules.push(Rule { from: [x, s1, ONE], to: [u, B, B] });
+        rules.push(Rule { from: [x, s1, ZERO], to: [v, B, B] });
+        rules.push(Rule { from: [x, s1, B], to: [v, B, B] });
+        // Left sweep.
+        rules.push(Rule { from: [x, u, B], to: [u, B, B] });
+    }
+    rules.push(Rule { from: [u, B, B], to: [h, B, B] });
+    Machine::new(
+        vec![
+            "B".into(),
+            "0".into(),
+            "1".into(),
+            "s0".into(),
+            "s1".into(),
+            "u".into(),
+            "v".into(),
+            "h".into(),
+        ],
+        &GAMMA,
+        s0,
+        h,
+        B,
+        rules,
+    )
+}
+
+/// A machine accepting inputs that are **all zeros** (n ≥ 2): the right
+/// sweep has no rule for reading a 1, so any 1 strands the head.
+pub fn all_zeros() -> Machine {
+    // Glyphs: 0=B, 1='0', 2='1', 3=s, 4=u, 5=h.
+    let (s, u, h) = (3, 4, 5);
+    let mut rules = Vec::new();
+    for &x in &GAMMA {
+        rules.push(Rule { from: [s, ZERO, x], to: [B, s, x] });
+        rules.push(Rule { from: [s, B, x], to: [B, s, x] });
+        rules.push(Rule { from: [x, s, ZERO], to: [u, B, B] });
+        rules.push(Rule { from: [x, s, B], to: [u, B, B] });
+        rules.push(Rule { from: [x, u, B], to: [u, B, B] });
+    }
+    rules.push(Rule { from: [u, B, B], to: [h, B, B] });
+    Machine::new(
+        vec!["B".into(), "0".into(), "1".into(), "s".into(), "u".into(), "h".into()],
+        &GAMMA,
+        s,
+        h,
+        B,
+        rules,
+    )
+}
+
+/// A seeded random rewriting system over `Γ = {B, 0, 1}` and `extra_states`
+/// states (plus start and halt). Used for agreement testing between the
+/// direct decider and the Theorem 3.3 reduction; its acceptance behaviour
+/// is arbitrary but *identical* under both procedures.
+pub fn random_machine(seed: u64, extra_states: usize, rule_count: usize) -> Machine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state_base = 3;
+    let state_count = extra_states + 2; // + start + halt
+    let glyph_count = state_base + state_count;
+    let start = state_base;
+    let halt = state_base + 1;
+
+    let mut names: Vec<String> = vec!["B".into(), "0".into(), "1".into()];
+    for i in 0..state_count {
+        names.push(format!("q{i}"));
+    }
+
+    // Random rules biased toward plausible machine shapes: the `from`
+    // window contains at least one state glyph, the halt state never
+    // rewrites (so halting is absorbing).
+    let mut rules = Vec::new();
+    while rules.len() < rule_count {
+        let mut from = [0usize; 3];
+        let mut to = [0usize; 3];
+        for k in 0..3 {
+            from[k] = rng.random_range(0..glyph_count);
+            to[k] = rng.random_range(0..glyph_count);
+        }
+        let has_state = from.iter().any(|&g| g >= state_base);
+        let from_halt = from.contains(&halt);
+        if has_state && !from_halt {
+            rules.push(Rule { from, to });
+        }
+    }
+    Machine::new(names, &GAMMA, start, halt, B, rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_machines_are_well_formed() {
+        for m in [blanker(), never_accept(), parity(), all_zeros()] {
+            assert!(m.glyph_count() >= 5);
+            assert!(!m.is_tape(m.start()));
+            assert!(!m.is_tape(m.halt()));
+            assert!(m.is_tape(m.blank()));
+        }
+    }
+
+    #[test]
+    fn random_machine_is_deterministic_in_seed() {
+        let a = random_machine(7, 2, 10);
+        let b = random_machine(7, 2, 10);
+        assert_eq!(a.rules(), b.rules());
+        let c = random_machine(8, 2, 10);
+        assert!(a.rules() != c.rules() || a.glyph_count() != c.glyph_count());
+    }
+
+    #[test]
+    fn random_machine_halt_is_absorbing() {
+        let m = random_machine(42, 3, 40);
+        let halt = m.halt();
+        for r in m.rules() {
+            assert!(!r.from.contains(&halt));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The `σ(γ)` IND families of Section 3.
+//!
+//! With a single relation scheme `R[A_1, ..., A_m]` and a permutation `γ`
+//! of `{1..m}`, the paper associates the IND
+//!
+//! ```text
+//! σ(γ)  =  R[A_1, ..., A_m] ⊆ R[A_{γ(1)}, ..., A_{γ(m)}].
+//! ```
+//!
+//! Two constructions drive the Section 3 lower-bound discussion:
+//!
+//! * the **transposition generators** `{σ(γ_1), ..., σ(γ_m)}` (where `γ_i`
+//!   swaps 1 and `i`) generate all permutations, so every IND over
+//!   `R[A_1..A_m]` is a logical consequence of this set — applying the
+//!   decision procedure blindly enumerates superexponentially many
+//!   expressions;
+//! * the **Landau pair** `(σ(γ), σ(δ))` with `γ` of maximal order `f(m)`
+//!   and `δ = γ^{f(m)−1}`: `σ(γ) ⊨ σ(δ)` holds, and the minimal number of
+//!   step-(2) applications is exactly `f(m) − 1` — superpolynomial in `m`.
+
+use crate::landau::{landau_function, landau_witness};
+use crate::perm::Perm;
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::Ind;
+use depkit_core::schema::{DatabaseSchema, RelationScheme};
+
+/// Attribute `A_{i+1}` (0-based index in, 1-based name out).
+fn attr(i: usize) -> Attr {
+    Attr::new(format!("A{}", i + 1))
+}
+
+/// The single-relation schema `R(A_1, ..., A_m)` the families live on.
+pub fn family_schema(m: usize) -> DatabaseSchema {
+    let attrs: Vec<Attr> = (0..m).map(attr).collect();
+    DatabaseSchema::new(vec![RelationScheme::new(
+        "R",
+        AttrSeq::new(attrs).expect("generated names are distinct"),
+    )])
+    .expect("single scheme")
+}
+
+/// `σ(γ) = R[A_1..A_m] ⊆ R[A_{γ(1)}..A_{γ(m)}]`.
+pub fn permutation_ind(gamma: &Perm) -> Ind {
+    let m = gamma.len();
+    let lhs: Vec<Attr> = (0..m).map(attr).collect();
+    let rhs: Vec<Attr> = (0..m).map(|i| attr(gamma.apply(i))).collect();
+    Ind::new(
+        "R",
+        AttrSeq::new(lhs).expect("distinct"),
+        "R",
+        AttrSeq::new(rhs).expect("permutation of distinct attrs"),
+    )
+    .expect("equal arities")
+}
+
+/// The transposition generator set `{σ(γ_1), ..., σ(γ_m)}`, where `γ_i`
+/// swaps positions 0 and `i` (the paper's "maps 1 to i and i to 1").
+/// Every IND over `R[A_1..A_m]` is a logical consequence of this set.
+pub fn transposition_generators(m: usize) -> Vec<Ind> {
+    (0..m)
+        .map(|i| permutation_ind(&Perm::transposition(m, 0, i)))
+        .collect()
+}
+
+/// The Landau pair `(σ(γ), σ(δ), f(m))`: `γ` of maximal order `f(m)`
+/// (relatively prime cycles), `δ = γ^{f(m)−1} = γ^{-1}`, so that deciding
+/// `σ(γ) ⊨ σ(δ)` takes exactly `f(m) − 1` applications of the paper's
+/// step (2).
+pub fn landau_pair(m: usize) -> (Ind, Ind, u128) {
+    let gamma = landau_witness(m);
+    let f = landau_function(m);
+    let delta = gamma.pow(f - 1);
+    (permutation_ind(&gamma), permutation_ind(&delta), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_solver::ind::IndSolver;
+
+    #[test]
+    fn sigma_gamma_shape() {
+        let gamma = Perm::from_cycles(3, &[vec![0, 1, 2]]).unwrap();
+        let ind = permutation_ind(&gamma);
+        assert_eq!(ind.to_string(), "R[A1, A2, A3] <= R[A2, A3, A1]");
+        assert!(ind.is_well_formed(&family_schema(3)).is_ok());
+    }
+
+    #[test]
+    fn transposition_generators_imply_any_permutation_ind() {
+        // Every IND over R[A1..Am] follows from the m transpositions.
+        let m = 4;
+        let gens = transposition_generators(m);
+        let solver = IndSolver::new(&gens);
+        // A few arbitrary permutations.
+        for images in [vec![1, 2, 3, 0], vec![3, 2, 1, 0], vec![2, 0, 3, 1]] {
+            let p = Perm::new(images).unwrap();
+            let target = permutation_ind(&p);
+            assert!(solver.implies(&target), "should imply {target}");
+        }
+        // Also projected/permuted sub-INDs.
+        let sub: Ind = match depkit_core::parser::parse_dependency("R[A2, A4] <= R[A3, A1]")
+            .unwrap()
+        {
+            depkit_core::Dependency::Ind(i) => i,
+            _ => unreachable!(),
+        };
+        assert!(solver.implies(&sub));
+    }
+
+    #[test]
+    fn landau_pair_needs_f_minus_one_steps() {
+        for m in [3usize, 5, 7] {
+            let (sigma, target, f) = landau_pair(m);
+            let solver = IndSolver::new(std::slice::from_ref(&sigma));
+            let (yes, stats) = solver.implies_with_stats(&target);
+            assert!(yes, "σ(γ) must imply σ(δ) at m={m}");
+            // Walk has f(m) expressions: start plus f(m) − 1 steps.
+            assert_eq!(
+                stats.walk_length,
+                Some(f as usize),
+                "walk length at m={m} (f={f})"
+            );
+        }
+    }
+
+    #[test]
+    fn landau_delta_is_gamma_inverse() {
+        let gamma = landau_witness(10);
+        let f = landau_function(10);
+        assert_eq!(gamma.pow(f - 1), gamma.inverse());
+    }
+}

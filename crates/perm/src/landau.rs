@@ -1,0 +1,264 @@
+//! Landau's function `g(m)`: the maximal order of a permutation of `m`
+//! elements.
+//!
+//! A permutation's order is the lcm of its cycle lengths, so
+//! `g(m) = max { lcm(parts) : parts partition m }`. The maximum is always
+//! attained by a partition into **prime powers of distinct primes** (plus
+//! fixed points): lcm of pairwise-coprime parts is their product, and any
+//! part can be replaced by its prime-power factors without lowering the
+//! lcm. The paper cites Landau's 1909 result
+//! `log g(m) ~ √(m · log m)` and notes the witness "composes relatively
+//! prime cycles" — exactly what [`landau_witness`] builds.
+//!
+//! Computation is exact dynamic programming: process primes `p ≤ m` one at
+//! a time; for budget `j`, either skip `p` or spend `p^e` of the budget on
+//! a `p^e`-cycle. Values are `u128`, exact for `m ≤ ~400`.
+
+use crate::perm::Perm;
+
+/// Primes up to `n` by a simple sieve.
+fn primes_up_to(n: usize) -> Vec<usize> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut is_prime = vec![true; n + 1];
+    is_prime[0] = false;
+    is_prime[1] = false;
+    let mut p = 2;
+    while p * p <= n {
+        if is_prime[p] {
+            let mut q = p * p;
+            while q <= n {
+                is_prime[q] = false;
+                q += p;
+            }
+        }
+        p += 1;
+    }
+    (2..=n).filter(|&i| is_prime[i]).collect()
+}
+
+/// Exact value of Landau's function `g(m)` (maximal lcm of a partition of
+/// `m`). `g(0) = g(1) = 1`.
+///
+/// Panics if an intermediate product would overflow `u128` (far beyond any
+/// `m` this workspace uses; `g(400) ≈ 10^25` fits comfortably).
+pub fn landau_function(m: usize) -> u128 {
+    landau_table(m)[m]
+}
+
+/// The full table `g(0..=m)` (useful for sweeps).
+pub fn landau_table(m: usize) -> Vec<u128> {
+    // dp[j] = max lcm achievable with budget j using primes seen so far,
+    // where each prime contributes at most one prime-power part.
+    let mut dp = vec![1u128; m + 1];
+    for p in primes_up_to(m) {
+        let prev = dp.clone();
+        let mut pe = p as u128;
+        let mut cost = p;
+        while cost <= m {
+            for j in cost..=m {
+                let candidate = prev[j - cost]
+                    .checked_mul(pe)
+                    .expect("Landau value overflows u128");
+                if candidate > dp[j] {
+                    dp[j] = candidate;
+                }
+            }
+            match cost.checked_mul(p) {
+                Some(next) if next <= m => {
+                    cost = next;
+                    pe *= p as u128;
+                }
+                _ => break,
+            }
+        }
+    }
+    // Make the table monotone: unused budget is allowed (fixed points).
+    for j in 1..=m {
+        if dp[j - 1] > dp[j] {
+            dp[j] = dp[j - 1];
+        }
+    }
+    dp
+}
+
+/// A permutation of `m` elements achieving order `g(m)`, built from
+/// relatively prime cycles (prime-power lengths of distinct primes) padded
+/// with fixed points.
+pub fn landau_witness(m: usize) -> Perm {
+    let parts = landau_partition(m);
+    let mut cycles = Vec::new();
+    let mut next = 0usize;
+    for len in parts {
+        cycles.push((next..next + len).collect::<Vec<usize>>());
+        next += len;
+    }
+    Perm::from_cycles(m, &cycles).expect("partition parts fit in m and are disjoint")
+}
+
+/// The prime-power partition realizing `g(m)` (parts ≥ 2, summing to ≤ m).
+///
+/// Keeps the per-prime DP tables and walks them backwards: at each stage,
+/// if the table improved at the current budget, some power of that prime
+/// was spent — find which one by value, record it, and reduce the budget.
+pub fn landau_partition(m: usize) -> Vec<usize> {
+    let primes = primes_up_to(m);
+    let mut parts = Vec::new();
+    let mut tables: Vec<Vec<u128>> = vec![vec![1u128; m + 1]];
+    for &p in &primes {
+        let prev = tables.last().expect("nonempty").clone();
+        let mut cur = prev.clone();
+        let mut pe = p as u128;
+        let mut cost = p;
+        while cost <= m {
+            for jj in cost..=m {
+                let candidate = prev[jj - cost] * pe;
+                if candidate > cur[jj] {
+                    cur[jj] = candidate;
+                }
+            }
+            match cost.checked_mul(p) {
+                Some(next) if next <= m => {
+                    cost = next;
+                    pe *= p as u128;
+                }
+                _ => break,
+            }
+        }
+        tables.push(cur);
+    }
+    let final_table = tables.last().expect("nonempty");
+    let mut best_j = 0;
+    for jj in 0..=m {
+        if final_table[jj] > final_table[best_j] {
+            best_j = jj;
+        }
+    }
+    let mut j = best_j;
+    for (k, &p) in primes.iter().enumerate().rev() {
+        let cur = &tables[k + 1];
+        let prev = &tables[k];
+        if cur[j] == prev[j] {
+            continue; // prime p unused at this budget
+        }
+        // Find the prime power spent.
+        let mut pe = p as u128;
+        let mut cost = p;
+        let mut found = None;
+        while cost <= j {
+            if prev[j - cost] * pe == cur[j] {
+                found = Some(cost);
+                // Prefer the largest power consistent with the value; keep
+                // scanning so ties resolve deterministically to the last.
+            }
+            match cost.checked_mul(p) {
+                Some(next) if next <= j => {
+                    cost = next;
+                    pe *= p as u128;
+                }
+                _ => break,
+            }
+        }
+        let cost = found.expect("table improved, so some power was used");
+        parts.push(cost);
+        j -= cost;
+    }
+    parts.sort_unstable();
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values of Landau's function (OEIS A000793).
+    const KNOWN: &[(usize, u128)] = &[
+        (0, 1),
+        (1, 1),
+        (2, 2),
+        (3, 3),
+        (4, 4),
+        (5, 6),
+        (6, 6),
+        (7, 12),
+        (8, 15),
+        (9, 20),
+        (10, 30),
+        (11, 30),
+        (12, 60),
+        (13, 60),
+        (14, 84),
+        (15, 105),
+        (16, 140),
+        (17, 210),
+        (18, 210),
+        (19, 420),
+        (20, 420),
+        (25, 1260),
+        (30, 4620),
+        (40, 27720),
+        (50, 180180),
+        // 1021020 = 4·3·5·7·11·13·17 with parts summing to exactly 60.
+        (60, 1021020),
+        (100, 232792560),
+    ];
+
+    #[test]
+    fn matches_known_values() {
+        for &(m, g) in KNOWN {
+            assert_eq!(landau_function(m), g, "g({m})");
+        }
+    }
+
+    #[test]
+    fn witness_achieves_the_maximum() {
+        for m in 0..=60 {
+            let w = landau_witness(m);
+            assert_eq!(w.len(), m);
+            assert_eq!(w.order(), landau_function(m), "witness order at m={m}");
+        }
+    }
+
+    #[test]
+    fn witness_cycles_are_coprime_prime_powers() {
+        let parts = landau_partition(30);
+        // Parts must be pairwise coprime.
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                let (mut a, mut b) = (parts[i], parts[j]);
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                assert_eq!(a, 1, "parts {:?} not coprime", parts);
+            }
+        }
+        assert!(parts.iter().sum::<usize>() <= 30);
+        let product: u128 = parts.iter().map(|&p| p as u128).product();
+        assert_eq!(product, landau_function(30));
+    }
+
+    #[test]
+    fn asymptotic_shape_log_g_over_sqrt_m_log_m() {
+        // log g(m) / sqrt(m log m) should approach 1 from below slowly;
+        // check it is in a plausible band and increasing over a sweep.
+        let mut prev_ratio = 0.0f64;
+        for &m in &[40usize, 80, 160, 320] {
+            let g = landau_function(m) as f64;
+            let ratio = g.ln() / ((m as f64) * (m as f64).ln()).sqrt();
+            assert!(ratio > 0.55 && ratio < 1.1, "ratio {ratio} at m={m}");
+            assert!(ratio > prev_ratio - 0.05, "ratio should not collapse");
+            prev_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn table_is_monotone() {
+        let t = landau_table(100);
+        for j in 1..t.len() {
+            assert!(t[j] >= t[j - 1]);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # depkit-perm — permutation machinery for the Section 3 lower bound
+//!
+//! Section 3 of Casanova–Fagin–Papadimitriou shows the deterministic IND
+//! decision procedure needs superpolynomially many steps: associate with a
+//! permutation `γ` of `{1..m}` the IND
+//! `σ(γ) = R[A_1..A_m] ⊆ R[A_{γ(1)}..A_{γ(m)}]`; then `σ(γ) ⊨ σ(δ)` for
+//! `δ = γ^{f(m)−1}` requires `f(m) − 1` applications of the expression step,
+//! where `f(m)` (Landau's function) is the maximal order of a permutation of
+//! `m` elements — and `log f(m) ~ √(m log m)` (Landau 1909).
+//!
+//! This crate provides:
+//!
+//! * [`Perm`] — permutations with composition, powers, cycle decomposition,
+//!   and order computation;
+//! * [`landau`] — exact computation of Landau's function by dynamic
+//!   programming over prime powers, with a witness permutation built from
+//!   relatively prime cycles (exactly how the paper says Landau obtains
+//!   permutations of big order);
+//! * [`ind_family`] — the `σ(γ)` IND families: the transposition generators
+//!   `{σ(γ_1), ..., σ(γ_m)}` whose consequences are *all* INDs over
+//!   `R[A_1..A_m]`, and the `(σ(γ), σ(δ))` Landau pair driving the
+//!   superpolynomial experiment (reproduced in `depkit-bench`).
+
+pub mod ind_family;
+pub mod landau;
+pub mod perm;
+
+pub use ind_family::{landau_pair, permutation_ind, transposition_generators};
+pub use landau::{landau_function, landau_witness};
+pub use perm::Perm;

@@ -1,0 +1,255 @@
+//! Permutations of `{0, ..., m−1}`.
+
+use std::fmt;
+
+/// A permutation of `{0, ..., m−1}`, stored as its image vector:
+/// `p.apply(i) = images[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Perm {
+    images: Vec<usize>,
+}
+
+impl Perm {
+    /// Create a permutation from an image vector; verifies bijectivity.
+    pub fn new(images: Vec<usize>) -> Option<Self> {
+        let n = images.len();
+        let mut seen = vec![false; n];
+        for &i in &images {
+            if i >= n || seen[i] {
+                return None;
+            }
+            seen[i] = true;
+        }
+        Some(Perm { images })
+    }
+
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Perm {
+            images: (0..n).collect(),
+        }
+    }
+
+    /// The transposition swapping `a` and `b` (the paper's `γ_i` maps 1 to
+    /// `i` and `i` to 1, fixing everything else).
+    pub fn transposition(n: usize, a: usize, b: usize) -> Self {
+        let mut images: Vec<usize> = (0..n).collect();
+        images.swap(a, b);
+        Perm { images }
+    }
+
+    /// Build the permutation with the given disjoint cycles on `n`
+    /// elements; elements not mentioned are fixed. Returns `None` if the
+    /// cycles overlap or go out of range.
+    pub fn from_cycles(n: usize, cycles: &[Vec<usize>]) -> Option<Self> {
+        let mut images: Vec<usize> = (0..n).collect();
+        let mut used = vec![false; n];
+        for cycle in cycles {
+            for &x in cycle {
+                if x >= n || used[x] {
+                    return None;
+                }
+                used[x] = true;
+            }
+            for k in 0..cycle.len() {
+                images[cycle[k]] = cycle[(k + 1) % cycle.len()];
+            }
+        }
+        Some(Perm { images })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the permutation is on zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Image of `i`.
+    pub fn apply(&self, i: usize) -> usize {
+        self.images[i]
+    }
+
+    /// The image vector.
+    pub fn images(&self) -> &[usize] {
+        &self.images
+    }
+
+    /// Composition `self ∘ other` (first `other`, then `self`).
+    pub fn compose(&self, other: &Perm) -> Perm {
+        debug_assert_eq!(self.len(), other.len());
+        Perm {
+            images: (0..self.len()).map(|i| self.apply(other.apply(i))).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Perm {
+        let mut images = vec![0; self.len()];
+        for (i, &img) in self.images.iter().enumerate() {
+            images[img] = i;
+        }
+        Perm { images }
+    }
+
+    /// `self` raised to the `k`-th power by repeated squaring.
+    pub fn pow(&self, mut k: u128) -> Perm {
+        let mut result = Perm::identity(self.len());
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = base.compose(&result);
+            }
+            base = base.compose(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(i, &img)| i == img)
+    }
+
+    /// Cycle decomposition (cycles of length ≥ 2, each starting at its
+    /// smallest element, sorted by that element).
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] || self.images[start] == start {
+                seen[start] = true;
+                continue;
+            }
+            let mut cycle = vec![start];
+            seen[start] = true;
+            let mut cur = self.images[start];
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = self.images[cur];
+            }
+            out.push(cycle);
+        }
+        out
+    }
+
+    /// The order of the permutation: the least `k ≥ 1` with `self^k = id`
+    /// (the lcm of its cycle lengths).
+    pub fn order(&self) -> u128 {
+        self.cycles()
+            .iter()
+            .map(|c| c.len() as u128)
+            .fold(1u128, lcm)
+    }
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple over `u128`.
+pub fn lcm(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+impl fmt::Display for Perm {
+    /// Cycle notation, e.g. `(0 1 2)(3 4)`; the identity prints as `id`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            return f.write_str("id");
+        }
+        for c in cycles {
+            f.write_str("(")?;
+            for (i, x) in c.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{x}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Perm::new(vec![1, 0, 2]).is_some());
+        assert!(Perm::new(vec![1, 1, 2]).is_none());
+        assert!(Perm::new(vec![1, 3, 2]).is_none());
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        let p = Perm::new(vec![1, 2, 0]).unwrap(); // 3-cycle
+        let q = p.inverse();
+        assert!(p.compose(&q).is_identity());
+        assert!(q.compose(&p).is_identity());
+        // Composition order: (p ∘ q)(i) = p(q(i)).
+        let t = Perm::transposition(3, 0, 1);
+        let pt = p.compose(&t);
+        assert_eq!(pt.apply(0), p.apply(t.apply(0)));
+    }
+
+    #[test]
+    fn cycle_decomposition() {
+        let p = Perm::from_cycles(6, &[vec![0, 1, 2], vec![3, 4]]).unwrap();
+        let cycles = p.cycles();
+        assert_eq!(cycles, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert_eq!(p.order(), 6);
+        // Fixed point 5 not reported.
+        assert!(cycles.iter().all(|c| !c.contains(&5)));
+    }
+
+    #[test]
+    fn from_cycles_rejects_overlap() {
+        assert!(Perm::from_cycles(4, &[vec![0, 1], vec![1, 2]]).is_none());
+        assert!(Perm::from_cycles(3, &[vec![0, 7]]).is_none());
+    }
+
+    #[test]
+    fn order_of_coprime_cycles_is_product() {
+        let p = Perm::from_cycles(5, &[vec![0, 1], vec![2, 3, 4]]).unwrap();
+        assert_eq!(p.order(), 6);
+        let q = Perm::from_cycles(9, &[vec![0, 1], vec![2, 3, 4], vec![5, 6, 7, 8]]).unwrap();
+        // lcm(2, 3, 4) = 12.
+        assert_eq!(q.order(), 12);
+    }
+
+    #[test]
+    fn pow_matches_iterated_composition() {
+        let p = Perm::from_cycles(7, &[vec![0, 1, 2], vec![3, 4, 5, 6]]).unwrap();
+        let mut iterated = Perm::identity(7);
+        for k in 0..=(p.order() as usize) {
+            assert_eq!(p.pow(k as u128), iterated, "power {k}");
+            iterated = p.compose(&iterated);
+        }
+        assert!(p.pow(p.order()).is_identity());
+        assert!(!p.pow(p.order() - 1).is_identity());
+    }
+
+    #[test]
+    fn display_cycle_notation() {
+        let p = Perm::from_cycles(5, &[vec![0, 1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(p.to_string(), "(0 1 2)(3 4)");
+        assert_eq!(Perm::identity(4).to_string(), "id");
+    }
+}

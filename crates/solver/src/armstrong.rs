@@ -1,0 +1,150 @@
+//! Armstrong relations for FD sets.
+//!
+//! The paper repeatedly uses *Armstrong databases* — instances satisfying
+//! exactly a set of dependencies and nothing more (Figure 6.1 is one; the
+//! existence theory is Fagin's \[Fa4\], cited throughout). This module
+//! builds an Armstrong **relation** for any FD set: a relation `r` such
+//! that `r ⊨ X → Y` iff `Σ ⊨ X → Y`.
+//!
+//! Construction: start from an all-zero tuple `t_∅`; for every subset `X`
+//! of the attributes, add a tuple `t_X` agreeing with `t_∅` exactly on the
+//! closure `X⁺` (fresh values elsewhere). Two added tuples `t_X`, `t_Y`
+//! then agree exactly on `X⁺ ∩ Y⁺`, which is again closed, so every
+//! agreement set is closed and every closure is an agreement set — the
+//! classical characterization of Armstrong relations. The relation has
+//! `2^arity + 1` tuples, so keep schemes modest (≤ 12 attributes or so).
+
+use crate::fd::FdEngine;
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::relation::{Relation, Tuple};
+use depkit_core::schema::RelationScheme;
+use depkit_core::value::Value;
+use std::collections::BTreeSet;
+
+/// Build an Armstrong relation for `engine`'s FDs over `scheme`: the FDs
+/// that hold in the result are exactly the FDs the engine implies.
+pub fn armstrong_relation(engine: &FdEngine, scheme: &RelationScheme) -> Relation {
+    let attrs_all = scheme.attrs().attrs();
+    let m = attrs_all.len();
+    let mut r = Relation::empty(scheme.clone());
+
+    // The base tuple: all zeros.
+    r.insert(Tuple::ints(&vec![0i64; m])).expect("arity matches");
+
+    // Closed sets we have materialized a tuple for (avoid duplicates:
+    // distinct subsets with the same closure would yield tuples agreeing
+    // on MORE than their closure if given distinct fresh values — still
+    // fine — but deduping keeps the relation small).
+    let mut seen: BTreeSet<BTreeSet<Attr>> = BTreeSet::new();
+    let mut fresh = 1i64;
+    for mask in 0u32..(1 << m) {
+        let subset: Vec<Attr> = (0..m)
+            .filter(|&b| mask & (1 << b) != 0)
+            .map(|b| attrs_all[b].clone())
+            .collect();
+        let closure = engine.closure(&AttrSeq::new(subset).expect("distinct"));
+        if closure.len() == m || !seen.insert(closure.clone()) {
+            // The full closure duplicates t_∅'s role; skip repeats.
+            continue;
+        }
+        let mut vals = Vec::with_capacity(m);
+        for a in attrs_all {
+            if closure.contains(a) {
+                vals.push(Value::Int(0));
+            } else {
+                vals.push(Value::Int(fresh));
+                fresh += 1;
+            }
+        }
+        r.insert(Tuple::new(vals)).expect("arity matches");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::attr::attrs;
+    use depkit_core::dependency::Fd;
+    use depkit_core::generate::{random_fd, random_schema, Rng, SchemaConfig};
+    use depkit_core::satisfy::check_fd;
+
+    fn fd(src: &str) -> Fd {
+        match depkit_core::parser::parse_dependency(src).unwrap() {
+            depkit_core::Dependency::Fd(f) => f,
+            _ => panic!("not an FD"),
+        }
+    }
+
+    /// Exactness on a hand example: r ⊨ τ iff Σ ⊨ τ for every FD τ.
+    #[test]
+    fn exactness_small() {
+        let scheme = RelationScheme::new("R", attrs(&["A", "B", "C"]));
+        let fds = vec![fd("R: A -> B")];
+        let engine = FdEngine::new("R", &fds);
+        let r = armstrong_relation(&engine, &scheme);
+        // Enumerate all FDs with subset LHS and single RHS.
+        let names = ["A", "B", "C"];
+        for mask in 0u32..8 {
+            let lhs: Vec<&str> = (0..3).filter(|&b| mask & (1 << b) != 0).map(|b| names[b]).collect();
+            for rhs in names {
+                let tau = Fd::new(
+                    "R",
+                    AttrSeq::from_names(&lhs).unwrap(),
+                    attrs(&[rhs]),
+                );
+                let holds = check_fd(&r, &tau).unwrap().is_none();
+                let implied = engine.implies(&tau);
+                assert_eq!(holds, implied, "τ = {tau}");
+            }
+        }
+    }
+
+    /// Exactness on random FD sets.
+    #[test]
+    fn exactness_random() {
+        let mut rng = Rng::new(0xA57);
+        for round in 0..30 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 1,
+                    min_arity: 3,
+                    max_arity: 5,
+                },
+            );
+            let scheme = schema.schemes()[0].clone();
+            let mut fds = Vec::new();
+            for _ in 0..3 {
+                let lhs_n = 1 + rng.below(2);
+                if let Some(f) = random_fd(&mut rng, &schema, lhs_n, 1) {
+                    fds.push(f);
+                }
+            }
+            let engine = FdEngine::new(scheme.name().clone(), &fds);
+            let r = armstrong_relation(&engine, &scheme);
+            // Sample FDs from the universe.
+            for _ in 0..20 {
+                let lhs_n2 = 1 + rng.below(2);
+                let Some(tau) = random_fd(&mut rng, &schema, lhs_n2, 1) else {
+                    continue;
+                };
+                let holds = check_fd(&r, &tau).unwrap().is_none();
+                let implied = engine.implies(&tau);
+                assert_eq!(holds, implied, "round {round}: τ = {tau}, fds = {fds:?}");
+            }
+        }
+    }
+
+    /// Size bound: at most 2^arity + 1 tuples.
+    #[test]
+    fn size_bound() {
+        let scheme = RelationScheme::new("R", attrs(&["A", "B", "C", "D"]));
+        let engine = FdEngine::new("R", &[]);
+        let r = armstrong_relation(&engine, &scheme);
+        assert!(r.len() <= 17);
+        // With no FDs, closures are the subsets themselves: all 2^4 - 1
+        // proper subsets produce distinct tuples, plus the base.
+        assert_eq!(r.len(), 16);
+    }
+}

@@ -1,0 +1,359 @@
+//! Functional-dependency machinery.
+//!
+//! The centrepiece is the linear-time attribute-closure algorithm of Beeri &
+//! Bernstein (reference \[BB\] of the paper), which Section 3 contrasts with
+//! the IND decision procedure: FD implication is linear, IND implication is
+//! PSPACE-complete. On top of the closure we provide implication testing,
+//! candidate-key enumeration (Lucchesi–Osborn), and minimal covers.
+
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::Fd;
+use depkit_core::schema::{RelName, RelationScheme};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// An FD-implication engine for a single relation.
+///
+/// Construction is `O(total FD size)`; each closure query is linear in the
+/// total size of the FDs (the Beeri–Bernstein counting algorithm).
+#[derive(Debug, Clone)]
+pub struct FdEngine {
+    rel: RelName,
+    fds: Vec<Fd>,
+    /// For each attribute, the indices of FDs whose LHS contains it.
+    watchers: HashMap<Attr, Vec<usize>>,
+}
+
+impl FdEngine {
+    /// Build an engine from the FDs that speak about `rel`; FDs about other
+    /// relations are ignored (FD implication never crosses relations).
+    pub fn new(rel: impl Into<RelName>, fds: &[Fd]) -> Self {
+        let rel = rel.into();
+        let fds: Vec<Fd> = fds.iter().filter(|f| f.rel == rel).cloned().collect();
+        let mut watchers: HashMap<Attr, Vec<usize>> = HashMap::new();
+        for (i, f) in fds.iter().enumerate() {
+            for a in f.lhs.attrs() {
+                watchers.entry(a.clone()).or_default().push(i);
+            }
+        }
+        FdEngine { rel, fds, watchers }
+    }
+
+    /// The relation this engine reasons about.
+    pub fn rel(&self) -> &RelName {
+        &self.rel
+    }
+
+    /// The FDs the engine was built from.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The attribute closure `X⁺` of `start` under the engine's FDs
+    /// (Beeri–Bernstein counting algorithm, linear time).
+    pub fn closure(&self, start: &AttrSeq) -> BTreeSet<Attr> {
+        self.closure_with_trace(start).0
+    }
+
+    /// Attribute closure together with a derivation trace: for each attribute
+    /// added beyond `start`, the index of the FD that added it. The trace
+    /// lets callers reconstruct Armstrong-style proofs.
+    pub fn closure_with_trace(&self, start: &AttrSeq) -> (BTreeSet<Attr>, Vec<(Attr, usize)>) {
+        let mut closure: BTreeSet<Attr> = start.attrs().iter().cloned().collect();
+        let mut trace: Vec<(Attr, usize)> = Vec::new();
+        // Unsatisfied LHS attribute counts per FD.
+        let mut missing: Vec<usize> = self.fds.iter().map(|f| f.lhs.len()).collect();
+        let mut queue: VecDeque<Attr> = closure.iter().cloned().collect();
+
+        // FDs with empty LHS fire immediately.
+        let fire = |i: usize,
+                        closure: &mut BTreeSet<Attr>,
+                        queue: &mut VecDeque<Attr>,
+                        trace: &mut Vec<(Attr, usize)>| {
+            for a in self.fds[i].rhs.attrs() {
+                if closure.insert(a.clone()) {
+                    queue.push_back(a.clone());
+                    trace.push((a.clone(), i));
+                }
+            }
+        };
+        for (i, &m) in missing.iter().enumerate() {
+            if m == 0 {
+                fire(i, &mut closure, &mut queue, &mut trace);
+            }
+        }
+        while let Some(a) = queue.pop_front() {
+            if let Some(watching) = self.watchers.get(&a) {
+                for &i in watching {
+                    missing[i] -= 1;
+                    if missing[i] == 0 {
+                        fire(i, &mut closure, &mut queue, &mut trace);
+                    }
+                }
+            }
+        }
+        (closure, trace)
+    }
+
+    /// Whether the engine's FDs logically imply `target` (which must speak
+    /// about the same relation). By Armstrong completeness this holds iff
+    /// `target.rhs ⊆ closure(target.lhs)`.
+    pub fn implies(&self, target: &Fd) -> bool {
+        if target.rel != self.rel {
+            return target.is_trivial();
+        }
+        let c = self.closure(&target.lhs);
+        target.rhs.attrs().iter().all(|a| c.contains(a))
+    }
+
+    /// All candidate keys of `scheme` under the engine's FDs: the minimal
+    /// attribute sets whose closure contains every attribute of the scheme.
+    ///
+    /// Uses the Lucchesi–Osborn successor generation: from a known key `K`
+    /// and an FD `X → Y`, the set `X ∪ (K − Y)` is a superkey; minimizing
+    /// each and iterating enumerates all keys.
+    pub fn candidate_keys(&self, scheme: &RelationScheme) -> Vec<BTreeSet<Attr>> {
+        let all: BTreeSet<Attr> = scheme.attrs().attrs().iter().cloned().collect();
+        let first = self.minimize_superkey(&all, &all);
+        let mut keys: Vec<BTreeSet<Attr>> = vec![first];
+        let mut frontier = keys.clone();
+        while let Some(k) = frontier.pop() {
+            for fd in &self.fds {
+                let x: BTreeSet<Attr> = fd.lhs.attrs().iter().cloned().collect();
+                let y: BTreeSet<Attr> = fd.rhs.attrs().iter().cloned().collect();
+                let mut candidate: BTreeSet<Attr> = x;
+                candidate.extend(k.difference(&y).cloned());
+                // Skip if a known key is contained in the candidate.
+                if keys.iter().any(|known| known.is_subset(&candidate)) {
+                    continue;
+                }
+                let minimized = self.minimize_superkey(&candidate, &all);
+                if !keys.contains(&minimized) {
+                    keys.push(minimized.clone());
+                    frontier.push(minimized);
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    fn minimize_superkey(&self, superkey: &BTreeSet<Attr>, all: &BTreeSet<Attr>) -> BTreeSet<Attr> {
+        let mut key: Vec<Attr> = superkey.iter().cloned().collect();
+        let mut i = 0;
+        while i < key.len() {
+            let mut shrunk = key.clone();
+            shrunk.remove(i);
+            let seq = AttrSeq::new(shrunk.clone()).expect("attributes are distinct");
+            let c = self.closure(&seq);
+            if all.iter().all(|a| c.contains(a)) {
+                key = shrunk;
+            } else {
+                i += 1;
+            }
+        }
+        key.into_iter().collect()
+    }
+}
+
+/// Whether `fds ⊨ target` where all FDs may mention different relations
+/// (implication is checked within `target`'s relation only, which is exact:
+/// FDs about other relations cannot affect it).
+pub fn implies_fd(fds: &[Fd], target: &Fd) -> bool {
+    FdEngine::new(target.rel.clone(), fds).implies(target)
+}
+
+/// Compute a minimal cover of `fds` (all assumed to be about one relation):
+/// an equivalent set where every RHS is a single attribute, no LHS attribute
+/// is extraneous, and no FD is redundant.
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    if fds.is_empty() {
+        return Vec::new();
+    }
+    let rel = fds[0].rel.clone();
+    // 1. Split right-hand sides.
+    let mut work: Vec<Fd> = Vec::new();
+    for f in fds {
+        for a in f.rhs.attrs() {
+            let single = AttrSeq::new(vec![a.clone()]).expect("single attribute");
+            let fd = Fd::new(rel.clone(), f.lhs.clone(), single);
+            if !fd.is_trivial() && !work.contains(&fd) {
+                work.push(fd);
+            }
+        }
+    }
+    // 2. Remove extraneous LHS attributes.
+    let mut i = 0;
+    while i < work.len() {
+        let mut j = 0;
+        while j < work[i].lhs.len() {
+            let mut shrunk: Vec<Attr> = work[i].lhs.attrs().to_vec();
+            shrunk.remove(j);
+            let candidate = Fd::new(
+                rel.clone(),
+                AttrSeq::new(shrunk).expect("distinct attributes"),
+                work[i].rhs.clone(),
+            );
+            if implies_fd(&work, &candidate) {
+                work[i] = candidate;
+            } else {
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < work.len() {
+        let without: Vec<Fd> = work
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, f)| f.clone())
+            .collect();
+        if implies_fd(&without, &work[i]) {
+            work.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    work.sort();
+    work.dedup();
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::attr::attrs;
+
+    fn fd(src: &str) -> Fd {
+        match depkit_core::parser::parse_dependency(src).unwrap() {
+            depkit_core::Dependency::Fd(f) => f,
+            _ => panic!("not an FD: {src}"),
+        }
+    }
+
+    #[test]
+    fn closure_basics() {
+        let fds = vec![fd("R: A -> B"), fd("R: B -> C"), fd("R: C, D -> E")];
+        let eng = FdEngine::new("R", &fds);
+        let c = eng.closure(&attrs(&["A"]));
+        assert!(c.contains(&Attr::new("A")));
+        assert!(c.contains(&Attr::new("B")));
+        assert!(c.contains(&Attr::new("C")));
+        assert!(!c.contains(&Attr::new("E")));
+        let c2 = eng.closure(&attrs(&["A", "D"]));
+        assert!(c2.contains(&Attr::new("E")));
+    }
+
+    #[test]
+    fn closure_with_empty_lhs_fd() {
+        // R: ∅ -> A fires unconditionally.
+        let fds = vec![fd("R: -> A"), fd("R: A -> B")];
+        let eng = FdEngine::new("R", &fds);
+        let c = eng.closure(&AttrSeq::empty());
+        assert!(c.contains(&Attr::new("A")));
+        assert!(c.contains(&Attr::new("B")));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = vec![fd("R: A -> B"), fd("R: B -> C")];
+        let eng = FdEngine::new("R", &fds);
+        assert!(eng.implies(&fd("R: A -> C")));
+        assert!(eng.implies(&fd("R: A, C -> B")));
+        assert!(!eng.implies(&fd("R: B -> A")));
+        // Trivial FDs are always implied.
+        assert!(eng.implies(&fd("R: A, B -> A")));
+        // FDs about other relations: only trivial ones are implied.
+        assert!(!eng.implies(&fd("S: A -> B")));
+        assert!(eng.implies(&fd("S: A, B -> B")));
+    }
+
+    #[test]
+    fn closure_trace_reconstructs_derivation() {
+        let fds = vec![fd("R: A -> B"), fd("R: B -> C")];
+        let eng = FdEngine::new("R", &fds);
+        let (c, trace) = eng.closure_with_trace(&attrs(&["A"]));
+        assert_eq!(c.len(), 3);
+        assert_eq!(trace.len(), 2);
+        // B added by FD 0, C added by FD 1.
+        assert_eq!(trace[0], (Attr::new("B"), 0));
+        assert_eq!(trace[1], (Attr::new("C"), 1));
+    }
+
+    #[test]
+    fn candidate_keys_simple() {
+        let scheme = RelationScheme::new("R", attrs(&["A", "B", "C"]));
+        let fds = vec![fd("R: A -> B"), fd("R: B -> C")];
+        let eng = FdEngine::new("R", &fds);
+        let keys = eng.candidate_keys(&scheme);
+        assert_eq!(keys.len(), 1);
+        assert!(keys[0].contains(&Attr::new("A")));
+        assert_eq!(keys[0].len(), 1);
+    }
+
+    #[test]
+    fn candidate_keys_cyclic() {
+        // A -> B, B -> A over R(A, B, C): keys are {A, C} and {B, C}.
+        let scheme = RelationScheme::new("R", attrs(&["A", "B", "C"]));
+        let fds = vec![fd("R: A -> B"), fd("R: B -> A")];
+        let eng = FdEngine::new("R", &fds);
+        let keys = eng.candidate_keys(&scheme);
+        assert_eq!(keys.len(), 2);
+        for k in &keys {
+            assert_eq!(k.len(), 2);
+            assert!(k.contains(&Attr::new("C")));
+        }
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        let scheme = RelationScheme::new("R", attrs(&["A", "B"]));
+        let eng = FdEngine::new("R", &[]);
+        let keys = eng.candidate_keys(&scheme);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].len(), 2);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        let fds = vec![
+            fd("R: A -> B, C"),
+            fd("R: B -> C"),
+            fd("R: A -> C"), // redundant given A -> B, B -> C
+            fd("R: A, B -> C"), // A extraneous... B extraneous: A -> C redundant
+        ];
+        let cover = minimal_cover(&fds);
+        // Expected: {A -> B, B -> C}.
+        assert_eq!(cover.len(), 2);
+        assert!(implies_fd(&cover, &fd("R: A -> C")));
+        for f in &cover {
+            assert_eq!(f.rhs.len(), 1);
+        }
+        // Equivalence both ways.
+        for f in &fds {
+            assert!(implies_fd(&cover, f));
+        }
+    }
+
+    #[test]
+    fn minimal_cover_strips_extraneous_lhs() {
+        let fds = vec![fd("R: A -> B"), fd("R: A, C -> B")];
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0], fd("R: A -> B"));
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent() {
+        let fds = vec![fd("R: A -> B"), fd("R: B, C -> D"), fd("R: D -> A")];
+        let eng = FdEngine::new("R", &fds);
+        let small = eng.closure(&attrs(&["A"]));
+        let big = eng.closure(&attrs(&["A", "C"]));
+        assert!(small.is_subset(&big));
+        // Idempotence: closure(closure(X)) = closure(X).
+        let again_seq = AttrSeq::new(big.iter().cloned().collect()).unwrap();
+        assert_eq!(eng.closure(&again_seq), big);
+    }
+}

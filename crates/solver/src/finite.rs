@@ -1,0 +1,346 @@
+//! Finite-implication reasoning: the cardinality-cycle ("counting") rule.
+//!
+//! Section 4 (Theorem 4.4) and Section 6 (Theorem 6.1) of the paper rest on
+//! a counting argument that is valid **only over finite databases**: INDs
+//! give `|r[X]| ≤ |s[Y]|`, FDs give `|r[X∪Y]| ≤ |r[X]|`, and projections
+//! give `|r[X']| ≤ |r[X]|` for `X' ⊆ X`; when these inequalities close a
+//! cycle, all the cardinalities in the cycle are equal, and equality turns
+//!
+//! * a finite inclusion `r[X] ⊆ s[Y]` with `|r[X]| = |s[Y]|` into the
+//!   **reversed IND** `S[Y] ⊆ R[X]`, and
+//! * `|r[S₂]| = |r[S₁]|` for `S₁ ⊆ S₂` into the **FD** `R: S₁ → S₂`
+//!   (the projection `r[S₂] → r[S₁]` is then a bijection).
+//!
+//! This is exactly how the paper proves `Σ ⊨_fin σ` in Theorem 4.4 (both
+//! parts) and Theorem 6.1. [`FiniteEngine`] alternates this rule with the
+//! `Saturator` (see [`crate::interact`]) to a fixpoint, yielding a sound
+//! finite-implication engine that is complete on the paper's families
+//! (tests in `depkit-axiom` verify this) though necessarily incomplete in
+//! general — no k-ary axiomatization exists (Theorem 6.1) and the problem
+//! is undecidable.
+
+use crate::interact::Saturator;
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::{Dependency, Fd, Ind};
+use depkit_core::schema::RelName;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node of the cardinality graph: a relation name together with a
+/// *set* of attributes (cardinality of a projection is order-insensitive).
+type Node = (RelName, BTreeSet<Attr>);
+
+/// Apply the counting rule once: from the given FDs and INDs, derive
+/// reversed INDs and bijection FDs along cardinality cycles. Returns only
+/// dependencies that are not already present.
+pub fn counting_rule(fds: &BTreeSet<Fd>, inds: &BTreeSet<Ind>) -> Vec<Dependency> {
+    // 1. Materialize nodes.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut index: BTreeMap<Node, usize> = BTreeMap::new();
+    let intern = |n: Node, nodes: &mut Vec<Node>, index: &mut BTreeMap<Node, usize>| {
+        if let Some(&i) = index.get(&n) {
+            i
+        } else {
+            let i = nodes.len();
+            nodes.push(n.clone());
+            index.insert(n, i);
+            i
+        }
+    };
+    let set_of = |s: &AttrSeq| -> BTreeSet<Attr> { s.attrs().iter().cloned().collect() };
+
+    // (edge u -> v means |u| <= |v|)
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut ind_edges: Vec<(usize, usize, Ind)> = Vec::new();
+
+    for ind in inds {
+        let l = intern(
+            (ind.lhs_rel.clone(), set_of(&ind.lhs_attrs)),
+            &mut nodes,
+            &mut index,
+        );
+        let r = intern(
+            (ind.rhs_rel.clone(), set_of(&ind.rhs_attrs)),
+            &mut nodes,
+            &mut index,
+        );
+        edges.push((l, r));
+        ind_edges.push((l, r, ind.clone()));
+    }
+    for fd in fds {
+        let x = set_of(&fd.lhs);
+        let mut xy = x.clone();
+        xy.extend(fd.rhs.attrs().iter().cloned());
+        let nx = intern((fd.rel.clone(), x), &mut nodes, &mut index);
+        let nxy = intern((fd.rel.clone(), xy), &mut nodes, &mut index);
+        // FD X -> Y: |r[X ∪ Y]| <= |r[X]|.
+        edges.push((nxy, nx));
+    }
+    // Structural edges between same-relation nodes with subset relation:
+    // S1 ⊆ S2 gives |r[S1]| <= |r[S2]|.
+    for i in 0..nodes.len() {
+        for j in 0..nodes.len() {
+            if i != j && nodes[i].0 == nodes[j].0 && nodes[i].1.is_subset(&nodes[j].1) {
+                edges.push((i, j));
+            }
+        }
+    }
+
+    // 2. Strongly connected components (iterative Tarjan).
+    let scc = tarjan(nodes.len(), &edges);
+
+    // 3. Derivations.
+    let mut out: Vec<Dependency> = Vec::new();
+    for (l, r, ind) in &ind_edges {
+        if scc[*l] == scc[*r] {
+            let rev = ind.reversed();
+            if !rev.is_trivial() && !inds.contains(&rev) {
+                out.push(rev.into());
+            }
+        }
+    }
+    for i in 0..nodes.len() {
+        for j in 0..nodes.len() {
+            if i != j
+                && scc[i] == scc[j]
+                && nodes[i].0 == nodes[j].0
+                && nodes[i].1.is_subset(&nodes[j].1)
+            {
+                // |r[S2]| = |r[S1]| with S1 ⊆ S2: the FD S1 -> S2 \ S1.
+                let rhs: Vec<Attr> = nodes[j].1.difference(&nodes[i].1).cloned().collect();
+                if rhs.is_empty() {
+                    continue;
+                }
+                let fd = Fd::new(
+                    nodes[i].0.clone(),
+                    AttrSeq::new(nodes[i].1.iter().cloned().collect()).expect("set is distinct"),
+                    AttrSeq::new(rhs).expect("set difference is distinct"),
+                );
+                if !fd.is_trivial() && !fds.contains(&fd) {
+                    out.push(fd.into());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn tarjan(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u].push(v);
+    }
+    let mut index_counter = 0usize;
+    let mut scc_counter = 0usize;
+    let mut indices: Vec<Option<usize>> = vec![None; n];
+    let mut lowlink: Vec<usize> = vec![0; n];
+    let mut on_stack: Vec<bool> = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc: Vec<usize> = vec![usize::MAX; n];
+
+    // Iterative DFS to avoid recursion limits on large graphs.
+    #[derive(Clone)]
+    struct Frame {
+        v: usize,
+        next_child: usize,
+    }
+    for root in 0..n {
+        if indices[root].is_some() {
+            continue;
+        }
+        let mut call_stack = vec![Frame {
+            v: root,
+            next_child: 0,
+        }];
+        indices[root] = Some(index_counter);
+        lowlink[root] = index_counter;
+        index_counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call_stack.last().cloned() {
+            let v = frame.v;
+            if frame.next_child < adj[v].len() {
+                let w = adj[v][frame.next_child];
+                call_stack.last_mut().expect("nonempty").next_child += 1;
+                if indices[w].is_none() {
+                    indices[w] = Some(index_counter);
+                    lowlink[w] = index_counter;
+                    index_counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push(Frame {
+                        v: w,
+                        next_child: 0,
+                    });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(indices[w].expect("visited"));
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    lowlink[parent.v] = lowlink[parent.v].min(lowlink[v]);
+                }
+                if lowlink[v] == indices[v].expect("visited") {
+                    loop {
+                        let w = stack.pop().expect("stack nonempty");
+                        on_stack[w] = false;
+                        scc[w] = scc_counter;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_counter += 1;
+                }
+            }
+        }
+    }
+    scc
+}
+
+/// A sound engine for **finite** implication of FDs, INDs, and RDs:
+/// alternates the interaction saturator with the counting rule to a
+/// fixpoint.
+#[derive(Debug, Clone)]
+pub struct FiniteEngine {
+    sat: Saturator,
+}
+
+impl FiniteEngine {
+    /// Build and saturate the engine.
+    pub fn new(deps: &[Dependency]) -> Self {
+        let mut sat = Saturator::new(deps);
+        loop {
+            sat.saturate();
+            let derived = counting_rule(sat.fds(), sat.inds());
+            let mut changed = false;
+            for d in &derived {
+                changed |= sat.add(d);
+            }
+            if !changed || sat.truncated() {
+                break;
+            }
+        }
+        FiniteEngine { sat }
+    }
+
+    /// Whether the engine derives `Σ ⊨_fin dep`. Sound; incomplete in
+    /// general (the finite implication problem for FDs + INDs is
+    /// undecidable).
+    pub fn implies(&self, dep: &Dependency) -> bool {
+        self.sat.implies(dep)
+    }
+
+    /// Whether saturation hit a resource cap.
+    pub fn truncated(&self) -> bool {
+        self.sat.truncated()
+    }
+
+    /// All dependencies the engine has materialized.
+    pub fn derived(&self) -> Vec<Dependency> {
+        self.sat.derived()
+    }
+
+    /// Access the underlying saturator.
+    pub fn saturator(&self) -> &Saturator {
+        &self.sat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::parser::{parse_dependencies, parse_dependency};
+
+    fn deps(srcs: &[&str]) -> Vec<Dependency> {
+        parse_dependencies(srcs).unwrap()
+    }
+
+    #[test]
+    fn theorem_4_4a_reversed_ind() {
+        // Σ = {R: A -> B, R[A] <= R[B]} ⊨_fin R[B] <= R[A] — but NOT under
+        // unrestricted implication (Figure 4.1 is the infinite witness).
+        let sigma = deps(&["R: A -> B", "R[A] <= R[B]"]);
+        let engine = FiniteEngine::new(&sigma);
+        assert!(engine.implies(&parse_dependency("R[B] <= R[A]").unwrap()));
+    }
+
+    #[test]
+    fn theorem_4_4b_flipped_fd() {
+        // Σ = {R: A -> B, R[A] <= R[B]} ⊨_fin R: B -> A.
+        let sigma = deps(&["R: A -> B", "R[A] <= R[B]"]);
+        let engine = FiniteEngine::new(&sigma);
+        assert!(engine.implies(&parse_dependency("R: B -> A").unwrap()));
+    }
+
+    #[test]
+    fn theorem_6_1_cycle() {
+        // The Section 6 family with k = 2:
+        // Σ = {R_i: A -> B, R_i[A] <= R_{i+1}[B] (mod 3)}.
+        // σ = R_0[B] <= R_2[A] (reversal of the last cycle IND).
+        let sigma = deps(&[
+            "R0: A -> B",
+            "R1: A -> B",
+            "R2: A -> B",
+            "R0[A] <= R1[B]",
+            "R1[A] <= R2[B]",
+            "R2[A] <= R0[B]",
+        ]);
+        let engine = FiniteEngine::new(&sigma);
+        assert!(engine.implies(&parse_dependency("R0[B] <= R2[A]").unwrap()));
+        // Every cycle IND reverses.
+        assert!(engine.implies(&parse_dependency("R1[B] <= R0[A]").unwrap()));
+        assert!(engine.implies(&parse_dependency("R2[B] <= R1[A]").unwrap()));
+        // And the flipped FDs hold too.
+        assert!(engine.implies(&parse_dependency("R0: B -> A").unwrap()));
+        // But unrelated dependencies do not.
+        assert!(!engine.implies(&parse_dependency("R0[A] <= R2[B]").unwrap()));
+        assert!(!engine.implies(&parse_dependency("R0[A = B]").unwrap()));
+    }
+
+    #[test]
+    fn no_cycle_no_derivation() {
+        // A -> B with a one-way inclusion: counting must NOT fire.
+        let sigma = deps(&["R: A -> B", "R[B] <= R[A]"]);
+        let engine = FiniteEngine::new(&sigma);
+        // |r[B]| <= |r[A]| from both the FD and the IND: consistent, no cycle
+        // through a reversing edge.
+        assert!(!engine.implies(&parse_dependency("R[A] <= R[B]").unwrap()));
+        assert!(!engine.implies(&parse_dependency("R: B -> A").unwrap()));
+    }
+
+    #[test]
+    fn counting_interacts_with_saturator() {
+        // After the counting rule derives R[B] <= R[A], Proposition 4.1 can
+        // fire through it: with R: A -> B ... pull FD back through the
+        // reversed IND. Here we check the combined engine reaches a
+        // dependency needing both engines: S inherits the flip through a
+        // bridge IND.
+        let sigma = deps(&[
+            "R: A -> B",
+            "R[A] <= R[B]",
+            "S[C] <= R[B]",
+        ]);
+        let engine = FiniteEngine::new(&sigma);
+        // R[B] <= R[A] (counting), then S[C] <= R[B] <= R[A] by IND3.
+        assert!(engine.implies(&parse_dependency("S[C] <= R[A]").unwrap()));
+    }
+
+    #[test]
+    fn counting_rule_emits_nothing_for_pure_fds() {
+        let sigma = deps(&["R: A -> B", "R: B -> C"]);
+        let engine = FiniteEngine::new(&sigma);
+        assert!(!engine.implies(&parse_dependency("R: B -> A").unwrap()));
+        assert!(engine.implies(&parse_dependency("R: A -> C").unwrap()));
+    }
+
+    #[test]
+    fn tarjan_components() {
+        // 0 -> 1 -> 2 -> 0 is one SCC; 3 -> 0 is its own.
+        let scc = tarjan(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        assert_eq!(scc[0], scc[1]);
+        assert_eq!(scc[1], scc[2]);
+        assert_ne!(scc[3], scc[0]);
+    }
+}

@@ -1,0 +1,420 @@
+//! The IND decision procedure of Section 3.
+//!
+//! By Corollary 3.2, `Σ ⊨ R_a[A_1..A_m] ⊆ R_b[B_1..B_m]` iff there is a
+//! sequence of *expressions* `S_1[X_1], ..., S_w[X_w]` with
+//! `S_1[X_1] = R_a[A_1..A_m]`, `S_w[X_w] = R_b[B_1..B_m]`, and each step
+//! `S_i[X_i] ⊆ S_{i+1}[X_{i+1}]` an IND2-instance (projection and
+//! permutation) of a member of `Σ`. [`IndSolver`] performs breadth-first
+//! search over expressions, which is exactly the paper's decision procedure
+//! (steps (1)–(4) after Corollary 3.2) made deterministic.
+//!
+//! Complexity notes, mirroring the paper:
+//!
+//! * the general problem is PSPACE-complete (Theorem 3.3); this worklist
+//!   algorithm may visit superpolynomially many expressions — the
+//!   `depkit-perm` crate constructs the Landau-permutation family on which
+//!   the walk necessarily has length `f(m) − 1`;
+//! * for INDs of arity ≤ k (k fixed) the expression space has polynomial
+//!   size, so the same search runs in polynomial time (the paper credits
+//!   Kannelakis–Cosmadakis–Vardi with NLOGSPACE-completeness);
+//! * for *typed* INDs `R[X] ⊆ S[X]` the expression's attribute sequence
+//!   never changes, so the search degenerates to reachability over relation
+//!   names — see [`IndSolver::implies_typed`].
+
+use depkit_core::attr::AttrSeq;
+use depkit_core::dependency::Ind;
+use depkit_core::schema::RelName;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An expression `S[X]`: a relation name with a sequence of distinct
+/// attributes, the state of the Corollary 3.2 search.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Expression {
+    /// The relation name `S`.
+    pub rel: RelName,
+    /// The attribute sequence `X`.
+    pub attrs: AttrSeq,
+}
+
+impl std::fmt::Display for Expression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.rel, self.attrs)
+    }
+}
+
+/// Instrumentation for one implication query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Expressions inserted into the visited set (applications of the
+    /// paper's step (2) that produced a new expression, plus the start).
+    pub expressions_visited: usize,
+    /// Candidate IND applications attempted (successful or not).
+    pub applications_attempted: usize,
+    /// Length `w` of the found walk (number of expressions), when found.
+    pub walk_length: Option<usize>,
+}
+
+/// One step of a Corollary 3.2 walk: the expression reached and, except for
+/// the start, the index into `Σ` of the IND whose IND2-instance was used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkStep {
+    /// The expression `S_i[X_i]`.
+    pub expr: Expression,
+    /// Index of the IND in `Σ` used to reach this expression (`None` for
+    /// the first step).
+    pub via: Option<usize>,
+}
+
+/// A decision procedure for IND implication over a fixed `Σ`.
+#[derive(Debug, Clone)]
+pub struct IndSolver {
+    sigma: Vec<Ind>,
+    /// Σ indices grouped by left-hand relation name.
+    by_lhs_rel: HashMap<RelName, Vec<usize>>,
+}
+
+impl IndSolver {
+    /// Build a solver from a set of INDs.
+    pub fn new(sigma: &[Ind]) -> Self {
+        let sigma: Vec<Ind> = sigma.to_vec();
+        let mut by_lhs_rel: HashMap<RelName, Vec<usize>> = HashMap::new();
+        for (i, ind) in sigma.iter().enumerate() {
+            by_lhs_rel.entry(ind.lhs_rel.clone()).or_default().push(i);
+        }
+        IndSolver { sigma, by_lhs_rel }
+    }
+
+    /// The IND set `Σ`.
+    pub fn sigma(&self) -> &[Ind] {
+        &self.sigma
+    }
+
+    /// Decide `Σ ⊨ target`.
+    pub fn implies(&self, target: &Ind) -> bool {
+        self.search(target).0.is_some()
+    }
+
+    /// Decide `Σ ⊨ target`, returning search statistics.
+    pub fn implies_with_stats(&self, target: &Ind) -> (bool, SearchStats) {
+        let (walk, stats) = self.search(target);
+        (walk.is_some(), stats)
+    }
+
+    /// Produce the Corollary 3.2 walk witnessing `Σ ⊨ target`, or `None`.
+    ///
+    /// The walk starts at `target`'s left expression and ends at its right
+    /// expression; consecutive expressions are related by IND2-instances of
+    /// the recorded `Σ` members. [`verify_walk`] checks these conditions.
+    pub fn walk(&self, target: &Ind) -> Option<Vec<WalkStep>> {
+        self.search(target).0
+    }
+
+    fn search(&self, target: &Ind) -> (Option<Vec<WalkStep>>, SearchStats) {
+        let start = Expression {
+            rel: target.lhs_rel.clone(),
+            attrs: target.lhs_attrs.clone(),
+        };
+        let goal = Expression {
+            rel: target.rhs_rel.clone(),
+            attrs: target.rhs_attrs.clone(),
+        };
+        let mut stats = SearchStats {
+            expressions_visited: 1,
+            ..SearchStats::default()
+        };
+        // parent: expression -> (predecessor, sigma index used)
+        let mut parent: HashMap<Expression, Option<(Expression, usize)>> = HashMap::new();
+        parent.insert(start.clone(), None);
+        if start == goal {
+            stats.walk_length = Some(1);
+            return (
+                Some(vec![WalkStep {
+                    expr: start,
+                    via: None,
+                }]),
+                stats,
+            );
+        }
+        let mut queue = VecDeque::from([start]);
+        while let Some(expr) = queue.pop_front() {
+            let Some(candidates) = self.by_lhs_rel.get(&expr.rel) else {
+                continue;
+            };
+            for &i in candidates {
+                stats.applications_attempted += 1;
+                let Some(next) = apply_ind2(&self.sigma[i], &expr) else {
+                    continue;
+                };
+                match parent.entry(next.clone()) {
+                    Entry::Occupied(_) => continue,
+                    Entry::Vacant(slot) => {
+                        slot.insert(Some((expr.clone(), i)));
+                        stats.expressions_visited += 1;
+                    }
+                }
+                if next == goal {
+                    let walk = reconstruct(&parent, &next);
+                    stats.walk_length = Some(walk.len());
+                    return (Some(walk), stats);
+                }
+                queue.push_back(next);
+            }
+        }
+        (None, stats)
+    }
+
+    /// Fast path for *typed* INDs (`R[X] ⊆ S[X]`).
+    ///
+    /// Returns `None` when the fast path does not apply (some IND in `Σ` or
+    /// the target is untyped); otherwise decides implication by reachability
+    /// over relation names, in time `O(|Σ| · |schema|)`.
+    ///
+    /// Soundness/completeness within the typed fragment: a typed IND applied
+    /// by IND2 to an expression `R[X]` with `set(X) ⊆ set(W)` yields `S[X]`
+    /// with the *same* attribute sequence, so walks never change the
+    /// attribute sequence and only relation names matter.
+    pub fn implies_typed(&self, target: &Ind) -> Option<bool> {
+        if !target.is_typed() || self.sigma.iter().any(|i| !i.is_typed()) {
+            return None;
+        }
+        if target.is_trivial() {
+            return Some(true);
+        }
+        let needed = &target.lhs_attrs;
+        let mut visited: HashSet<RelName> = HashSet::from([target.lhs_rel.clone()]);
+        let mut queue = VecDeque::from([target.lhs_rel.clone()]);
+        while let Some(rel) = queue.pop_front() {
+            let Some(candidates) = self.by_lhs_rel.get(&rel) else {
+                continue;
+            };
+            for &i in candidates {
+                let ind = &self.sigma[i];
+                if needed.subset_of(&ind.lhs_attrs) && visited.insert(ind.rhs_rel.clone()) {
+                    if ind.rhs_rel == target.rhs_rel {
+                        return Some(true);
+                    }
+                    queue.push_back(ind.rhs_rel.clone());
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Apply IND2 (projection and permutation) of `ind` to `expr`: succeeds when
+/// `expr` names `ind`'s left relation and every attribute of `expr` occurs
+/// in `ind`'s left side; the result maps each attribute through `ind`'s
+/// positional correspondence.
+pub fn apply_ind2(ind: &Ind, expr: &Expression) -> Option<Expression> {
+    if expr.rel != ind.lhs_rel {
+        return None;
+    }
+    let mut mapped = Vec::with_capacity(expr.attrs.len());
+    for a in expr.attrs.attrs() {
+        let p = ind.lhs_attrs.position(a)?;
+        mapped.push(ind.rhs_attrs.attrs()[p].clone());
+    }
+    // `ind`'s right side has distinct attributes and position mapping is
+    // injective, so the selection is distinct.
+    let attrs = AttrSeq::new(mapped).expect("projection of distinct attributes is distinct");
+    Some(Expression {
+        rel: ind.rhs_rel.clone(),
+        attrs,
+    })
+}
+
+fn reconstruct(
+    parent: &HashMap<Expression, Option<(Expression, usize)>>,
+    end: &Expression,
+) -> Vec<WalkStep> {
+    let mut steps = Vec::new();
+    let mut cur = end.clone();
+    loop {
+        match parent.get(&cur).expect("every visited node has a parent entry") {
+            Some((prev, via)) => {
+                steps.push(WalkStep {
+                    expr: cur.clone(),
+                    via: Some(*via),
+                });
+                cur = prev.clone();
+            }
+            None => {
+                steps.push(WalkStep {
+                    expr: cur.clone(),
+                    via: None,
+                });
+                break;
+            }
+        }
+    }
+    steps.reverse();
+    steps
+}
+
+/// Verify that `walk` witnesses `sigma ⊨ target` per Corollary 3.2:
+/// conditions (iii)–(v) of the corollary.
+pub fn verify_walk(sigma: &[Ind], target: &Ind, walk: &[WalkStep]) -> bool {
+    let Some(first) = walk.first() else {
+        return false;
+    };
+    let Some(last) = walk.last() else {
+        return false;
+    };
+    if first.expr.rel != target.lhs_rel || first.expr.attrs != target.lhs_attrs {
+        return false;
+    }
+    if last.expr.rel != target.rhs_rel || last.expr.attrs != target.rhs_attrs {
+        return false;
+    }
+    for w in 1..walk.len() {
+        let Some(via) = walk[w].via else {
+            return false;
+        };
+        let Some(ind) = sigma.get(via) else {
+            return false;
+        };
+        match apply_ind2(ind, &walk[w - 1].expr) {
+            Some(next) if next == walk[w].expr => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::parser::parse_dependency;
+
+    fn ind(src: &str) -> Ind {
+        match parse_dependency(src).unwrap() {
+            depkit_core::Dependency::Ind(i) => i,
+            _ => panic!("not an IND: {src}"),
+        }
+    }
+
+    fn inds(srcs: &[&str]) -> Vec<Ind> {
+        srcs.iter().map(|s| ind(s)).collect()
+    }
+
+    #[test]
+    fn reflexivity_ind1() {
+        let solver = IndSolver::new(&[]);
+        assert!(solver.implies(&ind("R[A, B] <= R[A, B]")));
+        assert!(!solver.implies(&ind("R[A, B] <= R[B, A]")));
+    }
+
+    #[test]
+    fn projection_and_permutation_ind2() {
+        let sigma = inds(&["R[A, B, C] <= S[D, E, F]"]);
+        let solver = IndSolver::new(&sigma);
+        assert!(solver.implies(&ind("R[A] <= S[D]")));
+        assert!(solver.implies(&ind("R[C, A] <= S[F, D]")));
+        assert!(!solver.implies(&ind("R[A] <= S[E]")));
+        assert!(!solver.implies(&ind("R[C, A] <= S[D, F]")));
+    }
+
+    #[test]
+    fn transitivity_ind3() {
+        let sigma = inds(&["R[A] <= S[B]", "S[B] <= T[C]"]);
+        let solver = IndSolver::new(&sigma);
+        assert!(solver.implies(&ind("R[A] <= T[C]")));
+        assert!(!solver.implies(&ind("T[C] <= R[A]")));
+    }
+
+    #[test]
+    fn combined_projection_then_transitivity() {
+        let sigma = inds(&["R[A, B] <= S[C, D]", "S[D] <= T[E]"]);
+        let solver = IndSolver::new(&sigma);
+        assert!(solver.implies(&ind("R[B] <= T[E]")));
+        assert!(!solver.implies(&ind("R[A] <= T[E]")));
+    }
+
+    #[test]
+    fn walk_is_verifiable() {
+        let sigma = inds(&["R[A, B] <= S[C, D]", "S[C, D] <= T[E, F]"]);
+        let solver = IndSolver::new(&sigma);
+        let target = ind("R[B, A] <= T[F, E]");
+        let walk = solver.walk(&target).expect("implication holds");
+        assert_eq!(walk.len(), 3);
+        assert!(verify_walk(&sigma, &target, &walk));
+        // Tampered walk fails verification.
+        let mut bad = walk.clone();
+        bad.pop();
+        assert!(!verify_walk(&sigma, &target, &bad));
+    }
+
+    #[test]
+    fn permutation_cycle_needs_many_steps() {
+        // σ(γ) with γ the 3-cycle (A B C): R[A,B,C] ⊆ R[B,C,A].
+        // γ has order 3, so σ(γ²) = R[A,B,C] ⊆ R[C,A,B] needs 2 steps.
+        let sigma = inds(&["R[A, B, C] <= R[B, C, A]"]);
+        let solver = IndSolver::new(&sigma);
+        let target = ind("R[A, B, C] <= R[C, A, B]");
+        let (yes, stats) = solver.implies_with_stats(&target);
+        assert!(yes);
+        assert_eq!(stats.walk_length, Some(3)); // w = 3 expressions, 2 steps
+    }
+
+    #[test]
+    fn self_referential_ind() {
+        let sigma = inds(&["R[A] <= R[B]"]);
+        let solver = IndSolver::new(&sigma);
+        assert!(solver.implies(&ind("R[A] <= R[B]")));
+        assert!(!solver.implies(&ind("R[B] <= R[A]")));
+    }
+
+    #[test]
+    fn typed_fast_path_agrees_with_general_search() {
+        let sigma = inds(&[
+            "R[A, B] <= S[A, B]",
+            "S[A, B, C] <= T[A, B, C]",
+            "T[A] <= U[A]",
+        ]);
+        let solver = IndSolver::new(&sigma);
+        let cases = [
+            ("R[A] <= T[A]", true),
+            ("R[A, B] <= T[A, B]", true),
+            ("R[A] <= U[A]", true),
+            ("R[B] <= U[B]", false),
+            ("S[C] <= T[C]", true),
+            ("R[C] <= T[C]", false),
+            ("U[A] <= R[A]", false),
+        ];
+        for (src, expected) in cases {
+            let t = ind(src);
+            assert_eq!(solver.implies(&t), expected, "general: {src}");
+            assert_eq!(solver.implies_typed(&t), Some(expected), "typed: {src}");
+        }
+        // Fast path declines untyped targets.
+        assert_eq!(solver.implies_typed(&ind("R[A] <= S[B]")), None);
+        // Fast path declines untyped sigma.
+        let untyped = IndSolver::new(&inds(&["R[A] <= S[B]"]));
+        assert_eq!(untyped.implies_typed(&ind("R[A] <= S[A]")), None);
+    }
+
+    #[test]
+    fn stats_count_expressions() {
+        // A permutation cycle of order 4 on two attributes... use the
+        // 4-cycle on (A B C D): expressions along the path: 4 total.
+        let sigma = inds(&["R[A, B, C, D] <= R[B, C, D, A]"]);
+        let solver = IndSolver::new(&sigma);
+        let target = ind("R[A, B, C, D] <= R[D, A, B, C]");
+        let (yes, stats) = solver.implies_with_stats(&target);
+        assert!(yes);
+        // Start + 3 new expressions reached.
+        assert_eq!(stats.expressions_visited, 4);
+        assert_eq!(stats.walk_length, Some(4));
+    }
+
+    #[test]
+    fn unsatisfiable_exhausts_search() {
+        let sigma = inds(&["R[A, B] <= R[B, A]"]);
+        let solver = IndSolver::new(&sigma);
+        // R[A,B] can reach R[B,A] and back, but never S[...].
+        let (yes, stats) = solver.implies_with_stats(&ind("R[A] <= S[A]"));
+        assert!(!yes);
+        assert!(stats.expressions_visited >= 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Theorem 4.4 live: the same two constraints imply different things over
+//! finite databases and over unrestricted (possibly infinite) ones.
+//!
+//! `Σ = {R: A -> B, R[A] ⊆ R[B]}` forces, over FINITE relations, that the
+//! inclusion reverses (`R[B] ⊆ R[A]`) and the key flips (`R: B -> A`) — a
+//! pure counting argument. Over infinite relations both fail: Figures 4.1
+//! and 4.2 of the paper are infinite witnesses, represented here exactly
+//! as affine-pattern symbolic relations.
+//!
+//! Run with: `cargo run --example finite_vs_unrestricted`
+
+use depkit_axiom::families::theorem44::Theorem44;
+use depkit_core::prelude::*;
+use depkit_solver::finite::FiniteEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fam = Theorem44::new();
+    println!("Σ:");
+    for d in &fam.sigma {
+        println!("  {d}");
+    }
+
+    // Finite implication, via the counting engine.
+    let engine = FiniteEngine::new(&fam.sigma);
+    println!("\nover finite databases:");
+    println!("  Σ ⊨_fin {}?  {}", fam.target_ind, engine.implies(&fam.target_ind));
+    println!("  Σ ⊨_fin {}?  {}", fam.target_fd, engine.implies(&fam.target_fd));
+
+    // Unrestricted implication fails: exhibit the infinite witnesses.
+    let fig41 = fam.figure_4_1();
+    println!("\nFigure 4.1 (infinite): r = {{(i+1, i) : i ≥ 0}}");
+    for d in &fam.sigma {
+        println!("  satisfies {d}?  {}", fig41.satisfies(d)?);
+    }
+    println!("  satisfies {}?  {}", fam.target_ind, fig41.satisfies(&fam.target_ind)?);
+    if let Some(v) = fig41.check(&fam.target_ind)? {
+        println!("  violation witness: {v:?}");
+    }
+
+    let fig42 = fam.figure_4_2();
+    println!("\nFigure 4.2 (infinite): r = {{(1,1)}} ∪ {{(i+1, i) : i ≥ 1}}");
+    println!("  satisfies {}?  {}", fam.target_fd, fig42.satisfies(&fam.target_fd)?);
+    if let Some(v) = fig42.check(&fam.target_fd)? {
+        println!("  violation witness: {v:?}");
+    }
+
+    // Every finite slice of Figure 4.1 breaks Σ — that is WHY the finite
+    // counting rule is sound.
+    println!("\nfinite prefixes of Figure 4.1 cannot satisfy Σ:");
+    for n in [2u64, 4, 8] {
+        let prefix = fig41.prefix(n);
+        let sat = fam
+            .sigma
+            .iter()
+            .all(|d| prefix.satisfies(d).unwrap_or(false));
+        println!("  prefix i ≤ {n}: satisfies Σ? {sat}");
+    }
+
+    // Materialize a prefix and show the offending edge.
+    let prefix = fig41.prefix(3);
+    let ind: Dependency = "R[A] <= R[B]".parse()?;
+    if let Some(v) = prefix.check(&ind)? {
+        println!("  e.g. in prefix i ≤ 3: {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: declare a schema, state dependencies, check databases, and
+//! ask implication questions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use depkit_core::prelude::*;
+use depkit_solver::fd::FdEngine;
+use depkit_solver::ind::IndSolver;
+use depkit_solver::interact::Saturator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's opening example: every MANAGER entry of MGR appears as an
+    // EMPLOYEE entry of EMP.
+    let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"])?;
+    println!("schema: {schema}");
+
+    // Dependencies in the text syntax: an IND and an FD.
+    let manager_is_employee: Dependency = "MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse()?;
+    let one_dept_per_name: Dependency = "EMP: NAME -> DEPT".parse()?;
+    println!("Σ = {{ {manager_is_employee} ; {one_dept_per_name} }}");
+
+    // Build a database and check it.
+    let mut db = Database::empty(schema);
+    db.insert_str("EMP", &[&["hilbert", "math"], &["noether", "math"], &["bohr", "physics"]])?;
+    db.insert_str("MGR", &[&["hilbert", "math"]])?;
+    assert!(db.satisfies(&manager_is_employee)?);
+    assert!(db.satisfies(&one_dept_per_name)?);
+    println!("database satisfies Σ ✓");
+
+    // Violations come with witnesses.
+    db.insert_str("MGR", &[&["gauss", "math"]])?;
+    if let Some(violation) = db.check(&manager_is_employee)? {
+        println!("after inserting a non-employee manager: {violation}");
+    }
+
+    // Implication: IND reasoning (complete per Theorem 3.1)...
+    let sigma = ["MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse::<Dependency>()?];
+    let ind_solver = IndSolver::new(
+        &sigma.iter().filter_map(|d| d.as_ind().cloned()).collect::<Vec<_>>(),
+    );
+    let projected: Dependency = "MGR[NAME] <= EMP[NAME]".parse()?;
+    println!(
+        "Σ ⊨ {projected}?  {}",
+        ind_solver.implies(projected.as_ind().unwrap())
+    );
+
+    // ... FD reasoning (Armstrong-complete) ...
+    let fds = vec![
+        match "EMP: NAME -> DEPT".parse::<Dependency>()? {
+            Dependency::Fd(f) => f,
+            _ => unreachable!(),
+        },
+    ];
+    let fd_engine = FdEngine::new("EMP", &fds);
+    println!(
+        "closure of {{NAME}} in EMP: {:?}",
+        fd_engine.closure(&depkit_core::attr::attrs(&["NAME"]))
+    );
+
+    // ... and their interaction (Proposition 4.1): managers inherit the FD.
+    let deps: Vec<Dependency> = vec![
+        "MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse()?,
+        "EMP: NAME -> DEPT".parse()?,
+    ];
+    let mut sat = Saturator::new(&deps);
+    sat.saturate();
+    let inherited: Dependency = "MGR: NAME -> DEPT".parse()?;
+    println!("Σ ⊨ {inherited}?  {} (Proposition 4.1)", sat.implies(&inherited));
+    Ok(())
+}

@@ -1,0 +1,310 @@
+//! Cross-crate integration tests: every major claim of the paper checked
+//! end to end, spanning `depkit-core`, `depkit-solver`, `depkit-chase`,
+//! `depkit-lba`, `depkit-perm`, and `depkit-axiom`.
+
+use depkit_axiom::families::emvd::SagivWalecka;
+use depkit_axiom::families::section6::Section6;
+use depkit_axiom::families::section7::Section7;
+use depkit_axiom::families::theorem44::Theorem44;
+use depkit_axiom::proof::prove;
+use depkit_chase::fdind_chase::{ChaseBudget, ChaseOutcome, FdIndChase};
+use depkit_chase::ind_chase::ind_chase;
+use depkit_core::generate::{
+    for_each_small_database, random_ind, random_ind_set, random_mixed_set, random_schema, Rng,
+    SchemaConfig,
+};
+use depkit_core::{Database, DatabaseSchema, Dependency};
+use depkit_lba::{reduce, zoo};
+use depkit_perm::{landau_function, landau_pair};
+use depkit_solver::finite::FiniteEngine;
+use depkit_solver::ind::{verify_walk, IndSolver};
+use depkit_solver::interact::Saturator;
+
+/// Theorem 3.1, three ways: the syntactic search (⊢ via IND1–3), the
+/// semantic Rule (*) chase (⊨_fin), and proof objects — all agree, and
+/// produced proofs check.
+#[test]
+fn theorem_3_1_three_way_agreement() {
+    let mut rng = Rng::new(0x1984);
+    for round in 0..120 {
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 3,
+                min_arity: 2,
+                max_arity: 4,
+            },
+        );
+        let sigma = random_ind_set(&mut rng, &schema, 5, 3);
+        let Some(target) = random_ind(&mut rng, &schema, 2) else {
+            continue;
+        };
+        let solver = IndSolver::new(&sigma);
+        let syntactic = solver.implies(&target);
+        let semantic = ind_chase(&schema, &sigma, &target, 500_000)
+            .expect("within cap")
+            .implied;
+        assert_eq!(syntactic, semantic, "round {round}: {target}");
+        match prove(&sigma, &target) {
+            Some(proof) => {
+                assert!(syntactic, "round {round}");
+                proof.check(&sigma).expect("proof must check");
+                assert_eq!(proof.conclusion(), Some(&target));
+            }
+            None => assert!(!syntactic, "round {round}"),
+        }
+        // Walks verify.
+        if let Some(walk) = solver.walk(&target) {
+            assert!(verify_walk(&sigma, &target, &walk), "round {round}");
+        }
+    }
+}
+
+/// Rule (*) chase counterexamples are genuine: they satisfy Σ and violate
+/// the target.
+#[test]
+fn rule_star_counterexamples_are_models() {
+    let mut rng = Rng::new(0x2001);
+    let mut refuted = 0;
+    for _ in 0..60 {
+        let schema = random_schema(&mut rng, &SchemaConfig::default());
+        let sigma = random_ind_set(&mut rng, &schema, 4, 2);
+        let Some(target) = random_ind(&mut rng, &schema, 2) else {
+            continue;
+        };
+        let result = ind_chase(&schema, &sigma, &target, 500_000).expect("cap");
+        for ind in &sigma {
+            assert!(result.database.satisfies(&ind.clone().into()).unwrap());
+        }
+        if !result.implied {
+            refuted += 1;
+            assert!(!result.database.satisfies(&target.into()).unwrap());
+        }
+    }
+    assert!(refuted > 0, "the sweep should refute something");
+}
+
+/// The saturation engine is sound: everything it derives holds in every
+/// small database satisfying Σ (exhaustive small-model check).
+#[test]
+fn saturator_soundness_vs_exhaustive_models() {
+    let mut rng = Rng::new(0x3003);
+    for _ in 0..12 {
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 2,
+                min_arity: 2,
+                max_arity: 2,
+            },
+        );
+        let sigma = random_mixed_set(&mut rng, &schema, 1, 2);
+        let mut sat = Saturator::new(&sigma);
+        sat.saturate();
+        let derived = sat.derived();
+        let counterexample = !for_each_small_database(&schema, 2, 2, &mut |db| {
+            if sigma.iter().all(|d| db.satisfies(d).unwrap()) {
+                for d in &derived {
+                    if !db.satisfies(d).unwrap() {
+                        eprintln!("unsound: {d} refuted by\n{db}");
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        assert!(!counterexample, "saturator derived a non-consequence");
+    }
+}
+
+/// The finite engine is sound for finite implication: exhaustive
+/// small-model check (small models are finite models).
+#[test]
+fn finite_engine_soundness_vs_exhaustive_models() {
+    let mut rng = Rng::new(0x4004);
+    for _ in 0..10 {
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 2,
+                min_arity: 2,
+                max_arity: 2,
+            },
+        );
+        let sigma = random_mixed_set(&mut rng, &schema, 2, 2);
+        let engine = FiniteEngine::new(&sigma);
+        let derived = engine.derived();
+        let counterexample = !for_each_small_database(&schema, 2, 2, &mut |db| {
+            if sigma.iter().all(|d| db.satisfies(d).unwrap()) {
+                for d in &derived {
+                    if !db.satisfies(d).unwrap() {
+                        eprintln!("unsound: {d} refuted by\n{db}");
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        assert!(!counterexample, "finite engine derived a non-consequence");
+    }
+}
+
+/// Theorem 3.3 end to end on every zoo machine and a random-machine sweep.
+#[test]
+fn pspace_reduction_agreement_sweep() {
+    let machines = vec![zoo::blanker(), zoo::never_accept(), zoo::parity(), zoo::all_zeros()];
+    let inputs: Vec<Vec<usize>> = vec![vec![1, 1], vec![2, 2], vec![1, 2, 1], vec![2, 2, 2]];
+    for m in &machines {
+        for input in &inputs {
+            let direct = m.accepts(input, 5_000_000).expect("budget");
+            let red = reduce(m, input).expect("well-formed");
+            assert_eq!(direct, IndSolver::new(&red.sigma).implies(&red.target));
+        }
+    }
+    for seed in 100..130 {
+        let m = zoo::random_machine(seed, 2, 10);
+        let input = vec![1, 2];
+        let direct = m.accepts(&input, 5_000_000).expect("budget");
+        let red = reduce(&m, &input).expect("well-formed");
+        assert_eq!(direct, IndSolver::new(&red.sigma).implies(&red.target), "seed {seed}");
+    }
+}
+
+/// The Landau walk length is exactly f(m) — the Section 3 lower bound.
+#[test]
+fn landau_walk_lengths() {
+    for m in [4usize, 6, 9, 12] {
+        let (sigma, target, f) = landau_pair(m);
+        assert_eq!(f, landau_function(m));
+        let solver = IndSolver::new(&[sigma]);
+        let (yes, stats) = solver.implies_with_stats(&target);
+        assert!(yes);
+        assert_eq!(stats.walk_length, Some(f as usize), "m={m}");
+    }
+}
+
+/// Theorem 4.4 + Theorem 6.1 + Theorem 7.1 full pipelines.
+#[test]
+fn negative_results_full_pipelines() {
+    assert!(Theorem44::new().verify().all_verified());
+    Section6::new(3).verify().expect("Theorem 6.1 at k=3");
+    Section7::new(2).verify().expect("Theorem 7.1 at n=2");
+    SagivWalecka::new(3).verify(32).expect("Theorem 5.3 at k=3");
+}
+
+/// The Section 6 family's σ: finitely implied, unrestrictedly not, and
+/// the goal-directed chase (unrestricted semantics) diverges rather than
+/// answering — the undecidability boundary in action.
+#[test]
+fn section6_finite_vs_unrestricted_boundary() {
+    let fam = Section6::new(2);
+    assert!(fam.finite_implication_holds());
+    let chase = FdIndChase::new(&fam.schema, &fam.sigma()).unwrap();
+    let out = chase
+        .implies(
+            &fam.target.clone().into(),
+            ChaseBudget {
+                max_rounds: 10,
+                max_tuples: 5_000,
+            },
+        )
+        .unwrap();
+    assert!(matches!(out, ChaseOutcome::Exhausted), "{out:?}");
+}
+
+/// End-to-end referential-integrity scenario across parser, satisfaction,
+/// saturation, and chase.
+#[test]
+fn hr_scenario_end_to_end() {
+    let schema = DatabaseSchema::parse(&[
+        "EMP(NAME, DEPT)",
+        "DEPT(DNAME, HEAD)",
+        "MGR(NAME, DEPT)",
+    ])
+    .unwrap();
+    let constraints: Vec<Dependency> = [
+        "MGR[NAME, DEPT] <= EMP[NAME, DEPT]",
+        "EMP[DEPT] <= DEPT[DNAME]",
+        "DEPT[HEAD, DNAME] <= MGR[NAME, DEPT]",
+        "EMP: NAME -> DEPT",
+        "DEPT: DNAME -> HEAD",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+
+    // Derived: department heads are employees (IND composition), and the
+    // MGR relation inherits EMP's key (Proposition 4.1).
+    let mut sat = Saturator::new(&constraints);
+    sat.saturate();
+    assert!(sat.implies(&"DEPT[HEAD] <= EMP[NAME]".parse().unwrap()));
+    assert!(sat.implies(&"MGR: NAME -> DEPT".parse().unwrap()));
+
+    // The chase agrees and proves it from the tableau.
+    let chase = FdIndChase::new(&schema, &constraints).unwrap();
+    let out = chase
+        .implies(
+            &"DEPT[HEAD] <= EMP[NAME]".parse().unwrap(),
+            ChaseBudget::default(),
+        )
+        .unwrap();
+    assert!(out.proved(), "{out:?}");
+
+    // And a concrete database obeying the constraints obeys the derived
+    // dependency too.
+    let mut db = Database::empty(schema);
+    db.insert_str("EMP", &[&["h", "math"], &["n", "math"]]).unwrap();
+    db.insert_str("DEPT", &[&["math", "h"]]).unwrap();
+    db.insert_str("MGR", &[&["h", "math"]]).unwrap();
+    assert!(db.satisfies_all(constraints.iter()).unwrap());
+    assert!(db.satisfies(&"DEPT[HEAD] <= EMP[NAME]".parse().unwrap()).unwrap());
+}
+
+/// Typed fast path agrees with the general search across a random sweep
+/// of typed instances.
+#[test]
+fn typed_fast_path_agreement_sweep() {
+    let mut rng = Rng::new(0x7777);
+    for _ in 0..80 {
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 4,
+                min_arity: 2,
+                max_arity: 3,
+            },
+        );
+        // Build typed INDs only: same attr sequence both sides.
+        let mut sigma = Vec::new();
+        for _ in 0..5 {
+            if let Some(ind) = random_ind(&mut rng, &schema, 2) {
+                if let Ok(t) = depkit_core::Ind::new(
+                    ind.lhs_rel.clone(),
+                    ind.lhs_attrs.clone(),
+                    ind.rhs_rel.clone(),
+                    ind.lhs_attrs.clone(),
+                ) {
+                    if t.is_well_formed(&schema).is_ok() {
+                        sigma.push(t);
+                    }
+                }
+            }
+        }
+        let Some(raw) = random_ind(&mut rng, &schema, 2) else {
+            continue;
+        };
+        let Ok(target) = depkit_core::Ind::new(
+            raw.lhs_rel.clone(),
+            raw.lhs_attrs.clone(),
+            raw.rhs_rel.clone(),
+            raw.lhs_attrs.clone(),
+        ) else {
+            continue;
+        };
+        if target.is_well_formed(&schema).is_err() {
+            continue;
+        }
+        let solver = IndSolver::new(&sigma);
+        assert_eq!(Some(solver.implies(&target)), solver.implies_typed(&target));
+    }
+}

@@ -1,0 +1,358 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the paper's constructions rely on.
+
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::generate::{
+    random_database, random_fd, random_ind, random_ind_set, random_mixed_set, random_schema, Rng,
+    SchemaConfig,
+};
+use depkit_core::symbolic::{DioSet, Pattern, SymbolicDatabase};
+use depkit_core::{DatabaseSchema, Dependency, Ind, Rd};
+use depkit_solver::fd::FdEngine;
+use depkit_solver::ind::IndSolver;
+use depkit_solver::interact::Saturator;
+use proptest::prelude::*;
+
+proptest! {
+    /// Display → parse is the identity on generated dependencies.
+    #[test]
+    fn parser_roundtrip(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig::default());
+        let mut deps: Vec<Dependency> = Vec::new();
+        if let Some(i) = random_ind(&mut rng, &schema, 2) { deps.push(i.into()); }
+        if let Some(f) = random_fd(&mut rng, &schema, 1, 1) { deps.push(f.into()); }
+        if let Some(r) = depkit_core::generate::random_rd(&mut rng, &schema) { deps.push(r.into()); }
+        for d in deps {
+            let round: Dependency = d.to_string().parse().expect("printed form parses");
+            prop_assert_eq!(round, d);
+        }
+    }
+
+    /// The syntactic IND search (IND1–3 complete, Theorem 3.1) agrees with
+    /// the semantic Rule (*) chase on random instances.
+    #[test]
+    fn ind_solver_chase_agreement(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 3, min_arity: 2, max_arity: 3,
+        });
+        let sigma = random_ind_set(&mut rng, &schema, 4, 2);
+        if let Some(target) = random_ind(&mut rng, &schema, 2) {
+            let syntactic = IndSolver::new(&sigma).implies(&target);
+            let semantic = depkit_chase::ind_chase::ind_chase(&schema, &sigma, &target, 300_000)
+                .expect("within cap").implied;
+            prop_assert_eq!(syntactic, semantic);
+        }
+    }
+
+    /// FD closure (Beeri–Bernstein) agrees with the two-tuple equality
+    /// chase (Armstrong completeness).
+    #[test]
+    fn fd_closure_chase_agreement(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 5,
+        });
+        let scheme = schema.schemes()[0].clone();
+        let mut fds = Vec::new();
+        for _ in 0..4 {
+            if let Some(f) = random_fd(&mut rng, &schema, 1, 1) { fds.push(f); }
+        }
+        if let Some(target) = random_fd(&mut rng, &schema, 1, 1) {
+            let closure = FdEngine::new(target.rel.clone(), &fds).implies(&target);
+            let chase = depkit_chase::fd_chase::implies_fd_semantic(&fds, &scheme, &target);
+            prop_assert_eq!(closure, chase);
+        }
+    }
+
+    /// Satisfaction is invariant under IND2: if a database satisfies an
+    /// IND, it satisfies every projection-permutation of it.
+    #[test]
+    fn ind2_soundness_on_databases(seed in any::<u64>(), keep in 1usize..3) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 2, min_arity: 3, max_arity: 3,
+        });
+        let db = random_database(&mut rng, &schema, 6, 3);
+        if let Some(ind) = random_ind(&mut rng, &schema, 3) {
+            if db.satisfies(&ind.clone().into()).unwrap() {
+                let positions = rng.distinct_indices(3, keep.min(3));
+                let projected = ind.select(&positions).expect("valid positions");
+                prop_assert!(db.satisfies(&projected.into()).unwrap());
+            }
+        }
+    }
+
+    /// A database satisfies an RD iff it satisfies the RD's unary
+    /// decomposition (the paper's remark in Section 4).
+    #[test]
+    fn rd_unary_decomposition_semantics(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 4,
+        });
+        let db = random_database(&mut rng, &schema, 5, 2);
+        let scheme = &schema.schemes()[0];
+        let n = scheme.arity();
+        let lhs_pos = rng.distinct_indices(n, 2);
+        let rhs_pos = rng.distinct_indices(n, 2);
+        let rd = Rd::new(
+            scheme.name().clone(),
+            scheme.attrs().select(&lhs_pos).unwrap(),
+            scheme.attrs().select(&rhs_pos).unwrap(),
+        ).unwrap();
+        let whole = db.satisfies(&rd.clone().into()).unwrap();
+        let parts = rd.unary_decomposition().into_iter()
+            .all(|u| db.satisfies(&u.into()).unwrap());
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// Saturator soundness on random models: if a random database
+    /// satisfies Σ, it satisfies everything the saturator derives.
+    #[test]
+    fn saturator_soundness_on_random_models(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 2, min_arity: 2, max_arity: 3,
+        });
+        let sigma = random_mixed_set(&mut rng, &schema, 2, 2);
+        let mut sat = Saturator::new(&sigma);
+        sat.saturate();
+        let derived = sat.derived();
+        for _ in 0..10 {
+            let db = random_database(&mut rng, &schema, 4, 2);
+            if sigma.iter().all(|d| db.satisfies(d).unwrap()) {
+                for d in &derived {
+                    prop_assert!(db.satisfies(d).unwrap(), "unsound derivation {}", d);
+                }
+            }
+        }
+    }
+
+    /// Symbolic FD violations are real: the two witness tuples both occur
+    /// in the infinite relation (checked via a sufficiently large prefix),
+    /// and that prefix violates the FD too.
+    #[test]
+    fn symbolic_fd_violations_materialize(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        let r = db.relation_mut("R").unwrap();
+        for _ in 0..2 {
+            let p = Pattern::from_pairs(&[
+                (rng.below(3) as i64, rng.below(5) as i64),
+                (rng.below(3) as i64, rng.below(5) as i64),
+            ]);
+            r.add_pattern(p).unwrap();
+        }
+        let fd: Dependency = "R: A -> B".parse().unwrap();
+        match db.check(&fd) {
+            Ok(Some(_)) => {
+                // Violation must appear in a big prefix.
+                let prefix = db.prefix(64);
+                prop_assert!(!prefix.satisfies(&fd).unwrap());
+            }
+            Ok(None) => {
+                // Satisfaction is inherited by every sub-relation.
+                let prefix = db.prefix(64);
+                prop_assert!(prefix.satisfies(&fd).unwrap());
+            }
+            Err(_) => {} // outside the decidable fragment: nothing to check
+        }
+    }
+
+    /// Symbolic IND decisions agree with prefixes in the sound direction:
+    /// a reported violation witness is missing from every prefix.
+    #[test]
+    fn symbolic_ind_violations_materialize(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = DatabaseSchema::parse(&["L(A)", "R(B)"]).unwrap();
+        let mut db = SymbolicDatabase::empty(schema);
+        db.relation_mut("L").unwrap().add_pattern(Pattern::from_pairs(&[
+            (1 + rng.below(3) as i64, rng.below(4) as i64),
+        ])).unwrap();
+        db.relation_mut("R").unwrap().add_pattern(Pattern::from_pairs(&[
+            (1 + rng.below(3) as i64, rng.below(4) as i64),
+        ])).unwrap();
+        let ind: Dependency = "L[A] <= R[B]".parse().unwrap();
+        if let Ok(Some(depkit_core::symbolic::SymbolicViolation::Ind(t))) = db.check(&ind) {
+            // The witness tuple is in L's infinite relation and its value
+            // never appears in R: check on a generous prefix.
+            let prefix = db.prefix(256);
+            let l = prefix.relation(&depkit_core::RelName::new("L")).unwrap();
+            let r = prefix.relation(&depkit_core::RelName::new("R")).unwrap();
+            // witness value not among R's B column
+            let wanted = t.values()[0].clone();
+            prop_assert!(l.tuples().any(|u| u.values()[0] == wanted));
+            prop_assert!(!r.tuples().any(|u| u.values()[0] == wanted));
+        }
+    }
+
+    /// Diophantine solver: every reported solution satisfies the system.
+    #[test]
+    fn dioset_solutions_satisfy_equations(
+        a1 in -5i128..6, c1 in -5i128..6, e1 in -10i128..11,
+        a2 in -5i128..6, c2 in -5i128..6, e2 in -10i128..11,
+    ) {
+        let s = DioSet::Full.intersect(a1, c1, e1).intersect(a2, c2, e2);
+        let check = |i: i128, j: i128| {
+            a1 * i - c1 * j == e1 && a2 * i - c2 * j == e2
+        };
+        match s {
+            DioSet::Empty => {}
+            DioSet::Point(i, j) => prop_assert!(check(i, j)),
+            DioSet::Line { i0, j0, di, dj } => {
+                for t in -3i128..=3 {
+                    prop_assert!(check(i0 + di * t, j0 + dj * t), "t={}", t);
+                }
+            }
+            DioSet::Full => {
+                for (i, j) in [(0, 0), (1, 5), (-2, 7)] {
+                    prop_assert!(check(i, j));
+                }
+            }
+        }
+    }
+
+    /// Proof objects survive checking; mutated conclusions do not.
+    #[test]
+    fn proofs_check_and_mutations_fail(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 3, min_arity: 2, max_arity: 3,
+        });
+        let sigma = random_ind_set(&mut rng, &schema, 4, 2);
+        let Some(target) = random_ind(&mut rng, &schema, 2) else { return Ok(()); };
+        if let Some(proof) = depkit_axiom::proof::prove(&sigma, &target) {
+            prop_assert!(proof.check(&sigma).is_ok());
+            // Mutate the conclusion's right side to a (likely) different IND.
+            let mut bad = proof.clone();
+            let last = bad.lines.len() - 1;
+            let orig = bad.lines[last].ind.clone();
+            let swapped = Ind::new(
+                orig.rhs_rel.clone(), orig.rhs_attrs.clone(),
+                orig.lhs_rel.clone(), orig.lhs_attrs.clone(),
+            ).unwrap();
+            if swapped != orig {
+                bad.lines[last].ind = swapped;
+                prop_assert!(bad.check(&sigma).is_err());
+            }
+        }
+    }
+
+    /// Attribute sequences: `select` preserves distinctness and order
+    /// semantics used by IND2.
+    #[test]
+    fn attr_seq_select_invariants(seed in any::<u64>(), k in 1usize..4) {
+        let mut rng = Rng::new(seed);
+        let names: Vec<String> = (0..5).map(|i| format!("A{i}")).collect();
+        let seq = AttrSeq::new(names.iter().map(Attr::new).collect()).unwrap();
+        let k = k.min(seq.len());
+        let positions = rng.distinct_indices(seq.len(), k);
+        let selected = seq.select(&positions).unwrap();
+        prop_assert_eq!(selected.len(), k);
+        for (out_idx, &p) in positions.iter().enumerate() {
+            prop_assert_eq!(&selected.attrs()[out_idx], &seq.attrs()[p]);
+        }
+    }
+}
+
+proptest! {
+    /// Armstrong relations are exact: the FDs holding in the generated
+    /// relation are precisely the implied ones (sampled over the FD
+    /// universe).
+    #[test]
+    fn armstrong_relation_exactness(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 4,
+        });
+        let scheme = schema.schemes()[0].clone();
+        let mut fds = Vec::new();
+        for _ in 0..3 {
+            if let Some(f) = random_fd(&mut rng, &schema, 1, 1) { fds.push(f); }
+        }
+        let engine = FdEngine::new(scheme.name().clone(), &fds);
+        let r = depkit_solver::armstrong::armstrong_relation(&engine, &scheme);
+        for _ in 0..10 {
+            let lhs_n = 1 + rng.below(2);
+            if let Some(tau) = random_fd(&mut rng, &schema, lhs_n, 1) {
+                let holds = depkit_core::satisfy::check_fd(&r, &tau).unwrap().is_none();
+                prop_assert_eq!(holds, engine.implies(&tau), "τ = {}", tau);
+            }
+        }
+    }
+
+    /// BCNF decomposition invariants: every fragment is in BCNF under its
+    /// projected FDs, all attributes survive, and every embedding IND is
+    /// typed.
+    #[test]
+    fn bcnf_decomposition_invariants(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 4,
+        });
+        let scheme = schema.schemes()[0].clone();
+        let mut fds = Vec::new();
+        for _ in 0..3 {
+            if let Some(f) = random_fd(&mut rng, &schema, 1, 1) { fds.push(f); }
+        }
+        let frags = depkit_solver::design::bcnf_decompose(&fds, &scheme);
+        prop_assert!(!frags.is_empty());
+        for frag in &frags {
+            let engine = FdEngine::new(frag.scheme.name().clone(), &frag.fds);
+            prop_assert!(depkit_solver::design::is_bcnf(&engine, &frag.scheme));
+            prop_assert!(frag.embedding.is_typed());
+        }
+        for a in scheme.attrs().attrs() {
+            prop_assert!(frags.iter().any(|f| f.scheme.attrs().contains_attr(a)));
+        }
+    }
+
+    /// 3NF synthesis preserves the minimal cover and always covers a key.
+    #[test]
+    fn threenf_invariants(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 4,
+        });
+        let scheme = schema.schemes()[0].clone();
+        let mut fds = Vec::new();
+        for _ in 0..3 {
+            if let Some(f) = random_fd(&mut rng, &schema, 1, 1) { fds.push(f); }
+        }
+        let frags = depkit_solver::design::threenf_synthesis(&fds, &scheme);
+        for f in depkit_solver::fd::minimal_cover(&fds) {
+            prop_assert!(frags.iter().any(|frag| {
+                f.lhs.attrs().iter().all(|a| frag.scheme.attrs().contains_attr(a))
+                    && f.rhs.attrs().iter().all(|a| frag.scheme.attrs().contains_attr(a))
+            }), "cover FD {} lost", f);
+        }
+        let engine = FdEngine::new(scheme.name().clone(), &fds);
+        let keys = engine.candidate_keys(&scheme);
+        let key_covered = keys.iter().any(|key| {
+            frags
+                .iter()
+                .any(|fr| key.iter().all(|a| fr.scheme.attrs().contains_attr(a)))
+        });
+        prop_assert!(key_covered);
+    }
+
+    /// Weak acyclicity soundness: when the criterion accepts, the chase
+    /// terminates with a definite answer (never `Exhausted`).
+    #[test]
+    fn weak_acyclicity_guarantees_termination(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 3, min_arity: 2, max_arity: 3,
+        });
+        let sigma = random_mixed_set(&mut rng, &schema, 2, 3);
+        if depkit_chase::acyclic::weakly_acyclic(&schema, &sigma).unwrap() {
+            if let Some(target) = random_fd(&mut rng, &schema, 1, 1) {
+                let got = depkit_chase::acyclic::decide(&schema, &sigma, &target.into()).unwrap();
+                prop_assert!(got.is_some());
+            }
+        }
+    }
+}
