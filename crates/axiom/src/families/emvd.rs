@@ -59,8 +59,7 @@ impl SagivWalecka {
             );
         }
         sigma.push(
-            Emvd::new("R", attrs(&[&a(k + 1)]), attrs(&[&a(1)]), attrs(&["B"]))
-                .expect("disjoint"),
+            Emvd::new("R", attrs(&[&a(k + 1)]), attrs(&[&a(1)]), attrs(&["B"])).expect("disjoint"),
         );
         let target =
             Emvd::new("R", attrs(&[&a(1)]), attrs(&[&a(k + 1)]), attrs(&["B"])).expect("disjoint");
@@ -186,9 +185,7 @@ impl SagivWalecka {
         let width = self.schema.schemes()[0].arity();
         let scheme = &self.schema.schemes()[0];
         let xcol = scheme.columns(&delta.x).expect("well-formed")[0];
-        let a1 = scheme
-            .column(&Attr::new(a(1)))
-            .expect("A1 exists");
+        let a1 = scheme.column(&Attr::new(a(1))).expect("A1 exists");
 
         // Two tuples agreeing on A_1 (to arm the target) and disagreeing
         // everywhere else — except we must keep δ satisfied: make the two

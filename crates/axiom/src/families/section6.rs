@@ -69,8 +69,13 @@ impl Section6 {
                 .expect("unary")
             })
             .collect();
-        let target = Ind::new(rel(0).as_str(), attrs(&["B"]), rel(k).as_str(), attrs(&["A"]))
-            .expect("unary");
+        let target = Ind::new(
+            rel(0).as_str(),
+            attrs(&["B"]),
+            rel(k).as_str(),
+            attrs(&["A"]),
+        )
+        .expect("unary");
         Section6 {
             k,
             schema,
@@ -97,7 +102,14 @@ impl Section6 {
         for i in 0..=self.k {
             // FDs with LHS ∅, A, or B and a single-attribute RHS.
             for rhs in sides {
-                out.push(Fd::new(rel(i).as_str(), depkit_core::AttrSeq::empty(), attrs(&[rhs])).into());
+                out.push(
+                    Fd::new(
+                        rel(i).as_str(),
+                        depkit_core::AttrSeq::empty(),
+                        attrs(&[rhs]),
+                    )
+                    .into(),
+                );
                 for lhs in sides {
                     out.push(Fd::new(rel(i).as_str(), attrs(&[lhs]), attrs(&[rhs])).into());
                 }
@@ -139,8 +151,7 @@ impl Section6 {
 
     /// Membership in `Γ = Σ ∪ trivia`.
     pub fn in_gamma(&self, dep: &Dependency) -> bool {
-        dep.is_trivial()
-            || self.sigma().contains(dep)
+        dep.is_trivial() || self.sigma().contains(dep)
     }
 
     /// The Armstrong database of Figure 6.1, rotated so that the one
@@ -364,9 +375,7 @@ mod tests {
         // A entries (0,3)..(8,3) and the last B entry repeated.
         let f = Section6::new(3);
         let d = f.armstrong_database(3); // base orientation
-        let r3 = d
-            .relation(&depkit_core::RelName::new("R3"))
-            .unwrap();
+        let r3 = d.relation(&depkit_core::RelName::new("R3")).unwrap();
         assert_eq!(r3.len(), 9);
         let a_col = r3.project(&[0]);
         assert!(a_col.contains(&vec![Value::pair(8, 3)]));
@@ -396,11 +405,8 @@ mod tests {
             let f = Section6::new(k);
             let oracle = Section6Oracle::new(&f);
             let universe = f.universe();
-            let gamma: BTreeSet<Dependency> = universe
-                .iter()
-                .filter(|d| f.in_gamma(d))
-                .cloned()
-                .collect();
+            let gamma: BTreeSet<Dependency> =
+                universe.iter().filter(|d| f.in_gamma(d)).cloned().collect();
             let closed = close_under_k_ary(&universe, &gamma, k, &oracle);
             assert_eq!(
                 closed, gamma,

@@ -95,7 +95,9 @@ impl Section7 {
 
         let mut lambda: Vec<Ind> = Vec::new();
         // α_0 and α_i.
-        lambda.push(Ind::new("F", attrs(&["A", "B"]), g(0).as_str(), attrs(&["A", "B"])).expect("binary"));
+        lambda.push(
+            Ind::new("F", attrs(&["A", "B"]), g(0).as_str(), attrs(&["A", "B"])).expect("binary"),
+        );
         for i in 1..=n {
             lambda.push(Ind::new("F", attrs(&["B"]), g(i).as_str(), attrs(&["B"])).expect("unary"));
         }
@@ -109,8 +111,13 @@ impl Section7 {
         // γ_i and γ'_i.
         for i in 0..=n {
             lambda.push(
-                Ind::new(h(i).as_str(), attrs(&["B", "C"]), g(i).as_str(), attrs(&["B", "C"]))
-                    .expect("binary"),
+                Ind::new(
+                    h(i).as_str(),
+                    attrs(&["B", "C"]),
+                    g(i).as_str(),
+                    attrs(&["B", "C"]),
+                )
+                .expect("binary"),
             );
         }
         for i in 0..n {
@@ -172,12 +179,20 @@ impl Section7 {
     /// `λ − {β_j}`.
     pub fn lambda_without_beta(&self, j: usize) -> Vec<Ind> {
         let beta = self.beta(j);
-        self.lambda.iter().filter(|i| **i != beta).cloned().collect()
+        self.lambda
+            .iter()
+            .filter(|i| **i != beta)
+            .cloned()
+            .collect()
     }
 
     /// `φ − {σ}`.
     pub fn phi_without_target(&self) -> Vec<Fd> {
-        self.phi.iter().filter(|f| **f != self.target).cloned().collect()
+        self.phi
+            .iter()
+            .filter(|f| **f != self.target)
+            .cloned()
+            .collect()
     }
 
     // ----------------------------------------------------------------
@@ -271,7 +286,8 @@ impl Section7 {
             db.insert_ints(&g(i), &rows).expect("arity");
         }
         for i in 0..n {
-            db.insert_ints(&h(i), &[&[2, 30], &[hb(i), hc(i)]]).expect("arity");
+            db.insert_ints(&h(i), &[&[2, 30], &[hb(i), hc(i)]])
+                .expect("arity");
         }
         db.insert_ints(&h(n), &[&[2, 30, 3], &[hb(n), 40, 5]])
             .expect("arity");
@@ -319,7 +335,8 @@ impl Section7 {
         assert!(j < self.n);
         let n = self.n;
         let mut db = Database::empty(self.schema.clone());
-        db.insert_ints("F", &[&[1, 2, 3], &[1, 4, 5]]).expect("arity");
+        db.insert_ints("F", &[&[1, 2, 3], &[1, 4, 5]])
+            .expect("arity");
 
         let mut g0: Vec<Vec<i64>> = vec![vec![1, 2, 30], vec![1, 4, 30]];
         if j == 0 {
@@ -349,7 +366,8 @@ impl Section7 {
                 db.insert_ints(&h(i), &[&[2, 31], &[4, 32]]).expect("arity");
             }
         }
-        db.insert_ints(&h(n), &[&[2, 31, 3], &[4, 32, 5]]).expect("arity");
+        db.insert_ints(&h(n), &[&[2, 31, 3], &[4, 32, 5]])
+            .expect("arity");
         db
     }
 
@@ -511,7 +529,9 @@ impl Section7 {
         self.check_sigma(&d, "fig 7.3")?;
         let solver = IndSolver::new(&self.lambda);
         for ind in self.ind_universe(3) {
-            let holds = d.satisfies(&ind.clone().into()).map_err(|e| e.to_string())?;
+            let holds = d
+                .satisfies(&ind.clone().into())
+                .map_err(|e| e.to_string())?;
             let in_lambda_plus = solver.implies(&ind);
             if holds != in_lambda_plus {
                 return Err(format!(
@@ -555,11 +575,16 @@ impl Section7 {
         // Figure 7.4 semantic witness for λ − β_j ⊭ β_j.
         let d = self.fig_7_4(j);
         for ind in &lambda_minus {
-            if !d.satisfies(&ind.clone().into()).map_err(|e| e.to_string())? {
+            if !d
+                .satisfies(&ind.clone().into())
+                .map_err(|e| e.to_string())?
+            {
                 return Err(format!("fig 7.4(j={j}) violates λ−β member {ind}"));
             }
         }
-        if d.satisfies(&beta.clone().into()).map_err(|e| e.to_string())? {
+        if d.satisfies(&beta.clone().into())
+            .map_err(|e| e.to_string())?
+        {
             return Err(format!("fig 7.4(j={j}) unexpectedly satisfies β_j"));
         }
         Ok(())
@@ -575,11 +600,16 @@ impl Section7 {
             }
         }
         for ind in self.lambda_without_beta(j) {
-            if !d.satisfies(&ind.clone().into()).map_err(|e| e.to_string())? {
+            if !d
+                .satisfies(&ind.clone().into())
+                .map_err(|e| e.to_string())?
+            {
                 return Err(format!("fig 7.5(j={j}) violates λ−β member {ind}"));
             }
         }
-        if d.satisfies(&self.target.clone().into()).map_err(|e| e.to_string())? {
+        if d.satisfies(&self.target.clone().into())
+            .map_err(|e| e.to_string())?
+        {
             return Err(format!("fig 7.5(j={j}) unexpectedly satisfies σ"));
         }
         Ok(())
@@ -689,7 +719,10 @@ impl ImplicationOracle for Section7Oracle {
 /// The Theorem 5.1 pipeline on this family for `k < n`: `Γ ∩ universe` is
 /// closed under k-ary implication yet implies `σ ∉ Γ`.
 pub fn verify_kary_gap(family: &Section7, k: usize) -> Result<(), String> {
-    assert!(k < family.n, "the family defeats k-ary axiomatization only for k < n");
+    assert!(
+        k < family.n,
+        "the family defeats k-ary axiomatization only for k < n"
+    );
     let oracle = Section7Oracle::new(family);
     // A compact universe: Σ's own shapes plus σ (enough to exercise the
     // closure; the full lemma checks cover the rest of the space).

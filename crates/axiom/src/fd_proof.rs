@@ -128,12 +128,10 @@ impl FdProof {
                 return Err(FdProofError::MixedRelations(l));
             }
             match &line.justification {
-                FdJustification::Premise { index } => {
-                    match sigma.get(*index) {
-                        Some(p) if *p == line.fd => {}
-                        _ => return Err(FdProofError::BadPremise(l)),
-                    }
-                }
+                FdJustification::Premise { index } => match sigma.get(*index) {
+                    Some(p) if *p == line.fd => {}
+                    _ => return Err(FdProofError::BadPremise(l)),
+                },
                 FdJustification::Reflexivity => {
                     if !set_of(&line.fd.rhs).is_subset(&set_of(&line.fd.lhs)) {
                         return Err(FdProofError::NotReflexive(l));
@@ -145,10 +143,8 @@ impl FdProof {
                     }
                     let src = &self.lines[*from_line].fd;
                     let w: BTreeSet<Attr> = with.iter().cloned().collect();
-                    let want_lhs: BTreeSet<Attr> =
-                        set_of(&src.lhs).union(&w).cloned().collect();
-                    let want_rhs: BTreeSet<Attr> =
-                        set_of(&src.rhs).union(&w).cloned().collect();
+                    let want_lhs: BTreeSet<Attr> = set_of(&src.lhs).union(&w).cloned().collect();
+                    let want_rhs: BTreeSet<Attr> = set_of(&src.rhs).union(&w).cloned().collect();
                     if set_of(&line.fd.lhs) != want_lhs || set_of(&line.fd.rhs) != want_rhs {
                         return Err(FdProofError::BadAugmentation(l));
                     }

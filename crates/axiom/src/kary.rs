@@ -44,10 +44,7 @@ pub struct FdOracle;
 
 impl ImplicationOracle for FdOracle {
     fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
-        let fds: Vec<depkit_core::Fd> = sigma
-            .iter()
-            .filter_map(|d| d.as_fd().cloned())
-            .collect();
+        let fds: Vec<depkit_core::Fd> = sigma.iter().filter_map(|d| d.as_fd().cloned()).collect();
         match tau {
             Dependency::Fd(f) => depkit_solver::fd::implies_fd(&fds, f),
             _ => tau.is_trivial(),
@@ -61,10 +58,8 @@ pub struct IndOracle;
 
 impl ImplicationOracle for IndOracle {
     fn implies(&self, sigma: &[Dependency], tau: &Dependency) -> bool {
-        let inds: Vec<depkit_core::Ind> = sigma
-            .iter()
-            .filter_map(|d| d.as_ind().cloned())
-            .collect();
+        let inds: Vec<depkit_core::Ind> =
+            sigma.iter().filter_map(|d| d.as_ind().cloned()).collect();
         match tau {
             Dependency::Ind(i) => depkit_solver::ind::IndSolver::new(&inds).implies(i),
             _ => tau.is_trivial(),
@@ -264,8 +259,9 @@ mod tests {
             }
         }
         let oracle = IndOracle;
-        let start: BTreeSet<Dependency> =
-            [dep("R[A] <= S[A]"), dep("S[A] <= T[A]")].into_iter().collect();
+        let start: BTreeSet<Dependency> = [dep("R[A] <= S[A]"), dep("S[A] <= T[A]")]
+            .into_iter()
+            .collect();
         let closed = close_under_k_ary(&universe, &start, 2, &oracle);
         assert!(closed.contains(&dep("R[A] <= T[A]")));
         assert!(implication_closure_witness(&universe, &closed, &oracle).is_none());
@@ -319,7 +315,10 @@ mod tests {
             };
             let start: BTreeSet<Dependency> = chain.into_iter().collect();
             let closed = close_under_k_ary(&universe, &start, 2, &oracle);
-            assert!(closed.contains(&tau), "k={k}: 2-ary closure reaches the conclusion");
+            assert!(
+                closed.contains(&tau),
+                "k={k}: 2-ary closure reaches the conclusion"
+            );
         }
     }
 
@@ -327,13 +326,9 @@ mod tests {
     fn closure_is_monotone_in_k() {
         let universe = unary_fd_universe();
         let oracle = FdOracle;
-        let start: BTreeSet<Dependency> = [
-            dep("R: A -> B"),
-            dep("R: B -> C"),
-            dep("R: C -> A"),
-        ]
-        .into_iter()
-        .collect();
+        let start: BTreeSet<Dependency> = [dep("R: A -> B"), dep("R: B -> C"), dep("R: C -> A")]
+            .into_iter()
+            .collect();
         let c0 = close_under_k_ary(&universe, &start, 0, &oracle);
         let c1 = close_under_k_ary(&universe, &start, 1, &oracle);
         let c2 = close_under_k_ary(&universe, &start, 2, &oracle);

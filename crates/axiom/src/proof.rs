@@ -323,9 +323,7 @@ pub fn prove_permutation_power(sigma: &[Ind], ind_index: usize, k: u128) -> Opti
         .collect();
 
     // Compose position maps: (a ∘ b)(i) = a[b[i]] — apply b, then a.
-    let compose = |a: &[usize], b: &[usize]| -> Vec<usize> {
-        (0..m).map(|i| a[b[i]]).collect()
-    };
+    let compose = |a: &[usize], b: &[usize]| -> Vec<usize> { (0..m).map(|i| a[b[i]]).collect() };
     // The IND σ(perm) for a position map.
     let ind_of = |perm: &[usize]| -> Ind {
         let rhs: Vec<_> = (0..m)
@@ -591,7 +589,11 @@ mod tests {
         for k in 0..=8u128 {
             let proof = prove_permutation_power(&sigma, 0, k).expect("applicable");
             proof.check(&sigma).expect("must check");
-            assert_eq!(proof.conclusion(), Some(&permutation_ind(&gamma.pow(k))), "k={k}");
+            assert_eq!(
+                proof.conclusion(),
+                Some(&permutation_ind(&gamma.pow(k))),
+                "k={k}"
+            );
         }
     }
 

@@ -43,9 +43,11 @@ fn bench_section7(c: &mut Criterion) {
                 .expect("chase proves")
             })
         });
-        group.bench_with_input(BenchmarkId::new("lemma_7_6_ind_exactness", n), &n, |b, _| {
-            b.iter(|| fam.verify_lemma_7_6().expect("exact"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lemma_7_6_ind_exactness", n),
+            &n,
+            |b, _| b.iter(|| fam.verify_lemma_7_6().expect("exact")),
+        );
     }
     group.finish();
 }
@@ -61,7 +63,13 @@ fn bench_theorem44(c: &mut Criterion) {
     });
     let fig41 = fam.figure_4_1();
     group.bench_function("symbolic_ind_check", |b| {
-        b.iter(|| black_box(fig41.satisfies(black_box(&fam.target_ind)).expect("decidable")))
+        b.iter(|| {
+            black_box(
+                fig41
+                    .satisfies(black_box(&fam.target_ind))
+                    .expect("decidable"),
+            )
+        })
     });
     group.finish();
 }

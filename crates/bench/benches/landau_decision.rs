@@ -13,17 +13,13 @@ fn bench_landau(c: &mut Criterion) {
     for &m in &[8usize, 12, 16, 20, 24] {
         let (sigma, target, f) = landau_pair(m);
         let solver = IndSolver::new(&[sigma]);
-        group.bench_with_input(
-            BenchmarkId::new(format!("m{m}_f{f}"), m),
-            &m,
-            |b, _| {
-                b.iter(|| {
-                    let (yes, stats) = solver.implies_with_stats(black_box(&target));
-                    assert!(yes);
-                    black_box(stats)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(format!("m{m}_f{f}"), m), &m, |b, _| {
+            b.iter(|| {
+                let (yes, stats) = solver.implies_with_stats(black_box(&target));
+                assert!(yes);
+                black_box(stats)
+            })
+        });
     }
     group.finish();
 }

@@ -8,7 +8,7 @@
 //!
 //! Absolute timings depend on the host; the *shapes* — who wins, what
 //! grows superpolynomially, which implication holds where — are the
-//! reproduced results. See EXPERIMENTS.md for the paper-vs-measured table.
+//! reproduced results.
 
 use depkit_axiom::families::emvd::SagivWalecka;
 use depkit_axiom::families::section6::{Section6, Section6Oracle};
@@ -85,8 +85,8 @@ fn landau() {
         assert!(implied);
         // The paper's remark: certificates stay short (repeated squaring)
         // even though the procedure walks f(m) − 1 steps.
-        let short = depkit_axiom::proof::prove_permutation_power(&sigma_vec, 0, f - 1)
-            .expect("applicable");
+        let short =
+            depkit_axiom::proof::prove_permutation_power(&sigma_vec, 0, f - 1).expect("applicable");
         short.check(&sigma_vec).expect("short proof checks");
         assert_eq!(short.conclusion(), Some(&target));
         let ratio = (f as f64).ln() / ((m as f64) * (m as f64).ln()).sqrt();
@@ -306,11 +306,7 @@ fn emvd() {
         let (report, secs) = timed(|| fam.verify(32).expect("conditions (i)-(ii) hold"));
         println!(
             "{:>3} {:>6} {:>14} {:>14} {:>10.4}",
-            k,
-            report.members,
-            report.chase_rounds,
-            report.members,
-            secs
+            k, report.members, report.chase_rounds, report.members, secs
         );
     }
     println!("shape: Σ_k ⊨ σ_k needs the whole (k+1)-cycle; every single member has a");
@@ -463,7 +459,10 @@ fn ablation() {
         for (_, opts) in &configs {
             let mut sat = Saturator::with_options(&sigma, SaturationLimits::default(), *opts);
             sat.saturate();
-            print!(" {:>14}", if sat.implies(&tau) { "derived" } else { "lost" });
+            print!(
+                " {:>14}",
+                if sat.implies(&tau) { "derived" } else { "lost" }
+            );
         }
         println!();
     }

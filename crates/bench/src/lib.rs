@@ -27,13 +27,8 @@ pub fn typed_chain(len: usize, width: usize) -> (DatabaseSchema, Vec<Ind>, Ind) 
             .expect("equal arity")
         })
         .collect();
-    let target = Ind::new(
-        "R0",
-        attr_seq.clone(),
-        format!("R{len}").as_str(),
-        attr_seq,
-    )
-    .expect("equal arity");
+    let target = Ind::new("R0", attr_seq.clone(), format!("R{len}").as_str(), attr_seq)
+        .expect("equal arity");
     (schema, sigma, target)
 }
 

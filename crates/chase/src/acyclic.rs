@@ -221,12 +221,9 @@ mod tests {
 
     #[test]
     fn hr_constraints_are_weakly_acyclic_and_decidable() {
-        let schema = DatabaseSchema::parse(&[
-            "EMP(NAME, DEPT)",
-            "DEPT(DNAME, HEAD)",
-            "MGR(NAME, DEPT)",
-        ])
-        .unwrap();
+        let schema =
+            DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNAME, HEAD)", "MGR(NAME, DEPT)"])
+                .unwrap();
         let sigma = deps(&[
             "MGR[NAME, DEPT] <= EMP[NAME, DEPT]",
             "EMP[DEPT] <= DEPT[DNAME]",

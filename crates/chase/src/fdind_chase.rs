@@ -415,7 +415,10 @@ mod tests {
         let sigma = deps(&["R[X, Y] <= S[T, U]", "S: T -> U"]);
         let chase = FdIndChase::new(&schema, &sigma).unwrap();
         let out = chase
-            .implies(&parse_dependency("R: X -> Y").unwrap(), ChaseBudget::default())
+            .implies(
+                &parse_dependency("R: X -> Y").unwrap(),
+                ChaseBudget::default(),
+            )
             .unwrap();
         assert!(out.proved(), "expected proof, got {out:?}");
     }
@@ -441,7 +444,10 @@ mod tests {
         let sigma = deps(&["R[X, Y] <= S[T, U]", "R[X, Z] <= S[T, U]", "S: T -> U"]);
         let chase = FdIndChase::new(&schema, &sigma).unwrap();
         let out = chase
-            .implies(&parse_dependency("R[Y = Z]").unwrap(), ChaseBudget::default())
+            .implies(
+                &parse_dependency("R[Y = Z]").unwrap(),
+                ChaseBudget::default(),
+            )
             .unwrap();
         assert!(out.proved(), "expected proof, got {out:?}");
     }
@@ -452,11 +458,17 @@ mod tests {
         let sigma = deps(&["R[A] <= S[B]", "S[B] <= T[C]"]);
         let chase = FdIndChase::new(&schema, &sigma).unwrap();
         let out = chase
-            .implies(&parse_dependency("R[A] <= T[C]").unwrap(), ChaseBudget::default())
+            .implies(
+                &parse_dependency("R[A] <= T[C]").unwrap(),
+                ChaseBudget::default(),
+            )
             .unwrap();
         assert!(out.proved());
         let out2 = chase
-            .implies(&parse_dependency("T[C] <= R[A]").unwrap(), ChaseBudget::default())
+            .implies(
+                &parse_dependency("T[C] <= R[A]").unwrap(),
+                ChaseBudget::default(),
+            )
             .unwrap();
         assert!(out2.disproved());
     }

@@ -118,7 +118,9 @@ pub fn ind_chase(
 
     // σ holds iff r_b contains a tuple p' with p'[B_i] = i for all i.
     let rb = db.relation(&target.rhs_rel)?;
-    let b_cols = schema.require(&target.rhs_rel)?.columns(&target.rhs_attrs)?;
+    let b_cols = schema
+        .require(&target.rhs_rel)?
+        .columns(&target.rhs_attrs)?;
     let wanted: Vec<Value> = (1..=m as i64).map(Value::Int).collect();
     let implied = rb.tuples().any(|t| t.project(&b_cols) == wanted);
 

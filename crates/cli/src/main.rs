@@ -85,7 +85,11 @@ fn implies(path: &str, dep_src: &str) -> Result<ExitCode, Box<dyn std::error::Er
             "{} (exact: IND set is weakly acyclic, chase terminates)",
             if answer { "implied" } else { "not implied" }
         );
-        return Ok(if answer { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+        return Ok(if answer {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
     }
 
     // 2. Sound saturation (k-ary rules; may under-approximate).
@@ -141,7 +145,10 @@ fn design(path: &str, rel: &str) -> Result<ExitCode, Box<dyn std::error::Error>>
         .require(&RelName::new(rel))?
         .clone();
     let (all_fds, _, _, _) = spec.constraints.partition();
-    let fds: Vec<Fd> = all_fds.into_iter().filter(|f| f.rel.name() == rel).collect();
+    let fds: Vec<Fd> = all_fds
+        .into_iter()
+        .filter(|f| f.rel.name() == rel)
+        .collect();
     let engine = FdEngine::new(rel, &fds);
 
     println!("relation: {scheme}");
@@ -163,7 +170,8 @@ mod tests {
     use super::*;
 
     fn write_temp(name: &str, content: &str) -> String {
-        let path = std::env::temp_dir().join(format!("depkit-test-{name}-{}.dep", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("depkit-test-{name}-{}.dep", std::process::id()));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -197,9 +205,19 @@ row MGR hilbert math
     #[test]
     fn implies_answers_exactly_on_acyclic_specs() {
         let path = write_temp("imp", HR);
-        let yes = run(&["implies".into(), path.clone(), "MGR[NAME] <= EMP[NAME]".into()]).unwrap();
+        let yes = run(&[
+            "implies".into(),
+            path.clone(),
+            "MGR[NAME] <= EMP[NAME]".into(),
+        ])
+        .unwrap();
         assert_eq!(yes, ExitCode::SUCCESS);
-        let no = run(&["implies".into(), path.clone(), "EMP[NAME] <= MGR[NAME]".into()]).unwrap();
+        let no = run(&[
+            "implies".into(),
+            path.clone(),
+            "EMP[NAME] <= MGR[NAME]".into(),
+        ])
+        .unwrap();
         assert_eq!(no, ExitCode::FAILURE);
         std::fs::remove_file(path).ok();
     }

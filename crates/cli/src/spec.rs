@@ -105,8 +105,8 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     }
 
     let schema = DatabaseSchema::new(schemes).map_err(|e| err(0, e.to_string()))?;
-    let mut constraints = ConstraintSet::new(schema.clone(), Vec::new())
-        .map_err(|e| err(0, e.to_string()))?;
+    let mut constraints =
+        ConstraintSet::new(schema.clone(), Vec::new()).map_err(|e| err(0, e.to_string()))?;
     for (line_no, dep) in deps {
         constraints
             .push(dep)
@@ -170,10 +170,7 @@ row MGR hilbert math
 
     #[test]
     fn violations_detected() {
-        let spec = parse_spec(
-            "schema R(A, B)\ndep R: A -> B\nrow R 1 2\nrow R 1 3\n",
-        )
-        .unwrap();
+        let spec = parse_spec("schema R(A, B)\ndep R: A -> B\nrow R 1 2\nrow R 1 3\n").unwrap();
         let v = spec.constraints.validate(&spec.database).unwrap();
         assert_eq!(v.len(), 1);
     }

@@ -126,11 +126,9 @@ impl AttrSeq {
     pub fn select(&self, positions: &[usize]) -> Result<AttrSeq, CoreError> {
         let mut v = Vec::with_capacity(positions.len());
         for &p in positions {
-            let a = self.0.get(p).ok_or_else(|| {
-                CoreError::UnknownAttribute {
-                    relation: String::from("<sequence>"),
-                    attribute: format!("position {p}"),
-                }
+            let a = self.0.get(p).ok_or_else(|| CoreError::UnknownAttribute {
+                relation: String::from("<sequence>"),
+                attribute: format!("position {p}"),
             })?;
             v.push(a.clone());
         }

@@ -161,7 +161,9 @@ mod tests {
     fn push_validates() {
         let mut cs = hr();
         assert!(cs.push("EMP[NAME] <= MGR[NAME]".parse().unwrap()).is_ok());
-        assert!(cs.push("EMP: NOPE -> DEPT".parse::<Dependency>().unwrap()).is_err());
+        assert!(cs
+            .push("EMP: NOPE -> DEPT".parse::<Dependency>().unwrap())
+            .is_err());
         assert_eq!(cs.dependencies().len(), 3);
     }
 
@@ -173,7 +175,10 @@ mod tests {
         )
         .unwrap();
         let (fds, inds, rds, emvds) = cs.partition();
-        assert_eq!((fds.len(), inds.len(), rds.len(), emvds.len()), (1, 1, 1, 1));
+        assert_eq!(
+            (fds.len(), inds.len(), rds.len(), emvds.len()),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]

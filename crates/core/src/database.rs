@@ -70,7 +70,11 @@ impl Database {
     }
 
     /// Insert string tuples into the named relation (test convenience).
-    pub fn insert_str<S: AsRef<str>>(&mut self, name: &str, rows: &[&[S]]) -> Result<(), CoreError> {
+    pub fn insert_str<S: AsRef<str>>(
+        &mut self,
+        name: &str,
+        rows: &[&[S]],
+    ) -> Result<(), CoreError> {
         let name = RelName::new(name);
         for row in rows {
             self.insert(&name, Tuple::strs(row))?;

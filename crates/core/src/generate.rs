@@ -152,11 +152,7 @@ pub fn random_fd(rng: &mut Rng, schema: &DatabaseSchema, lhs: usize, rhs: usize)
 
 /// Generate a random unary RD over `schema`.
 pub fn random_rd(rng: &mut Rng, schema: &DatabaseSchema) -> Option<Rd> {
-    let wide: Vec<&RelationScheme> = schema
-        .schemes()
-        .iter()
-        .filter(|s| s.arity() >= 2)
-        .collect();
+    let wide: Vec<&RelationScheme> = schema.schemes().iter().filter(|s| s.arity() >= 2).collect();
     if wide.is_empty() {
         return None;
     }
@@ -313,7 +309,17 @@ fn rec(
             return rec(schema, candidates, max_tuples, rel + 1, db, f);
         }
         // Exclude candidate idx.
-        if !subsets(schema, candidates, max_tuples, rel, idx + 1, used, name, db, f) {
+        if !subsets(
+            schema,
+            candidates,
+            max_tuples,
+            rel,
+            idx + 1,
+            used,
+            name,
+            db,
+            f,
+        ) {
             return false;
         }
         // Include candidate idx.

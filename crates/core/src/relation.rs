@@ -190,7 +190,11 @@ mod tests {
     fn projection_is_a_set() {
         let r = Relation::from_tuples(
             scheme_ab(),
-            vec![Tuple::ints(&[1, 2]), Tuple::ints(&[1, 3]), Tuple::ints(&[4, 2])],
+            vec![
+                Tuple::ints(&[1, 2]),
+                Tuple::ints(&[1, 3]),
+                Tuple::ints(&[4, 2]),
+            ],
         )
         .unwrap();
         // Projecting onto A collapses duplicates: {1, 1, 4} -> {1, 4}.

@@ -64,7 +64,10 @@ impl fmt::Display for Violation {
                 write!(f, "FD {fd} violated by tuples {t1} and {t2}")
             }
             Violation::Ind { ind, witness, .. } => {
-                write!(f, "IND {ind} violated: projection of {witness} missing on the right")
+                write!(
+                    f,
+                    "IND {ind} violated: projection of {witness} missing on the right"
+                )
             }
             Violation::Rd { rd, witness } => write!(f, "RD {rd} violated by tuple {witness}"),
             Violation::Emvd { emvd, t1, t2 } => {
@@ -229,7 +232,8 @@ mod tests {
     fn ind_satisfaction_and_witness() {
         let schema = DatabaseSchema::parse(&["MGR(N, D)", "EMP(N, D)"]).unwrap();
         let mut db = Database::empty(schema);
-        db.insert_str("EMP", &[&["h", "math"], &["n", "math"]]).unwrap();
+        db.insert_str("EMP", &[&["h", "math"], &["n", "math"]])
+            .unwrap();
         db.insert_str("MGR", &[&["h", "math"]]).unwrap();
         let ind: Dependency = "MGR[N, D] <= EMP[N, D]".parse().unwrap();
         assert!(db.satisfies(&ind).unwrap());

@@ -50,7 +50,10 @@ pub struct LinearTerm {
 impl LinearTerm {
     /// A constant term.
     pub const fn constant(c: i64) -> Self {
-        LinearTerm { slope: 0, offset: c }
+        LinearTerm {
+            slope: 0,
+            offset: c,
+        }
     }
 
     /// The term `slope·i + offset`.
@@ -94,12 +97,7 @@ impl Pattern {
 
     /// Shorthand: build from `(slope, offset)` pairs.
     pub fn from_pairs(pairs: &[(i64, i64)]) -> Self {
-        Pattern(
-            pairs
-                .iter()
-                .map(|&(a, b)| LinearTerm::new(a, b))
-                .collect(),
-        )
+        Pattern(pairs.iter().map(|&(a, b)| LinearTerm::new(a, b)).collect())
     }
 
     /// Number of columns.
@@ -756,8 +754,7 @@ fn uncovered_parameter(
             Covered::All => true,
             Covered::One(i) => *i == 0,
             Covered::Ap { start, step, count } => {
-                covers(*start, *step, *count, 0)
-                    || covers_any(*start, *step, *count)
+                covers(*start, *step, *count, 0) || covers_any(*start, *step, *count)
             }
         });
         return Ok(if zero_covered { None } else { Some(0) });
@@ -830,7 +827,8 @@ mod tests {
         let r = db.relation_mut("R").unwrap();
         r.add_constant(&[1, 1]).unwrap();
         // i ≥ 1 re-parameterized as i' = i − 1 ≥ 0: (i'+2, i'+1).
-        r.add_pattern(Pattern::from_pairs(&[(1, 2), (1, 1)])).unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(1, 2), (1, 1)]))
+            .unwrap();
         db
     }
 
@@ -838,12 +836,16 @@ mod tests {
     fn figure_4_1_separates_unrestricted_from_finite() {
         let db = fig_4_1();
         // Satisfies Σ = {R: A -> B, R[A] <= R[B]}.
-        assert!(db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R: A -> B").unwrap())
+            .unwrap());
         assert!(db
             .satisfies(&parse_dependency("R[A] <= R[B]").unwrap())
             .unwrap());
         // Violates σ = R[B] <= R[A]: entry 0 is in r[B] but not r[A].
-        let v = db.check(&parse_dependency("R[B] <= R[A]").unwrap()).unwrap();
+        let v = db
+            .check(&parse_dependency("R[B] <= R[A]").unwrap())
+            .unwrap();
         match v {
             Some(SymbolicViolation::Ind(t)) => assert_eq!(t.at(1), &Value::Int(0)),
             other => panic!("expected IND violation, got {other:?}"),
@@ -853,7 +855,9 @@ mod tests {
     #[test]
     fn figure_4_2_separates_for_the_fd_case() {
         let db = fig_4_2();
-        assert!(db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R: A -> B").unwrap())
+            .unwrap());
         assert!(db
             .satisfies(&parse_dependency("R[A] <= R[B]").unwrap())
             .unwrap());
@@ -876,14 +880,18 @@ mod tests {
             .unwrap()
             .add_pattern(Pattern::from_pairs(&[(1, 0), (1, 0)]))
             .unwrap();
-        assert!(db.satisfies(&parse_dependency("R[A = B]").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R[A = B]").unwrap())
+            .unwrap());
 
         let mut db2 = SymbolicDatabase::empty(schema);
         db2.relation_mut("R")
             .unwrap()
             .add_pattern(Pattern::from_pairs(&[(1, 0), (1, 1)]))
             .unwrap();
-        assert!(!db2.satisfies(&parse_dependency("R[A = B]").unwrap()).unwrap());
+        assert!(!db2
+            .satisfies(&parse_dependency("R[A = B]").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -931,9 +939,13 @@ mod tests {
         let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
         let mut db = SymbolicDatabase::empty(schema);
         let r = db.relation_mut("R").unwrap();
-        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 0)])).unwrap();
-        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 1)])).unwrap();
-        assert!(!db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 0)]))
+            .unwrap();
+        r.add_pattern(Pattern::from_pairs(&[(1, 0), (0, 1)]))
+            .unwrap();
+        assert!(!db
+            .satisfies(&parse_dependency("R: A -> B").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -945,9 +957,13 @@ mod tests {
             .unwrap()
             .add_pattern(Pattern::from_pairs(&[(0, 5), (1, 0)]))
             .unwrap();
-        assert!(!db.satisfies(&parse_dependency("R: A -> B").unwrap()).unwrap());
+        assert!(!db
+            .satisfies(&parse_dependency("R: A -> B").unwrap())
+            .unwrap());
         // But B -> A holds.
-        assert!(db.satisfies(&parse_dependency("R: B -> A").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R: B -> A").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -1037,8 +1053,12 @@ mod tests {
             .unwrap()
             .add_pattern(Pattern::from_pairs(&[(1, -5), (1, 0)]))
             .unwrap();
-        assert!(!db.satisfies(&parse_dependency("R[A] <= R[B]").unwrap()).unwrap());
-        assert!(db.satisfies(&parse_dependency("R[B] <= R[A]").unwrap()).unwrap());
+        assert!(!db
+            .satisfies(&parse_dependency("R[A] <= R[B]").unwrap())
+            .unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("R[B] <= R[A]").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -1052,7 +1072,9 @@ mod tests {
             .add_pattern(Pattern::from_pairs(&[(7, 0)]))
             .unwrap();
         // 7 = 7·1: covered.
-        assert!(db.satisfies(&parse_dependency("L[A] <= R[B]").unwrap()).unwrap());
+        assert!(db
+            .satisfies(&parse_dependency("L[A] <= R[B]").unwrap())
+            .unwrap());
 
         let mut db2 = SymbolicDatabase::empty(schema);
         db2.relation_mut("L").unwrap().add_constant(&[5]).unwrap();
@@ -1061,7 +1083,9 @@ mod tests {
             .add_pattern(Pattern::from_pairs(&[(7, 0)]))
             .unwrap();
         // 5 is not a multiple of 7.
-        assert!(!db2.satisfies(&parse_dependency("L[A] <= R[B]").unwrap()).unwrap());
+        assert!(!db2
+            .satisfies(&parse_dependency("L[A] <= R[B]").unwrap())
+            .unwrap());
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl Machine {
 
     /// The tape glyph ids, ascending.
     pub fn tape_glyphs(&self) -> Vec<usize> {
-        (0..self.glyph_count()).filter(|&g| self.is_tape[g]).collect()
+        (0..self.glyph_count())
+            .filter(|&g| self.is_tape[g])
+            .collect()
     }
 
     /// The start state.
@@ -139,14 +141,15 @@ impl Machine {
         }
         // Positions holding non-tape glyphs (states). A window application
         // requires all of them inside the window.
-        let state_positions: Vec<usize> =
-            (0..len).filter(|&p| !self.is_tape[c.0[p]]).collect();
+        let state_positions: Vec<usize> = (0..len).filter(|&p| !self.is_tape[c.0[p]]).collect();
         for j in 0..=(len - 3) {
             if state_positions.iter().any(|&p| p < j || p > j + 2) {
                 continue;
             }
             for rule in &self.rules {
-                if c.0[j] == rule.from[0] && c.0[j + 1] == rule.from[1] && c.0[j + 2] == rule.from[2]
+                if c.0[j] == rule.from[0]
+                    && c.0[j + 1] == rule.from[1]
+                    && c.0[j + 2] == rule.from[2]
                 {
                     let mut next = c.0.clone();
                     next[j] = rule.to[0];
@@ -205,7 +208,12 @@ mod tests {
     #[test]
     fn blanker_accepts_everything() {
         let m = zoo::blanker();
-        for input in [vec![1, 1], vec![1, 2, 1], vec![2, 2, 2, 2], vec![1, 2, 1, 2, 1]] {
+        for input in [
+            vec![1, 1],
+            vec![1, 2, 1],
+            vec![2, 2, 2, 2],
+            vec![1, 2, 1, 2, 1],
+        ] {
             assert_eq!(m.accepts(&input, 1_000_000), Some(true), "input {input:?}");
         }
     }
@@ -222,12 +230,12 @@ mod tests {
         let m = zoo::parity();
         // Glyph ids: 1 = '0', 2 = '1' (0 = B). Even number of 1s accepts.
         let cases: &[(&[usize], bool)] = &[
-            (&[1, 1], true),        // "00" -> zero ones, even
-            (&[2, 2], true),        // "11" -> two ones, even
-            (&[2, 1], false),       // "10" -> one one, odd
-            (&[1, 2], false),       // "01"
-            (&[2, 2, 2], false),    // "111"
-            (&[2, 1, 2, 2], false), // "1011" -> three ones
+            (&[1, 1], true),          // "00" -> zero ones, even
+            (&[2, 2], true),          // "11" -> two ones, even
+            (&[2, 1], false),         // "10" -> one one, odd
+            (&[1, 2], false),         // "01"
+            (&[2, 2, 2], false),      // "111"
+            (&[2, 1, 2, 2], false),   // "1011" -> three ones
             (&[2, 2, 1, 2, 2], true), // "11011" -> four ones
         ];
         for &(input, expected) in cases {
@@ -269,11 +277,7 @@ mod tests {
         for next in m.step(&c) {
             // The state glyph never appears outside a fired window, so each
             // successor still has exactly one state glyph.
-            let states = next
-                .0
-                .iter()
-                .filter(|&&g| !m.is_tape(g))
-                .count();
+            let states = next.0.iter().filter(|&&g| !m.is_tape(g)).count();
             assert_eq!(states, 1);
         }
     }

@@ -118,8 +118,7 @@ mod tests {
         let solver = IndSolver::new(&red.sigma);
         let via_inds = solver.implies(&red.target);
         assert_eq!(
-            direct,
-            via_inds,
+            direct, via_inds,
             "direct decider and reduction disagree on input {input:?}"
         );
     }
@@ -176,10 +175,7 @@ mod tests {
         assert!(red.sigma.is_empty());
         assert_eq!(red.target.arity(), 4);
         // Schema has |K ∪ Γ| * (n+1) attributes.
-        assert_eq!(
-            red.schema.schemes()[0].arity(),
-            m.glyph_count() * 4
-        );
+        assert_eq!(red.schema.schemes()[0].arity(), m.glyph_count() * 4);
         red.target.is_well_formed(&red.schema).unwrap();
     }
 

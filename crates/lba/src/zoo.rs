@@ -47,7 +47,14 @@ pub fn blanker() -> Machine {
         to: [h, B, B],
     });
     Machine::new(
-        vec!["B".into(), "0".into(), "1".into(), "s".into(), "u".into(), "h".into()],
+        vec![
+            "B".into(),
+            "0".into(),
+            "1".into(),
+            "s".into(),
+            "u".into(),
+            "h".into(),
+        ],
         &GAMMA,
         s,
         h,
@@ -77,24 +84,66 @@ pub fn parity() -> Machine {
     let mut rules = Vec::new();
     for &x in &GAMMA {
         // Right sweep, even state.
-        rules.push(Rule { from: [s0, ZERO, x], to: [B, s0, x] });
-        rules.push(Rule { from: [s0, B, x], to: [B, s0, x] });
-        rules.push(Rule { from: [s0, ONE, x], to: [B, s1, x] });
+        rules.push(Rule {
+            from: [s0, ZERO, x],
+            to: [B, s0, x],
+        });
+        rules.push(Rule {
+            from: [s0, B, x],
+            to: [B, s0, x],
+        });
+        rules.push(Rule {
+            from: [s0, ONE, x],
+            to: [B, s1, x],
+        });
         // Right sweep, odd state.
-        rules.push(Rule { from: [s1, ZERO, x], to: [B, s1, x] });
-        rules.push(Rule { from: [s1, B, x], to: [B, s1, x] });
-        rules.push(Rule { from: [s1, ONE, x], to: [B, s0, x] });
+        rules.push(Rule {
+            from: [s1, ZERO, x],
+            to: [B, s1, x],
+        });
+        rules.push(Rule {
+            from: [s1, B, x],
+            to: [B, s1, x],
+        });
+        rules.push(Rule {
+            from: [s1, ONE, x],
+            to: [B, s0, x],
+        });
         // Right-edge turn, folding in the final cell's parity.
-        rules.push(Rule { from: [x, s0, ZERO], to: [u, B, B] });
-        rules.push(Rule { from: [x, s0, B], to: [u, B, B] });
-        rules.push(Rule { from: [x, s0, ONE], to: [v, B, B] });
-        rules.push(Rule { from: [x, s1, ONE], to: [u, B, B] });
-        rules.push(Rule { from: [x, s1, ZERO], to: [v, B, B] });
-        rules.push(Rule { from: [x, s1, B], to: [v, B, B] });
+        rules.push(Rule {
+            from: [x, s0, ZERO],
+            to: [u, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s0, B],
+            to: [u, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s0, ONE],
+            to: [v, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s1, ONE],
+            to: [u, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s1, ZERO],
+            to: [v, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s1, B],
+            to: [v, B, B],
+        });
         // Left sweep.
-        rules.push(Rule { from: [x, u, B], to: [u, B, B] });
+        rules.push(Rule {
+            from: [x, u, B],
+            to: [u, B, B],
+        });
     }
-    rules.push(Rule { from: [u, B, B], to: [h, B, B] });
+    rules.push(Rule {
+        from: [u, B, B],
+        to: [h, B, B],
+    });
     Machine::new(
         vec![
             "B".into(),
@@ -121,15 +170,40 @@ pub fn all_zeros() -> Machine {
     let (s, u, h) = (3, 4, 5);
     let mut rules = Vec::new();
     for &x in &GAMMA {
-        rules.push(Rule { from: [s, ZERO, x], to: [B, s, x] });
-        rules.push(Rule { from: [s, B, x], to: [B, s, x] });
-        rules.push(Rule { from: [x, s, ZERO], to: [u, B, B] });
-        rules.push(Rule { from: [x, s, B], to: [u, B, B] });
-        rules.push(Rule { from: [x, u, B], to: [u, B, B] });
+        rules.push(Rule {
+            from: [s, ZERO, x],
+            to: [B, s, x],
+        });
+        rules.push(Rule {
+            from: [s, B, x],
+            to: [B, s, x],
+        });
+        rules.push(Rule {
+            from: [x, s, ZERO],
+            to: [u, B, B],
+        });
+        rules.push(Rule {
+            from: [x, s, B],
+            to: [u, B, B],
+        });
+        rules.push(Rule {
+            from: [x, u, B],
+            to: [u, B, B],
+        });
     }
-    rules.push(Rule { from: [u, B, B], to: [h, B, B] });
+    rules.push(Rule {
+        from: [u, B, B],
+        to: [h, B, B],
+    });
     Machine::new(
-        vec!["B".into(), "0".into(), "1".into(), "s".into(), "u".into(), "h".into()],
+        vec![
+            "B".into(),
+            "0".into(),
+            "1".into(),
+            "s".into(),
+            "u".into(),
+            "h".into(),
+        ],
         &GAMMA,
         s,
         h,

@@ -99,12 +99,11 @@ mod tests {
             assert!(solver.implies(&target), "should imply {target}");
         }
         // Also projected/permuted sub-INDs.
-        let sub: Ind = match depkit_core::parser::parse_dependency("R[A2, A4] <= R[A3, A1]")
-            .unwrap()
-        {
-            depkit_core::Dependency::Ind(i) => i,
-            _ => unreachable!(),
-        };
+        let sub: Ind =
+            match depkit_core::parser::parse_dependency("R[A2, A4] <= R[A3, A1]").unwrap() {
+                depkit_core::Dependency::Ind(i) => i,
+                _ => unreachable!(),
+            };
         assert!(solver.implies(&sub));
     }
 

@@ -82,7 +82,9 @@ impl Perm {
     pub fn compose(&self, other: &Perm) -> Perm {
         debug_assert_eq!(self.len(), other.len());
         Perm {
-            images: (0..self.len()).map(|i| self.apply(other.apply(i))).collect(),
+            images: (0..self.len())
+                .map(|i| self.apply(other.apply(i)))
+                .collect(),
         }
     }
 

@@ -29,7 +29,8 @@ pub fn armstrong_relation(engine: &FdEngine, scheme: &RelationScheme) -> Relatio
     let mut r = Relation::empty(scheme.clone());
 
     // The base tuple: all zeros.
-    r.insert(Tuple::ints(&vec![0i64; m])).expect("arity matches");
+    r.insert(Tuple::ints(&vec![0i64; m]))
+        .expect("arity matches");
 
     // Closed sets we have materialized a tuple for (avoid duplicates:
     // distinct subsets with the same closure would yield tuples agreeing
@@ -86,13 +87,12 @@ mod tests {
         // Enumerate all FDs with subset LHS and single RHS.
         let names = ["A", "B", "C"];
         for mask in 0u32..8 {
-            let lhs: Vec<&str> = (0..3).filter(|&b| mask & (1 << b) != 0).map(|b| names[b]).collect();
+            let lhs: Vec<&str> = (0..3)
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| names[b])
+                .collect();
             for rhs in names {
-                let tau = Fd::new(
-                    "R",
-                    AttrSeq::from_names(&lhs).unwrap(),
-                    attrs(&[rhs]),
-                );
+                let tau = Fd::new("R", AttrSeq::from_names(&lhs).unwrap(), attrs(&[rhs]));
                 let holds = check_fd(&r, &tau).unwrap().is_none();
                 let implied = engine.implies(&tau);
                 assert_eq!(holds, implied, "τ = {tau}");

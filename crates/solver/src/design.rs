@@ -37,7 +37,10 @@ pub fn bcnf_violation(engine: &FdEngine, scheme: &RelationScheme) -> Option<Bcnf
         }
         // Any closure attribute outside the LHS witnesses a violation.
         let lhs_set: BTreeSet<&Attr> = fd.lhs.attrs().iter().collect();
-        if let Some(extra) = closure.iter().find(|a| !lhs_set.contains(a) && all.contains(a)) {
+        if let Some(extra) = closure
+            .iter()
+            .find(|a| !lhs_set.contains(a) && all.contains(a))
+        {
             return Some(BcnfViolation {
                 fd: Fd::new(
                     scheme.name().clone(),
@@ -215,9 +218,8 @@ pub fn threenf_synthesis(fds: &[Fd], scheme: &RelationScheme) -> Vec<Fragment> {
     // Ensure some fragment contains a candidate key.
     let keys = engine.candidate_keys(scheme);
     let covered = keys.iter().any(|key| {
-        out.iter().any(|f| {
-            key.iter().all(|a| f.scheme.attrs().contains_attr(a))
-        })
+        out.iter()
+            .any(|f| key.iter().all(|a| f.scheme.attrs().contains_attr(a)))
     });
     if !covered {
         if let Some(key) = keys.first() {
@@ -334,8 +336,14 @@ mod tests {
         // Every cover FD must be checkable inside some fragment.
         for f in minimal_cover(&fds) {
             let found = frags.iter().any(|frag| {
-                f.lhs.attrs().iter().all(|a| frag.scheme.attrs().contains_attr(a))
-                    && f.rhs.attrs().iter().all(|a| frag.scheme.attrs().contains_attr(a))
+                f.lhs
+                    .attrs()
+                    .iter()
+                    .all(|a| frag.scheme.attrs().contains_attr(a))
+                    && f.rhs
+                        .attrs()
+                        .iter()
+                        .all(|a| frag.scheme.attrs().contains_attr(a))
             });
             assert!(found, "cover FD {f} not preserved");
         }
@@ -363,9 +371,8 @@ mod tests {
         let frag = RelationScheme::new("F", attrs(&["A", "C"]));
         let projected = project_fds(&fds, &frag);
         // A -> C is the transitive projection onto {A, C}.
-        assert!(projected
-            .iter()
-            .any(|f| f.lhs.attrs() == attrs(&["A"]).attrs()
-                && f.rhs.contains_attr(&Attr::new("C"))));
+        assert!(projected.iter().any(
+            |f| f.lhs.attrs() == attrs(&["A"]).attrs() && f.rhs.contains_attr(&Attr::new("C"))
+        ));
     }
 }

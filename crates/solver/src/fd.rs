@@ -66,9 +66,9 @@ impl FdEngine {
 
         // FDs with empty LHS fire immediately.
         let fire = |i: usize,
-                        closure: &mut BTreeSet<Attr>,
-                        queue: &mut VecDeque<Attr>,
-                        trace: &mut Vec<(Attr, usize)>| {
+                    closure: &mut BTreeSet<Attr>,
+                    queue: &mut VecDeque<Attr>,
+                    trace: &mut Vec<(Attr, usize)>| {
             for a in self.fds[i].rhs.attrs() {
                 if closure.insert(a.clone()) {
                     queue.push_back(a.clone());
@@ -321,7 +321,7 @@ mod tests {
         let fds = vec![
             fd("R: A -> B, C"),
             fd("R: B -> C"),
-            fd("R: A -> C"), // redundant given A -> B, B -> C
+            fd("R: A -> C"),    // redundant given A -> B, B -> C
             fd("R: A, B -> C"), // A extraneous... B extraneous: A -> C redundant
         ];
         let cover = minimal_cover(&fds);

@@ -317,11 +317,7 @@ mod tests {
         // reversed IND. Here we check the combined engine reaches a
         // dependency needing both engines: S inherits the flip through a
         // bridge IND.
-        let sigma = deps(&[
-            "R: A -> B",
-            "R[A] <= R[B]",
-            "S[C] <= R[B]",
-        ]);
+        let sigma = deps(&["R: A -> B", "R[A] <= R[B]", "S[C] <= R[B]"]);
         let engine = FiniteEngine::new(&sigma);
         // R[B] <= R[A] (counting), then S[C] <= R[B] <= R[A] by IND3.
         assert!(engine.implies(&parse_dependency("S[C] <= R[A]").unwrap()));

@@ -231,7 +231,10 @@ fn reconstruct(
     let mut steps = Vec::new();
     let mut cur = end.clone();
     loop {
-        match parent.get(&cur).expect("every visited node has a parent entry") {
+        match parent
+            .get(&cur)
+            .expect("every visited node has a parent entry")
+        {
             Some((prev, via)) => {
                 steps.push(WalkStep {
                     expr: cur.clone(),

@@ -75,10 +75,7 @@ pub fn pullback_fd(ind: &Ind, fd: &Fd) -> Option<Fd> {
 /// columns of `i2`; pairs that would repeat an attribute on either side are
 /// dropped (a sound projection of the full conclusion).
 pub fn augment_ind(i1: &Ind, i2: &Ind, fd: &Fd) -> Option<Ind> {
-    if i1.lhs_rel != i2.lhs_rel
-        || i1.rhs_rel != i2.rhs_rel
-        || fd.rel != i1.rhs_rel
-    {
+    if i1.lhs_rel != i2.lhs_rel || i1.rhs_rel != i2.rhs_rel || fd.rel != i1.rhs_rel {
         return None;
     }
     // Positions of T in each IND's right side, and the X they induce.
@@ -86,12 +83,20 @@ pub fn augment_ind(i1: &Ind, i2: &Ind, fd: &Fd) -> Option<Ind> {
     let x1: Option<Vec<Attr>> = t
         .attrs()
         .iter()
-        .map(|a| i1.rhs_attrs.position(a).map(|p| i1.lhs_attrs.attrs()[p].clone()))
+        .map(|a| {
+            i1.rhs_attrs
+                .position(a)
+                .map(|p| i1.lhs_attrs.attrs()[p].clone())
+        })
         .collect();
     let x2: Option<Vec<Attr>> = t
         .attrs()
         .iter()
-        .map(|a| i2.rhs_attrs.position(a).map(|p| i2.lhs_attrs.attrs()[p].clone()))
+        .map(|a| {
+            i2.rhs_attrs
+                .position(a)
+                .map(|p| i2.lhs_attrs.attrs()[p].clone())
+        })
         .collect();
     let (x1, x2) = (x1?, x2?);
     if x1 != x2 {
@@ -773,7 +778,10 @@ mod tests {
             },
         );
         without.saturate();
-        assert!(!without.inds().iter().any(|i| i.to_string() == "A[X] <= C[Z]"));
+        assert!(!without
+            .inds()
+            .iter()
+            .any(|i| i.to_string() == "A[X] <= C[Z]"));
         // Queries still answer via IND1-3 (the solver is complete for
         // INDs alone) — the ablation affects rule feeding, not queries.
         assert!(without.implies(&target));

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("  σ = {}", fam.target);
 
-    println!("\nthe cycle is k+1 = {} INDs long; dropping ANY one admits the", k + 1);
+    println!(
+        "\nthe cycle is k+1 = {} INDs long; dropping ANY one admits the",
+        k + 1
+    );
     println!("Figure 6.1 Armstrong database, so no ≤k of them imply anything new:");
     for missing in 0..=k {
         fam.verify_armstrong_property(missing)?;
@@ -46,16 +49,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         k
     );
     let witness = implication_closure_witness(&universe, &gamma, &oracle);
-    println!("...yet Γ implies, e.g., {:?} ∉ Γ", witness.map(|w| w.to_string()));
+    println!(
+        "...yet Γ implies, e.g., {:?} ∉ Γ",
+        witness.map(|w| w.to_string())
+    );
     println!("⇒ by Theorem 5.1, no {k}-ary complete axiomatization exists (finite implication).");
 
     // ---- Section 7: unrestricted implication --------------------------
     let n = 2;
     let fam7 = Section7::new(n);
     println!("\nSection 7 family at n = {n} (≤3-attribute schemes, unary FDs, binary INDs):");
-    println!("  {} INDs (λ), {} FDs; σ = {}", fam7.lambda.len(), fam7.sigma_fds.len(), fam7.target);
+    println!(
+        "  {} INDs (λ), {} FDs; σ = {}",
+        fam7.lambda.len(),
+        fam7.sigma_fds.len(),
+        fam7.target
+    );
 
-    let report = fam7.verify().map_err(|e| format!("verification failed: {e}"))?;
+    let report = fam7
+        .verify()
+        .map_err(|e| format!("verification failed: {e}"))?;
     println!(
         "  Lemma 7.2: chase proves Σ ⊨ σ in {} rounds",
         report.chase_rounds

@@ -23,8 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Finite implication, via the counting engine.
     let engine = FiniteEngine::new(&fam.sigma);
     println!("\nover finite databases:");
-    println!("  Σ ⊨_fin {}?  {}", fam.target_ind, engine.implies(&fam.target_ind));
-    println!("  Σ ⊨_fin {}?  {}", fam.target_fd, engine.implies(&fam.target_fd));
+    println!(
+        "  Σ ⊨_fin {}?  {}",
+        fam.target_ind,
+        engine.implies(&fam.target_ind)
+    );
+    println!(
+        "  Σ ⊨_fin {}?  {}",
+        fam.target_fd,
+        engine.implies(&fam.target_fd)
+    );
 
     // Unrestricted implication fails: exhibit the infinite witnesses.
     let fig41 = fam.figure_4_1();
@@ -32,14 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in &fam.sigma {
         println!("  satisfies {d}?  {}", fig41.satisfies(d)?);
     }
-    println!("  satisfies {}?  {}", fam.target_ind, fig41.satisfies(&fam.target_ind)?);
+    println!(
+        "  satisfies {}?  {}",
+        fam.target_ind,
+        fig41.satisfies(&fam.target_ind)?
+    );
     if let Some(v) = fig41.check(&fam.target_ind)? {
         println!("  violation witness: {v:?}");
     }
 
     let fig42 = fam.figure_4_2();
     println!("\nFigure 4.2 (infinite): r = {{(1,1)}} ∪ {{(i+1, i) : i ≥ 1}}");
-    println!("  satisfies {}?  {}", fam.target_fd, fig42.satisfies(&fam.target_fd)?);
+    println!(
+        "  satisfies {}?  {}",
+        fam.target_fd,
+        fig42.satisfies(&fam.target_fd)?
+    );
     if let Some(v) = fig42.check(&fam.target_fd)? {
         println!("  violation witness: {v:?}");
     }

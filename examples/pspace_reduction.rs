@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("11011", vec![2, 2, 1, 2, 2]),
     ];
 
-    println!("\n{:<8} {:>8} {:>8} {:>10} {:>12} {:>10}", "input", "direct", "via-IND", "|Σ| INDs", "IND arity", "steps");
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>10} {:>12} {:>10}",
+        "input", "direct", "via-IND", "|Σ| INDs", "IND arity", "steps"
+    );
     for (name, input) in inputs {
         let direct = machine.accepts(&input, 5_000_000).expect("in budget");
         let red = reduce(&machine, &input)?;

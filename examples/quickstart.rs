@@ -21,7 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build a database and check it.
     let mut db = Database::empty(schema);
-    db.insert_str("EMP", &[&["hilbert", "math"], &["noether", "math"], &["bohr", "physics"]])?;
+    db.insert_str(
+        "EMP",
+        &[
+            &["hilbert", "math"],
+            &["noether", "math"],
+            &["bohr", "physics"],
+        ],
+    )?;
     db.insert_str("MGR", &[&["hilbert", "math"]])?;
     assert!(db.satisfies(&manager_is_employee)?);
     assert!(db.satisfies(&one_dept_per_name)?);
@@ -36,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Implication: IND reasoning (complete per Theorem 3.1)...
     let sigma = ["MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse::<Dependency>()?];
     let ind_solver = IndSolver::new(
-        &sigma.iter().filter_map(|d| d.as_ind().cloned()).collect::<Vec<_>>(),
+        &sigma
+            .iter()
+            .filter_map(|d| d.as_ind().cloned())
+            .collect::<Vec<_>>(),
     );
     let projected: Dependency = "MGR[NAME] <= EMP[NAME]".parse()?;
     println!(
@@ -45,12 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ... FD reasoning (Armstrong-complete) ...
-    let fds = vec![
-        match "EMP: NAME -> DEPT".parse::<Dependency>()? {
-            Dependency::Fd(f) => f,
-            _ => unreachable!(),
-        },
-    ];
+    let fds = vec![match "EMP: NAME -> DEPT".parse::<Dependency>()? {
+        Dependency::Fd(f) => f,
+        _ => unreachable!(),
+    }];
     let fd_engine = FdEngine::new("EMP", &fds);
     println!(
         "closure of {{NAME}} in EMP: {:?}",
@@ -65,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sat = Saturator::new(&deps);
     sat.saturate();
     let inherited: Dependency = "MGR: NAME -> DEPT".parse()?;
-    println!("Σ ⊨ {inherited}?  {} (Proposition 4.1)", sat.implies(&inherited));
+    println!(
+        "Σ ⊨ {inherited}?  {} (Proposition 4.1)",
+        sat.implies(&inherited)
+    );
     Ok(())
 }

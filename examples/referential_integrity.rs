@@ -96,6 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let engine = FdEngine::new("EMP", &fds);
     let emp_scheme = schema.require(&RelName::new("EMP"))?;
-    println!("\ncandidate keys of EMP: {:?}", engine.candidate_keys(emp_scheme));
+    println!(
+        "\ncandidate keys of EMP: {:?}",
+        engine.candidate_keys(emp_scheme)
+    );
     Ok(())
 }

@@ -18,15 +18,13 @@ use depkit_solver::fd::{minimal_cover, FdEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A universal "teaching" relation and its business rules.
-    let scheme = RelationScheme::from_names(
-        "TEACH",
-        &["COURSE", "LECTURER", "ROOM", "SLOT", "DEPT"],
-    )?;
+    let scheme =
+        RelationScheme::from_names("TEACH", &["COURSE", "LECTURER", "ROOM", "SLOT", "DEPT"])?;
     let fds: Vec<Fd> = [
-        "TEACH: COURSE -> LECTURER",      // one lecturer per course
-        "TEACH: LECTURER -> DEPT",        // lecturers belong to a department
-        "TEACH: ROOM, SLOT -> COURSE",    // a room/slot hosts one course
-        "TEACH: COURSE, SLOT -> ROOM",    // a course sits in one room per slot
+        "TEACH: COURSE -> LECTURER",   // one lecturer per course
+        "TEACH: LECTURER -> DEPT",     // lecturers belong to a department
+        "TEACH: ROOM, SLOT -> COURSE", // a room/slot hosts one course
+        "TEACH: COURSE, SLOT -> ROOM", // a course sits in one room per slot
     ]
     .iter()
     .map(|s| match s.parse::<Dependency>().unwrap() {

@@ -1,0 +1,38 @@
+//! # depkit — facade crate for the dependency toolkit workspace
+//!
+//! Re-exports every member crate of the reproduction of Casanova, Fagin &
+//! Papadimitriou, *Inclusion Dependencies and Their Interaction with
+//! Functional Dependencies* (PODS 1982 / JCSS 28(1), 1984), and owns the
+//! workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`).
+//!
+//! | Module    | Crate           | Paper sections |
+//! |-----------|-----------------|----------------|
+//! | [`core`]  | `depkit-core`   | §2 model, dependencies, satisfaction |
+//! | [`solver`]| `depkit-solver` | §3 IND worklist, §4 interaction, FD closure |
+//! | [`chase`] | `depkit-chase`  | §3 Rule (*), FD chase, FD+IND chase, §8 acyclic |
+//! | [`axiom`] | `depkit-axiom`  | §3 proofs, §5–§7 (non-)axiomatizability |
+//! | [`lba`]   | `depkit-lba`    | §3 Theorem 3.3 PSPACE reduction |
+//! | [`perm`]  | `depkit-perm`   | §3 Landau lower bound |
+//! | [`bench`] | `depkit-bench`  | shared workloads for the bench suite |
+//!
+//! ```
+//! use depkit::prelude::*;
+//!
+//! let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"]).unwrap();
+//! let ind: Dependency = "MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse().unwrap();
+//! assert!(ind.is_well_formed(&schema).is_ok());
+//! ```
+
+pub use depkit_axiom as axiom;
+pub use depkit_bench as bench;
+pub use depkit_chase as chase;
+pub use depkit_core as core;
+pub use depkit_lba as lba;
+pub use depkit_perm as perm;
+pub use depkit_solver as solver;
+
+/// The core prelude, re-exported at the facade level.
+pub mod prelude {
+    pub use depkit_core::prelude::*;
+}

@@ -152,7 +152,12 @@ fn finite_engine_soundness_vs_exhaustive_models() {
 /// Theorem 3.3 end to end on every zoo machine and a random-machine sweep.
 #[test]
 fn pspace_reduction_agreement_sweep() {
-    let machines = vec![zoo::blanker(), zoo::never_accept(), zoo::parity(), zoo::all_zeros()];
+    let machines = vec![
+        zoo::blanker(),
+        zoo::never_accept(),
+        zoo::parity(),
+        zoo::all_zeros(),
+    ];
     let inputs: Vec<Vec<usize>> = vec![vec![1, 1], vec![2, 2], vec![1, 2, 1], vec![2, 2, 2]];
     for m in &machines {
         for input in &inputs {
@@ -166,7 +171,11 @@ fn pspace_reduction_agreement_sweep() {
         let input = vec![1, 2];
         let direct = m.accepts(&input, 5_000_000).expect("budget");
         let red = reduce(&m, &input).expect("well-formed");
-        assert_eq!(direct, IndSolver::new(&red.sigma).implies(&red.target), "seed {seed}");
+        assert_eq!(
+            direct,
+            IndSolver::new(&red.sigma).implies(&red.target),
+            "seed {seed}"
+        );
     }
 }
 
@@ -216,12 +225,9 @@ fn section6_finite_vs_unrestricted_boundary() {
 /// saturation, and chase.
 #[test]
 fn hr_scenario_end_to_end() {
-    let schema = DatabaseSchema::parse(&[
-        "EMP(NAME, DEPT)",
-        "DEPT(DNAME, HEAD)",
-        "MGR(NAME, DEPT)",
-    ])
-    .unwrap();
+    let schema =
+        DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNAME, HEAD)", "MGR(NAME, DEPT)"])
+            .unwrap();
     let constraints: Vec<Dependency> = [
         "MGR[NAME, DEPT] <= EMP[NAME, DEPT]",
         "EMP[DEPT] <= DEPT[DNAME]",
@@ -253,11 +259,14 @@ fn hr_scenario_end_to_end() {
     // And a concrete database obeying the constraints obeys the derived
     // dependency too.
     let mut db = Database::empty(schema);
-    db.insert_str("EMP", &[&["h", "math"], &["n", "math"]]).unwrap();
+    db.insert_str("EMP", &[&["h", "math"], &["n", "math"]])
+        .unwrap();
     db.insert_str("DEPT", &[&["math", "h"]]).unwrap();
     db.insert_str("MGR", &[&["h", "math"]]).unwrap();
     assert!(db.satisfies_all(constraints.iter()).unwrap());
-    assert!(db.satisfies(&"DEPT[HEAD] <= EMP[NAME]".parse().unwrap()).unwrap());
+    assert!(db
+        .satisfies(&"DEPT[HEAD] <= EMP[NAME]".parse().unwrap())
+        .unwrap());
 }
 
 /// Typed fast path agrees with the general search across a random sweep

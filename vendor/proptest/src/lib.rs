@@ -1,0 +1,329 @@
+//! Offline stand-in for `proptest`, covering the surface the workspace's
+//! property tests use: the `proptest! { #[test] fn name(x in strategy) {..} }`
+//! macro, `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, and integer-range
+//! strategies.
+//!
+//! Differences from the real proptest, by design:
+//! * **Deterministic**: cases are generated from a fixed seed sequence, so
+//!   CI runs are reproducible (the real proptest randomizes and persists
+//!   regressions). Set `DEPKIT_PROPTEST_CASES` to change the case count
+//!   (default 64).
+//! * **No shrinking**: a failing case reports its index and message only.
+//!
+//! Swap in the real proptest via `Cargo.toml` when crates.io access exists.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is false for this input.
+    Fail(String),
+    /// The input was rejected (filtered out), not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Case-generation source: wraps the SplitMix64 `StdRng` from the `rand`
+/// stub (mirroring how the real proptest layers on `rand`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore as _;
+        self.inner.next_u64()
+    }
+}
+
+/// A value generator. The stub samples directly (no shrink trees).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain: `any::<u64>()`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Compute the span in the same-width unsigned type: a signed
+                // subtraction can overflow $t, and widening it directly to
+                // u128 would sign-extend the wrapped result.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u128;
+                let offset = (((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span) as $u as $t;
+                self.start.wrapping_add(offset)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128
+);
+
+/// Number of cases per property (default 64; override with
+/// `DEPKIT_PROPTEST_CASES`).
+pub fn case_count() -> u32 {
+    std::env::var("DEPKIT_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive one property through `case_count()` deterministic cases, panicking
+/// on the first `Fail` (rejections are skipped, as in real proptest).
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let n = case_count();
+    for i in 0..n {
+        // Decorrelate consecutive cases: hash the case index into a seed.
+        let mut rng =
+            TestRng::new(0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {i}/{n}: {msg}");
+            }
+        }
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}: {}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                lhs,
+                rhs,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} ({}:{}): both = {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Declare deterministic property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in any::<u64>(), b in 0u64..100) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__depkit_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __depkit_rng);)*
+                    (move || -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
+        TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -5i128..6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..6).contains(&y));
+        }
+
+        #[test]
+        fn wide_signed_ranges_respect_bounds(x in -100i8..100, y in -30000i16..30000) {
+            prop_assert!((-100..100).contains(&x));
+            prop_assert!((-30000..30000).contains(&y));
+        }
+
+        #[test]
+        fn any_u64_is_deterministic(_x in any::<u64>()) {
+            prop_assert_eq!(1 + 1, 2);
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0u32..10) {
+            if x > 100 { return Ok(()); }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        crate::run_cases("always_fails", |_rng| Err(TestCaseError::fail("nope")));
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `rand` crate, covering exactly the surface the
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over half-open integer ranges.
+//!
+//! `StdRng` here is SplitMix64 — *not* the real `rand` StdRng — so streams
+//! differ from upstream, but all workspace uses are "seeded arbitrary
+//! stream" uses where only determinism-in-the-seed matters.
+
+use std::ops::Range;
+
+/// Minimal core trait: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, as an extension trait (mirrors `rand::Rng::random_range`).
+pub trait RngExt: RngCore {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Integer types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator (Steele–Lea–Flood 2014): tiny, fast, and good
+    /// enough for test-instance generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt as _, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..50), b.random_range(0usize..50));
+        }
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in the workspace serializes at runtime yet — the derives exist so
+//! constraint catalogs *can* round-trip once the real serde is available.
+//! Until then: `Serialize`/`Deserialize` are empty marker traits with
+//! blanket impls, and the derive macros (re-exported from the stub
+//! `serde_derive`) emit no code while still accepting `#[serde(...)]`
+//! helper attributes. Trait bounds like `T: Serialize` therefore compile
+//! and are trivially satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

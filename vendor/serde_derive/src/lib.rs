@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! exists only to make `#[derive(Serialize, Deserialize)]` and the
+//! `#[serde(...)]` helper attributes compile. The companion `serde` stub
+//! crate provides blanket impls of the (empty) `Serialize`/`Deserialize`
+//! traits, so the derives themselves emit no code. Swapping in the real
+//! serde is a `Cargo.toml`-only change.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
