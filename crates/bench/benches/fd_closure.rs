@@ -1,10 +1,16 @@
 //! Criterion bench: the Beeri–Bernstein linear-time attribute closure
 //! (experiment E3.5). Time per FD should stay flat as the chain grows —
 //! the linear contrast to the PSPACE-complete IND problem.
+//!
+//! Every workload runs against **both representations**: `compiled` is the
+//! interned-id [`FdEngine`] (bitset closure, dense watcher table) and
+//! `reference` is the pre-refactor string-based engine from
+//! `depkit_solver::reference`. The compiled path must win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use depkit_bench::fd_chain;
 use depkit_solver::fd::FdEngine;
+use depkit_solver::reference::ReferenceFdEngine;
 use std::hint::black_box;
 
 fn bench_fd_closure(c: &mut Criterion) {
@@ -12,16 +18,34 @@ fn bench_fd_closure(c: &mut Criterion) {
     for &len in &[64usize, 256, 1024, 4096] {
         let (_scheme, fds, target) = fd_chain(len);
         group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("chain", len), &len, |b, _| {
+        group.bench_with_input(BenchmarkId::new("chain_compiled", len), &len, |b, _| {
             let engine = FdEngine::new("R", &fds);
             b.iter(|| black_box(engine.implies(black_box(&target))))
         });
-        group.bench_with_input(BenchmarkId::new("build_and_query", len), &len, |b, _| {
-            b.iter(|| {
-                let engine = FdEngine::new("R", black_box(&fds));
-                black_box(engine.implies(black_box(&target)))
-            })
+        group.bench_with_input(BenchmarkId::new("chain_reference", len), &len, |b, _| {
+            let engine = ReferenceFdEngine::new("R", &fds);
+            b.iter(|| black_box(engine.implies(black_box(&target))))
         });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_query_compiled", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let engine = FdEngine::new("R", black_box(&fds));
+                    black_box(engine.implies(black_box(&target)))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_and_query_reference", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let engine = ReferenceFdEngine::new("R", black_box(&fds));
+                    black_box(engine.implies(black_box(&target)))
+                })
+            },
+        );
     }
     group.finish();
 }

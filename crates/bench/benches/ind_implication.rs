@@ -1,11 +1,20 @@
 //! Criterion bench: the IND decision procedure of Section 3 on random
 //! instances, with the Rule (*) chase as the semantic comparator.
 //! (Experiment E3.1: both must agree; the bench tracks their costs.)
+//!
+//! The syntactic search runs against **both representations**: `compiled`
+//! is the interned-id [`IndSolver`] (positional-gather IND2, `(RelId,
+//! IdSeq)` visited keys, automatic typed dispatch) and `reference` is the
+//! pre-refactor string-hashing solver from `depkit_solver::reference`. The
+//! `typed_chain` group exercises the workload where the automatic typed
+//! fast path matters most.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depkit_bench::typed_chain;
 use depkit_chase::ind_chase::ind_chase;
 use depkit_core::generate::{random_ind, random_ind_set, random_schema, Rng, SchemaConfig};
 use depkit_solver::ind::IndSolver;
+use depkit_solver::reference::ReferenceIndSolver;
 use std::hint::black_box;
 
 fn bench_ind_implication(c: &mut Criterion) {
@@ -26,10 +35,22 @@ fn bench_ind_implication(c: &mut Criterion) {
             .collect();
 
         group.bench_with_input(
-            BenchmarkId::new("syntactic_search", n_inds),
+            BenchmarkId::new("syntactic_compiled", n_inds),
             &n_inds,
             |b, _| {
                 let solver = IndSolver::new(&sigma);
+                b.iter(|| {
+                    for t in &targets {
+                        black_box(solver.implies(black_box(t)));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("syntactic_reference", n_inds),
+            &n_inds,
+            |b, _| {
+                let solver = ReferenceIndSolver::new(&sigma);
                 b.iter(|| {
                     for t in &targets {
                         black_box(solver.implies(black_box(t)));
@@ -52,6 +73,23 @@ fn bench_ind_implication(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+
+    // The typed-chain workload: all-typed Σ, end-to-end target. The
+    // compiled solver dispatches to relation-id reachability automatically;
+    // the reference solver runs the full expression search.
+    let mut group = c.benchmark_group("typed_chain");
+    for &len in &[64usize, 256, 1024] {
+        let (_schema, sigma, target) = typed_chain(len, 3);
+        group.bench_with_input(BenchmarkId::new("compiled", len), &len, |b, _| {
+            let solver = IndSolver::new(&sigma);
+            b.iter(|| black_box(solver.implies(black_box(&target))))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", len), &len, |b, _| {
+            let solver = ReferenceIndSolver::new(&sigma);
+            b.iter(|| black_box(solver.implies(black_box(&target))))
+        });
     }
     group.finish();
 }

@@ -159,8 +159,12 @@ fn special_cases() {
     );
     for len in [16usize, 64, 256, 1024] {
         let (_schema, sigma, target) = typed_chain(len, 3);
+        // `IndSolver::implies` dispatches to the typed path automatically,
+        // so the general-procedure column uses the reference solver (the
+        // pre-refactor string-based expression search).
+        let general_solver = depkit_solver::reference::ReferenceIndSolver::new(&sigma);
         let solver = IndSolver::new(&sigma);
-        let (r1, general) = timed(|| solver.implies(&target));
+        let (r1, general) = timed(|| general_solver.implies(&target));
         let (r2, typed) = timed(|| solver.implies_typed(&target));
         assert!(r1 && r2 == Some(true));
         println!(

@@ -18,10 +18,11 @@
 use depkit_core::database::Database;
 use depkit_core::dependency::Ind;
 use depkit_core::error::CoreError;
+use depkit_core::intern::{Catalog, RelId};
 use depkit_core::relation::Tuple;
 use depkit_core::schema::DatabaseSchema;
 use depkit_core::value::Value;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// Outcome of the Rule (*) chase.
 #[derive(Debug, Clone)]
@@ -41,6 +42,12 @@ pub struct IndChaseResult {
 /// `max_tuples` caps the construction (the intrinsic bound is
 /// `Σ_R (m+1)^arity(R)`, which can be astronomically large for wide
 /// schemas); exceeding the cap returns an error rather than a wrong answer.
+///
+/// The chase runs entirely on the compiled representation: relations are
+/// addressed by dense [`RelId`]s from a schema [`Catalog`], every tuple is a
+/// bare `Vec<u32>` (Rule (*) entries all lie in `{0, ..., m}`), and each IND
+/// of `Σ` is pre-compiled to a column gather. The [`Database`] with
+/// [`Value`]-typed tuples is materialized once at the end.
 pub fn ind_chase(
     schema: &DatabaseSchema,
     sigma: &[Ind],
@@ -52,77 +59,93 @@ pub fn ind_chase(
         ind.is_well_formed(schema)?;
     }
 
+    // `Catalog::from_schema` guarantees RelId::index = scheme index, so the
+    // per-relation state vectors below are addressed by RelId.
+    let catalog = Catalog::from_schema(schema);
+    let n_rels = schema.schemes().len();
+    let rel_id = |name| {
+        catalog
+            .rel_id(name)
+            .expect("well-formedness guarantees the relation is in the schema")
+    };
+
     let m = target.arity();
     let ra = schema.require(&target.lhs_rel)?;
+    let start_rel = rel_id(&target.lhs_rel);
 
     // Seed tuple p: p[A_i] = i (1-based), 0 elsewhere.
     let a_cols = ra.columns(&target.lhs_attrs)?;
-    let mut seed = vec![0i64; ra.arity()];
+    let mut seed = vec![0u32; ra.arity()];
     for (i, &c) in a_cols.iter().enumerate() {
-        seed[c] = (i + 1) as i64;
+        seed[c] = (i + 1) as u32;
     }
-    let seed = Tuple::ints(&seed);
 
-    let mut db = Database::empty(schema.clone());
-    db.insert(&target.lhs_rel, seed.clone())?;
-
-    // Precompute column mappings for each IND in Σ.
+    // Compile each IND of Σ to a column gather, grouped by left relation id.
     struct Mapping {
-        lhs_rel: depkit_core::schema::RelName,
-        rhs_rel: depkit_core::schema::RelName,
+        rhs_rel: RelId,
         lhs_cols: Vec<usize>,
         rhs_cols: Vec<usize>,
         rhs_arity: usize,
     }
-    let mappings: Vec<Mapping> = sigma
-        .iter()
-        .map(|ind| {
-            let l = schema.require(&ind.lhs_rel)?;
-            let r = schema.require(&ind.rhs_rel)?;
-            Ok(Mapping {
-                lhs_rel: ind.lhs_rel.clone(),
-                rhs_rel: ind.rhs_rel.clone(),
-                lhs_cols: l.columns(&ind.lhs_attrs)?,
-                rhs_cols: r.columns(&ind.rhs_attrs)?,
-                rhs_arity: r.arity(),
-            })
-        })
-        .collect::<Result<_, CoreError>>()?;
+    let mut by_lhs_rel: Vec<Vec<Mapping>> = (0..n_rels).map(|_| Vec::new()).collect();
+    for ind in sigma {
+        let l = schema.require(&ind.lhs_rel)?;
+        let r = schema.require(&ind.rhs_rel)?;
+        by_lhs_rel[rel_id(&ind.lhs_rel).index()].push(Mapping {
+            rhs_rel: rel_id(&ind.rhs_rel),
+            lhs_cols: l.columns(&ind.lhs_attrs)?,
+            rhs_cols: r.columns(&ind.rhs_attrs)?,
+            rhs_arity: r.arity(),
+        });
+    }
 
-    // Worklist of (relation, tuple) pairs to apply Rule (*) to.
-    let mut queue: VecDeque<(depkit_core::schema::RelName, Tuple)> =
-        VecDeque::from([(target.lhs_rel.clone(), seed)]);
+    // Per-relation tuple sets over raw u32 rows, plus the worklist.
+    let mut rows: Vec<HashSet<Vec<u32>>> = vec![HashSet::new(); n_rels];
+    rows[start_rel.index()].insert(seed.clone());
+    let mut total_tuples = 1usize;
     let mut tuples_added = 0usize;
+    let mut queue: VecDeque<(RelId, Vec<u32>)> = VecDeque::from([(start_rel, seed)]);
 
     while let Some((rel, u)) = queue.pop_front() {
-        for map in &mappings {
-            if map.lhs_rel != rel {
-                continue;
-            }
-            let mut t = vec![Value::Int(0); map.rhs_arity];
+        for map in &by_lhs_rel[rel.index()] {
+            let mut t = vec![0u32; map.rhs_arity];
             for (&lc, &rc) in map.lhs_cols.iter().zip(&map.rhs_cols) {
-                t[rc] = u.at(lc).clone();
+                t[rc] = u[lc];
             }
-            let t = Tuple::new(t);
-            if db.insert(&map.rhs_rel, t.clone())? {
+            if rows[map.rhs_rel.index()].insert(t.clone()) {
                 tuples_added += 1;
-                if db.total_tuples() > max_tuples {
+                total_tuples += 1;
+                if total_tuples > max_tuples {
                     return Err(CoreError::SymbolicTooComplex(format!(
                         "Rule (*) chase exceeded the cap of {max_tuples} tuples"
                     )));
                 }
-                queue.push_back((map.rhs_rel.clone(), t));
+                queue.push_back((map.rhs_rel, t));
             }
         }
     }
 
     // σ holds iff r_b contains a tuple p' with p'[B_i] = i for all i.
-    let rb = db.relation(&target.rhs_rel)?;
     let b_cols = schema
         .require(&target.rhs_rel)?
         .columns(&target.rhs_attrs)?;
-    let wanted: Vec<Value> = (1..=m as i64).map(Value::Int).collect();
-    let implied = rb.tuples().any(|t| t.project(&b_cols) == wanted);
+    let implied = rows[rel_id(&target.rhs_rel).index()].iter().any(|t| {
+        b_cols
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| t[c] as usize == i + 1)
+    });
+    debug_assert!(m == b_cols.len());
+
+    // Materialize the value-typed database once, at the boundary.
+    let mut db = Database::empty(schema.clone());
+    for (r, set) in rows.iter().enumerate() {
+        let name = schema.schemes()[r].name().clone();
+        for row in set {
+            let vals: Vec<Value> = row.iter().map(|&v| Value::Int(v as i64)).collect();
+            db.insert(&name, Tuple::new(vals))?;
+        }
+    }
 
     Ok(IndChaseResult {
         implied,

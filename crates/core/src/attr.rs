@@ -29,6 +29,16 @@ impl Attr {
     pub fn name(&self) -> &str {
         &self.0
     }
+
+    /// The shared backing string (cheap `Arc` handle for the interner).
+    pub(crate) fn shared(&self) -> &Arc<str> {
+        &self.0
+    }
+
+    /// Build an attribute from an already-shared string without copying.
+    pub(crate) fn from_shared(s: Arc<str>) -> Self {
+        Attr(s)
+    }
 }
 
 impl fmt::Display for Attr {

@@ -1,0 +1,419 @@
+//! The interned symbol catalog: dense ids for attributes and relation
+//! names, plus the compact id-level containers the compiled engines run on.
+//!
+//! Every hot path in the workspace — the Beeri–Bernstein FD closure, the
+//! Corollary 3.2 IND worklist search, the Rule (*) chase — is a fixpoint
+//! computation over a *fixed* vocabulary of symbols. Comparing and hashing
+//! heap strings inside those loops costs far more than the arithmetic the
+//! paper's complexity analysis counts, so the engines intern once at the
+//! boundary and compute over ids:
+//!
+//! * [`Catalog`] — a bidirectional symbol table mapping [`Attr`]/[`RelName`]
+//!   to dense [`AttrId`]/[`RelId`] (assigned `0, 1, 2, ...` in first-seen
+//!   order) and back. Interning is explicit and local: each engine owns the
+//!   catalog for its own `Σ`, so ids are never valid across engines.
+//! * [`AttrBitSet`] — an attribute set over `u64` blocks; insert, member,
+//!   union, and subset are word operations, which is what makes the FD
+//!   closure's working set cache-resident.
+//! * [`IdSeq`] — an immutable ordered sequence of [`AttrId`]s, the compiled
+//!   form of [`AttrSeq`]. Cheap to hash and compare, it is the visited-set
+//!   key of the IND solver's expression search.
+//!
+//! String-typed public APIs stay as thin wrappers: they intern at the call
+//! boundary (`Catalog::lookup_*` for queries, `Catalog::intern_*` during
+//! construction) and resolve ids back to names only when producing output.
+
+use crate::attr::{Attr, AttrSeq};
+use crate::schema::{DatabaseSchema, RelName};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense id of an interned attribute (index into its [`Catalog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build an id from an index (caller promises it came from a catalog).
+    pub fn from_index(i: usize) -> Self {
+        AttrId(u32::try_from(i).expect("catalog holds fewer than 2^32 attributes"))
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Dense id of an interned relation name (index into its [`Catalog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build an id from an index (caller promises it came from a catalog).
+    pub fn from_index(i: usize) -> Self {
+        RelId(u32::try_from(i).expect("catalog holds fewer than 2^32 relations"))
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A bidirectional symbol table assigning dense ids to attributes and
+/// relation names.
+///
+/// Ids are handed out in first-intern order, so `Catalog::from_schema`
+/// guarantees `RelId::index` equals the scheme's declaration index — the
+/// chase engines rely on that to address per-relation state by `RelId`.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    attrs: Vec<Arc<str>>,
+    rels: Vec<Arc<str>>,
+    attr_ids: HashMap<Arc<str>, AttrId>,
+    rel_ids: HashMap<Arc<str>, RelId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// A catalog pre-seeded with every relation name and attribute of
+    /// `schema`, in declaration order (so `RelId::index` = scheme index).
+    pub fn from_schema(schema: &DatabaseSchema) -> Self {
+        let mut cat = Catalog::new();
+        for scheme in schema.schemes() {
+            cat.intern_rel(scheme.name());
+            for a in scheme.attrs() {
+                cat.intern_attr(a);
+            }
+        }
+        cat
+    }
+
+    /// Number of interned attributes (= the exclusive upper bound on
+    /// `AttrId::index`).
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of interned relation names.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Intern an attribute, returning its (possibly pre-existing) id.
+    pub fn intern_attr(&mut self, attr: &Attr) -> AttrId {
+        if let Some(&id) = self.attr_ids.get(attr.shared()) {
+            return id;
+        }
+        let id = AttrId::from_index(self.attrs.len());
+        let s = Arc::clone(attr.shared());
+        self.attrs.push(Arc::clone(&s));
+        self.attr_ids.insert(s, id);
+        id
+    }
+
+    /// Intern a relation name, returning its (possibly pre-existing) id.
+    pub fn intern_rel(&mut self, rel: &RelName) -> RelId {
+        if let Some(&id) = self.rel_ids.get(rel.shared()) {
+            return id;
+        }
+        let id = RelId::from_index(self.rels.len());
+        let s = Arc::clone(rel.shared());
+        self.rels.push(Arc::clone(&s));
+        self.rel_ids.insert(s, id);
+        id
+    }
+
+    /// Intern every attribute of `seq`, in order.
+    pub fn intern_attrs(&mut self, seq: &AttrSeq) -> IdSeq {
+        seq.attrs().iter().map(|a| self.intern_attr(a)).collect()
+    }
+
+    /// Id of an already-interned attribute.
+    pub fn attr_id(&self, attr: &Attr) -> Option<AttrId> {
+        self.attr_ids.get(attr.shared()).copied()
+    }
+
+    /// Id of an already-interned relation name.
+    pub fn rel_id(&self, rel: &RelName) -> Option<RelId> {
+        self.rel_ids.get(rel.shared()).copied()
+    }
+
+    /// Ids of an attribute sequence, or `None` if any attribute is unknown
+    /// to this catalog (the query-boundary lookup).
+    pub fn lookup_attrs(&self, seq: &AttrSeq) -> Option<IdSeq> {
+        seq.attrs().iter().map(|a| self.attr_id(a)).collect()
+    }
+
+    /// The attribute behind an id. Panics on ids from another catalog.
+    pub fn resolve_attr(&self, id: AttrId) -> Attr {
+        Attr::from_shared(Arc::clone(&self.attrs[id.index()]))
+    }
+
+    /// The relation name behind an id. Panics on ids from another catalog.
+    pub fn resolve_rel(&self, id: RelId) -> RelName {
+        RelName::from_shared(Arc::clone(&self.rels[id.index()]))
+    }
+
+    /// Resolve an id sequence back to an attribute sequence.
+    ///
+    /// Panics if `ids` contains duplicates (catalog ids are injective, so a
+    /// sequence interned from a valid [`AttrSeq`] never does).
+    pub fn resolve_attrs(&self, ids: &IdSeq) -> AttrSeq {
+        AttrSeq::new(ids.ids().iter().map(|&id| self.resolve_attr(id)).collect())
+            .expect("distinct ids resolve to distinct attributes")
+    }
+}
+
+/// An attribute set over dense [`AttrId`]s, stored as `u64` blocks.
+///
+/// All operations are branch-light word arithmetic; the set grows on demand
+/// so callers may insert ids beyond the initial capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrBitSet {
+    blocks: Vec<u64>,
+}
+
+impl AttrBitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        AttrBitSet::default()
+    }
+
+    /// An empty set pre-sized for ids `0..n` (avoids growth in hot loops).
+    pub fn with_capacity(n: usize) -> Self {
+        AttrBitSet {
+            blocks: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert an id; returns whether it was newly added.
+    pub fn insert(&mut self, id: AttrId) -> bool {
+        let (block, bit) = (id.index() / 64, id.index() % 64);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: AttrId) -> bool {
+        let (block, bit) = (id.index() / 64, id.index() % 64);
+        self.blocks.get(block).is_some_and(|b| b & (1 << bit) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Set union in place; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &AttrBitSet) -> bool {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, &src) in self.blocks.iter_mut().zip(&other.blocks) {
+            let next = *dst | src;
+            changed |= next != *dst;
+            *dst = next;
+        }
+        changed
+    }
+
+    /// Whether every id of `self` is in `other`.
+    pub fn is_subset(&self, other: &AttrBitSet) -> bool {
+        self.blocks.iter().enumerate().all(|(i, &b)| {
+            let o = other.blocks.get(i).copied().unwrap_or(0);
+            b & !o == 0
+        })
+    }
+
+    /// Iterate the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut rest = block;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(AttrId::from_index(bi * 64 + bit))
+            })
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrBitSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = AttrBitSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// An immutable ordered sequence of [`AttrId`]s — the compiled form of
+/// [`AttrSeq`], and the visited-set key of the IND expression search.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdSeq(Box<[AttrId]>);
+
+impl IdSeq {
+    /// The ids, in order.
+    pub fn ids(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Position of `id` within the sequence, if present.
+    pub fn position(&self, id: AttrId) -> Option<usize> {
+        self.0.iter().position(|&x| x == id)
+    }
+
+    /// The ids as a bit set (order forgotten).
+    pub fn to_bitset(&self) -> AttrBitSet {
+        self.0.iter().copied().collect()
+    }
+}
+
+impl From<Vec<AttrId>> for IdSeq {
+    fn from(v: Vec<AttrId>) -> Self {
+        IdSeq(v.into_boxed_slice())
+    }
+}
+
+impl FromIterator<AttrId> for IdSeq {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        IdSeq(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSeq {
+    type Item = &'a AttrId;
+    type IntoIter = std::slice::Iter<'a, AttrId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut cat = Catalog::new();
+        let a = cat.intern_attr(&Attr::new("A"));
+        let b = cat.intern_attr(&Attr::new("B"));
+        assert_eq!(cat.intern_attr(&Attr::new("A")), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(cat.attr_count(), 2);
+        assert_eq!(cat.resolve_attr(a), Attr::new("A"));
+        assert_eq!(cat.attr_id(&Attr::new("B")), Some(b));
+        assert_eq!(cat.attr_id(&Attr::new("Z")), None);
+    }
+
+    #[test]
+    fn rel_interning_mirrors_attrs() {
+        let mut cat = Catalog::new();
+        let r = cat.intern_rel(&RelName::new("R"));
+        let s = cat.intern_rel(&RelName::new("S"));
+        assert_eq!(cat.intern_rel(&RelName::new("R")), r);
+        assert_eq!((r.index(), s.index()), (0, 1));
+        assert_eq!(cat.resolve_rel(s), RelName::new("S"));
+    }
+
+    #[test]
+    fn seq_roundtrip_through_ids() {
+        let mut cat = Catalog::new();
+        let seq = attrs(&["C", "A", "B"]);
+        let ids = cat.intern_attrs(&seq);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(cat.resolve_attrs(&ids), seq);
+        assert_eq!(cat.lookup_attrs(&seq), Some(ids));
+        assert_eq!(cat.lookup_attrs(&attrs(&["A", "Z"])), None);
+    }
+
+    #[test]
+    fn from_schema_ids_match_declaration_order() {
+        let schema = DatabaseSchema::parse(&["R(A, B)", "S(B, C)"]).unwrap();
+        let cat = Catalog::from_schema(&schema);
+        assert_eq!(cat.rel_id(&RelName::new("R")).unwrap().index(), 0);
+        assert_eq!(cat.rel_id(&RelName::new("S")).unwrap().index(), 1);
+        // Shared attribute B interned once.
+        assert_eq!(cat.attr_count(), 3);
+    }
+
+    #[test]
+    fn bitset_operations() {
+        let mut s = AttrBitSet::with_capacity(100);
+        assert!(s.is_empty());
+        assert!(s.insert(AttrId::from_index(3)));
+        assert!(!s.insert(AttrId::from_index(3)));
+        assert!(s.insert(AttrId::from_index(70)));
+        // Growth past the initial capacity.
+        assert!(s.insert(AttrId::from_index(200)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(AttrId::from_index(70)));
+        assert!(!s.contains(AttrId::from_index(71)));
+        let collected: Vec<usize> = s.iter().map(AttrId::index).collect();
+        assert_eq!(collected, vec![3, 70, 200]);
+
+        let small: AttrBitSet = [AttrId::from_index(3), AttrId::from_index(70)]
+            .into_iter()
+            .collect();
+        assert!(small.is_subset(&s));
+        assert!(!s.is_subset(&small));
+
+        let mut u = small.clone();
+        assert!(u.union_with(&s));
+        assert!(!u.union_with(&s));
+        assert_eq!(u, s);
+    }
+
+    #[test]
+    fn idseq_position_and_bitset() {
+        let ids: IdSeq = (0..4).map(AttrId::from_index).rev().collect();
+        assert_eq!(ids.position(AttrId::from_index(3)), Some(0));
+        assert_eq!(ids.position(AttrId::from_index(9)), None);
+        assert_eq!(ids.to_bitset().len(), 4);
+    }
+}

@@ -24,6 +24,14 @@
 //! * [`Emvd`] — embedded multivalued dependency `R: X ->> Y | Z`
 //!   (used by Theorem 5.3, the Sagiv–Walecka family).
 //!
+//! ## The interned symbol catalog
+//!
+//! The [`intern`] module provides the compiled-representation layer the
+//! implication engines run on: a [`Catalog`] mapping attribute and relation
+//! names to dense `u32` ids, bit-set attribute sets ([`AttrBitSet`]), and
+//! compact id sequences ([`IdSeq`]). String-typed APIs intern at their call
+//! boundary and compute over ids; see the module docs for the contract.
+//!
 //! ## Infinite relations
 //!
 //! Theorem 4.4 of the paper separates finite from unrestricted implication by
@@ -53,6 +61,7 @@ pub mod database;
 pub mod dependency;
 pub mod error;
 pub mod generate;
+pub mod intern;
 pub mod parser;
 pub mod relation;
 pub mod satisfy;
@@ -65,6 +74,7 @@ pub use constraint::ConstraintSet;
 pub use database::Database;
 pub use dependency::{Dependency, Emvd, Fd, Ind, Rd};
 pub use error::CoreError;
+pub use intern::{AttrBitSet, AttrId, Catalog, IdSeq, RelId};
 pub use relation::{Relation, Tuple};
 pub use schema::{DatabaseSchema, RelName, RelationScheme};
 pub use value::Value;

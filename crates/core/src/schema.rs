@@ -22,6 +22,16 @@ impl RelName {
     pub fn name(&self) -> &str {
         &self.0
     }
+
+    /// The shared backing string (cheap `Arc` handle for the interner).
+    pub(crate) fn shared(&self) -> &Arc<str> {
+        &self.0
+    }
+
+    /// Build a relation name from an already-shared string without copying.
+    pub(crate) fn from_shared(s: Arc<str>) -> Self {
+        RelName(s)
+    }
 }
 
 impl fmt::Display for RelName {

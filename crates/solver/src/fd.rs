@@ -8,19 +8,35 @@
 
 use depkit_core::attr::{Attr, AttrSeq};
 use depkit_core::dependency::Fd;
+use depkit_core::intern::{AttrBitSet, AttrId, Catalog, IdSeq};
 use depkit_core::schema::{RelName, RelationScheme};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
-/// An FD-implication engine for a single relation.
+/// An FD-implication engine for a single relation, compiled onto the
+/// interned-id representation of [`depkit_core::intern`].
+///
+/// Construction interns every attribute mentioned by the FDs into a private
+/// [`Catalog`] and builds a dense watcher table (`Vec<Vec<u32>>` indexed by
+/// [`AttrId`]); each closure query then runs the Beeri–Bernstein counting
+/// algorithm entirely over [`AttrBitSet`]s — no string hashing, no
+/// per-attribute cloning. The string-typed methods ([`FdEngine::closure`],
+/// [`FdEngine::implies`]) intern at the boundary and resolve ids back only
+/// for output; id-level callers can use [`FdEngine::closure_bits`] directly.
 ///
 /// Construction is `O(total FD size)`; each closure query is linear in the
-/// total size of the FDs (the Beeri–Bernstein counting algorithm).
+/// total size of the FDs (the Beeri–Bernstein counting algorithm). The
+/// pre-refactor string-based implementation survives as
+/// [`crate::reference::ReferenceFdEngine`] for differential testing.
 #[derive(Debug, Clone)]
 pub struct FdEngine {
     rel: RelName,
     fds: Vec<Fd>,
-    /// For each attribute, the indices of FDs whose LHS contains it.
-    watchers: HashMap<Attr, Vec<usize>>,
+    catalog: Catalog,
+    /// Compiled sides of `fds[i]`, parallel to `fds`.
+    lhs_ids: Vec<IdSeq>,
+    rhs_ids: Vec<IdSeq>,
+    /// `watchers[attr_id]` = indices of FDs whose LHS contains the attribute.
+    watchers: Vec<Vec<u32>>,
 }
 
 impl FdEngine {
@@ -29,13 +45,23 @@ impl FdEngine {
     pub fn new(rel: impl Into<RelName>, fds: &[Fd]) -> Self {
         let rel = rel.into();
         let fds: Vec<Fd> = fds.iter().filter(|f| f.rel == rel).cloned().collect();
-        let mut watchers: HashMap<Attr, Vec<usize>> = HashMap::new();
-        for (i, f) in fds.iter().enumerate() {
-            for a in f.lhs.attrs() {
-                watchers.entry(a.clone()).or_default().push(i);
+        let mut catalog = Catalog::new();
+        let lhs_ids: Vec<IdSeq> = fds.iter().map(|f| catalog.intern_attrs(&f.lhs)).collect();
+        let rhs_ids: Vec<IdSeq> = fds.iter().map(|f| catalog.intern_attrs(&f.rhs)).collect();
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); catalog.attr_count()];
+        for (i, lhs) in lhs_ids.iter().enumerate() {
+            for &a in lhs.ids() {
+                watchers[a.index()].push(i as u32);
             }
         }
-        FdEngine { rel, fds, watchers }
+        FdEngine {
+            rel,
+            fds,
+            catalog,
+            lhs_ids,
+            rhs_ids,
+            watchers,
+        }
     }
 
     /// The relation this engine reasons about.
@@ -48,50 +74,106 @@ impl FdEngine {
         &self.fds
     }
 
+    /// The engine's private symbol catalog (ids are only meaningful against
+    /// this catalog).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
     /// The attribute closure `X⁺` of `start` under the engine's FDs
     /// (Beeri–Bernstein counting algorithm, linear time).
     pub fn closure(&self, start: &AttrSeq) -> BTreeSet<Attr> {
         self.closure_with_trace(start).0
     }
 
+    /// Id-level closure: the compiled hot path. `seed` ids must come from
+    /// [`FdEngine::catalog`]; attributes of the queried set that the FDs
+    /// never mention have no id and cannot fire anything, so callers simply
+    /// omit them (and union them back into their own view of the result).
+    pub fn closure_bits(&self, seed: &AttrBitSet) -> AttrBitSet {
+        let mut closure = seed.clone();
+        let mut queue: VecDeque<AttrId> = closure.iter().collect();
+        let mut missing: Vec<u32> = self.lhs_ids.iter().map(|l| l.len() as u32).collect();
+        for (i, &m) in missing.iter().enumerate() {
+            if m == 0 {
+                Self::fire(&self.rhs_ids[i], &mut closure, &mut queue);
+            }
+        }
+        while let Some(a) = queue.pop_front() {
+            for &i in &self.watchers[a.index()] {
+                let i = i as usize;
+                missing[i] -= 1;
+                if missing[i] == 0 {
+                    Self::fire(&self.rhs_ids[i], &mut closure, &mut queue);
+                }
+            }
+        }
+        closure
+    }
+
+    fn fire(rhs: &IdSeq, closure: &mut AttrBitSet, queue: &mut VecDeque<AttrId>) {
+        for &a in rhs.ids() {
+            if closure.insert(a) {
+                queue.push_back(a);
+            }
+        }
+    }
+
     /// Attribute closure together with a derivation trace: for each attribute
     /// added beyond `start`, the index of the FD that added it. The trace
     /// lets callers reconstruct Armstrong-style proofs.
     pub fn closure_with_trace(&self, start: &AttrSeq) -> (BTreeSet<Attr>, Vec<(Attr, usize)>) {
-        let mut closure: BTreeSet<Attr> = start.attrs().iter().cloned().collect();
-        let mut trace: Vec<(Attr, usize)> = Vec::new();
-        // Unsatisfied LHS attribute counts per FD.
-        let mut missing: Vec<usize> = self.fds.iter().map(|f| f.lhs.len()).collect();
-        let mut queue: VecDeque<Attr> = closure.iter().cloned().collect();
-
-        // FDs with empty LHS fire immediately.
+        // Boundary interning: attributes unknown to the catalog are inert
+        // (no FD mentions them), so they go straight to the output set.
+        let mut closure_bits = AttrBitSet::with_capacity(self.catalog.attr_count());
+        let mut out: BTreeSet<Attr> = BTreeSet::new();
+        let mut queue: VecDeque<AttrId> = VecDeque::new();
+        for a in start.attrs() {
+            match self.catalog.attr_id(a) {
+                Some(id) => {
+                    if closure_bits.insert(id) {
+                        queue.push_back(id);
+                    }
+                }
+                None => {
+                    out.insert(a.clone());
+                }
+            }
+        }
+        let mut trace_ids: Vec<(AttrId, usize)> = Vec::new();
+        let mut missing: Vec<u32> = self.lhs_ids.iter().map(|l| l.len() as u32).collect();
         let fire = |i: usize,
-                    closure: &mut BTreeSet<Attr>,
-                    queue: &mut VecDeque<Attr>,
-                    trace: &mut Vec<(Attr, usize)>| {
-            for a in self.fds[i].rhs.attrs() {
-                if closure.insert(a.clone()) {
-                    queue.push_back(a.clone());
-                    trace.push((a.clone(), i));
+                    closure: &mut AttrBitSet,
+                    queue: &mut VecDeque<AttrId>,
+                    trace: &mut Vec<(AttrId, usize)>| {
+            for &a in self.rhs_ids[i].ids() {
+                if closure.insert(a) {
+                    queue.push_back(a);
+                    trace.push((a, i));
                 }
             }
         };
+        // FDs with empty LHS fire immediately.
         for (i, &m) in missing.iter().enumerate() {
             if m == 0 {
-                fire(i, &mut closure, &mut queue, &mut trace);
+                fire(i, &mut closure_bits, &mut queue, &mut trace_ids);
             }
         }
         while let Some(a) = queue.pop_front() {
-            if let Some(watching) = self.watchers.get(&a) {
-                for &i in watching {
-                    missing[i] -= 1;
-                    if missing[i] == 0 {
-                        fire(i, &mut closure, &mut queue, &mut trace);
-                    }
+            for &i in &self.watchers[a.index()] {
+                let i = i as usize;
+                missing[i] -= 1;
+                if missing[i] == 0 {
+                    fire(i, &mut closure_bits, &mut queue, &mut trace_ids);
                 }
             }
         }
-        (closure, trace)
+        out.extend(closure_bits.iter().map(|id| self.catalog.resolve_attr(id)));
+        let trace = trace_ids
+            .into_iter()
+            .map(|(id, i)| (self.catalog.resolve_attr(id), i))
+            .collect();
+        (out, trace)
     }
 
     /// Whether the engine's FDs logically imply `target` (which must speak
@@ -101,8 +183,22 @@ impl FdEngine {
         if target.rel != self.rel {
             return target.is_trivial();
         }
-        let c = self.closure(&target.lhs);
-        target.rhs.attrs().iter().all(|a| c.contains(a))
+        let mut seed = AttrBitSet::with_capacity(self.catalog.attr_count());
+        for a in target.lhs.attrs() {
+            if let Some(id) = self.catalog.attr_id(a) {
+                seed.insert(id);
+            }
+        }
+        let closure = self.closure_bits(&seed);
+        target
+            .rhs
+            .attrs()
+            .iter()
+            .all(|a| match self.catalog.attr_id(a) {
+                Some(id) => closure.contains(id),
+                // An attribute no FD mentions is in the closure iff it was in X.
+                None => target.lhs.contains_attr(a),
+            })
     }
 
     /// All candidate keys of `scheme` under the engine's FDs: the minimal

@@ -26,8 +26,9 @@ use crate::fd::FdEngine;
 use crate::ind::IndSolver;
 use depkit_core::attr::{Attr, AttrSeq};
 use depkit_core::dependency::{Dependency, Fd, Ind, Rd};
+use depkit_core::intern::{AttrId, Catalog};
 use depkit_core::schema::RelName;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Proposition 4.1, generalized: pull an FD back through an IND.
 ///
@@ -296,6 +297,39 @@ pub struct Saturator {
     options: SaturationOptions,
     truncated: bool,
     saturated: bool,
+    /// Compiled query engines over the materialized sets, built once per
+    /// saturation instead of re-cloning every dependency per `implies` call.
+    /// `None` whenever the sets have changed since the engines were built.
+    engines: Option<QueryEngines>,
+}
+
+/// Compiled engines the saturator answers queries with: one id-compiled
+/// [`FdEngine`] per relation that has FDs, plus one [`IndSolver`] over the
+/// materialized INDs (which auto-dispatches typed queries).
+#[derive(Debug, Clone)]
+struct QueryEngines {
+    fd_by_rel: HashMap<RelName, FdEngine>,
+    ind: IndSolver,
+}
+
+impl QueryEngines {
+    fn build(fds: &BTreeSet<Fd>, inds: &BTreeSet<Ind>) -> Self {
+        // Group once, then compile each relation's engine from its own
+        // slice (FdEngine::new would otherwise re-filter the full set).
+        let mut grouped: HashMap<RelName, Vec<Fd>> = HashMap::new();
+        for fd in fds {
+            grouped.entry(fd.rel.clone()).or_default().push(fd.clone());
+        }
+        let fd_by_rel = grouped
+            .into_iter()
+            .map(|(rel, rel_fds)| (rel.clone(), FdEngine::new(rel, &rel_fds)))
+            .collect();
+        let all_inds: Vec<Ind> = inds.iter().cloned().collect();
+        QueryEngines {
+            fd_by_rel,
+            ind: IndSolver::new(&all_inds),
+        }
+    }
 }
 
 impl Saturator {
@@ -323,6 +357,7 @@ impl Saturator {
             options,
             truncated: false,
             saturated: false,
+            engines: None,
         };
         for d in deps {
             match d {
@@ -382,15 +417,19 @@ impl Saturator {
         };
         if added {
             self.saturated = false;
+            self.engines = None;
         }
         added
     }
 
-    /// Run rules to a fixpoint (or until a cap is reached).
+    /// Run rules to a fixpoint (or until a cap is reached). On return the
+    /// compiled query engines are rebuilt over the materialized sets, so
+    /// subsequent [`Saturator::implies`] calls pay no construction cost.
     pub fn saturate(&mut self) {
         if self.saturated {
             return;
         }
+        self.engines = None;
         for _round in 0..self.limits.max_rounds {
             let mut new_fds: Vec<Fd> = Vec::new();
             let mut new_inds: Vec<Ind> = Vec::new();
@@ -482,49 +521,44 @@ impl Saturator {
             }
             if !changed {
                 self.saturated = true;
-                return;
+                break;
             }
         }
-        self.truncated = true;
+        if !self.saturated {
+            self.truncated = true;
+        }
+        self.engines = Some(QueryEngines::build(&self.fds, &self.inds));
     }
 
+    /// RD transitivity as a union–find over interned attribute ids: one
+    /// catalog per relation, constant-ish work per union, then one pass per
+    /// equivalence class to emit the missing pairs.
     fn rd_transitive_closure(&self) -> Vec<Rd> {
-        // Group attributes into equality classes per relation.
-        let mut classes: BTreeMap<RelName, Vec<BTreeSet<Attr>>> = BTreeMap::new();
+        let mut per_rel: BTreeMap<RelName, (Catalog, DenseUnionFind)> = BTreeMap::new();
         for rd in &self.rds {
-            let (a, b) = (rd.lhs.attrs()[0].clone(), rd.rhs.attrs()[0].clone());
-            let groups = classes.entry(rd.rel.clone()).or_default();
-            let ia = groups.iter().position(|g| g.contains(&a));
-            let ib = groups.iter().position(|g| g.contains(&b));
-            match (ia, ib) {
-                (Some(x), Some(y)) if x == y => {}
-                (Some(x), Some(y)) => {
-                    let merged: BTreeSet<Attr> = groups[x].union(&groups[y]).cloned().collect();
-                    let (lo, hi) = (x.min(y), x.max(y));
-                    groups.remove(hi);
-                    groups[lo] = merged;
-                }
-                (Some(x), None) => {
-                    groups[x].insert(b);
-                }
-                (None, Some(y)) => {
-                    groups[y].insert(a);
-                }
-                (None, None) => {
-                    groups.push(BTreeSet::from([a, b]));
-                }
-            }
+            let (cat, uf) = per_rel
+                .entry(rd.rel.clone())
+                .or_insert_with(|| (Catalog::new(), DenseUnionFind::default()));
+            let a = cat.intern_attr(&rd.lhs.attrs()[0]);
+            let b = cat.intern_attr(&rd.rhs.attrs()[0]);
+            uf.ensure(cat.attr_count());
+            uf.union(a, b);
         }
         let mut out = Vec::new();
-        for (rel, groups) in classes {
-            for g in groups {
-                let attrs: Vec<&Attr> = g.iter().collect();
-                for i in 0..attrs.len() {
-                    for j in (i + 1)..attrs.len() {
+        for (rel, (cat, mut uf)) in per_rel {
+            // Group ids by root.
+            let mut classes: HashMap<u32, Vec<AttrId>> = HashMap::new();
+            for i in 0..cat.attr_count() {
+                let id = AttrId::from_index(i);
+                classes.entry(uf.find(id)).or_default().push(id);
+            }
+            for group in classes.values() {
+                for (i, &x) in group.iter().enumerate() {
+                    for &y in &group[i + 1..] {
                         let rd = Rd::new(
                             rel.clone(),
-                            AttrSeq::new(vec![attrs[i].clone()]).expect("single"),
-                            AttrSeq::new(vec![attrs[j].clone()]).expect("single"),
+                            AttrSeq::new(vec![cat.resolve_attr(x)]).expect("single"),
+                            AttrSeq::new(vec![cat.resolve_attr(y)]).expect("single"),
                         )
                         .expect("unary")
                         .canonical();
@@ -539,20 +573,31 @@ impl Saturator {
     }
 
     /// Decide whether the saturated set implies `dep`. Sound; incomplete in
-    /// general (see module docs). Call [`Saturator::saturate`] first.
+    /// general (see module docs). Call [`Saturator::saturate`] first — the
+    /// compiled engines it builds make each query engine-construction-free
+    /// (queries before saturation, or after `add`, build throwaway engines).
     pub fn implies(&self, dep: &Dependency) -> bool {
         if dep.is_trivial() {
             return true;
         }
         match dep {
-            Dependency::Fd(f) => {
-                let fds: Vec<Fd> = self.fds.iter().cloned().collect();
-                FdEngine::new(f.rel.clone(), &fds).implies(f)
-            }
-            Dependency::Ind(i) => {
-                let inds: Vec<Ind> = self.inds.iter().cloned().collect();
-                IndSolver::new(&inds).implies(i)
-            }
+            Dependency::Fd(f) => match &self.engines {
+                Some(e) => e
+                    .fd_by_rel
+                    .get(&f.rel)
+                    .is_some_and(|engine| engine.implies(f)),
+                None => {
+                    let fds: Vec<Fd> = self.fds.iter().cloned().collect();
+                    FdEngine::new(f.rel.clone(), &fds).implies(f)
+                }
+            },
+            Dependency::Ind(i) => match &self.engines {
+                Some(e) => e.ind.implies(i),
+                None => {
+                    let inds: Vec<Ind> = self.inds.iter().cloned().collect();
+                    IndSolver::new(&inds).implies(i)
+                }
+            },
             Dependency::Rd(r) => r
                 .unary_decomposition()
                 .into_iter()
@@ -568,6 +613,38 @@ impl Saturator {
         out.extend(self.inds.iter().cloned().map(Dependency::from));
         out.extend(self.rds.iter().cloned().map(Dependency::from));
         out
+    }
+}
+
+/// A minimal union–find over dense [`AttrId`]s (path-halving find, union by
+/// attachment order), sized on demand by [`DenseUnionFind::ensure`].
+#[derive(Debug, Clone, Default)]
+struct DenseUnionFind {
+    parent: Vec<u32>,
+}
+
+impl DenseUnionFind {
+    /// Grow to cover ids `0..n`, each new id its own class.
+    fn ensure(&mut self, n: usize) {
+        let old = self.parent.len();
+        self.parent.extend(old as u32..n as u32);
+    }
+
+    fn find(&mut self, id: AttrId) -> u32 {
+        let mut x = id.index() as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: AttrId, b: AttrId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
     }
 }
 

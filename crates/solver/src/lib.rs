@@ -18,6 +18,13 @@
 //!   ("counting") rule that powers Theorem 4.4 and the soundness half of
 //!   Theorem 6.1, layered on the saturator.
 //!
+//! The FD and IND engines are *compiled*: they intern every symbol of their
+//! input into a `depkit_core::intern::Catalog` at construction and run their
+//! fixpoints over dense ids (bit sets for the FD closure, `(RelId, IdSeq)`
+//! keys for the IND search). The pre-refactor string-based implementations
+//! live on in [`reference`][mod@reference] as the executable specification used by the
+//! differential property tests and the two-representation benches.
+//!
 //! Two design-oriented extensions round out the toolbox the paper's
 //! introduction motivates:
 //!
@@ -34,9 +41,11 @@ pub mod fd;
 pub mod finite;
 pub mod ind;
 pub mod interact;
+pub mod reference;
 
 pub use armstrong::armstrong_relation;
 pub use fd::FdEngine;
 pub use finite::FiniteEngine;
 pub use ind::{Expression, IndSolver, SearchStats};
 pub use interact::Saturator;
+pub use reference::{ReferenceFdEngine, ReferenceIndSolver};

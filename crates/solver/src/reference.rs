@@ -1,0 +1,257 @@
+//! Pre-refactor string-based reference engines.
+//!
+//! [`ReferenceFdEngine`] and [`ReferenceIndSolver`] are the original
+//! implementations of the FD closure and the Corollary 3.2 IND search,
+//! operating directly on [`Attr`]/[`AttrSeq`] heap strings. They are kept —
+//! deliberately unoptimized — as the *executable specification* of the
+//! compiled engines in [`crate::fd`] and [`crate::ind`]:
+//!
+//! * the differential property tests (`tests/compiled_vs_reference.rs` at
+//!   the workspace root) assert the compiled engines agree with these on
+//!   `closure`, `implies`, and walk verifiability, including the Landau
+//!   `σ(γ)` families from `depkit-perm`;
+//! * the `fd_closure` and `ind_implication` benches run both
+//!   representations side by side, so the interning layer's win is measured
+//!   rather than assumed.
+//!
+//! Do not add features here: new behavior belongs in the compiled engines,
+//! with this module only tracking what is needed for the comparison to stay
+//! meaningful.
+
+use depkit_core::attr::{Attr, AttrSeq};
+use depkit_core::dependency::{Fd, Ind};
+use depkit_core::schema::RelName;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::ind::{apply_ind2, Expression, SearchStats, WalkStep};
+
+/// The original string-based FD-implication engine (Beeri–Bernstein closure
+/// over `BTreeSet<Attr>` with a `HashMap<Attr, Vec<usize>>` watcher table).
+#[derive(Debug, Clone)]
+pub struct ReferenceFdEngine {
+    rel: RelName,
+    fds: Vec<Fd>,
+    watchers: HashMap<Attr, Vec<usize>>,
+}
+
+impl ReferenceFdEngine {
+    /// Build an engine from the FDs that speak about `rel`.
+    pub fn new(rel: impl Into<RelName>, fds: &[Fd]) -> Self {
+        let rel = rel.into();
+        let fds: Vec<Fd> = fds.iter().filter(|f| f.rel == rel).cloned().collect();
+        let mut watchers: HashMap<Attr, Vec<usize>> = HashMap::new();
+        for (i, f) in fds.iter().enumerate() {
+            for a in f.lhs.attrs() {
+                watchers.entry(a.clone()).or_default().push(i);
+            }
+        }
+        ReferenceFdEngine { rel, fds, watchers }
+    }
+
+    /// The attribute closure `X⁺` of `start` under the engine's FDs.
+    pub fn closure(&self, start: &AttrSeq) -> BTreeSet<Attr> {
+        let mut closure: BTreeSet<Attr> = start.attrs().iter().cloned().collect();
+        let mut missing: Vec<usize> = self.fds.iter().map(|f| f.lhs.len()).collect();
+        let mut queue: VecDeque<Attr> = closure.iter().cloned().collect();
+
+        let fire = |i: usize, closure: &mut BTreeSet<Attr>, queue: &mut VecDeque<Attr>| {
+            for a in self.fds[i].rhs.attrs() {
+                if closure.insert(a.clone()) {
+                    queue.push_back(a.clone());
+                }
+            }
+        };
+        for (i, &m) in missing.iter().enumerate() {
+            if m == 0 {
+                fire(i, &mut closure, &mut queue);
+            }
+        }
+        while let Some(a) = queue.pop_front() {
+            if let Some(watching) = self.watchers.get(&a) {
+                for &i in watching {
+                    missing[i] -= 1;
+                    if missing[i] == 0 {
+                        fire(i, &mut closure, &mut queue);
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether the engine's FDs logically imply `target`.
+    pub fn implies(&self, target: &Fd) -> bool {
+        if target.rel != self.rel {
+            return target.is_trivial();
+        }
+        let c = self.closure(&target.lhs);
+        target.rhs.attrs().iter().all(|a| c.contains(a))
+    }
+}
+
+/// The original string-based Corollary 3.2 decision procedure: breadth-first
+/// search over [`Expression`]s, hashing whole `(RelName, AttrSeq)` keys.
+///
+/// Unlike [`crate::ind::IndSolver`], this solver performs **no** Σ
+/// deduplication and no typed-fragment dispatch — it is the plain worklist
+/// procedure of the paper.
+#[derive(Debug, Clone)]
+pub struct ReferenceIndSolver {
+    sigma: Vec<Ind>,
+    by_lhs_rel: HashMap<RelName, Vec<usize>>,
+}
+
+impl ReferenceIndSolver {
+    /// Build a solver from a set of INDs.
+    pub fn new(sigma: &[Ind]) -> Self {
+        let sigma: Vec<Ind> = sigma.to_vec();
+        let mut by_lhs_rel: HashMap<RelName, Vec<usize>> = HashMap::new();
+        for (i, ind) in sigma.iter().enumerate() {
+            by_lhs_rel.entry(ind.lhs_rel.clone()).or_default().push(i);
+        }
+        ReferenceIndSolver { sigma, by_lhs_rel }
+    }
+
+    /// The IND set `Σ`, exactly as given.
+    pub fn sigma(&self) -> &[Ind] {
+        &self.sigma
+    }
+
+    /// Decide `Σ ⊨ target`.
+    pub fn implies(&self, target: &Ind) -> bool {
+        self.search(target).0.is_some()
+    }
+
+    /// Decide `Σ ⊨ target`, returning search statistics.
+    pub fn implies_with_stats(&self, target: &Ind) -> (bool, SearchStats) {
+        let (walk, stats) = self.search(target);
+        (walk.is_some(), stats)
+    }
+
+    /// Produce the Corollary 3.2 walk witnessing `Σ ⊨ target`, or `None`.
+    pub fn walk(&self, target: &Ind) -> Option<Vec<WalkStep>> {
+        self.search(target).0
+    }
+
+    fn search(&self, target: &Ind) -> (Option<Vec<WalkStep>>, SearchStats) {
+        let start = Expression {
+            rel: target.lhs_rel.clone(),
+            attrs: target.lhs_attrs.clone(),
+        };
+        let goal = Expression {
+            rel: target.rhs_rel.clone(),
+            attrs: target.rhs_attrs.clone(),
+        };
+        let mut stats = SearchStats {
+            expressions_visited: 1,
+            ..SearchStats::default()
+        };
+        let mut parent: HashMap<Expression, Option<(Expression, usize)>> = HashMap::new();
+        parent.insert(start.clone(), None);
+        if start == goal {
+            stats.walk_length = Some(1);
+            return (
+                Some(vec![WalkStep {
+                    expr: start,
+                    via: None,
+                }]),
+                stats,
+            );
+        }
+        let mut queue = VecDeque::from([start]);
+        while let Some(expr) = queue.pop_front() {
+            let Some(candidates) = self.by_lhs_rel.get(&expr.rel) else {
+                continue;
+            };
+            for &i in candidates {
+                stats.applications_attempted += 1;
+                let Some(next) = apply_ind2(&self.sigma[i], &expr) else {
+                    continue;
+                };
+                match parent.entry(next.clone()) {
+                    Entry::Occupied(_) => continue,
+                    Entry::Vacant(slot) => {
+                        slot.insert(Some((expr.clone(), i)));
+                        stats.expressions_visited += 1;
+                    }
+                }
+                if next == goal {
+                    let walk = reconstruct(&parent, &next);
+                    stats.walk_length = Some(walk.len());
+                    return (Some(walk), stats);
+                }
+                queue.push_back(next);
+            }
+        }
+        (None, stats)
+    }
+}
+
+fn reconstruct(
+    parent: &HashMap<Expression, Option<(Expression, usize)>>,
+    end: &Expression,
+) -> Vec<WalkStep> {
+    let mut steps = Vec::new();
+    let mut cur = end.clone();
+    loop {
+        match parent
+            .get(&cur)
+            .expect("every visited node has a parent entry")
+        {
+            Some((prev, via)) => {
+                steps.push(WalkStep {
+                    expr: cur.clone(),
+                    via: Some(*via),
+                });
+                cur = prev.clone();
+            }
+            None => {
+                steps.push(WalkStep {
+                    expr: cur.clone(),
+                    via: None,
+                });
+                break;
+            }
+        }
+    }
+    steps.reverse();
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::attr::attrs;
+    use depkit_core::parser::parse_dependency;
+
+    fn ind(src: &str) -> Ind {
+        match parse_dependency(src).unwrap() {
+            depkit_core::Dependency::Ind(i) => i,
+            _ => panic!("not an IND: {src}"),
+        }
+    }
+
+    #[test]
+    fn reference_fd_engine_matches_textbook_closure() {
+        let fds = vec![
+            Fd::new("R", attrs(&["A"]), attrs(&["B"])),
+            Fd::new("R", attrs(&["B"]), attrs(&["C"])),
+        ];
+        let eng = ReferenceFdEngine::new("R", &fds);
+        let c = eng.closure(&attrs(&["A"]));
+        assert_eq!(c.len(), 3);
+        assert!(eng.implies(&Fd::new("R", attrs(&["A"]), attrs(&["C"]))));
+        assert!(!eng.implies(&Fd::new("R", attrs(&["B"]), attrs(&["A"]))));
+    }
+
+    #[test]
+    fn reference_ind_solver_walks_and_counts() {
+        let sigma = vec![ind("R[A, B, C] <= R[B, C, A]")];
+        let solver = ReferenceIndSolver::new(&sigma);
+        let (yes, stats) = solver.implies_with_stats(&ind("R[A, B, C] <= R[C, A, B]"));
+        assert!(yes);
+        assert_eq!(stats.walk_length, Some(3));
+        assert!(!solver.implies(&ind("R[A] <= S[A]")));
+    }
+}

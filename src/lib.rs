@@ -14,7 +14,7 @@
 //! | [`axiom`] | `depkit-axiom`  | §3 proofs, §5–§7 (non-)axiomatizability |
 //! | [`lba`]   | `depkit-lba`    | §3 Theorem 3.3 PSPACE reduction |
 //! | [`perm`]  | `depkit-perm`   | §3 Landau lower bound |
-//! | [`bench`] | `depkit-bench`  | shared workloads for the bench suite |
+//! | [`bench`][mod@bench] | `depkit-bench`  | shared workloads for the bench suite |
 //!
 //! ```
 //! use depkit::prelude::*;

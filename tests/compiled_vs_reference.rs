@@ -1,0 +1,245 @@
+//! Differential property tests: the compiled (interned-id) engines must
+//! agree with the pre-refactor string-based reference implementations on
+//! every entry point the refactor touched — `closure`, `implies` (FD and
+//! IND, including the automatic typed dispatch), and walk production —
+//! plus the Landau `σ(γ)` family from `depkit-perm`, whose superpolynomial
+//! walks are the paper's own stress test for the search.
+
+use depkit::core::attr::AttrSeq;
+use depkit::core::generate::{
+    random_fd, random_ind, random_ind_set, random_schema, Rng, SchemaConfig,
+};
+use depkit::core::{DatabaseSchema, Fd, Ind};
+use depkit::perm::ind_family::{landau_pair, permutation_ind, transposition_generators};
+use depkit::perm::perm::Perm;
+use depkit::solver::fd::FdEngine;
+use depkit::solver::ind::{verify_walk, IndSolver};
+use depkit::solver::reference::{ReferenceFdEngine, ReferenceIndSolver};
+use proptest::prelude::*;
+
+/// A random set of *typed* INDs over `schema` (both sides carry the same
+/// attribute sequence), so the compiled solver's automatic typed dispatch
+/// fires.
+fn random_typed_ind_set(rng: &mut Rng, schema: &DatabaseSchema, count: usize) -> Vec<Ind> {
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while out.len() < count && guard < count * 20 {
+        guard += 1;
+        let schemes = schema.schemes();
+        let lhs = &schemes[rng.below(schemes.len())];
+        let rhs = &schemes[rng.below(schemes.len())];
+        // Attributes present in both schemes (generated names are shared).
+        let common: Vec<_> = lhs
+            .attrs()
+            .attrs()
+            .iter()
+            .filter(|a| rhs.attrs().contains_attr(a))
+            .cloned()
+            .collect();
+        if common.is_empty() {
+            continue;
+        }
+        let k = 1 + rng.below(common.len());
+        let pos = rng.distinct_indices(common.len(), k);
+        let attrs =
+            AttrSeq::new(pos.iter().map(|&p| common[p].clone()).collect()).expect("distinct");
+        out.push(
+            Ind::new(lhs.name().clone(), attrs.clone(), rhs.name().clone(), attrs)
+                .expect("equal arity"),
+        );
+    }
+    out
+}
+
+proptest! {
+    /// Entry point 1 — `FdEngine::closure` equals the reference closure on
+    /// random FD sets (the full set, not just a membership query).
+    #[test]
+    fn fd_closure_agrees_with_reference(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 6,
+        });
+        let scheme = schema.schemes()[0].clone();
+        let mut fds: Vec<Fd> = Vec::new();
+        for _ in 0..6 {
+            let lhs = 1 + rng.below(2);
+            let rhs = 1 + rng.below(2);
+            if let Some(f) = random_fd(&mut rng, &schema, lhs, rhs) {
+                fds.push(f);
+            }
+        }
+        let compiled = FdEngine::new(scheme.name().clone(), &fds);
+        let reference = ReferenceFdEngine::new(scheme.name().clone(), &fds);
+        for _ in 0..8 {
+            let k = 1 + rng.below(scheme.arity());
+            let pos = rng.distinct_indices(scheme.arity(), k);
+            let start = scheme.attrs().select(&pos).expect("distinct positions");
+            prop_assert_eq!(compiled.closure(&start), reference.closure(&start));
+        }
+        // Closures from attributes the FDs never mention must also agree.
+        let alien = depkit::core::attr::attrs(&["Z_UNSEEN"]);
+        prop_assert_eq!(compiled.closure(&alien), reference.closure(&alien));
+    }
+
+    /// Entry point 2 — `FdEngine::implies` equals the reference on random
+    /// FD targets.
+    #[test]
+    fn fd_implies_agrees_with_reference(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 1, min_arity: 3, max_arity: 5,
+        });
+        let mut fds: Vec<Fd> = Vec::new();
+        for _ in 0..5 {
+            if let Some(f) = random_fd(&mut rng, &schema, 1, 1) {
+                fds.push(f);
+            }
+        }
+        for _ in 0..10 {
+            let lhs = 1 + rng.below(2);
+            if let Some(target) = random_fd(&mut rng, &schema, lhs, 1) {
+                let compiled = FdEngine::new(target.rel.clone(), &fds);
+                let reference = ReferenceFdEngine::new(target.rel.clone(), &fds);
+                prop_assert_eq!(
+                    compiled.implies(&target),
+                    reference.implies(&target),
+                    "target {}", target
+                );
+            }
+        }
+    }
+
+    /// Entry point 3 — `IndSolver::implies` equals the reference search on
+    /// random (untyped) IND sets, and every produced walk verifies against
+    /// the solver's Σ.
+    #[test]
+    fn ind_implies_and_walks_agree_with_reference(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 3, min_arity: 2, max_arity: 3,
+        });
+        let mut sigma = random_ind_set(&mut rng, &schema, 5, 2);
+        // Exercise the Σ dedupe: duplicate one member and add a trivial one.
+        if let Some(first) = sigma.first().cloned() {
+            sigma.push(first);
+        }
+        if let Some(s) = schema.schemes().first() {
+            sigma.push(
+                Ind::new(s.name().clone(), s.attrs().clone(), s.name().clone(), s.attrs().clone())
+                    .expect("equal arity"),
+            );
+        }
+        let compiled = IndSolver::new(&sigma);
+        let reference = ReferenceIndSolver::new(&sigma);
+        for _ in 0..6 {
+            let arity = 1 + rng.below(2);
+            let Some(target) = random_ind(&mut rng, &schema, arity) else { continue };
+            let got = compiled.implies(&target);
+            prop_assert_eq!(got, reference.implies(&target), "target {}", target);
+            if got {
+                let walk = compiled.walk(&target).expect("implied ⇒ walk");
+                prop_assert!(
+                    verify_walk(compiled.sigma(), &target, &walk),
+                    "compiled walk fails verification for {}", target
+                );
+                let ref_walk = reference.walk(&target).expect("implied ⇒ walk");
+                // BFS from identical frontiers: identical walk lengths.
+                prop_assert_eq!(walk.len(), ref_walk.len());
+            }
+        }
+    }
+
+    /// The automatic typed dispatch agrees with the reference general
+    /// search — answers, stats, and verifiable walks — on all-typed Σ.
+    #[test]
+    fn typed_dispatch_agrees_with_reference(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let schema = random_schema(&mut rng, &SchemaConfig {
+            relations: 4, min_arity: 2, max_arity: 4,
+        });
+        let sigma = random_typed_ind_set(&mut rng, &schema, 5);
+        let compiled = IndSolver::new(&sigma);
+        let reference = ReferenceIndSolver::new(&sigma);
+        for _ in 0..6 {
+            let Some(mut target) = random_ind(&mut rng, &schema, 1) else { continue };
+            // Make the target typed: reuse the left side on the right.
+            let lhs_attrs = target.lhs_attrs.clone();
+            if schema.require(&target.rhs_rel).unwrap().attrs().attrs().iter()
+                .filter(|a| lhs_attrs.contains_attr(a)).count() != lhs_attrs.len() {
+                continue; // left attrs not all present in the right relation
+            }
+            target = Ind::new(
+                target.lhs_rel.clone(), lhs_attrs.clone(),
+                target.rhs_rel.clone(), lhs_attrs,
+            ).expect("equal arity");
+            prop_assert_eq!(compiled.implies_typed(&target).is_some(), true);
+            let (got, stats) = compiled.implies_with_stats(&target);
+            let (want, ref_stats) = reference.implies_with_stats(&target);
+            prop_assert_eq!(got, want, "target {}", target);
+            // Same answer and minimal walk, while Σ dedupe and the
+            // unknown-symbol early exit may only ever SHRINK the search.
+            prop_assert_eq!(stats.walk_length, ref_stats.walk_length, "walk for {}", target);
+            prop_assert!(
+                stats.expressions_visited <= ref_stats.expressions_visited
+                    && stats.applications_attempted <= ref_stats.applications_attempted,
+                "compiled search did more work than the reference on {}", target
+            );
+            if got {
+                let walk = compiled.walk(&target).expect("implied ⇒ walk");
+                prop_assert!(verify_walk(compiled.sigma(), &target, &walk));
+            }
+        }
+    }
+
+    /// The Landau σ(γ) family: compiled and reference agree on σ(γ) ⊨ σ(γᵏ)
+    /// for random permutations, with identical minimal walk lengths.
+    #[test]
+    fn permutation_family_agrees_with_reference(seed in any::<u64>(), m in 3usize..7, k in 1u32..9) {
+        let mut rng = Rng::new(seed);
+        // A random permutation of {0..m} via Fisher–Yates indices.
+        let images = rng.distinct_indices(m, m);
+        let gamma = Perm::new(images).expect("permutation");
+        let sigma = permutation_ind(&gamma);
+        let target = permutation_ind(&gamma.pow(k as u128));
+        let compiled = IndSolver::new(std::slice::from_ref(&sigma));
+        let reference = ReferenceIndSolver::new(std::slice::from_ref(&sigma));
+        let (got, stats) = compiled.implies_with_stats(&target);
+        let (want, ref_stats) = reference.implies_with_stats(&target);
+        prop_assert_eq!(got, want, "σ(γ^{}) for γ = {:?}", k, gamma);
+        prop_assert_eq!(stats.walk_length, ref_stats.walk_length);
+        if got {
+            let walk = compiled.walk(&target).expect("implied ⇒ walk");
+            prop_assert!(verify_walk(compiled.sigma(), &target, &walk));
+        }
+    }
+}
+
+/// The two deterministic σ(γ) constructions of Section 3, checked
+/// compiled-vs-reference exactly.
+#[test]
+fn landau_and_transposition_families_agree_with_reference() {
+    for m in [3usize, 5, 7] {
+        let (sigma, target, f) = landau_pair(m);
+        let compiled = IndSolver::new(std::slice::from_ref(&sigma));
+        let reference = ReferenceIndSolver::new(std::slice::from_ref(&sigma));
+        let (got, stats) = compiled.implies_with_stats(&target);
+        let (want, ref_stats) = reference.implies_with_stats(&target);
+        assert!(got && want, "σ(γ) must imply σ(δ) at m={m}");
+        assert_eq!(stats.walk_length, Some(f as usize), "m={m}");
+        assert_eq!(stats.walk_length, ref_stats.walk_length, "m={m}");
+    }
+    // Transposition generators imply every permutation IND; spot-check a
+    // few targets through both solvers.
+    let m = 4;
+    let gens = transposition_generators(m);
+    let compiled = IndSolver::new(&gens);
+    let reference = ReferenceIndSolver::new(&gens);
+    for images in [vec![1, 2, 3, 0], vec![3, 2, 1, 0], vec![2, 0, 3, 1]] {
+        let target = permutation_ind(&Perm::new(images).unwrap());
+        assert!(compiled.implies(&target));
+        assert!(reference.implies(&target));
+        let walk = compiled.walk(&target).expect("implied ⇒ walk");
+        assert!(verify_walk(compiled.sigma(), &target, &walk));
+    }
+}
