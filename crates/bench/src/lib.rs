@@ -2,7 +2,9 @@
 //! `paper-tables` harness.
 
 use depkit_core::attr::{attrs, Attr, AttrSeq};
-use depkit_core::dependency::{Fd, Ind};
+use depkit_core::database::Database;
+use depkit_core::delta::Delta;
+use depkit_core::dependency::{Dependency, Fd, Ind};
 use depkit_core::schema::{DatabaseSchema, RelationScheme};
 
 /// A chain of typed INDs `R_0[A..] ⊆ R_1[A..] ⊆ ... ⊆ R_len[A..]` over
@@ -54,6 +56,53 @@ pub fn fd_chain(len: usize) -> (RelationScheme, Vec<Fd>, Fd) {
     (scheme, fds, target)
 }
 
+/// The referential-integrity serving workload of the `incremental_validation`
+/// bench: `EMP(EID, DNO)` and `DEPT(DNO, MGR)` with the paper's Section 1
+/// constraints — IND `EMP[DNO] ⊆ DEPT[DNO]` (every employee's department
+/// exists), FD `EMP: EID → DNO` (employee ids are keys), and FD
+/// `DEPT: DNO → MGR` (one manager per department).
+///
+/// The returned database holds `emps` employee rows spread round-robin over
+/// `depts` departments and satisfies all three dependencies.
+pub fn referential_workload(
+    emps: usize,
+    depts: usize,
+) -> (DatabaseSchema, Vec<Dependency>, Database) {
+    let schema =
+        DatabaseSchema::parse(&["EMP(EID, DNO)", "DEPT(DNO, MGR)"]).expect("static schema parses");
+    let sigma: Vec<Dependency> = vec![
+        "EMP[DNO] <= DEPT[DNO]".parse().expect("static dep parses"),
+        "EMP: EID -> DNO".parse().expect("static dep parses"),
+        "DEPT: DNO -> MGR".parse().expect("static dep parses"),
+    ];
+    let mut db = Database::empty(schema.clone());
+    for d in 0..depts {
+        db.insert_ints("DEPT", &[&[d as i64, 1_000_000 + d as i64]])
+            .expect("rows fit the schema");
+    }
+    for e in 0..emps {
+        db.insert_ints("EMP", &[&[e as i64, (e % depts) as i64]])
+            .expect("rows fit the schema");
+    }
+    (schema, sigma, db)
+}
+
+/// A steady-state churn batch against [`referential_workload`]: replace the
+/// first `batch` employees (`EID = 0..batch`) with fresh hires
+/// (`EID = emps..emps+batch`), keeping every constraint satisfied and the
+/// database size constant. Applying [`Delta::inverse`] afterwards restores
+/// the original database, so benches can iterate the pair indefinitely.
+pub fn employee_churn_delta(emps: usize, depts: usize, batch: usize) -> Delta {
+    assert!(batch <= emps, "cannot churn more employees than exist");
+    let mut d = Delta::new();
+    for i in 0..batch {
+        d.delete_ints("EMP", &[i as i64, (i % depts) as i64]);
+        let hire = emps + i;
+        d.insert_ints("EMP", &[hire as i64, (hire % depts) as i64]);
+    }
+    d
+}
+
 /// Wall-clock a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = std::time::Instant::now();
@@ -78,5 +127,26 @@ mod tests {
     fn fd_chain_closure_reaches_end() {
         let (_scheme, fds, target) = fd_chain(10);
         assert!(depkit_solver::fd::implies_fd(&fds, &target));
+    }
+
+    #[test]
+    fn referential_workload_is_consistent_and_churns_cleanly() {
+        use depkit_solver::incremental::{full_violations, Validator};
+        let (schema, sigma, mut db) = referential_workload(100, 7);
+        assert!(full_violations(&db, &sigma).unwrap().is_empty());
+
+        let delta = employee_churn_delta(100, 7, 16);
+        let mut v = Validator::new(&schema, &sigma).unwrap();
+        v.seed(&db).unwrap();
+        let before = db.clone();
+        // Churn forward and back: consistent at every checkpoint, and the
+        // inverse restores the exact database.
+        for d in [&delta, &delta.inverse()] {
+            v.apply(d).unwrap();
+            db.apply_delta(d).unwrap();
+            assert!(v.is_consistent());
+            assert_eq!(v.violations(), full_violations(&db, &sigma).unwrap());
+        }
+        assert_eq!(db, before);
     }
 }

@@ -18,11 +18,12 @@
 use depkit_core::database::Database;
 use depkit_core::dependency::Ind;
 use depkit_core::error::CoreError;
+use depkit_core::index::RowSet;
 use depkit_core::intern::{Catalog, RelId};
 use depkit_core::relation::Tuple;
 use depkit_core::schema::DatabaseSchema;
 use depkit_core::value::Value;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of the Rule (*) chase.
 #[derive(Debug, Clone)]
@@ -99,8 +100,9 @@ pub fn ind_chase(
         });
     }
 
-    // Per-relation tuple sets over raw u32 rows, plus the worklist.
-    let mut rows: Vec<HashSet<Vec<u32>>> = vec![HashSet::new(); n_rels];
+    // Per-relation tuple sets over raw u32 rows (the shared serving-layer
+    // representation from `depkit_core::index`), plus the worklist.
+    let mut rows: Vec<RowSet> = vec![RowSet::new(); n_rels];
     rows[start_rel.index()].insert(seed.clone());
     let mut total_tuples = 1usize;
     let mut tuples_added = 0usize;

@@ -15,8 +15,20 @@
 //!
 //! `row` entries are whitespace-separated values; an entry parses as an
 //! integer when it looks like one, otherwise as a string.
+//!
+//! The `validate` subcommand additionally reads a *delta script* — the
+//! streaming-mutation companion format parsed by [`parse_deltas`]:
+//!
+//! ```text
+//! insert EMP noether math    # queue an insertion
+//! delete MGR hilbert math    # queue a deletion
+//! commit                     # apply the batch, report violations
+//! ```
+//!
+//! `commit` ends a batch; trailing operations form a final implicit batch.
 
 use depkit_core::constraint::ConstraintSet;
+use depkit_core::delta::Delta;
 use depkit_core::prelude::*;
 use depkit_core::schema::RelationScheme;
 
@@ -87,13 +99,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                     .next()
                     .ok_or_else(|| err(line_no, "row needs a relation name"))?
                     .to_string();
-                let values: Vec<Value> = parts
-                    .map(|p| match p.parse::<i64>() {
-                        Ok(i) => Value::Int(i),
-                        Err(_) => Value::str(p),
-                    })
-                    .collect();
-                rows.push((line_no, rel, values));
+                rows.push((line_no, rel, parse_values(parts)));
             }
             other => {
                 return Err(err(
@@ -122,6 +128,70 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         constraints,
         database,
     })
+}
+
+fn parse_values(parts: std::str::SplitWhitespace<'_>) -> Vec<Value> {
+    parts
+        .map(|p| match p.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::str(p),
+        })
+        .collect()
+}
+
+/// Parse a delta script into mutation batches: `insert R v...` /
+/// `delete R v...` lines, batches separated by `commit`. Trailing
+/// operations without a final `commit` form a last batch; empty batches
+/// (e.g. consecutive `commit` lines) are dropped. Everything from a `#`
+/// to the end of the line is a comment (so values cannot contain `#`).
+pub fn parse_deltas(text: &str) -> Result<Vec<Delta>, SpecError> {
+    let mut batches: Vec<Delta> = Vec::new();
+    let mut current = Delta::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let uncommented = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let line = uncommented.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "commit" => {
+                if !current.is_empty() {
+                    batches.push(std::mem::take(&mut current));
+                }
+            }
+            "insert" | "delete" => {
+                let mut parts = rest.split_whitespace();
+                let rel = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, format!("{keyword} needs a relation name")))?
+                    .to_string();
+                let t = Tuple::new(parse_values(parts));
+                if keyword == "insert" {
+                    current.insert(rel.as_str(), t);
+                } else {
+                    current.delete(rel.as_str(), t);
+                }
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unknown directive `{other}` (expected insert/delete/commit)"),
+                ))
+            }
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -166,6 +236,36 @@ row MGR hilbert math
         assert_eq!(e2.line, 2); // arity mismatch
         let e3 = parse_spec("schema R(A)\ndep S[A] <= R[A]\n").unwrap_err();
         assert_eq!(e3.line, 2); // unknown relation in dep
+    }
+
+    #[test]
+    fn parses_delta_batches() {
+        let script = "\
+# warm-up
+insert EMP noether math   # inline comments are stripped
+delete MGR hilbert math
+commit                    # batch boundary
+commit
+insert EMP banach 7
+";
+        let batches = parse_deltas(script).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].inserts.len(), 1);
+        assert_eq!(batches[0].deletes.len(), 1);
+        // Trailing ops without `commit` form a final batch.
+        assert_eq!(batches[1].inserts.len(), 1);
+        assert_eq!(
+            batches[1].inserts[0].1,
+            Tuple::new(vec![Value::str("banach"), Value::Int(7)])
+        );
+    }
+
+    #[test]
+    fn delta_errors_carry_line_numbers() {
+        let e = parse_deltas("insert R 1\nupsert R 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e2 = parse_deltas("insert\n").unwrap_err();
+        assert_eq!(e2.line, 1);
     }
 
     #[test]

@@ -60,6 +60,12 @@ impl Database {
         self.relation_mut(name)?.insert(t)
     }
 
+    /// Remove a tuple from the named relation. Returns whether it was
+    /// present.
+    pub fn remove(&mut self, name: &RelName, t: &Tuple) -> Result<bool, CoreError> {
+        Ok(self.relation_mut(name)?.remove(t))
+    }
+
     /// Insert integer tuples into the named relation (test convenience).
     pub fn insert_ints(&mut self, name: &str, rows: &[&[i64]]) -> Result<(), CoreError> {
         let name = RelName::new(name);

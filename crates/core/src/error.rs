@@ -49,6 +49,9 @@ pub enum CoreError {
     /// A symbolic-relation decision problem fell outside the decidable
     /// fragment implemented by [`crate::symbolic`].
     SymbolicTooComplex(String),
+    /// An engine was given a dependency kind it does not handle (e.g. the
+    /// incremental validator only maintains FDs and INDs).
+    UnsupportedDependency(String),
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +87,9 @@ impl fmt::Display for CoreError {
             CoreError::EmptyInd => write!(f, "INDs must have at least one attribute per side"),
             CoreError::SymbolicTooComplex(why) => {
                 write!(f, "symbolic decision outside decidable fragment: {why}")
+            }
+            CoreError::UnsupportedDependency(what) => {
+                write!(f, "unsupported dependency kind: {what}")
             }
         }
     }

@@ -1,0 +1,368 @@
+//! Mutation-oriented index structures over raw `u32` rows.
+//!
+//! The offline engines (the Rule (*) chase, the satisfaction scans in
+//! [`crate::satisfy`]) process a database once and throw their state away.
+//! A *serving* workload is different: the database mutates continuously and
+//! constraints must be re-checked per delta, in time proportional to the
+//! delta — so the indexes have to be persistent, refcounted, and cheap to
+//! update in both directions. This module provides the three building
+//! blocks, all operating on rows of dense `u32` ids rather than heap
+//! [`Value`]s:
+//!
+//! * [`ValueInterner`] — a bidirectional [`Value`] ↔ `u32` table with
+//!   per-id reference counts. Interning happens once per distinct value at
+//!   the mutation boundary; every comparison after that is integer
+//!   equality. Deletions use the non-allocating [`ValueInterner::lookup`]:
+//!   a value the interner has never seen cannot be in any row, so the
+//!   delete is a no-op. Callers bracket each live row with
+//!   [`ValueInterner::retain_row`] / [`ValueInterner::release_row`]; ids
+//!   whose count drops to zero are recycled, so a delete-heavy serving
+//!   workload does not grow the table past the live value set.
+//! * [`RowSet`] — a per-relation set of raw `u32` rows with set semantics
+//!   (duplicate insert and absent delete are no-ops, mirroring
+//!   [`crate::relation::Relation`]). This is the same representation the
+//!   Rule (*) chase of `depkit-chase` addresses by
+//!   [`RelId`](crate::intern::RelId); the chase and the incremental
+//!   validator share it.
+//! * [`ProjectionIndex`] — a refcounted multiset of projection keys
+//!   (`key → number of rows projecting to it`). [`ProjectionIndex::add`]
+//!   and [`ProjectionIndex::remove`] return the count *after* the
+//!   operation, so callers can detect the `0 → 1` and `1 → 0` transitions
+//!   that flip a constraint between satisfied and violated.
+//!
+//! The incremental validator (`depkit_solver::incremental`) composes these
+//! into per-IND left/right projection indexes and per-FD witness maps.
+
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// A bidirectional [`Value`] ↔ `u32` table with per-id reference counts,
+/// for compiling tuples into raw rows.
+///
+/// Ids are dense and only meaningful against the interner that produced
+/// them (the same contract as [`crate::intern::Catalog`]). Unlike the
+/// symbol catalog — whose vocabulary is fixed by `Σ` — the value table
+/// tracks *data*, which churns under a serving workload. Callers therefore
+/// bracket each live row: [`ValueInterner::retain_row`] after an effective
+/// insert, [`ValueInterner::release_row`] after an effective delete. An id
+/// whose count drops to zero is unmapped and its slot recycled by the next
+/// [`ValueInterner::intern`], so the table stays proportional to the
+/// values of *live* rows no matter how many mutations stream past.
+///
+/// Resolving an id with no retained reference is a caller bug: the slot
+/// may hold a placeholder or a recycled, unrelated value.
+#[derive(Debug, Clone, Default)]
+pub struct ValueInterner {
+    ids: HashMap<Value, u32>,
+    values: Vec<Value>,
+    /// `refs[id]` = number of retained row references to `values[id]`.
+    refs: Vec<u32>,
+    /// Zero-ref slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl ValueInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        ValueInterner::default()
+    }
+
+    /// Number of distinct values currently mapped (retained or freshly
+    /// interned, excluding recycled slots).
+    pub fn len(&self) -> usize {
+        self.values.len() - self.free.len()
+    }
+
+    /// Whether no value is currently mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern a value, returning its (possibly pre-existing) id. Fresh
+    /// values reuse a recycled slot when one is available. The returned id
+    /// starts with no retained references; pin it with
+    /// [`ValueInterner::retain_row`] once the referencing row is live.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(v) {
+            return id;
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.values[id as usize] = v.clone();
+                id
+            }
+            None => {
+                let id = u32::try_from(self.values.len()).expect("fewer than 2^32 live values");
+                self.values.push(v.clone());
+                self.refs.push(0);
+                id
+            }
+        };
+        self.ids.insert(v.clone(), id);
+        id
+    }
+
+    /// Id of an already-interned value, without allocating.
+    pub fn lookup(&self, v: &Value) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// The value behind an id. Panics on ids from another interner; stale
+    /// for ids released back to zero references.
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Intern every entry of a tuple slice into a raw row.
+    pub fn intern_row(&mut self, values: &[Value]) -> Vec<u32> {
+        values.iter().map(|v| self.intern(v)).collect()
+    }
+
+    /// Look up every entry of a tuple slice; `None` when any entry has
+    /// never been interned (so the row cannot exist in any [`RowSet`]).
+    pub fn lookup_row(&self, values: &[Value]) -> Option<Vec<u32>> {
+        values.iter().map(|v| self.lookup(v)).collect()
+    }
+
+    /// Resolve a raw row back to values.
+    pub fn resolve_row(&self, row: &[u32]) -> Vec<Value> {
+        row.iter().map(|&id| self.resolve(id).clone()).collect()
+    }
+
+    /// Add one retained reference per entry of a live row.
+    pub fn retain_row(&mut self, row: &[u32]) {
+        for &id in row {
+            self.refs[id as usize] += 1;
+        }
+    }
+
+    /// Drop one reference per entry of a deleted row; ids reaching zero
+    /// references are unmapped and their slots recycled.
+    pub fn release_row(&mut self, row: &[u32]) {
+        for &id in row {
+            let r = &mut self.refs[id as usize];
+            debug_assert!(*r > 0, "released a row that was never retained");
+            *r -= 1;
+            if *r == 0 {
+                let v = std::mem::replace(&mut self.values[id as usize], Value::Null(id as u64));
+                self.ids.remove(&v);
+                self.free.push(id);
+            }
+        }
+    }
+}
+
+/// A set of raw `u32` rows — one relation's live tuples in compiled form.
+///
+/// Mirrors the set semantics of [`crate::relation::Relation`]: inserting a
+/// present row and removing an absent row are no-ops, and both report
+/// whether they changed the set so callers can skip index maintenance for
+/// no-op mutations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowSet {
+    rows: std::collections::HashSet<Vec<u32>>,
+}
+
+impl RowSet {
+    /// An empty row set.
+    pub fn new() -> Self {
+        RowSet::default()
+    }
+
+    /// Insert a row; returns whether it was new.
+    pub fn insert(&mut self, row: Vec<u32>) -> bool {
+        self.rows.insert(row)
+    }
+
+    /// Remove a row; returns whether it was present.
+    pub fn remove(&mut self, row: &[u32]) -> bool {
+        self.rows.remove(row)
+    }
+
+    /// Whether the row is present.
+    pub fn contains(&self, row: &[u32]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate the rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<u32>> {
+        self.rows.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RowSet {
+    type Item = &'a Vec<u32>;
+    type IntoIter = std::collections::hash_set::Iter<'a, Vec<u32>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+/// A refcounted multiset of projection keys: `key → count of rows
+/// projecting to it`.
+///
+/// This is the index the incremental validator keeps per IND side (and,
+/// nested, per FD group): satisfaction only depends on whether a key's
+/// count is zero, so [`add`](ProjectionIndex::add) /
+/// [`remove`](ProjectionIndex::remove) return the post-operation count and
+/// callers react to the `0 ↔ 1` transitions alone. Keys with count zero
+/// are evicted eagerly, keeping the map proportional to the *live* rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProjectionIndex {
+    counts: HashMap<Vec<u32>, u32>,
+}
+
+impl ProjectionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ProjectionIndex::default()
+    }
+
+    /// Add one reference to `key`, returning the count after the add (so
+    /// `1` means the key just became present).
+    pub fn add(&mut self, key: Vec<u32>) -> u32 {
+        match self.counts.entry(key) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += 1;
+                *e.get()
+            }
+            Entry::Vacant(e) => {
+                e.insert(1);
+                1
+            }
+        }
+    }
+
+    /// Drop one reference to `key`, returning the count after the drop (so
+    /// `0` means the key just disappeared). Removing an absent key is a
+    /// logic error upstream; it debug-panics and returns `0` in release.
+    pub fn remove(&mut self, key: &[u32]) -> u32 {
+        match self.counts.get_mut(key) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                *c
+            }
+            Some(_) => {
+                self.counts.remove(key);
+                0
+            }
+            None => {
+                debug_assert!(false, "removed a key that was never added");
+                0
+            }
+        }
+    }
+
+    /// Current reference count of `key` (zero when absent).
+    pub fn count(&self, key: &[u32]) -> u32 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys with a nonzero count.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no key is referenced.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate the live keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &Vec<u32>> {
+        self.counts.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_roundtrip_and_lookup() {
+        let mut vi = ValueInterner::new();
+        let a = vi.intern(&Value::Int(7));
+        let b = vi.intern(&Value::str("x"));
+        assert_eq!(vi.intern(&Value::Int(7)), a);
+        assert_ne!(a, b);
+        assert_eq!(vi.len(), 2);
+        assert_eq!(vi.resolve(a), &Value::Int(7));
+        assert_eq!(vi.lookup(&Value::str("x")), Some(b));
+        assert_eq!(vi.lookup(&Value::Int(8)), None);
+
+        let row = vi.intern_row(&[Value::Int(7), Value::str("x")]);
+        assert_eq!(
+            vi.lookup_row(&[Value::Int(7), Value::str("x")]),
+            Some(row.clone())
+        );
+        assert_eq!(vi.lookup_row(&[Value::Int(9)]), None);
+        assert_eq!(vi.resolve_row(&row), vec![Value::Int(7), Value::str("x")]);
+    }
+
+    #[test]
+    fn interner_recycles_released_ids() {
+        let mut vi = ValueInterner::new();
+        let row = vi.intern_row(&[Value::Int(1), Value::Int(2)]);
+        vi.retain_row(&row);
+        assert_eq!(vi.len(), 2);
+
+        // Shared value: a second row retains id 1 again.
+        let row2 = vi.intern_row(&[Value::Int(2), Value::Int(3)]);
+        vi.retain_row(&row2);
+        assert_eq!(vi.len(), 3);
+
+        // Releasing the first row frees only the now-unreferenced Int(1).
+        vi.release_row(&row);
+        assert_eq!(vi.len(), 2);
+        assert_eq!(vi.lookup(&Value::Int(1)), None);
+        assert_eq!(vi.lookup(&Value::Int(2)), Some(row[1]));
+
+        // The freed slot is recycled for the next fresh value, so churn
+        // does not grow the table.
+        let recycled = vi.intern(&Value::str("fresh"));
+        assert_eq!(recycled, row[0]);
+        assert_eq!(vi.len(), 3);
+        assert_eq!(vi.resolve(recycled), &Value::str("fresh"));
+    }
+
+    #[test]
+    fn rowset_has_set_semantics() {
+        let mut rs = RowSet::new();
+        assert!(rs.insert(vec![1, 2]));
+        assert!(!rs.insert(vec![1, 2]));
+        assert!(rs.contains(&[1, 2]));
+        assert_eq!(rs.len(), 1);
+        assert!(rs.remove(&[1, 2]));
+        assert!(!rs.remove(&[1, 2]));
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn projection_index_refcounts() {
+        let mut idx = ProjectionIndex::new();
+        assert_eq!(idx.add(vec![1]), 1);
+        assert_eq!(idx.add(vec![1]), 2);
+        assert_eq!(idx.add(vec![2]), 1);
+        assert_eq!(idx.count(&[1]), 2);
+        assert_eq!(idx.distinct(), 2);
+        assert_eq!(idx.remove(&[1]), 1);
+        assert_eq!(idx.remove(&[1]), 0);
+        assert_eq!(idx.count(&[1]), 0);
+        // Count-zero keys are evicted.
+        assert_eq!(idx.distinct(), 1);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.remove(&[2]), 0);
+        assert!(idx.is_empty());
+    }
+}

@@ -32,6 +32,15 @@
 //! compact id sequences ([`IdSeq`]). String-typed APIs intern at their call
 //! boundary and compute over ids; see the module docs for the contract.
 //!
+//! ## Mutation: deltas and serving indexes
+//!
+//! The [`delta`] module defines the mutation unit of the online-validation
+//! workload — a [`Delta`] of deletions-then-insertions applied by
+//! [`Database::apply_delta`] — and the [`index`] module provides the
+//! refcounted structures over raw `u32` rows ([`ValueInterner`],
+//! [`RowSet`], [`ProjectionIndex`]) that `depkit_solver::incremental`
+//! composes into the delta-time constraint validator.
+//!
 //! ## Infinite relations
 //!
 //! Theorem 4.4 of the paper separates finite from unrestricted implication by
@@ -58,9 +67,11 @@
 pub mod attr;
 pub mod constraint;
 pub mod database;
+pub mod delta;
 pub mod dependency;
 pub mod error;
 pub mod generate;
+pub mod index;
 pub mod intern;
 pub mod parser;
 pub mod relation;
@@ -72,8 +83,10 @@ pub mod value;
 pub use attr::{Attr, AttrSeq};
 pub use constraint::ConstraintSet;
 pub use database::Database;
+pub use delta::{Delta, DeltaOutcome};
 pub use dependency::{Dependency, Emvd, Fd, Ind, Rd};
 pub use error::CoreError;
+pub use index::{ProjectionIndex, RowSet, ValueInterner};
 pub use intern::{AttrBitSet, AttrId, Catalog, IdSeq, RelId};
 pub use relation::{Relation, Tuple};
 pub use schema::{DatabaseSchema, RelName, RelationScheme};
@@ -84,6 +97,7 @@ pub mod prelude {
     pub use crate::attr::{Attr, AttrSeq};
     pub use crate::constraint::ConstraintSet;
     pub use crate::database::Database;
+    pub use crate::delta::{Delta, DeltaOutcome};
     pub use crate::dependency::{Dependency, Emvd, Fd, Ind, Rd};
     pub use crate::error::CoreError;
     pub use crate::relation::{Relation, Tuple};

@@ -126,6 +126,11 @@ impl Relation {
         Ok(self.tuples.insert(t))
     }
 
+    /// Remove a tuple. Returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
     /// Whether the relation contains `t`.
     pub fn contains(&self, t: &Tuple) -> bool {
         self.tuples.contains(t)

@@ -1,23 +1,47 @@
 //! # depkit-lba — linear bounded automata and the Theorem 3.3 reduction
 //!
 //! Theorem 3.3 of Casanova–Fagin–Papadimitriou proves the IND decision
-//! problem PSPACE-complete by reducing **linear bounded automaton
-//! acceptance** to IND implication. This crate builds both sides:
+//! problem **PSPACE-complete**. Membership is the easy half (the Corollary
+//! 3.2 expression search keeps one expression in memory); hardness is by
+//! reduction from **linear bounded automaton acceptance**, the canonical
+//! PSPACE-complete problem. This crate builds both sides of that argument
+//! so the reduction can be validated end to end.
 //!
-//! * [`machine`] — nondeterministic machines in the paper's formulation:
-//!   configurations are strings over `K ∪ Γ` of length `n + 1` (the state
-//!   symbol sits immediately left of the scanned cell), and moves are
-//!   window rewriting rules `abc → a′b′c′`; [`machine::Machine::accepts`]
-//!   decides acceptance directly by breadth-first search over the (finite)
-//!   configuration graph.
-//! * [`reduce`](crate::reduce()) — the construction of Theorem 3.3: one relation scheme over
-//!   attributes `(K ∪ Γ) × {1..n+1}`, an IND `S(m, j)` per move and window
-//!   position, and the goal IND from the initial to the final
-//!   configuration. `Σ ⊨ σ` iff the machine accepts — validated in tests by
-//!   comparing against the direct decider.
-//! * [`zoo`] — hand-built machines with known acceptance behaviour (accept
-//!   everything, reject everything, parity of 1-bits, all-zeros check) plus
-//!   seeded random rewriting systems for agreement testing.
+//! The paper's formulation: a configuration of a machine on input length
+//! `n` is a string over `K ∪ Γ` of length `n + 1` — the state symbol sits
+//! immediately left of the scanned cell — and each move is a *window
+//! rewriting rule* `abc → a′b′c′` applied at some position. Acceptance is
+//! reachability from the initial to the final configuration. The reduction
+//! mirrors configurations into attribute sequences: one relation scheme
+//! over attributes `(K ∪ Γ) × {1..n+1}`, one IND per (move, window
+//! position) pair, and a goal IND from the initial to the final
+//! configuration, so that `Σ ⊨ σ` iff the machine accepts. An IND2
+//! application then *is* a machine move, which is why the same worklist
+//! search that decides implication also simulates computation.
+//!
+//! ## Paper map
+//!
+//! | Item | Paper anchor | Role |
+//! |---|---|---|
+//! | [`Rule`] | §3, Thm 3.3 setup | One window rewriting rule `abc → a′b′c′` |
+//! | [`Config`] | §3 | A configuration string over `K ∪ Γ` (length `n + 1`) |
+//! | [`Machine`] | §3 | Glyph table, rules, start/halt/blank symbols; [`Machine::initial_config`] / [`Machine::final_config`] delimit acceptance |
+//! | [`Machine::step`] | §3 | All one-move successors of a configuration |
+//! | [`Machine::accepts`] | §3 | Direct BFS acceptance decider over the finite configuration graph — the *semantic* side of the equivalence |
+//! | [`reduce`](crate::reduce()) | Thm 3.3 | The construction: scheme over `(K ∪ Γ) × {1..n+1}`, IND `S(m, j)` per move `m` and window position `j`, plus the goal IND — the *syntactic* side |
+//! | [`Reduction`] | Thm 3.3 | The emitted `(schema, Σ, σ)` triple; [`Reduction::sigma_size`] tracks the polynomial size bound |
+//! | [`zoo`] | — | Machines with known behaviour (accept-all, reject-all, parity of 1-bits, all-zeros) and seeded random rewriting systems for agreement testing |
+//!
+//! ## Validation
+//!
+//! `Σ ⊨ σ` iff the machine accepts: the tests (and the workspace
+//! `pspace_reduction` example plus the `lba_reduction` bench) run
+//! [`Machine::accepts`] against `IndSolver::implies` on the zoo and on
+//! random machines, machine-checking the Theorem 3.3 equivalence on every
+//! instance. PSPACE-hardness is why `depkit-solver` ships polynomial
+//! special cases (typed INDs, bounded arity) rather than hoping the
+//! general search stays small — and the `depkit-perm` crate shows the
+//! pessimism is warranted even without machines.
 
 pub mod machine;
 pub mod reduce;

@@ -1,25 +1,41 @@
 //! # depkit-perm — permutation machinery for the Section 3 lower bound
 //!
-//! Section 3 of Casanova–Fagin–Papadimitriou shows the deterministic IND
-//! decision procedure needs superpolynomially many steps: associate with a
-//! permutation `γ` of `{1..m}` the IND
-//! `σ(γ) = R[A_1..A_m] ⊆ R[A_{γ(1)}..A_{γ(m)}]`; then `σ(γ) ⊨ σ(δ)` for
-//! `δ = γ^{f(m)−1}` requires `f(m) − 1` applications of the expression step,
-//! where `f(m)` (Landau's function) is the maximal order of a permutation of
-//! `m` elements — and `log f(m) ~ √(m log m)` (Landau 1909).
+//! Section 3 of Casanova–Fagin–Papadimitriou proves the deterministic IND
+//! decision procedure needs superpolynomially many steps. Associate with a
+//! permutation `γ` of `{1..m}` the *permutation IND*
+//! `σ(γ) = R[A_1..A_m] ⊆ R[A_{γ(1)}..A_{γ(m)}]`; then `σ(γ) ⊨ σ(δ)` holds
+//! exactly when `δ` is a power of `γ`, and for `δ = γ^{f(m)−1}` every
+//! Corollary 3.2 expression walk from `R[A_1..A_m]` to its `δ`-permuted
+//! form must apply the IND2 step `f(m) − 1` times — where `f(m)` is
+//! **Landau's function**, the maximal order of a permutation of `m`
+//! elements. Since `log f(m) ~ √(m log m)` (Landau 1909), the walk length
+//! is superpolynomial in `m`: that is the paper's lower bound on the
+//! Section 3 decision procedure, the pessimistic counterpart to the
+//! PSPACE-hardness of Theorem 3.3 (see `depkit-lba`).
 //!
-//! This crate provides:
+//! ## Paper map
 //!
-//! * [`Perm`] — permutations with composition, powers, cycle decomposition,
-//!   and order computation;
-//! * [`landau`] — exact computation of Landau's function by dynamic
-//!   programming over prime powers, with a witness permutation built from
-//!   relatively prime cycles (exactly how the paper says Landau obtains
-//!   permutations of big order);
-//! * [`ind_family`] — the `σ(γ)` IND families: the transposition generators
-//!   `{σ(γ_1), ..., σ(γ_m)}` whose consequences are *all* INDs over
-//!   `R[A_1..A_m]`, and the `(σ(γ), σ(δ))` Landau pair driving the
-//!   superpolynomial experiment (reproduced in `depkit-bench`).
+//! | Item | Paper anchor | Role |
+//! |---|---|---|
+//! | [`Perm`] | §3 (notation) | Permutations of `{1..m}`: composition, [`Perm::pow`], [`Perm::inverse`], [`Perm::cycles`], [`Perm::order`] — the group theory the lower bound rides on |
+//! | [`perm::lcm`] | §3 | Order of a permutation = lcm of its cycle lengths |
+//! | [`landau_function`] | §3, citing Landau 1909 | `f(m)` = max order of a permutation of `m` elements, exact DP over prime powers |
+//! | [`landau::landau_table`] | §3 | `f(0..=m)` in one pass (the DP table itself) |
+//! | [`landau_witness`] | §3 | A permutation of `{1..m}` *attaining* `f(m)`, built from relatively prime cycles — exactly how the paper says Landau obtains permutations of big order |
+//! | [`landau::landau_partition`] | §3 | The relatively-prime prime-power cycle lengths behind the witness |
+//! | [`ind_family::family_schema`] | §3 | The one-relation schema `R(A_1..A_m)` the `σ(γ)` INDs live on |
+//! | [`permutation_ind`] | §3 | `γ ↦ σ(γ)`, the encoding of a permutation as an IND |
+//! | [`transposition_generators`] | §3 | `{σ(γ_1), ..., σ(γ_m)}` for transposition generators `γ_i` — a `Σ` whose consequences include *every* permutation IND over `R` |
+//! | [`landau_pair`] | §3 lower bound | The `(σ(γ), σ(δ))` pair with `γ` a Landau witness and `δ = γ^{f(m)−1}`: deciding `σ(γ) ⊨ σ(δ)` forces a walk of length `f(m) − 1` |
+//!
+//! ## Where it is exercised
+//!
+//! * `depkit_solver::ind::IndSolver` walks the family; its `SearchStats`
+//!   confirm the `f(m) − 1` walk length on the Landau pair.
+//! * `depkit-bench`'s `landau_decision` bench and the `paper-tables`
+//!   harness reproduce the superpolynomial growth table.
+//! * The workspace smoke tests (`tests/smoke.rs`) pin `f(m)` values and
+//!   the walk length against both implication engines.
 
 pub mod ind_family;
 pub mod landau;

@@ -27,6 +27,31 @@ use std::collections::{BTreeSet, VecDeque};
 /// total size of the FDs (the Beeri–Bernstein counting algorithm). The
 /// pre-refactor string-based implementation survives as
 /// [`crate::reference::ReferenceFdEngine`] for differential testing.
+///
+/// # Examples
+///
+/// The closure / implication round trip:
+///
+/// ```
+/// use depkit_core::attr::{attrs, Attr};
+/// use depkit_core::dependency::Fd;
+/// use depkit_solver::fd::FdEngine;
+///
+/// let fds = vec![
+///     Fd::new("R", attrs(&["A"]), attrs(&["B"])),
+///     Fd::new("R", attrs(&["B"]), attrs(&["C"])),
+/// ];
+/// let engine = FdEngine::new("R", &fds);
+///
+/// // A⁺ = {A, B, C}: the Beeri–Bernstein closure chases both FDs.
+/// let closure = engine.closure(&attrs(&["A"]));
+/// assert!(closure.contains(&Attr::new("C")));
+/// assert_eq!(closure.len(), 3);
+///
+/// // By Armstrong completeness, implication is a closure membership test.
+/// assert!(engine.implies(&Fd::new("R", attrs(&["A"]), attrs(&["C"]))));
+/// assert!(!engine.implies(&Fd::new("R", attrs(&["B"]), attrs(&["A"]))));
+/// ```
 #[derive(Debug, Clone)]
 pub struct FdEngine {
     rel: RelName,

@@ -121,6 +121,31 @@ impl CompiledInd {
 
 /// A decision procedure for IND implication over a fixed `Σ`, compiled onto
 /// the interned-id representation.
+///
+/// # Examples
+///
+/// Transitivity (rule IND3) emerges from the Corollary 3.2 expression
+/// search, and a found walk is a verifiable certificate:
+///
+/// ```
+/// use depkit_core::{Dependency, Ind};
+/// use depkit_solver::ind::{verify_walk, IndSolver};
+///
+/// let ind = |s: &str| -> Ind {
+///     s.parse::<Dependency>().unwrap().as_ind().unwrap().clone()
+/// };
+/// let sigma = vec![ind("R[A] <= S[B]"), ind("S[B] <= T[C]")];
+/// let solver = IndSolver::new(&sigma);
+///
+/// let target = ind("R[A] <= T[C]");
+/// assert!(solver.implies(&target));
+/// assert!(!solver.implies(&ind("T[C] <= R[A]")));
+///
+/// // The walk R[A] ⊆ S[B] ⊆ T[C] has three expressions.
+/// let walk = solver.walk(&target).unwrap();
+/// assert_eq!(walk.len(), 3);
+/// assert!(verify_walk(&sigma, &target, &walk));
+/// ```
 #[derive(Debug, Clone)]
 pub struct IndSolver {
     /// `Σ` exactly as given (walk `via` indices refer to this slice).

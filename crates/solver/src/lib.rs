@@ -25,6 +25,17 @@
 //! live on in [`reference`][mod@reference] as the executable specification used by the
 //! differential property tests and the two-representation benches.
 //!
+//! Beyond implication, the crate hosts the *serving* workload the
+//! ROADMAP's north star calls for:
+//!
+//! * [`incremental`] — the delta-driven satisfaction engine: a
+//!   [`Validator`] compiles `(Schema, Σ_FD, Σ_IND)` into refcounted
+//!   projection indexes and FD witness maps over interned ids, then
+//!   validates [`Delta`](depkit_core::delta::Delta) batches in time
+//!   proportional to the delta instead of the database, with
+//!   [`full_violations`] as the
+//!   full-revalidation reference path.
+//!
 //! Two design-oriented extensions round out the toolbox the paper's
 //! introduction motivates:
 //!
@@ -39,6 +50,7 @@ pub mod armstrong;
 pub mod design;
 pub mod fd;
 pub mod finite;
+pub mod incremental;
 pub mod ind;
 pub mod interact;
 pub mod reference;
@@ -46,6 +58,7 @@ pub mod reference;
 pub use armstrong::armstrong_relation;
 pub use fd::FdEngine;
 pub use finite::FiniteEngine;
+pub use incremental::{full_violations, Validator, ViolationKey};
 pub use ind::{Expression, IndSolver, SearchStats};
 pub use interact::Saturator;
 pub use reference::{ReferenceFdEngine, ReferenceIndSolver};
