@@ -7,6 +7,8 @@
 //! depkit design <spec.dep> <RELATION>      BCNF check, 3NF synthesis, decomposition
 //! depkit validate <spec.dep> <deltas.dep>  stream mutation batches through the
 //!                                          incremental validator
+//! depkit discover <spec.dep>               mine the FDs/INDs the inline data
+//!                                          satisfies, minimized to a cover
 //! ```
 //!
 //! Spec files are plain text (see `spec.rs`): `schema R(A, B)` /
@@ -49,11 +51,12 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path, rel] if cmd == "keys" => keys(path, rel),
         [cmd, path, rel] if cmd == "design" => design(path, rel),
         [cmd, path, deltas] if cmd == "validate" => validate(path, deltas),
+        [cmd, path] if cmd == "discover" => discover(path),
         _ => {
             eprintln!(
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
-                 depkit validate <spec.dep> <deltas.dep>"
+                 depkit validate <spec.dep> <deltas.dep>\n       depkit discover <spec.dep>"
             );
             Ok(ExitCode::from(2))
         }
@@ -122,6 +125,36 @@ fn validate(path: &str, deltas_path: &str) -> Result<ExitCode, Box<dyn std::erro
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn discover(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let found = depkit_solver::discover::discover(&spec.database);
+    let s = &found.stats;
+    println!(
+        "profiled {} rows, {} columns, {} distinct values",
+        s.rows, s.columns, s.distinct_values
+    );
+    println!(
+        "raw: {} FDs + {} INDs ({} FD candidates, {} composed IND candidates checked)",
+        s.raw_fds, s.raw_inds, s.fd_candidates, s.ind_candidates
+    );
+    println!(
+        "cover: {} dependencies ({} pruned as implied by the rest)",
+        found.cover.len(),
+        s.pruned
+    );
+    // `dep`-prefixed lines so the output pastes straight back into a spec.
+    for d in &found.cover {
+        println!("dep {d}");
+    }
+    // Cross-check against any constraints the spec declared.
+    for declared in spec.constraints.dependencies() {
+        if !depkit_solver::discover::implied_by(&found.cover, declared) {
+            println!("note: declared `{declared}` is not implied by the discovered cover");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn implies(path: &str, dep_src: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -313,6 +346,16 @@ commit
         for p in [spec_path, deltas_path, bad_path] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn discover_mines_the_running_example() {
+        let path = write_temp("disc", HR);
+        assert_eq!(
+            run(&["discover".into(), path.clone()]).unwrap(),
+            ExitCode::SUCCESS
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -236,6 +236,150 @@ pub fn random_database(
     db
 }
 
+/// Mutate `db` in place until it satisfies every FD and IND in `deps`
+/// (other dependency kinds, and dependencies not well-formed for the
+/// database's schema, are ignored).
+///
+/// The repair runs in three phases, ordered so each phase preserves what
+/// the previous one established:
+///
+/// 1. **FD canonicalization** — for each FD `R: X → Y`, rewrite every
+///    tuple's `Y` entries to those of its `X`-group's representative (the
+///    lexicographically least tuple, so the result is deterministic).
+///    Rewriting one FD can disturb another, so this iterates a bounded
+///    number of passes.
+/// 2. **FD deletion fallback** — tuples still disagreeing with their
+///    group representative are deleted. Deletion can never *create* an FD
+///    violation (FD satisfaction is closed under subsets), so iterating
+///    over the FDs until no pass deletes anything terminates with every FD
+///    satisfied.
+/// 3. **IND deletion fixpoint** — left-side tuples whose projection is
+///    missing on the right are deleted. Deletion preserves phase 2 (FDs
+///    stay satisfied) but can break an IND whose *right* side lost tuples,
+///    hence the fixpoint loop; each productive pass strictly shrinks the
+///    database, so it terminates.
+///
+/// This is the "planting" primitive behind [`random_satisfying_database`]:
+/// the discovery tests use it to build instances where a chosen Σ holds by
+/// construction.
+pub fn repair_to_satisfy(db: &mut Database, deps: &[Dependency]) {
+    let fds: Vec<&Fd> = deps.iter().filter_map(Dependency::as_fd).collect();
+    let inds: Vec<&Ind> = deps.iter().filter_map(Dependency::as_ind).collect();
+
+    for _pass in 0..8 {
+        let mut changed = false;
+        for fd in &fds {
+            changed |= repair_fd(db, fd, RepairMode::Rewrite);
+        }
+        if !changed {
+            break;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for fd in &fds {
+            changed |= repair_fd(db, fd, RepairMode::Delete);
+        }
+        if !changed {
+            break;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for ind in &inds {
+            changed |= delete_ind_violators(db, ind);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RepairMode {
+    /// Rewrite a disagreeing tuple's `Y` entries to the representative's.
+    Rewrite,
+    /// Delete disagreeing tuples outright.
+    Delete,
+}
+
+/// One FD repair pass; returns whether the relation changed.
+fn repair_fd(db: &mut Database, fd: &Fd, mode: RepairMode) -> bool {
+    let Ok(relation) = db.relation(&fd.rel) else {
+        return false;
+    };
+    let scheme = relation.scheme();
+    let (Ok(x), Ok(y)) = (scheme.columns(&fd.lhs), scheme.columns(&fd.rhs)) else {
+        return false;
+    };
+    // Representative per X-group: the lexicographically least tuple (the
+    // BTreeSet iterates in sorted order, so first wins).
+    let tuples: Vec<Tuple> = relation.tuples().cloned().collect();
+    let mut rep: std::collections::HashMap<Vec<Value>, &Tuple> = std::collections::HashMap::new();
+    for t in &tuples {
+        rep.entry(t.project(&x)).or_insert(t);
+    }
+    let mut changed = false;
+    for t in &tuples {
+        let wanted = rep[&t.project(&x)].project(&y);
+        if t.project(&y) == wanted {
+            continue;
+        }
+        changed = true;
+        db.remove(&fd.rel, t).expect("relation exists");
+        if mode == RepairMode::Rewrite {
+            let mut fixed = t.clone();
+            for (i, &col) in y.iter().enumerate() {
+                fixed = fixed.with(col, wanted[i].clone());
+            }
+            db.insert(&fd.rel, fixed).expect("arity unchanged");
+        }
+    }
+    changed
+}
+
+/// Delete left-side tuples violating `ind`; returns whether any were.
+fn delete_ind_violators(db: &mut Database, ind: &Ind) -> bool {
+    let Ok(rhs) = db.relation(&ind.rhs_rel) else {
+        return false;
+    };
+    let Ok(rcols) = rhs.scheme().columns(&ind.rhs_attrs) else {
+        return false;
+    };
+    let present = rhs.project(&rcols);
+    let Ok(lhs) = db.relation(&ind.lhs_rel) else {
+        return false;
+    };
+    let Ok(lcols) = lhs.scheme().columns(&ind.lhs_attrs) else {
+        return false;
+    };
+    let victims: Vec<Tuple> = lhs
+        .tuples()
+        .filter(|t| !present.contains(&t.project(&lcols)))
+        .cloned()
+        .collect();
+    for t in &victims {
+        db.remove(&ind.lhs_rel, t).expect("relation exists");
+    }
+    !victims.is_empty()
+}
+
+/// A random database over `schema` repaired (via [`repair_to_satisfy`]) to
+/// satisfy every FD and IND in `deps` — the planting generator for the
+/// discovery round-trip tests: plant Σ, mine the database, and check the
+/// discovered cover implies Σ.
+pub fn random_satisfying_database(
+    rng: &mut Rng,
+    schema: &DatabaseSchema,
+    deps: &[Dependency],
+    max_tuples: usize,
+    domain: i64,
+) -> Database {
+    let mut db = random_database(rng, schema, max_tuples, domain);
+    repair_to_satisfy(&mut db, deps);
+    db
+}
+
 /// Enumerate all databases over `schema` whose relations contain at most
 /// `max_tuples` tuples with entries drawn from `0..domain`, invoking `f` on
 /// each; stops early when `f` returns `false`.
@@ -398,6 +542,65 @@ mod tests {
                 assert_eq!(t.len(), r.scheme().arity());
             }
         }
+    }
+
+    #[test]
+    fn repair_makes_planted_dependencies_hold() {
+        let mut rng = Rng::new(0xABCDEF);
+        for _ in 0..50 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 2,
+                    max_arity: 3,
+                },
+            );
+            let deps = random_mixed_set(&mut rng, &schema, 2, 2);
+            let db = random_satisfying_database(&mut rng, &schema, &deps, 6, 3);
+            for d in &deps {
+                assert!(db.satisfies(d).unwrap(), "repair left {d} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_keeps_satisfying_rows() {
+        // A→B violated by rows (1,2) and (1,3): canonicalization rewrites
+        // the larger tuple's B to the representative's (the least tuple).
+        let schema = DatabaseSchema::parse(&["R(A, B)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", &[&[1, 2], &[1, 3], &[4, 5]]).unwrap();
+        let fd: Dependency = "R: A -> B".parse().unwrap();
+        repair_to_satisfy(&mut db, std::slice::from_ref(&fd));
+        assert!(db.satisfies(&fd).unwrap());
+        let r = db.relation(&crate::schema::RelName::new("R")).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::ints(&[1, 2])));
+        assert!(r.contains(&Tuple::ints(&[4, 5])));
+    }
+
+    #[test]
+    fn ind_repair_reaches_a_fixpoint_across_relations() {
+        // T[C] ⊆ R[A] and R[A] ⊆ S[B]: deleting from R to fix the second
+        // IND re-breaks the first, so repair must iterate.
+        let schema = DatabaseSchema::parse(&["R(A)", "S(B)", "T(C)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", &[&[1], &[2]]).unwrap();
+        db.insert_ints("S", &[&[1]]).unwrap();
+        db.insert_ints("T", &[&[2]]).unwrap();
+        let deps: Vec<Dependency> = vec![
+            "T[C] <= R[A]".parse().unwrap(),
+            "R[A] <= S[B]".parse().unwrap(),
+        ];
+        repair_to_satisfy(&mut db, &deps);
+        for d in &deps {
+            assert!(db.satisfies(d).unwrap());
+        }
+        assert!(db
+            .relation(&crate::schema::RelName::new("T"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

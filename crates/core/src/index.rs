@@ -33,6 +33,7 @@
 //! The incremental validator (`depkit_solver::incremental`) composes these
 //! into per-IND left/right projection indexes and per-FD witness maps.
 
+use crate::database::Database;
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -209,6 +210,68 @@ impl<'a> IntoIterator for &'a RowSet {
     }
 }
 
+/// A [`Database`] compiled once into raw rows for whole-database scans: a
+/// shared [`ValueInterner`] plus each relation's tuples as `u32` rows, in
+/// schema order.
+///
+/// This is the read-only sibling of the incremental validator's mutable
+/// state. Profiling workloads — dependency discovery above all — intern
+/// every tuple once at the boundary and then compare dense ids instead of
+/// heap [`Value`]s. Nothing is ever released, so the ids stay dense
+/// (`0..self.interner().len()`) and stable for the lifetime of the
+/// compilation; callers may address per-value side tables by id. Rows of
+/// the relation at schema index `i` follow the same
+/// [`RelId::index`](crate::intern::RelId::index) addressing convention as
+/// the chase and the validator, and preserve the relation's deterministic
+/// tuple order.
+#[derive(Debug, Clone)]
+pub struct CompiledRows {
+    interner: ValueInterner,
+    rows: Vec<Vec<Vec<u32>>>,
+}
+
+impl CompiledRows {
+    /// Compile every tuple of `db`, relation by relation in schema order.
+    pub fn new(db: &Database) -> Self {
+        let mut interner = ValueInterner::new();
+        let rows = db
+            .relations()
+            .iter()
+            .map(|r| {
+                r.tuples()
+                    .map(|t| interner.intern_row(t.values()))
+                    .collect()
+            })
+            .collect();
+        CompiledRows { interner, rows }
+    }
+
+    /// The shared value table. Ids are dense: `0..interner().len()`.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
+    }
+
+    /// The raw rows of the relation at schema index `rel`.
+    pub fn rows(&self, rel: usize) -> &[Vec<u32>] {
+        &self.rows[rel]
+    }
+
+    /// Number of relations (= number of schema schemes).
+    pub fn relation_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of distinct values across the whole database.
+    pub fn distinct_values(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Total number of compiled rows.
+    pub fn total_rows(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
 /// A refcounted multiset of projection keys: `key → count of rows
 /// projecting to it`.
 ///
@@ -334,6 +397,26 @@ mod tests {
         assert_eq!(recycled, row[0]);
         assert_eq!(vi.len(), 3);
         assert_eq!(vi.resolve(recycled), &Value::str("fresh"));
+    }
+
+    #[test]
+    fn compiled_rows_share_one_interner() {
+        use crate::database::Database;
+        use crate::schema::DatabaseSchema;
+
+        let schema = DatabaseSchema::parse(&["R(A, B)", "S(B)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", &[&[1, 2], &[3, 2]]).unwrap();
+        db.insert_ints("S", &[&[2]]).unwrap();
+
+        let compiled = CompiledRows::new(&db);
+        assert_eq!(compiled.relation_count(), 2);
+        assert_eq!(compiled.total_rows(), 3);
+        // Values 1, 2, 3 — the shared 2 interned once.
+        assert_eq!(compiled.distinct_values(), 3);
+        let two = compiled.interner().lookup(&Value::Int(2)).unwrap();
+        assert!(compiled.rows(0).iter().all(|row| row[1] == two));
+        assert_eq!(compiled.rows(1), &[vec![two]]);
     }
 
     #[test]

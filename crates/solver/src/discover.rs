@@ -1,0 +1,779 @@
+//! Dependency discovery: profile a [`Database`] into the set of FDs and
+//! INDs it satisfies, then prune the result to a minimal cover through the
+//! compiled implication engines.
+//!
+//! The paper treats `Σ` as given; a deployment usually starts from the
+//! opposite end — a live database whose dependencies must be *mined*
+//! before anything can be validated or chased. This module closes that
+//! loop in three stages, all running over the raw-`u32` representation of
+//! [`depkit_core::index::CompiledRows`]:
+//!
+//! 1. **Unary INDs, SPIDER-style.** Every column's value set is reduced to
+//!    dense ids by the shared
+//!    [`ValueInterner`](depkit_core::index::ValueInterner); walking the id
+//!    space in
+//!    order replaces SPIDER's external sort-merge of per-column value
+//!    streams. Each value refines the candidate sets of the columns
+//!    containing it (`cand[c] &= columns_containing(v)`), so one pass
+//!    decides *all* `R[A] ⊆ S[B]` simultaneously.
+//! 2. **n-ary INDs by pairwise composition.** Valid `k`-ary INDs are
+//!    extended with valid unary INDs over the same relation pair
+//!    (candidates are canonical: left columns in ascending order, which
+//!    quotients away the IND2 permutations). Since IND satisfaction is
+//!    closed under projection, every satisfied canonical IND up to the
+//!    arity cap is generated; each candidate is validated against an
+//!    index of right-side projections ([`ProjectionIndex`]).
+//! 3. **FDs by partition refinement, TANE-style.** Per relation, a
+//!    level-wise walk of the attribute-set lattice carries *stripped
+//!    partitions* (equivalence classes of row ids, singletons dropped):
+//!    `X → A` holds iff every class of `π_X` agrees on `A`. Superkey
+//!    nodes and attributes determined by subsets prune the lattice, so
+//!    only *minimal* FDs are emitted.
+//!
+//! The raw mined set is then fed through the engines the rest of the
+//! crate compiles — [`FdEngine`] closures, the [`IndSolver`] walk search,
+//! and (optionally) the Section 4 [`Saturator`] — to drop every
+//! dependency implied by the others: [`minimize_cover`]. The result is
+//! the first end-to-end consumer of the paper's implication machinery on
+//! real data: discovery proposes, implication disposes.
+//!
+//! Exactness contract: within the configured caps
+//! ([`DiscoveryConfig::max_ind_arity`], [`DiscoveryConfig::max_fd_lhs`])
+//! the raw set contains **every** satisfied nontrivial IND (one canonical
+//! representative per IND2-permutation class) and every minimal satisfied
+//! FD; `tests/discovery_vs_satisfy.rs` checks both directions against
+//! [`depkit_core::satisfy`].
+
+use crate::fd::FdEngine;
+use crate::ind::IndSolver;
+use crate::interact::{SaturationLimits, Saturator};
+use depkit_core::database::Database;
+use depkit_core::dependency::{Dependency, Fd, Ind};
+use depkit_core::index::{CompiledRows, ProjectionIndex};
+use depkit_core::schema::DatabaseSchema;
+use std::collections::HashMap;
+
+/// Resource caps and rule toggles for [`discover_with_config`].
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Highest IND arity mined. Candidates are composed level by level, so
+    /// each extra level multiplies validation work; satisfied INDs of
+    /// higher arity are still *implied* by their projections being found,
+    /// just not materialized. Default `3`.
+    pub max_ind_arity: usize,
+    /// Largest FD left-hand side searched in the partition lattice.
+    /// Minimal FDs with wider left sides are not found. Default `3`.
+    pub max_fd_lhs: usize,
+    /// Whether cover minimization may use the Section 4 FD/IND interaction
+    /// rules (the [`Saturator`]) on top of the per-class engines. The
+    /// per-class engines alone are complete for FD-only and IND-only
+    /// implication; the saturator adds sound cross-class pruning.
+    /// Default `true`.
+    pub interaction_pruning: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            max_ind_arity: 3,
+            max_fd_lhs: 3,
+            interaction_pruning: true,
+        }
+    }
+}
+
+/// Instrumentation for one discovery run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Tuples profiled across all relations.
+    pub rows: usize,
+    /// Columns profiled (sum of scheme arities).
+    pub columns: usize,
+    /// Distinct values across the database (the interner's table size).
+    pub distinct_values: usize,
+    /// Composed n-ary IND candidates validated against the data
+    /// (levels ≥ 2; level 1 is decided wholesale by the SPIDER pass).
+    pub ind_candidates: usize,
+    /// `(X, A)` pairs checked against stripped partitions.
+    pub fd_candidates: usize,
+    /// Nontrivial FDs mined.
+    pub raw_fds: usize,
+    /// Nontrivial INDs mined (canonical representatives).
+    pub raw_inds: usize,
+    /// Raw dependencies pruned from the cover as implied by the rest.
+    pub pruned: usize,
+}
+
+/// The result of mining a database: the raw satisfied set and its minimal
+/// cover.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// Every nontrivial dependency mined within the caps, sorted and
+    /// deduplicated.
+    pub raw: Vec<Dependency>,
+    /// The minimal cover: a subset of `raw` that still implies all of it,
+    /// and from which removing any member leaves a set that no longer
+    /// does (see [`minimize_cover`]).
+    pub cover: Vec<Dependency>,
+    /// Instrumentation.
+    pub stats: DiscoveryStats,
+}
+
+/// Mine `db` with the default [`DiscoveryConfig`].
+///
+/// # Examples
+///
+/// The paper's Section 1 running example, rediscovered from data alone:
+///
+/// ```
+/// use depkit_core::{Database, DatabaseSchema, Dependency};
+/// use depkit_solver::discover::{discover, implied_by};
+///
+/// let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "MGR(NAME, DEPT)"]).unwrap();
+/// let mut db = Database::empty(schema);
+/// db.insert_str("EMP", &[&["hilbert", "math"], &["noether", "math"]]).unwrap();
+/// db.insert_str("MGR", &[&["hilbert", "math"]]).unwrap();
+///
+/// let found = discover(&db);
+/// // Managers are employees: mined as a binary IND.
+/// let ind: Dependency = "MGR[NAME, DEPT] <= EMP[NAME, DEPT]".parse().unwrap();
+/// assert!(found.raw.contains(&ind));
+/// // Every employee works in one department: implied by the cover.
+/// let fd: Dependency = "EMP: NAME -> DEPT".parse().unwrap();
+/// assert!(implied_by(&found.cover, &fd));
+/// ```
+pub fn discover(db: &Database) -> Discovery {
+    discover_with_config(db, &DiscoveryConfig::default())
+}
+
+/// Mine `db` under explicit caps: profile columns, discover INDs and FDs,
+/// and minimize the result through the implication engines.
+pub fn discover_with_config(db: &Database, config: &DiscoveryConfig) -> Discovery {
+    let schema = db.schema();
+    let data = CompiledRows::new(db);
+    let columns = column_table(schema);
+    let mut stats = DiscoveryStats {
+        rows: data.total_rows(),
+        columns: columns.len(),
+        distinct_values: data.distinct_values(),
+        ..DiscoveryStats::default()
+    };
+
+    let mut raw: Vec<Dependency> = Vec::new();
+    let unary = spider_unary(&data, &columns);
+    for ind in mine_inds(schema, &data, &columns, &unary, config, &mut stats) {
+        raw.push(ind.into());
+    }
+    stats.raw_inds = raw.len();
+    for fd in mine_fds(schema, &data, config, &mut stats) {
+        raw.push(fd.into());
+    }
+    stats.raw_fds = raw.len() - stats.raw_inds;
+    raw.sort();
+    raw.dedup();
+
+    let cover = minimize_cover(&raw, config);
+    stats.pruned = raw.len() - cover.len();
+    Discovery { raw, cover, stats }
+}
+
+/// Saturation caps for the pruning oracle. Cover minimization calls the
+/// oracle quadratically often, and mined sets from low-cardinality data can
+/// hold large accidental IND cliques whose full saturation materializes
+/// thousands of compositions — so the interaction stage runs under tight,
+/// *fixed* caps. Truncation keeps the saturator sound (it only derives
+/// less), and fixing the caps keeps the oracle deterministic, which is what
+/// makes "minimal cover" a well-defined property the tests can assert.
+const PRUNING_LIMITS: SaturationLimits = SaturationLimits {
+    max_rounds: 4,
+    max_inds: 64,
+    max_fds: 64,
+};
+
+/// Whether `sigma ⊨ target`, decided by the engines discovery prunes with:
+/// the [`FdEngine`] closure for FD targets, the [`IndSolver`] walk search
+/// for IND targets, then — when the per-class engines cannot settle it and
+/// `sigma` genuinely mixes FDs with INDs — the Section 4 [`Saturator`]
+/// under fixed resource caps. Complete within each single class, sound
+/// (but, per Theorem 7.1, necessarily incomplete) across them.
+pub fn implied_by(sigma: &[Dependency], target: &Dependency) -> bool {
+    implied_by_with(sigma, target, true)
+}
+
+fn implied_by_with(sigma: &[Dependency], target: &Dependency, interaction: bool) -> bool {
+    if target.is_trivial() {
+        return true;
+    }
+    let mut has_fd = false;
+    let mut has_ind = false;
+    for d in sigma {
+        match d {
+            Dependency::Fd(_) => has_fd = true,
+            Dependency::Ind(_) => has_ind = true,
+            _ => {}
+        }
+    }
+    match target {
+        Dependency::Fd(fd) => {
+            let fds: Vec<Fd> = sigma
+                .iter()
+                .filter_map(Dependency::as_fd)
+                .cloned()
+                .collect();
+            if FdEngine::new(fd.rel.clone(), &fds).implies(fd) {
+                return true;
+            }
+        }
+        Dependency::Ind(ind) => {
+            let inds: Vec<Ind> = sigma
+                .iter()
+                .filter_map(Dependency::as_ind)
+                .cloned()
+                .collect();
+            if IndSolver::new(&inds).implies(ind) {
+                return true;
+            }
+        }
+        _ => {}
+    }
+    // The Section 4 rules all need both classes on the premise side; for a
+    // single-class `sigma` the per-class engines above are already complete
+    // for FD-only / IND-only implication, so the saturator is skipped.
+    if !interaction || !has_fd || !has_ind {
+        return false;
+    }
+    let mut sat = Saturator::with_limits(sigma, PRUNING_LIMITS);
+    sat.saturate();
+    sat.implies(target)
+}
+
+/// Prune `raw` to a minimal cover: a subset that still implies every raw
+/// dependency, from which no member can be removed without losing some of
+/// the raw set.
+///
+/// Two greedy stages, both strictly shrinking (so termination is by
+/// construction, with no re-add loop that could oscillate):
+///
+/// 1. **Per-class elimination.** A member implied by the rest under the
+///    class-complete engines alone ([`FdEngine`] for FDs, [`IndSolver`]
+///    for INDs) is dropped. These oracles are monotone and transitive —
+///    Armstrong / IND1–3 complete closure operators — so a removal can
+///    never resurrect another member's redundancy and the surviving set
+///    still derives everything removed.
+/// 2. **Interaction elimination** (when
+///    [`DiscoveryConfig::interaction_pruning`] is on). The capped
+///    saturator is *not* a closure operator — truncation breaks
+///    monotonicity — so here a removal is accepted only after verifying
+///    the invariant directly: the remainder must still imply (per
+///    [`implied_by`]) every dependency of `raw`. Anything else reverts.
+///
+/// The invariant "cover implies all of `raw`" therefore holds after every
+/// accepted removal, and at the fixpoint removing any member breaks it —
+/// exactly the minimality the acceptance tests assert.
+pub fn minimize_cover(raw: &[Dependency], config: &DiscoveryConfig) -> Vec<Dependency> {
+    let mut cover: Vec<Dependency> = raw.iter().filter(|d| !d.is_trivial()).cloned().collect();
+    cover.sort();
+    cover.dedup();
+    let full = cover.clone();
+    // Stage 1: per-class engines only.
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cover.len() {
+            let mut rest = cover.clone();
+            rest.remove(i);
+            if implied_by_with(&rest, &cover[i], false) {
+                cover.remove(i);
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    if !config.interaction_pruning {
+        return cover;
+    }
+    // Stage 2: cross-class pruning, guarded by the raw-set invariant. The
+    // member-implied check goes first as a cheap gate; the full sweep runs
+    // only for actual removal candidates.
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cover.len() {
+            let mut rest = cover.clone();
+            rest.remove(i);
+            if implied_by_with(&rest, &cover[i], true)
+                && full.iter().all(|d| implied_by_with(&rest, d, true))
+            {
+                cover.remove(i);
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    cover
+}
+
+// ---------------------------------------------------------------------------
+// Column profiling
+// ---------------------------------------------------------------------------
+
+/// Global column table: `(scheme index, column index)` per column id, in
+/// schema order — the id space both IND miners share.
+fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
+    schema
+        .schemes()
+        .iter()
+        .enumerate()
+        .flat_map(|(r, s)| (0..s.arity()).map(move |c| (r, c)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Unary IND discovery (SPIDER over dense value ids)
+// ---------------------------------------------------------------------------
+
+/// For each column, the columns whose value sets contain it (including
+/// itself): `result[c]` lists every `d` with `values(c) ⊆ values(d)`.
+///
+/// One refinement pass over the dense value-id space: `occurs[v]` is the
+/// bit set of columns containing value `v`, and a column's candidate set is
+/// the intersection of `occurs[v]` over its values — empty columns keep
+/// every candidate, matching the vacuous-satisfaction semantics of
+/// [`depkit_core::satisfy::check_ind`].
+fn spider_unary(data: &CompiledRows, columns: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let ncols = columns.len();
+    let blocks = ncols.div_ceil(64);
+    let nvals = data.distinct_values();
+    // occurs[v * blocks ..][..blocks] = columns containing value v.
+    let mut occurs = vec![0u64; nvals * blocks];
+    for (c, &(rel, col)) in columns.iter().enumerate() {
+        for row in data.rows(rel) {
+            occurs[row[col] as usize * blocks + c / 64] |= 1 << (c % 64);
+        }
+    }
+    let mut cand: Vec<Vec<u64>> = vec![vec![!0u64; blocks]; ncols];
+    for v in 0..nvals {
+        let set = &occurs[v * blocks..(v + 1) * blocks];
+        for (b, &word) in set.iter().enumerate() {
+            let mut rest = word;
+            while rest != 0 {
+                let c = b * 64 + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                for (dst, &src) in cand[c].iter_mut().zip(set) {
+                    *dst &= src;
+                }
+            }
+        }
+    }
+    cand.iter()
+        .map(|bits| {
+            (0..ncols)
+                .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// n-ary IND discovery (composition + index-backed validation)
+// ---------------------------------------------------------------------------
+
+/// A canonical IND candidate over global column ids: left columns strictly
+/// ascending (quotienting the IND2 permutation class), both sides over one
+/// relation pair. Trivial candidates (`lhs == rhs` on one relation) are
+/// kept as composition bases but never emitted.
+#[derive(Debug, Clone)]
+struct IndCand {
+    lrel: usize,
+    rrel: usize,
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+}
+
+impl IndCand {
+    fn is_trivial(&self) -> bool {
+        self.lrel == self.rrel && self.lhs == self.rhs
+    }
+}
+
+/// Mine every satisfied canonical IND up to `config.max_ind_arity`.
+fn mine_inds(
+    schema: &DatabaseSchema,
+    data: &CompiledRows,
+    columns: &[(usize, usize)],
+    unary: &[Vec<usize>],
+    config: &DiscoveryConfig,
+    stats: &mut DiscoveryStats,
+) -> Vec<Ind> {
+    let mut out = Vec::new();
+    // Level 1, plus the per-relation-pair extension table.
+    let mut level: Vec<IndCand> = Vec::new();
+    let mut by_pair: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for (c, supersets) in unary.iter().enumerate() {
+        for &d in supersets {
+            let cand = IndCand {
+                lrel: columns[c].0,
+                rrel: columns[d].0,
+                lhs: vec![c],
+                rhs: vec![d],
+            };
+            if !cand.is_trivial() {
+                out.push(to_ind(schema, columns, &cand));
+            }
+            by_pair
+                .entry((cand.lrel, cand.rrel))
+                .or_default()
+                .push((c, d));
+            level.push(cand);
+        }
+    }
+    // Higher levels: extend with a unary IND over the same relation pair,
+    // validating each candidate against an index of right projections.
+    let mut rhs_cache: HashMap<(usize, Vec<usize>), ProjectionIndex> = HashMap::new();
+    for _arity in 2..=config.max_ind_arity {
+        let mut next = Vec::new();
+        for base in &level {
+            let Some(extensions) = by_pair.get(&(base.lrel, base.rrel)) else {
+                continue;
+            };
+            for &(a, b) in extensions {
+                // Canonical order keeps the left side ascending (and
+                // thereby distinct); the right side must stay distinct too.
+                if a <= *base.lhs.last().expect("bases are nonempty") || base.rhs.contains(&b) {
+                    continue;
+                }
+                let cand = IndCand {
+                    lrel: base.lrel,
+                    rrel: base.rrel,
+                    lhs: base.lhs.iter().copied().chain([a]).collect(),
+                    rhs: base.rhs.iter().copied().chain([b]).collect(),
+                };
+                let ok = if cand.is_trivial() {
+                    true
+                } else {
+                    stats.ind_candidates += 1;
+                    ind_holds(data, columns, &cand, &mut rhs_cache)
+                };
+                if ok {
+                    if !cand.is_trivial() {
+                        out.push(to_ind(schema, columns, &cand));
+                    }
+                    next.push(cand);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    out
+}
+
+/// Validate a candidate: every left projection must appear among the right
+/// projections, which are indexed once per `(relation, columns)` pair.
+fn ind_holds(
+    data: &CompiledRows,
+    columns: &[(usize, usize)],
+    cand: &IndCand,
+    rhs_cache: &mut HashMap<(usize, Vec<usize>), ProjectionIndex>,
+) -> bool {
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
+    let rrel = cand.rrel;
+    let index = rhs_cache.entry((rrel, rcols.clone())).or_insert_with(|| {
+        let mut idx = ProjectionIndex::new();
+        for row in data.rows(rrel) {
+            idx.add(rcols.iter().map(|&c| row[c]).collect());
+        }
+        idx
+    });
+    data.rows(cand.lrel).iter().all(|row| {
+        let key: Vec<u32> = lcols.iter().map(|&c| row[c]).collect();
+        index.count(&key) > 0
+    })
+}
+
+/// Resolve a candidate's global column ids back to a string-typed [`Ind`].
+fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -> Ind {
+    let lhs_scheme = &schema.schemes()[cand.lrel];
+    let rhs_scheme = &schema.schemes()[cand.rrel];
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
+    Ind::new(
+        lhs_scheme.name().clone(),
+        lhs_scheme.attrs().select(&lcols).expect("distinct columns"),
+        rhs_scheme.name().clone(),
+        rhs_scheme.attrs().select(&rcols).expect("distinct columns"),
+    )
+    .expect("equal arities by construction")
+}
+
+// ---------------------------------------------------------------------------
+// FD discovery (level-wise partition refinement)
+// ---------------------------------------------------------------------------
+
+/// A stripped partition: the equivalence classes of `π_X` over row indices,
+/// with singleton classes dropped (they can never witness a violation).
+type Partition = Vec<Vec<u32>>;
+
+/// Refine a stripped partition by one column's values.
+fn refine(partition: &Partition, rows: &[Vec<u32>], col: usize) -> Partition {
+    let mut out = Vec::new();
+    let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+    for class in partition {
+        for &r in class {
+            groups.entry(rows[r as usize][col]).or_default().push(r);
+        }
+        for (_, group) in groups.drain() {
+            if group.len() >= 2 {
+                out.push(group);
+            }
+        }
+    }
+    out
+}
+
+/// Whether every class of `π_X` agrees on `col` — i.e. `X → col` holds.
+fn determines(partition: &Partition, rows: &[Vec<u32>], col: usize) -> bool {
+    partition.iter().all(|class| {
+        let v = rows[class[0] as usize][col];
+        class.iter().all(|&r| rows[r as usize][col] == v)
+    })
+}
+
+/// Mine the minimal satisfied FDs of every relation.
+fn mine_fds(
+    schema: &DatabaseSchema,
+    data: &CompiledRows,
+    config: &DiscoveryConfig,
+    stats: &mut DiscoveryStats,
+) -> Vec<Fd> {
+    let mut out = Vec::new();
+    for (ri, scheme) in schema.schemes().iter().enumerate() {
+        let rows = data.rows(ri);
+        let arity = scheme.arity();
+        // Minimal FDs found so far, as (lhs columns sorted, rhs column).
+        let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
+        let determined = |found: &[(Vec<usize>, usize)], lhs: &[usize], c: usize| {
+            found
+                .iter()
+                .any(|(y, a)| *a == c && y.iter().all(|x| lhs.contains(x)))
+        };
+        // Level 0: the empty left side; its partition is one class of all
+        // rows (stripped, so empty when the relation has ≤ 1 row — every
+        // column is then vacuously constant).
+        let root: Partition = if rows.len() >= 2 {
+            vec![(0..rows.len() as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        let mut level: Vec<(Vec<usize>, Partition)> = vec![(Vec::new(), root)];
+        for size in 0..=config.max_fd_lhs {
+            let mut next: Vec<(Vec<usize>, Partition)> = Vec::new();
+            for (lhs, partition) in &level {
+                // Right-hand candidates: columns outside `X` not already
+                // determined by a found subset (those FDs would not be
+                // minimal).
+                let rhs: Vec<usize> = (0..arity)
+                    .filter(|c| !lhs.contains(c) && !determined(&found, lhs, *c))
+                    .collect();
+                if rhs.is_empty() {
+                    // Everything outside X is determined by subsets of X:
+                    // no superset of X can carry a minimal FD.
+                    continue;
+                }
+                for &c in &rhs {
+                    stats.fd_candidates += 1;
+                    if determines(partition, rows, c) {
+                        found.push((lhs.clone(), c));
+                        out.push(Fd::new(
+                            scheme.name().clone(),
+                            scheme.attrs().select(lhs).expect("distinct columns"),
+                            scheme.attrs().select(&[c]).expect("single column"),
+                        ));
+                    }
+                }
+                // Superkey prune: with no class of size ≥ 2 left, X
+                // determines everything, so no superset FD is minimal.
+                if partition.is_empty() || size == config.max_fd_lhs {
+                    continue;
+                }
+                let start = lhs.last().map_or(0, |&l| l + 1);
+                for c in start..arity {
+                    // A column determined by a subset of X can never sit in
+                    // a minimal left side extending X.
+                    if determined(&found, lhs, c) {
+                        continue;
+                    }
+                    let mut extended = lhs.clone();
+                    extended.push(c);
+                    next.push((extended, refine(partition, rows, c)));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            level = next;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::generate::{random_database, random_schema, Rng, SchemaConfig};
+
+    fn dep(src: &str) -> Dependency {
+        src.parse().expect("test dependency parses")
+    }
+
+    fn db(schemes: &[&str], rows: &[(&str, &[i64])]) -> Database {
+        let schema = DatabaseSchema::parse(schemes).unwrap();
+        let mut db = Database::empty(schema);
+        for (rel, row) in rows {
+            db.insert_ints(rel, &[row]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn spider_finds_all_unary_inds() {
+        // R.A = {1,2} ⊆ S.B = {1,2,3}; nothing else is included.
+        let db = db(
+            &["R(A)", "S(B)"],
+            &[
+                ("R", &[1]),
+                ("R", &[2]),
+                ("S", &[1]),
+                ("S", &[2]),
+                ("S", &[3]),
+            ],
+        );
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R[A] <= S[B]")));
+        assert!(!found.raw.contains(&dep("S[B] <= R[A]")));
+    }
+
+    #[test]
+    fn empty_columns_are_included_everywhere() {
+        // R is empty, so R[A] ⊆ S[B] holds vacuously (matching
+        // `core::satisfy`), but S[B] ⊆ R[A] does not.
+        let db = db(&["R(A)", "S(B)"], &[("S", &[7])]);
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R[A] <= S[B]")));
+        assert!(!found.raw.contains(&dep("S[B] <= R[A]")));
+    }
+
+    #[test]
+    fn nary_inds_compose_from_unary_ones() {
+        // The pairs of R are a subset of the pairs of S, including a base
+        // whose first position is a *trivial* unary IND within R = S case.
+        let db = db(
+            &["R(A, B)", "S(A, B)"],
+            &[("R", &[1, 10]), ("S", &[1, 10]), ("S", &[2, 20])],
+        );
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R[A, B] <= S[A, B]")));
+        // The binary IND subsumes its unary projections in the cover.
+        assert!(implied_by(&found.cover, &dep("R[A] <= S[A]")));
+        assert!(!found.raw.contains(&dep("S[A, B] <= R[A, B]")));
+    }
+
+    #[test]
+    fn trivial_bases_compose_within_one_relation() {
+        // R[A] ⊆ R[A] is trivial, but extending it yields the nontrivial
+        // R[A, B] ⊆ R[A, C] — the composition must keep trivial bases.
+        let db = db(
+            &["R(A, B, C)"],
+            &[("R", &[1, 5, 5]), ("R", &[2, 6, 6]), ("R", &[3, 7, 7])],
+        );
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R[A, B] <= R[A, C]")));
+    }
+
+    #[test]
+    fn fd_mining_finds_minimal_fds_only() {
+        // A is a key; B → C also holds; C → B does not.
+        let db = db(
+            &["R(A, B, C)"],
+            &[
+                ("R", &[1, 10, 100]),
+                ("R", &[2, 10, 100]),
+                ("R", &[3, 20, 100]),
+                ("R", &[4, 30, 300]),
+            ],
+        );
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R: A -> B")));
+        assert!(found.raw.contains(&dep("R: B -> C")));
+        assert!(!found.raw.contains(&dep("R: C -> B")));
+        // A → C holds but is pruned from the cover (A → B, B → C imply it).
+        assert!(found.raw.contains(&dep("R: A -> C")));
+        assert!(!found.cover.contains(&dep("R: A -> C")));
+        // Non-minimal left sides are never materialized.
+        assert!(!found.raw.contains(&dep("R: A, B -> C")));
+    }
+
+    #[test]
+    fn constant_columns_yield_empty_lhs_fds() {
+        let db = db(&["R(A, B)"], &[("R", &[1, 9]), ("R", &[2, 9])]);
+        let found = discover(&db);
+        assert!(found.raw.contains(&dep("R: -> B")));
+        // B constant means A → B is not minimal.
+        assert!(!found.raw.contains(&dep("R: A -> B")));
+    }
+
+    #[test]
+    fn cover_is_minimal_and_complete_on_random_databases() {
+        let mut rng = Rng::new(0x5EED);
+        for _ in 0..10 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 2,
+                    max_arity: 3,
+                },
+            );
+            let db = random_database(&mut rng, &schema, 6, 3);
+            let found = discover(&db);
+            for d in &found.cover {
+                assert!(found.raw.contains(d), "cover must be a subset of raw");
+            }
+            for d in &found.raw {
+                assert!(implied_by(&found.cover, d), "cover must imply raw: {d}");
+            }
+            for i in 0..found.cover.len() {
+                let mut rest = found.cover.clone();
+                rest.remove(i);
+                let still_complete = found.raw.iter().all(|d| implied_by(&rest, d));
+                assert!(
+                    !still_complete,
+                    "cover member {} is redundant",
+                    found.cover[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_profile() {
+        let db = db(&["R(A, B)", "S(C)"], &[("R", &[1, 2]), ("S", &[1])]);
+        let found = discover(&db);
+        assert_eq!(found.stats.rows, 2);
+        assert_eq!(found.stats.columns, 3);
+        assert_eq!(found.stats.distinct_values, 2);
+        assert_eq!(found.stats.raw_fds + found.stats.raw_inds, found.raw.len());
+        assert_eq!(found.stats.pruned, found.raw.len() - found.cover.len());
+    }
+}

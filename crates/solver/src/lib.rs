@@ -35,6 +35,13 @@
 //!   proportional to the delta instead of the database, with
 //!   [`full_violations`] as the
 //!   full-revalidation reference path.
+//! * [`discover`][mod@discover] — the dependency *discovery* engine, the
+//!   inverse workload: profile a database into the FDs and INDs it
+//!   satisfies (SPIDER-style unary IND mining over interned value ids,
+//!   composed n-ary IND validation, TANE-style partition-refinement FD
+//!   search) and prune the mined set to a minimal cover through the
+//!   implication engines above — discovery proposes, implication
+//!   disposes.
 //!
 //! Two design-oriented extensions round out the toolbox the paper's
 //! introduction motivates:
@@ -48,6 +55,7 @@
 
 pub mod armstrong;
 pub mod design;
+pub mod discover;
 pub mod fd;
 pub mod finite;
 pub mod incremental;
@@ -56,6 +64,7 @@ pub mod interact;
 pub mod reference;
 
 pub use armstrong::armstrong_relation;
+pub use discover::{discover, Discovery, DiscoveryConfig, DiscoveryStats};
 pub use fd::FdEngine;
 pub use finite::FiniteEngine;
 pub use incremental::{full_violations, Validator, ViolationKey};
