@@ -15,7 +15,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use depkit_bench::referential_workload;
-use depkit_solver::discover::{discover_with_config, minimize_cover, DiscoveryConfig};
+use depkit_solver::discover::{
+    discover_reference, discover_with_config, minimize_cover, DiscoveryConfig,
+};
 use std::hint::black_box;
 
 const DEPTS: usize = 64;
@@ -24,6 +26,8 @@ fn bench_dependency_discovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("dependency_discovery");
     for &n in &[1_000usize, 4_000, 16_000, 64_000] {
         let (_schema, _sigma, db) = referential_workload(n, DEPTS);
+        // Throughput in rows/sec: results read as how fast the profiler
+        // chews through tuples.
         group.throughput(Throughput::Elements(db.total_tuples() as u64));
         group.bench_with_input(BenchmarkId::new("discover", n), &n, |b, _| {
             b.iter(|| {
@@ -35,9 +39,26 @@ fn bench_dependency_discovery(c: &mut Criterion) {
         });
     }
 
-    // Cover minimization alone: its cost tracks |Σ|, not the row count.
+    // The row-at-a-time reference engine on the acceptance point: the
+    // columnar-vs-rows speedup the perf trajectory tracks.
     let (_schema, _sigma, db) = referential_workload(64_000, DEPTS);
+    group.throughput(Throughput::Elements(db.total_tuples() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("discover_reference", 64_000),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                black_box(discover_reference(
+                    black_box(&db),
+                    &DiscoveryConfig::default(),
+                ))
+            })
+        },
+    );
+
+    // Cover minimization alone: its cost tracks |Σ|, not the row count.
     let found = discover_with_config(&db, &DiscoveryConfig::default());
+    group.throughput(Throughput::Elements(found.raw.len() as u64));
     group.bench_with_input(
         BenchmarkId::new("minimize_cover", found.raw.len()),
         &found.raw,

@@ -15,6 +15,7 @@
 //! Because the database is finite, agreement of the two procedures is
 //! exactly the paper's Theorem 3.1 equivalence `⊨ = ⊨_fin = ⊢` for INDs.
 
+use depkit_core::column::RelationColumns;
 use depkit_core::database::Database;
 use depkit_core::dependency::Ind;
 use depkit_core::error::CoreError;
@@ -100,10 +101,19 @@ pub fn ind_chase(
         });
     }
 
-    // Per-relation tuple sets over raw u32 rows (the shared serving-layer
-    // representation from `depkit_core::index`), plus the worklist.
+    // Per-relation state: a `RowSet` of raw u32 rows for O(1) dedup (the
+    // shared serving-layer representation from `depkit_core::index`), a
+    // struct-of-arrays arena accumulating every *accepted* row in
+    // insertion order (the columnar storage the materialization below
+    // consumes), and the worklist.
     let mut rows: Vec<RowSet> = vec![RowSet::new(); n_rels];
+    let mut arenas: Vec<RelationColumns> = schema
+        .schemes()
+        .iter()
+        .map(|s| RelationColumns::new(s.arity()))
+        .collect();
     rows[start_rel.index()].insert(seed.clone());
+    arenas[start_rel.index()].push_row(&seed);
     let mut total_tuples = 1usize;
     let mut tuples_added = 0usize;
     let mut queue: VecDeque<(RelId, Vec<u32>)> = VecDeque::from([(start_rel, seed)]);
@@ -115,6 +125,7 @@ pub fn ind_chase(
                 t[rc] = u[lc];
             }
             if rows[map.rhs_rel.index()].insert(t.clone()) {
+                arenas[map.rhs_rel.index()].push_row(&t);
                 tuples_added += 1;
                 total_tuples += 1;
                 if total_tuples > max_tuples {
@@ -127,25 +138,34 @@ pub fn ind_chase(
         }
     }
 
-    // σ holds iff r_b contains a tuple p' with p'[B_i] = i for all i.
+    // σ holds iff r_b contains a tuple p' with p'[B_i] = i for all i —
+    // checked as one scan down the goal relation's B columns.
     let b_cols = schema
         .require(&target.rhs_rel)?
         .columns(&target.rhs_attrs)?;
-    let implied = rows[rel_id(&target.rhs_rel).index()].iter().any(|t| {
+    let goal = &arenas[rel_id(&target.rhs_rel).index()];
+    let implied = (0..goal.row_count()).any(|r| {
         b_cols
             .iter()
             .enumerate()
-            .all(|(i, &c)| t[c] as usize == i + 1)
+            .all(|(i, &c)| goal.column(c)[r] as usize == i + 1)
     });
     debug_assert!(m == b_cols.len());
 
-    // Materialize the value-typed database once, at the boundary.
+    // Materialize the value-typed database once, at the boundary: every
+    // chase entry lies in {0, ..., m}, so the Value table is built once
+    // and each arena row is gathered straight from its columns — no
+    // per-row name resolution, no intermediate row vectors.
+    let int_values: Vec<Value> = (0..=m as u32).map(|v| Value::Int(v as i64)).collect();
     let mut db = Database::empty(schema.clone());
-    for (r, set) in rows.iter().enumerate() {
+    for (r, arena) in arenas.iter().enumerate() {
         let name = schema.schemes()[r].name().clone();
-        for row in set {
-            let vals: Vec<Value> = row.iter().map(|&v| Value::Int(v as i64)).collect();
-            db.insert(&name, Tuple::new(vals))?;
+        let relation = db.relation_mut(&name)?;
+        for row in 0..arena.row_count() {
+            let vals: Vec<Value> = (0..arena.arity())
+                .map(|c| int_values[arena.column(c)[row] as usize].clone())
+                .collect();
+            relation.insert(Tuple::new(vals))?;
         }
     }
 

@@ -7,8 +7,11 @@
 //! depkit design <spec.dep> <RELATION>      BCNF check, 3NF synthesis, decomposition
 //! depkit validate <spec.dep> <deltas.dep>  stream mutation batches through the
 //!                                          incremental validator
-//! depkit discover <spec.dep>               mine the FDs/INDs the inline data
+//! depkit discover <spec.dep> [--threads N] mine the FDs/INDs the inline data
 //!                                          satisfies, minimized to a cover
+//!                                          (N worker threads; 0 or omitted =
+//!                                          all cores — the result is
+//!                                          identical either way)
 //! ```
 //!
 //! Spec files are plain text (see `spec.rs`): `schema R(A, B)` /
@@ -51,12 +54,19 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path, rel] if cmd == "keys" => keys(path, rel),
         [cmd, path, rel] if cmd == "design" => design(path, rel),
         [cmd, path, deltas] if cmd == "validate" => validate(path, deltas),
-        [cmd, path] if cmd == "discover" => discover(path),
+        [cmd, path] if cmd == "discover" => discover(path, 0),
+        [cmd, path, flag, n] if cmd == "discover" && flag == "--threads" => {
+            let threads: usize = n
+                .parse()
+                .map_err(|_| format!("--threads expects a number, got `{n}`"))?;
+            discover(path, threads)
+        }
         _ => {
             eprintln!(
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
-                 depkit validate <spec.dep> <deltas.dep>\n       depkit discover <spec.dep>"
+                 depkit validate <spec.dep> <deltas.dep>\n       \
+                 depkit discover <spec.dep> [--threads N]"
             );
             Ok(ExitCode::from(2))
         }
@@ -127,9 +137,13 @@ fn validate(path: &str, deltas_path: &str) -> Result<ExitCode, Box<dyn std::erro
     })
 }
 
-fn discover(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+fn discover(path: &str, threads: usize) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let spec = load(path)?;
-    let found = depkit_solver::discover::discover(&spec.database);
+    let config = depkit_solver::discover::DiscoveryConfig {
+        threads,
+        ..Default::default()
+    };
+    let found = depkit_solver::discover::discover_with_config(&spec.database, &config);
     let s = &found.stats;
     println!(
         "profiled {} rows, {} columns, {} distinct values",
@@ -355,6 +369,32 @@ commit
             run(&["discover".into(), path.clone()]).unwrap(),
             ExitCode::SUCCESS
         );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn discover_accepts_a_thread_count() {
+        let path = write_temp("disc-threads", HR);
+        for n in ["1", "2", "0"] {
+            assert_eq!(
+                run(&[
+                    "discover".into(),
+                    path.clone(),
+                    "--threads".into(),
+                    n.into()
+                ])
+                .unwrap(),
+                ExitCode::SUCCESS
+            );
+        }
+        // A non-numeric thread count is a usage error (exit 2 via main).
+        assert!(run(&[
+            "discover".into(),
+            path.clone(),
+            "--threads".into(),
+            "lots".into()
+        ])
+        .is_err());
         std::fs::remove_file(path).ok();
     }
 

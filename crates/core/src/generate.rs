@@ -316,18 +316,26 @@ fn repair_fd(db: &mut Database, fd: &Fd, mode: RepairMode) -> bool {
     // BTreeSet iterates in sorted order, so first wins).
     let tuples: Vec<Tuple> = relation.tuples().cloned().collect();
     let mut rep: std::collections::HashMap<Vec<Value>, &Tuple> = std::collections::HashMap::new();
+    let mut xbuf: Vec<Value> = Vec::with_capacity(x.len());
     for t in &tuples {
-        rep.entry(t.project(&x)).or_insert(t);
+        xbuf.clear();
+        xbuf.extend(t.project_ref(&x).cloned());
+        if !rep.contains_key(xbuf.as_slice()) {
+            rep.insert(xbuf.clone(), t);
+        }
     }
     let mut changed = false;
     for t in &tuples {
-        let wanted = rep[&t.project(&x)].project(&y);
-        if t.project(&y) == wanted {
+        xbuf.clear();
+        xbuf.extend(t.project_ref(&x).cloned());
+        let rep_t = rep[xbuf.as_slice()];
+        if t.project_ref(&y).eq(rep_t.project_ref(&y)) {
             continue;
         }
         changed = true;
         db.remove(&fd.rel, t).expect("relation exists");
         if mode == RepairMode::Rewrite {
+            let wanted = rep_t.project(&y);
             let mut fixed = t.clone();
             for (i, &col) in y.iter().enumerate() {
                 fixed = fixed.with(col, wanted[i].clone());
@@ -353,9 +361,14 @@ fn delete_ind_violators(db: &mut Database, ind: &Ind) -> bool {
     let Ok(lcols) = lhs.scheme().columns(&ind.lhs_attrs) else {
         return false;
     };
+    let mut buf: Vec<Value> = Vec::with_capacity(lcols.len());
     let victims: Vec<Tuple> = lhs
         .tuples()
-        .filter(|t| !present.contains(&t.project(&lcols)))
+        .filter(|t| {
+            buf.clear();
+            buf.extend(t.project_ref(&lcols).cloned());
+            !present.contains(buf.as_slice())
+        })
         .cloned()
         .collect();
     for t in &victims {

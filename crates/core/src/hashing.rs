@@ -1,0 +1,138 @@
+//! A fast, deterministic hasher for the compiled hot paths.
+//!
+//! The serving and discovery layers hash small integer keys (dense `u32`
+//! ids, short projection rows) millions of times per scan. The standard
+//! library's default SipHash is DoS-resistant but costs an order of
+//! magnitude more per small key than the workloads here can afford, and its
+//! per-process random seed makes map iteration order vary run to run. This
+//! module provides an FxHash-style multiply-rotate hasher (the folklore
+//! design used by rustc's internal tables): a few cycles per word,
+//! **deterministic across runs** — which is exactly what the differential
+//! tests and the `threads=1` vs `threads=N` reproducibility contract want —
+//! and entirely self-contained (the workspace vendors no external hashing
+//! crate).
+//!
+//! The keys hashed through it are trusted internal data (interned ids,
+//! projection rows), never attacker-controlled input, so the loss of DoS
+//! resistance is immaterial.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash folklore design (the golden
+/// ratio scaled to 64 bits, forced odd).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// An FxHash-style streaming hasher: each word is folded in with a
+/// rotate-xor-multiply step. Fast on short keys, deterministic, not
+/// collision-resistant against adversaries (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so every map built
+/// from it hashes identically — across maps *and* across runs).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m1: FastMap<Vec<u32>, u32> = FastMap::default();
+        let mut m2: FastMap<Vec<u32>, u32> = FastMap::default();
+        for i in 0..100u32 {
+            m1.insert(vec![i, i + 1], i);
+            m2.insert(vec![i, i + 1], i);
+        }
+        let k1: Vec<_> = m1.keys().cloned().collect();
+        let k2: Vec<_> = m2.keys().cloned().collect();
+        assert_eq!(k1, k2, "same inserts must give the same iteration order");
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut s: FastSet<u64> = FastSet::default();
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 10_000);
+        let mut h1 = FxHasher::default();
+        h1.write(b"abc");
+        let mut h2 = FxHasher::default();
+        h2.write(b"abd");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn tail_bytes_affect_the_hash() {
+        // Keys differing only past the last full word must hash apart.
+        let mut a = FxHasher::default();
+        a.write(b"12345678x");
+        let mut b = FxHasher::default();
+        b.write(b"12345678y");
+        assert_ne!(a.finish(), b.finish());
+        // And a shorter prefix differs from its zero-padded extension.
+        let mut c = FxHasher::default();
+        c.write(b"1234");
+        let mut d = FxHasher::default();
+        d.write(b"1234\0\0\0\0");
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -34,9 +34,9 @@
 //! into per-IND left/right projection indexes and per-FD witness maps.
 
 use crate::database::Database;
+use crate::hashing::{FastMap, FastSet};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// A bidirectional [`Value`] ↔ `u32` table with per-id reference counts,
 /// for compiling tuples into raw rows.
@@ -55,7 +55,13 @@ use std::collections::HashMap;
 /// may hold a placeholder or a recycled, unrelated value.
 #[derive(Debug, Clone, Default)]
 pub struct ValueInterner {
-    ids: HashMap<Value, u32>,
+    /// Fast path for [`Value::Int`] — the dominant case in compiled
+    /// workloads. A bare `i64` key hashes one word and packs 16-byte
+    /// entries, so bulk interning probes a table half the size of the
+    /// general map's.
+    int_ids: FastMap<i64, u32>,
+    /// All other value kinds.
+    ids: FastMap<Value, u32>,
     values: Vec<Value>,
     /// `refs[id]` = number of retained row references to `values[id]`.
     refs: Vec<u32>,
@@ -80,33 +86,64 @@ impl ValueInterner {
         self.len() == 0
     }
 
+    /// Pre-size the table for `additional` more distinct values. Bulk
+    /// compilers ([`CompiledRows`], the columnar
+    /// [`ColumnStore`](crate::column::ColumnStore)) reserve the cell count
+    /// up front so interning never pays an incremental rehash.
+    pub fn reserve(&mut self, additional: usize) {
+        self.int_ids.reserve(additional);
+        self.values.reserve(additional);
+        self.refs.reserve(additional);
+    }
+
+    /// Allocate (or recycle) a slot for a fresh value.
+    fn fresh_slot(
+        values: &mut Vec<Value>,
+        refs: &mut Vec<u32>,
+        free: &mut Vec<u32>,
+        v: &Value,
+    ) -> u32 {
+        match free.pop() {
+            Some(id) => {
+                values[id as usize] = v.clone();
+                id
+            }
+            None => {
+                let id = u32::try_from(values.len()).expect("fewer than 2^32 live values");
+                values.push(v.clone());
+                refs.push(0);
+                id
+            }
+        }
+    }
+
     /// Intern a value, returning its (possibly pre-existing) id. Fresh
     /// values reuse a recycled slot when one is available. The returned id
     /// starts with no retained references; pin it with
     /// [`ValueInterner::retain_row`] once the referencing row is live.
     pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Value::Int(i) = v {
+            // One probe for hit and miss alike (the key is `Copy`).
+            let (values, refs, free) = (&mut self.values, &mut self.refs, &mut self.free);
+            return *self
+                .int_ids
+                .entry(*i)
+                .or_insert_with(|| Self::fresh_slot(values, refs, free, v));
+        }
         if let Some(&id) = self.ids.get(v) {
             return id;
         }
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.values[id as usize] = v.clone();
-                id
-            }
-            None => {
-                let id = u32::try_from(self.values.len()).expect("fewer than 2^32 live values");
-                self.values.push(v.clone());
-                self.refs.push(0);
-                id
-            }
-        };
+        let id = Self::fresh_slot(&mut self.values, &mut self.refs, &mut self.free, v);
         self.ids.insert(v.clone(), id);
         id
     }
 
     /// Id of an already-interned value, without allocating.
     pub fn lookup(&self, v: &Value) -> Option<u32> {
-        self.ids.get(v).copied()
+        match v {
+            Value::Int(i) => self.int_ids.get(i).copied(),
+            _ => self.ids.get(v).copied(),
+        }
     }
 
     /// The value behind an id. Panics on ids from another interner; stale
@@ -147,7 +184,14 @@ impl ValueInterner {
             *r -= 1;
             if *r == 0 {
                 let v = std::mem::replace(&mut self.values[id as usize], Value::Null(id as u64));
-                self.ids.remove(&v);
+                match v {
+                    Value::Int(i) => {
+                        self.int_ids.remove(&i);
+                    }
+                    other => {
+                        self.ids.remove(&other);
+                    }
+                }
                 self.free.push(id);
             }
         }
@@ -162,7 +206,7 @@ impl ValueInterner {
 /// no-op mutations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RowSet {
-    rows: std::collections::HashSet<Vec<u32>>,
+    rows: FastSet<Vec<u32>>,
 }
 
 impl RowSet {
@@ -215,9 +259,11 @@ impl<'a> IntoIterator for &'a RowSet {
 /// schema order.
 ///
 /// This is the read-only sibling of the incremental validator's mutable
-/// state. Profiling workloads — dependency discovery above all — intern
-/// every tuple once at the boundary and then compare dense ids instead of
-/// heap [`Value`]s. Nothing is ever released, so the ids stay dense
+/// state, kept as the row-major **reference representation**: the hot
+/// scans now run over the struct-of-arrays
+/// [`ColumnStore`](crate::column::ColumnStore) (same interner, same
+/// row-major id assignment), and the differential tests compare the two.
+/// Nothing is ever released, so the ids stay dense
 /// (`0..self.interner().len()`) and stable for the lifetime of the
 /// compilation; callers may address per-value side tables by id. Rows of
 /// the relation at schema index `i` follow the same
@@ -234,6 +280,12 @@ impl CompiledRows {
     /// Compile every tuple of `db`, relation by relation in schema order.
     pub fn new(db: &Database) -> Self {
         let mut interner = ValueInterner::new();
+        interner.reserve(
+            db.relations()
+                .iter()
+                .map(|r| r.len() * r.scheme().arity())
+                .sum(),
+        );
         let rows = db
             .relations()
             .iter()
@@ -283,7 +335,7 @@ impl CompiledRows {
 /// are evicted eagerly, keeping the map proportional to the *live* rows.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProjectionIndex {
-    counts: HashMap<Vec<u32>, u32>,
+    counts: FastMap<Vec<u32>, u32>,
 }
 
 impl ProjectionIndex {
@@ -302,6 +354,23 @@ impl ProjectionIndex {
             }
             Entry::Vacant(e) => {
                 e.insert(1);
+                1
+            }
+        }
+    }
+
+    /// Borrow-keyed [`ProjectionIndex::add`]: the key is cloned into the
+    /// table only on its `0 → 1` transition, so bulk builders that gather
+    /// keys into a reused buffer allocate once per *distinct* key instead
+    /// of once per row.
+    pub fn add_ref(&mut self, key: &[u32]) -> u32 {
+        match self.counts.get_mut(key) {
+            Some(c) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                self.counts.insert(key.to_vec(), 1);
                 1
             }
         }

@@ -41,6 +41,17 @@
 //! [`RowSet`], [`ProjectionIndex`]) that `depkit_solver::incremental`
 //! composes into the delta-time constraint validator.
 //!
+//! ## Columnar storage and parallel scans
+//!
+//! The [`mod@column`] module compiles a whole database into struct-of-arrays
+//! form — one dense `u32` id column per attribute ([`ColumnStore`]), with
+//! sort-based grouping, sorted-distinct column views, and the radix-style
+//! stripped-partition [`Refiner`] — so the hot whole-database scans
+//! (dependency discovery above all) run over contiguous id runs instead of
+//! per-row heap vectors. The [`pool`] module provides the scoped-thread
+//! indexed parallel map those scans fan out on, and [`hashing`] the
+//! deterministic fast hasher the id-keyed tables use.
+//!
 //! ## Infinite relations
 //!
 //! Theorem 4.4 of the paper separates finite from unrestricted implication by
@@ -65,15 +76,18 @@
 //! ```
 
 pub mod attr;
+pub mod column;
 pub mod constraint;
 pub mod database;
 pub mod delta;
 pub mod dependency;
 pub mod error;
 pub mod generate;
+pub mod hashing;
 pub mod index;
 pub mod intern;
 pub mod parser;
+pub mod pool;
 pub mod relation;
 pub mod satisfy;
 pub mod schema;
@@ -81,6 +95,7 @@ pub mod symbolic;
 pub mod value;
 
 pub use attr::{Attr, AttrSeq};
+pub use column::{ColumnCursor, ColumnStore, KeySet, Refiner, RelationColumns};
 pub use constraint::ConstraintSet;
 pub use database::Database;
 pub use delta::{Delta, DeltaOutcome};

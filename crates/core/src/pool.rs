@@ -1,0 +1,160 @@
+//! A minimal scoped-thread worker pool for embarrassingly parallel scans.
+//!
+//! The discovery engine's hot stages — per-column SPIDER refinement,
+//! per-candidate IND validation, per-node FD lattice checks — are
+//! independent tasks over a known index range. The workspace vendors no
+//! `rayon`, so this module provides the one primitive those stages need on
+//! plain `std::thread::scope`: an **indexed parallel map** whose output is
+//! always in input order, making `threads = 1` and `threads = N` produce
+//! byte-identical results.
+//!
+//! Work is distributed dynamically (an atomic cursor over the index range),
+//! so uneven task costs — one giant partition class next to a thousand tiny
+//! ones — do not idle workers. Each worker carries a caller-built scratch
+//! value ([`map_indexed_with`]) so per-task allocations (partition
+//! refinement buffers, projection key buffers) are paid once per worker,
+//! not once per task.
+//!
+//! Threads are spawned per call. That is deliberate: the callers batch
+//! thousands of tasks per invocation (one call per lattice level, not one
+//! per node), so spawn cost is amortized to noise, and scoped threads keep
+//! every borrow checked — no `'static` bounds, no channels, no shutdown
+//! protocol.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunk of indices claimed per cursor fetch. Small enough to balance
+/// skewed workloads, big enough that the atomic traffic is negligible.
+const CHUNK: usize = 16;
+
+/// Number of worker threads to use when the caller asks for "all of them":
+/// the machine's available parallelism, `1` when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` with up to `threads` workers, collecting results in
+/// index order. `threads <= 1` (or a trivially small `n`) runs inline with
+/// no thread machinery at all.
+///
+/// Output is deterministic regardless of `threads`: slot `i` always holds
+/// `f(i)`.
+pub fn map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indexed_with(threads, n, || (), |(), i| f(i))
+}
+
+/// [`map_indexed`] with a per-worker scratch value: each worker calls
+/// `init` once and threads the scratch through every task it claims.
+///
+/// # Examples
+///
+/// ```
+/// use depkit_core::pool::map_indexed_with;
+///
+/// // Sum each row of a matrix, reusing one accumulator buffer per worker.
+/// let rows = vec![vec![1u64, 2], vec![3, 4], vec![5, 6]];
+/// let sums = map_indexed_with(4, rows.len(), Vec::new, |scratch: &mut Vec<u64>, i| {
+///     scratch.clear();
+///     scratch.extend(&rows[i]);
+///     scratch.iter().sum::<u64>()
+/// });
+/// assert_eq!(sums, vec![3, 7, 11]);
+/// ```
+pub fn map_indexed_with<S, T, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = threads.min(n.div_ceil(CHUNK)).max(1);
+    if workers == 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + CHUNK).min(n) {
+                            local.push((i, f(&mut scratch, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in index order: every index appears exactly once.
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in &mut parts {
+        for (i, v) in part.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_in_index_order_for_any_thread_count() {
+        let n = 1000;
+        let expected: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(map_indexed(threads, n, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_ranges() {
+        assert_eq!(map_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // The scratch starts fresh per worker and persists across tasks:
+        // strictly increasing counts within each worker's claimed indices.
+        let counts = map_indexed_with(
+            2,
+            100,
+            || 0usize,
+            |c, _i| {
+                *c += 1;
+                *c
+            },
+        );
+        assert_eq!(counts.len(), 100);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -52,6 +52,26 @@ impl Tuple {
         columns.iter().map(|&c| self.0[c].clone()).collect()
     }
 
+    /// Borrowing [`Tuple::project`]: the same projection as an iterator of
+    /// `&Value`, cloning nothing. Use this whenever the projection is only
+    /// compared or folded — materialize with [`Tuple::project`] (or
+    /// `cloned().collect()`) only when an owned key must outlive the
+    /// tuple.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depkit_core::relation::Tuple;
+    ///
+    /// let t = Tuple::ints(&[10, 20, 30]);
+    /// // Allocation-free projection comparison:
+    /// assert!(t.project_ref(&[2, 0]).eq(Tuple::ints(&[30, 10]).values().iter()));
+    /// assert_eq!(t.project_ref(&[1]).count(), 1);
+    /// ```
+    pub fn project_ref<'a>(&'a self, columns: &'a [usize]) -> impl Iterator<Item = &'a Value> {
+        columns.iter().map(|&c| &self.0[c])
+    }
+
     /// Entry at a single column.
     pub fn at(&self, column: usize) -> &Value {
         &self.0[column]

@@ -97,10 +97,11 @@ pub fn check_fd(r: &Relation, fd: &Fd) -> Result<Option<Violation>, CoreError> {
     let mut seen: HashMap<Vec<Value>, (&Tuple, Vec<Value>)> = HashMap::with_capacity(r.len());
     for t in r.tuples() {
         let key = t.project(&lhs_cols);
-        let val = t.project(&rhs_cols);
         match seen.get(&key) {
             Some((rep, rep_val)) => {
-                if *rep_val != val {
+                // Borrow-compare the RHS projection: nothing is
+                // materialized on the (dominant) agreeing path.
+                if !t.project_ref(&rhs_cols).eq(rep_val.iter()) {
                     return Ok(Some(Violation::Fd {
                         fd: fd.clone(),
                         t1: (*rep).clone(),
@@ -109,6 +110,7 @@ pub fn check_fd(r: &Relation, fd: &Fd) -> Result<Option<Violation>, CoreError> {
                 }
             }
             None => {
+                let val = t.project(&rhs_cols);
                 seen.insert(key, (t, val));
             }
         }
@@ -123,13 +125,17 @@ pub fn check_ind(db: &Database, ind: &Ind) -> Result<Option<Violation>, CoreErro
     let lcols = left.scheme().columns(&ind.lhs_attrs)?;
     let rcols = right.scheme().columns(&ind.rhs_attrs)?;
     let rhs_proj: HashSet<Vec<Value>> = right.tuples().map(|t| t.project(&rcols)).collect();
+    // Gather each left projection into a reused buffer; the owned key is
+    // materialized only for the violation witness.
+    let mut buf: Vec<Value> = Vec::with_capacity(lcols.len());
     for t in left.tuples() {
-        let p = t.project(&lcols);
-        if !rhs_proj.contains(&p) {
+        buf.clear();
+        buf.extend(t.project_ref(&lcols).cloned());
+        if !rhs_proj.contains(buf.as_slice()) {
             return Ok(Some(Violation::Ind {
                 ind: ind.clone(),
                 witness: t.clone(),
-                missing: p,
+                missing: buf,
             }));
         }
     }
@@ -141,7 +147,7 @@ pub fn check_rd(r: &Relation, rd: &Rd) -> Result<Option<Violation>, CoreError> {
     let lcols = r.scheme().columns(&rd.lhs)?;
     let rcols = r.scheme().columns(&rd.rhs)?;
     for t in r.tuples() {
-        if t.project(&lcols) != t.project(&rcols) {
+        if !t.project_ref(&lcols).eq(t.project_ref(&rcols)) {
             return Ok(Some(Violation::Rd {
                 rd: rd.clone(),
                 witness: t.clone(),
@@ -171,8 +177,9 @@ pub fn check_emvd(r: &Relation, e: &Emvd) -> Result<Option<Violation>, CoreError
             .map(|t| (t.project(&yc), t.project(&zc)))
             .collect();
         for t1 in group {
+            let y1 = t1.project(&yc);
             for t2 in group {
-                let need = (t1.project(&yc), t2.project(&zc));
+                let need = (y1.clone(), t2.project(&zc));
                 if !yz.contains(&need) {
                     return Ok(Some(Violation::Emvd {
                         emvd: e.clone(),

@@ -5,30 +5,39 @@
 //! The paper treats `Σ` as given; a deployment usually starts from the
 //! opposite end — a live database whose dependencies must be *mined*
 //! before anything can be validated or chased. This module closes that
-//! loop in three stages, all running over the raw-`u32` representation of
-//! [`depkit_core::index::CompiledRows`]:
+//! loop in three stages. All three are naturally **columnar** — IND
+//! checking is set containment of column projections, FD checking is
+//! partition refinement by columns — so the hot path runs over the
+//! struct-of-arrays [`ColumnStore`] (one dense `Vec<u32>` of interned ids
+//! per attribute) and fans its embarrassingly parallel stages out on the
+//! scoped-thread pool of [`depkit_core::pool`], governed by
+//! [`DiscoveryConfig::threads`]:
 //!
-//! 1. **Unary INDs, SPIDER-style.** Every column's value set is reduced to
-//!    dense ids by the shared
-//!    [`ValueInterner`](depkit_core::index::ValueInterner); walking the id
-//!    space in
-//!    order replaces SPIDER's external sort-merge of per-column value
-//!    streams. Each value refines the candidate sets of the columns
-//!    containing it (`cand[c] &= columns_containing(v)`), so one pass
-//!    decides *all* `R[A] ⊆ S[B]` simultaneously.
+//! 1. **Unary INDs, SPIDER-style.** Each column is reduced to its
+//!    [`sorted_distinct`](depkit_core::column::RelationColumns::sorted_distinct)
+//!    id run (one run per column, computed in parallel); merging the runs
+//!    into a per-value occurrence bit set and intersecting
+//!    (`cand[c] &= occurs[v]` for every `v` in column `c`, again parallel
+//!    per column) decides *all* `R[A] ⊆ S[B]` simultaneously — SPIDER's
+//!    external sort-merge collapsed onto dense ids, touching each
+//!    *distinct* value once per column instead of each row.
 //! 2. **n-ary INDs by pairwise composition.** Valid `k`-ary INDs are
 //!    extended with valid unary INDs over the same relation pair
 //!    (candidates are canonical: left columns in ascending order, which
 //!    quotients away the IND2 permutations). Since IND satisfaction is
 //!    closed under projection, every satisfied canonical IND up to the
-//!    arity cap is generated; each candidate is validated against an
-//!    index of right-side projections ([`ProjectionIndex`]).
+//!    arity cap is generated. Per level, the distinct right-side
+//!    projection sets are materialized once as word-packed [`KeySet`]s
+//!    and every candidate is validated in parallel by a zero-allocation
+//!    column-gather scan.
 //! 3. **FDs by partition refinement, TANE-style.** Per relation, a
 //!    level-wise walk of the attribute-set lattice carries *stripped
 //!    partitions* (equivalence classes of row ids, singletons dropped):
-//!    `X → A` holds iff every class of `π_X` agrees on `A`. Superkey
-//!    nodes and attributes determined by subsets prune the lattice, so
-//!    only *minimal* FDs are emitted.
+//!    `X → A` holds iff every class of `π_X` agrees on `A`. Refinement
+//!    runs through the radix-style dense-counting [`Refiner`] (no
+//!    hashing), lattice nodes of one level are checked in parallel, and
+//!    superkey nodes and attributes determined by subsets prune the
+//!    lattice, so only *minimal* FDs are emitted.
 //!
 //! The raw mined set is then fed through the engines the rest of the
 //! crate compiles — [`FdEngine`] closures, the [`IndSolver`] walk search,
@@ -37,19 +46,30 @@
 //! the first end-to-end consumer of the paper's implication machinery on
 //! real data: discovery proposes, implication disposes.
 //!
+//! [`discover_reference`] is the pre-columnar row-at-a-time engine over
+//! [`CompiledRows`], kept — like `solver::reference` for the implication
+//! engines — as the executable specification: `tests/columnar_vs_rows.rs`
+//! property-checks that the columnar engine (at any thread count)
+//! produces byte-identical results.
+//!
 //! Exactness contract: within the configured caps
 //! ([`DiscoveryConfig::max_ind_arity`], [`DiscoveryConfig::max_fd_lhs`])
 //! the raw set contains **every** satisfied nontrivial IND (one canonical
 //! representative per IND2-permutation class) and every minimal satisfied
 //! FD; `tests/discovery_vs_satisfy.rs` checks both directions against
-//! [`depkit_core::satisfy`].
+//! [`depkit_core::satisfy`]. The result is also independent of
+//! [`DiscoveryConfig::threads`]: every parallel stage merges worker
+//! output in deterministic input order.
 
 use crate::fd::FdEngine;
 use crate::ind::IndSolver;
 use crate::interact::{SaturationLimits, Saturator};
+use depkit_core::column::{ColumnCursor, ColumnStore, KeySet, Refiner};
 use depkit_core::database::Database;
 use depkit_core::dependency::{Dependency, Fd, Ind};
+use depkit_core::hashing::{FastMap, FastSet};
 use depkit_core::index::{CompiledRows, ProjectionIndex};
+use depkit_core::pool;
 use depkit_core::schema::DatabaseSchema;
 use std::collections::HashMap;
 
@@ -70,6 +90,12 @@ pub struct DiscoveryConfig {
     /// implication; the saturator adds sound cross-class pruning.
     /// Default `true`.
     pub interaction_pruning: bool,
+    /// Worker threads for the parallel mining stages (per-column SPIDER
+    /// refinement, per-candidate IND validation, per-node FD lattice
+    /// checks). `0` means "use the machine's available parallelism"
+    /// ([`pool::default_threads`]); `1` runs every stage inline. The mined
+    /// result is identical for every setting. Default `0`.
+    pub threads: usize,
 }
 
 impl Default for DiscoveryConfig {
@@ -78,6 +104,19 @@ impl Default for DiscoveryConfig {
             max_ind_arity: 3,
             max_fd_lhs: 3,
             interaction_pruning: true,
+            threads: 0,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// The effective worker count: `threads`, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            pool::default_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -146,26 +185,31 @@ pub fn discover(db: &Database) -> Discovery {
     discover_with_config(db, &DiscoveryConfig::default())
 }
 
-/// Mine `db` under explicit caps: profile columns, discover INDs and FDs,
-/// and minimize the result through the implication engines.
+/// Mine `db` under explicit caps: compile it to columnar form, discover
+/// INDs and FDs over the column runs (in parallel per
+/// [`DiscoveryConfig::threads`]), and minimize the result through the
+/// implication engines.
 pub fn discover_with_config(db: &Database, config: &DiscoveryConfig) -> Discovery {
     let schema = db.schema();
-    let data = CompiledRows::new(db);
+    let store = ColumnStore::new(db);
     let columns = column_table(schema);
+    let threads = config.effective_threads();
     let mut stats = DiscoveryStats {
-        rows: data.total_rows(),
+        rows: store.total_rows(),
         columns: columns.len(),
-        distinct_values: data.distinct_values(),
+        distinct_values: store.distinct_values(),
         ..DiscoveryStats::default()
     };
 
     let mut raw: Vec<Dependency> = Vec::new();
-    let unary = spider_unary(&data, &columns);
-    for ind in mine_inds(schema, &data, &columns, &unary, config, &mut stats) {
+    let unary = spider_unary(&store, &columns, threads);
+    for ind in mine_inds(
+        schema, &store, &columns, &unary, config, threads, &mut stats,
+    ) {
         raw.push(ind.into());
     }
     stats.raw_inds = raw.len();
-    for fd in mine_fds(schema, &data, config, &mut stats) {
+    for fd in mine_fds(schema, &store, config, threads, &mut stats) {
         raw.push(fd.into());
     }
     stats.raw_fds = raw.len() - stats.raw_inds;
@@ -337,22 +381,415 @@ fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
 }
 
 // ---------------------------------------------------------------------------
-// Unary IND discovery (SPIDER over dense value ids)
+// Unary IND discovery (SPIDER over sorted-distinct column runs)
 // ---------------------------------------------------------------------------
 
 /// For each column, the columns whose value sets contain it (including
 /// itself): `result[c]` lists every `d` with `values(c) ⊆ values(d)`.
 ///
-/// One refinement pass over the dense value-id space: `occurs[v]` is the
-/// bit set of columns containing value `v`, and a column's candidate set is
-/// the intersection of `occurs[v]` over its values — empty columns keep
-/// every candidate, matching the vacuous-satisfaction semantics of
+/// Columnar SPIDER: each column is first collapsed to its sorted-distinct
+/// id run (parallel per column); the runs are merged into `occurs[v]` —
+/// the bit set of columns containing value `v` — and each column's
+/// candidate set is the intersection of `occurs[v]` over its run (again
+/// parallel per column). Every distinct value is touched once per column
+/// containing it, independent of how many rows repeat it. Empty columns
+/// keep every candidate, matching the vacuous-satisfaction semantics of
 /// [`depkit_core::satisfy::check_ind`].
-fn spider_unary(data: &CompiledRows, columns: &[(usize, usize)]) -> Vec<Vec<usize>> {
+fn spider_unary(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let ncols = columns.len();
+    let blocks = ncols.div_ceil(64);
+    let nvals = store.distinct_values();
+    let distinct: Vec<Vec<u32>> = pool::map_indexed(threads, ncols, |c| {
+        let (rel, col) = columns[c];
+        store.relation(rel).sorted_distinct(col)
+    });
+    // occurs[v * blocks ..][..blocks] = columns containing value v.
+    let mut occurs = vec![0u64; nvals * blocks];
+    for (c, run) in distinct.iter().enumerate() {
+        for &v in run {
+            occurs[v as usize * blocks + c / 64] |= 1 << (c % 64);
+        }
+    }
+    pool::map_indexed(threads, ncols, |c| {
+        let mut bits = vec![!0u64; blocks];
+        for &v in &distinct[c] {
+            let set = &occurs[v as usize * blocks..(v as usize + 1) * blocks];
+            for (dst, &src) in bits.iter_mut().zip(set) {
+                *dst &= src;
+            }
+        }
+        (0..ncols)
+            .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// n-ary IND discovery (composition + packed-key columnar validation)
+// ---------------------------------------------------------------------------
+
+/// A canonical IND candidate over global column ids: left columns strictly
+/// ascending (quotienting the IND2 permutation class), both sides over one
+/// relation pair. Trivial candidates (`lhs == rhs` on one relation) are
+/// kept as composition bases but never emitted.
+#[derive(Debug, Clone)]
+struct IndCand {
+    lrel: usize,
+    rrel: usize,
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+}
+
+impl IndCand {
+    fn is_trivial(&self) -> bool {
+        self.lrel == self.rrel && self.lhs == self.rhs
+    }
+}
+
+/// Mine every satisfied canonical IND up to `config.max_ind_arity`.
+///
+/// Levels are processed one at a time; within a level the distinct
+/// right-side projection sets are materialized first (in parallel) as
+/// word-packed [`KeySet`]s keyed by their global column ids — the cache
+/// persists across levels and is probed borrow-keyed, never cloning the
+/// column list — and then every candidate is validated in parallel.
+#[allow(clippy::too_many_arguments)]
+fn mine_inds(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    unary: &[Vec<usize>],
+    config: &DiscoveryConfig,
+    threads: usize,
+    stats: &mut DiscoveryStats,
+) -> Vec<Ind> {
+    let mut out = Vec::new();
+    // Level 1, plus the per-relation-pair extension table.
+    let mut level: Vec<IndCand> = Vec::new();
+    let mut by_pair: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for (c, supersets) in unary.iter().enumerate() {
+        for &d in supersets {
+            let cand = IndCand {
+                lrel: columns[c].0,
+                rrel: columns[d].0,
+                lhs: vec![c],
+                rhs: vec![d],
+            };
+            if !cand.is_trivial() {
+                out.push(to_ind(schema, columns, &cand));
+            }
+            by_pair
+                .entry((cand.lrel, cand.rrel))
+                .or_default()
+                .push((c, d));
+            level.push(cand);
+        }
+    }
+    // Higher levels: extend with a unary IND over the same relation pair.
+    // The right-projection key sets are cached across levels, keyed by the
+    // global column ids of the right side (which determine the relation).
+    let mut rhs_sets: FastMap<Vec<usize>, KeySet> = FastMap::default();
+    for _arity in 2..=config.max_ind_arity {
+        let mut cands: Vec<IndCand> = Vec::new();
+        for base in &level {
+            let Some(extensions) = by_pair.get(&(base.lrel, base.rrel)) else {
+                continue;
+            };
+            for &(a, b) in extensions {
+                // Canonical order keeps the left side ascending (and
+                // thereby distinct); the right side must stay distinct too.
+                if a <= *base.lhs.last().expect("bases are nonempty") || base.rhs.contains(&b) {
+                    continue;
+                }
+                cands.push(IndCand {
+                    lrel: base.lrel,
+                    rrel: base.rrel,
+                    lhs: base.lhs.iter().copied().chain([a]).collect(),
+                    rhs: base.rhs.iter().copied().chain([b]).collect(),
+                });
+            }
+        }
+        if cands.is_empty() {
+            break;
+        }
+        // Materialize the missing right-side key sets, in parallel; the
+        // borrow-keyed probe never clones an already-cached column list,
+        // and a constant-time seen-guard keeps the dedup linear in the
+        // candidate count.
+        let mut missing: Vec<Vec<usize>> = Vec::new();
+        let mut queued: FastSet<Vec<usize>> = FastSet::default();
+        for cand in &cands {
+            if !cand.is_trivial()
+                && !rhs_sets.contains_key(cand.rhs.as_slice())
+                && !queued.contains(cand.rhs.as_slice())
+            {
+                queued.insert(cand.rhs.clone());
+                missing.push(cand.rhs.clone());
+            }
+        }
+        let built = pool::map_indexed(threads, missing.len(), |i| {
+            build_rhs_keys(store, columns, &missing[i])
+        });
+        for (cols, set) in missing.into_iter().zip(built) {
+            rhs_sets.insert(cols, set);
+        }
+        // Validate every candidate in parallel (read-only cache); merge in
+        // candidate order so the output is thread-count independent.
+        let ok = pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
+            let cand = &cands[i];
+            cand.is_trivial() || ind_holds(store, columns, cand, &rhs_sets, buf)
+        });
+        let mut next = Vec::new();
+        for (cand, ok) in cands.into_iter().zip(ok) {
+            if !cand.is_trivial() {
+                stats.ind_candidates += 1;
+            }
+            if ok {
+                if !cand.is_trivial() {
+                    out.push(to_ind(schema, columns, &cand));
+                }
+                next.push(cand);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    out
+}
+
+/// Materialize the distinct right-side projections of one global-column
+/// set as a word-packed [`KeySet`].
+fn build_rhs_keys(store: &ColumnStore, columns: &[(usize, usize)], rhs: &[usize]) -> KeySet {
+    let rrel = columns[rhs[0]].0;
+    let rcols: Vec<usize> = rhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(rrel);
+    let cursor = ColumnCursor::new(rel, &rcols);
+    let mut set = KeySet::with_arity(rcols.len());
+    let mut buf = Vec::with_capacity(rcols.len());
+    for r in 0..rel.row_count() {
+        cursor.fill(r, &mut buf);
+        set.insert(&buf);
+    }
+    set
+}
+
+/// Validate a candidate: every left projection must appear among the right
+/// projections. A pure column-gather scan — the reused `buf` is the only
+/// storage touched per row.
+fn ind_holds(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cand: &IndCand,
+    rhs_sets: &FastMap<Vec<usize>, KeySet>,
+    buf: &mut Vec<u32>,
+) -> bool {
+    let keys = &rhs_sets[cand.rhs.as_slice()];
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(cand.lrel);
+    let cursor = ColumnCursor::new(rel, &lcols);
+    for r in 0..rel.row_count() {
+        cursor.fill(r, buf);
+        if !keys.contains(buf) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Resolve a candidate's global column ids back to a string-typed [`Ind`].
+fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -> Ind {
+    let lhs_scheme = &schema.schemes()[cand.lrel];
+    let rhs_scheme = &schema.schemes()[cand.rrel];
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
+    Ind::new(
+        lhs_scheme.name().clone(),
+        lhs_scheme.attrs().select(&lcols).expect("distinct columns"),
+        rhs_scheme.name().clone(),
+        rhs_scheme.attrs().select(&rcols).expect("distinct columns"),
+    )
+    .expect("equal arities by construction")
+}
+
+// ---------------------------------------------------------------------------
+// FD discovery (level-wise partition refinement over columns)
+// ---------------------------------------------------------------------------
+
+/// A stripped partition: the equivalence classes of `π_X` over row indices,
+/// with singleton classes dropped (they can never witness a violation).
+type Partition = Vec<Vec<u32>>;
+
+/// What one lattice node contributes: how many `(X, A)` pairs it checked,
+/// which right-hand columns `X` determines, and its refined children.
+#[derive(Default)]
+struct NodeResult {
+    checked: usize,
+    determined_cols: Vec<usize>,
+    children: Vec<(Vec<usize>, Partition)>,
+}
+
+/// Mine the minimal satisfied FDs of every relation.
+///
+/// Lattice nodes of one level are processed in parallel against the
+/// `found` set *frozen at the level boundary*. That is exactly equivalent
+/// to the sequential sweep: a minimal-FD left side found at this level has
+/// the same size as every other node's `X`, so it can only be a subset of
+/// `X` by being `X` itself — other nodes' same-level finds can never
+/// influence a node's pruning, and each node sees its own finds locally.
+fn mine_fds(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    config: &DiscoveryConfig,
+    threads: usize,
+    stats: &mut DiscoveryStats,
+) -> Vec<Fd> {
+    let mut out = Vec::new();
+    for (ri, scheme) in schema.schemes().iter().enumerate() {
+        let rel = store.relation(ri);
+        let arity = scheme.arity();
+        // Minimal FDs found so far, as (lhs columns sorted, rhs column).
+        let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
+        // Level 0: the empty left side; its partition is one class of all
+        // rows (stripped, so empty when the relation has ≤ 1 row — every
+        // column is then vacuously constant).
+        let root: Partition = if rel.row_count() >= 2 {
+            vec![(0..rel.row_count() as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        let mut level: Vec<(Vec<usize>, Partition)> = vec![(Vec::new(), root)];
+        for size in 0..=config.max_fd_lhs {
+            let results = pool::map_indexed_with(
+                threads,
+                level.len(),
+                || Refiner::new(store.distinct_values()),
+                |refiner, i| {
+                    let (lhs, partition) = &level[i];
+                    let determined = |c: usize| {
+                        found
+                            .iter()
+                            .any(|(y, a)| *a == c && y.iter().all(|x| lhs.contains(x)))
+                    };
+                    // Right-hand candidates: columns outside `X` not
+                    // already determined by a found subset (those FDs
+                    // would not be minimal).
+                    let rhs: Vec<usize> = (0..arity)
+                        .filter(|&c| !lhs.contains(&c) && !determined(c))
+                        .collect();
+                    if rhs.is_empty() {
+                        // Everything outside X is determined by subsets of
+                        // X: no superset of X can carry a minimal FD.
+                        return NodeResult::default();
+                    }
+                    let mut node = NodeResult {
+                        checked: rhs.len(),
+                        ..NodeResult::default()
+                    };
+                    for &c in &rhs {
+                        if Refiner::determines(partition, rel.column(c)) {
+                            node.determined_cols.push(c);
+                        }
+                    }
+                    // Superkey prune: with no class of size ≥ 2 left, X
+                    // determines everything, so no superset FD is minimal.
+                    if partition.is_empty() || size == config.max_fd_lhs {
+                        return node;
+                    }
+                    let start = lhs.last().map_or(0, |&l| l + 1);
+                    for c in start..arity {
+                        // A column determined by a subset of X (or by X
+                        // itself, just established) can never sit in a
+                        // minimal left side extending X.
+                        if node.determined_cols.contains(&c) || determined(c) {
+                            continue;
+                        }
+                        let mut extended = lhs.clone();
+                        extended.push(c);
+                        node.children
+                            .push((extended, refiner.refine_stripped(partition, rel.column(c))));
+                    }
+                    node
+                },
+            );
+            // Merge in node order: output and `found` growth are identical
+            // to the sequential sweep, independent of the thread count.
+            let mut next: Vec<(Vec<usize>, Partition)> = Vec::new();
+            for (i, node) in results.into_iter().enumerate() {
+                let lhs = &level[i].0;
+                stats.fd_candidates += node.checked;
+                for c in node.determined_cols {
+                    found.push((lhs.clone(), c));
+                    out.push(Fd::new(
+                        scheme.name().clone(),
+                        scheme.attrs().select(lhs).expect("distinct columns"),
+                        scheme.attrs().select(&[c]).expect("single column"),
+                    ));
+                }
+                next.extend(node.children);
+            }
+            if next.is_empty() {
+                break;
+            }
+            level = next;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time reference engine (the executable specification)
+// ---------------------------------------------------------------------------
+
+/// Mine `db` with the pre-columnar row-at-a-time engine over
+/// [`CompiledRows`]: HashMap-based partition refinement, per-row
+/// projection allocation, no parallelism.
+///
+/// Kept as the executable specification of the discovery semantics — the
+/// columnar [`discover_with_config`] must produce an identical
+/// [`Discovery`] (raw set, cover, and stats) for every database and
+/// thread count; `tests/columnar_vs_rows.rs` property-checks exactly
+/// that. Use the columnar entry points for anything performance-minded.
+pub fn discover_reference(db: &Database, config: &DiscoveryConfig) -> Discovery {
+    let schema = db.schema();
+    let data = CompiledRows::new(db);
+    let columns = column_table(schema);
+    let mut stats = DiscoveryStats {
+        rows: data.total_rows(),
+        columns: columns.len(),
+        distinct_values: data.distinct_values(),
+        ..DiscoveryStats::default()
+    };
+
+    let mut raw: Vec<Dependency> = Vec::new();
+    let unary = spider_unary_rows(&data, &columns);
+    for ind in mine_inds_rows(schema, &data, &columns, &unary, config, &mut stats) {
+        raw.push(ind.into());
+    }
+    stats.raw_inds = raw.len();
+    for fd in mine_fds_rows(schema, &data, config, &mut stats) {
+        raw.push(fd.into());
+    }
+    stats.raw_fds = raw.len() - stats.raw_inds;
+    raw.sort();
+    raw.dedup();
+
+    let cover = minimize_cover(&raw, config);
+    stats.pruned = raw.len() - cover.len();
+    Discovery { raw, cover, stats }
+}
+
+/// Row-based SPIDER: `occurs[v]` built by scanning every row of every
+/// column (not the distinct runs), then the same refinement.
+fn spider_unary_rows(data: &CompiledRows, columns: &[(usize, usize)]) -> Vec<Vec<usize>> {
     let ncols = columns.len();
     let blocks = ncols.div_ceil(64);
     let nvals = data.distinct_values();
-    // occurs[v * blocks ..][..blocks] = columns containing value v.
     let mut occurs = vec![0u64; nvals * blocks];
     for (c, &(rel, col)) in columns.iter().enumerate() {
         for row in data.rows(rel) {
@@ -382,30 +819,9 @@ fn spider_unary(data: &CompiledRows, columns: &[(usize, usize)]) -> Vec<Vec<usiz
         .collect()
 }
 
-// ---------------------------------------------------------------------------
-// n-ary IND discovery (composition + index-backed validation)
-// ---------------------------------------------------------------------------
-
-/// A canonical IND candidate over global column ids: left columns strictly
-/// ascending (quotienting the IND2 permutation class), both sides over one
-/// relation pair. Trivial candidates (`lhs == rhs` on one relation) are
-/// kept as composition bases but never emitted.
-#[derive(Debug, Clone)]
-struct IndCand {
-    lrel: usize,
-    rrel: usize,
-    lhs: Vec<usize>,
-    rhs: Vec<usize>,
-}
-
-impl IndCand {
-    fn is_trivial(&self) -> bool {
-        self.lrel == self.rrel && self.lhs == self.rhs
-    }
-}
-
-/// Mine every satisfied canonical IND up to `config.max_ind_arity`.
-fn mine_inds(
+/// Row-based n-ary IND mining: sequential composition with
+/// [`ProjectionIndex`]-backed validation.
+fn mine_inds_rows(
     schema: &DatabaseSchema,
     data: &CompiledRows,
     columns: &[(usize, usize)],
@@ -414,7 +830,6 @@ fn mine_inds(
     stats: &mut DiscoveryStats,
 ) -> Vec<Ind> {
     let mut out = Vec::new();
-    // Level 1, plus the per-relation-pair extension table.
     let mut level: Vec<IndCand> = Vec::new();
     let mut by_pair: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
     for (c, supersets) in unary.iter().enumerate() {
@@ -435,9 +850,7 @@ fn mine_inds(
             level.push(cand);
         }
     }
-    // Higher levels: extend with a unary IND over the same relation pair,
-    // validating each candidate against an index of right projections.
-    let mut rhs_cache: HashMap<(usize, Vec<usize>), ProjectionIndex> = HashMap::new();
+    let mut rhs_cache: HashMap<Vec<usize>, ProjectionIndex> = HashMap::new();
     for _arity in 2..=config.max_ind_arity {
         let mut next = Vec::new();
         for base in &level {
@@ -445,8 +858,6 @@ fn mine_inds(
                 continue;
             };
             for &(a, b) in extensions {
-                // Canonical order keeps the left side ascending (and
-                // thereby distinct); the right side must stay distinct too.
                 if a <= *base.lhs.last().expect("bases are nonempty") || base.rhs.contains(&b) {
                     continue;
                 }
@@ -460,7 +871,7 @@ fn mine_inds(
                     true
                 } else {
                     stats.ind_candidates += 1;
-                    ind_holds(data, columns, &cand, &mut rhs_cache)
+                    ind_holds_rows(data, columns, &cand, &mut rhs_cache)
                 };
                 if ok {
                     if !cand.is_trivial() {
@@ -478,55 +889,35 @@ fn mine_inds(
     out
 }
 
-/// Validate a candidate: every left projection must appear among the right
-/// projections, which are indexed once per `(relation, columns)` pair.
-fn ind_holds(
+/// Row-based candidate validation against an index of right projections,
+/// cached per right column set. The cache is keyed by the candidate's
+/// global right-side column ids and probed borrow-keyed (a two-step
+/// get-or-insert), so a cache hit clones nothing.
+fn ind_holds_rows(
     data: &CompiledRows,
     columns: &[(usize, usize)],
     cand: &IndCand,
-    rhs_cache: &mut HashMap<(usize, Vec<usize>), ProjectionIndex>,
+    rhs_cache: &mut HashMap<Vec<usize>, ProjectionIndex>,
 ) -> bool {
-    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
-    let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
-    let rrel = cand.rrel;
-    let index = rhs_cache.entry((rrel, rcols.clone())).or_insert_with(|| {
+    if !rhs_cache.contains_key(cand.rhs.as_slice()) {
+        let rrel = columns[cand.rhs[0]].0;
+        let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
         let mut idx = ProjectionIndex::new();
         for row in data.rows(rrel) {
             idx.add(rcols.iter().map(|&c| row[c]).collect());
         }
-        idx
-    });
+        rhs_cache.insert(cand.rhs.clone(), idx);
+    }
+    let index = &rhs_cache[cand.rhs.as_slice()];
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
     data.rows(cand.lrel).iter().all(|row| {
         let key: Vec<u32> = lcols.iter().map(|&c| row[c]).collect();
         index.count(&key) > 0
     })
 }
 
-/// Resolve a candidate's global column ids back to a string-typed [`Ind`].
-fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -> Ind {
-    let lhs_scheme = &schema.schemes()[cand.lrel];
-    let rhs_scheme = &schema.schemes()[cand.rrel];
-    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
-    let rcols: Vec<usize> = cand.rhs.iter().map(|&c| columns[c].1).collect();
-    Ind::new(
-        lhs_scheme.name().clone(),
-        lhs_scheme.attrs().select(&lcols).expect("distinct columns"),
-        rhs_scheme.name().clone(),
-        rhs_scheme.attrs().select(&rcols).expect("distinct columns"),
-    )
-    .expect("equal arities by construction")
-}
-
-// ---------------------------------------------------------------------------
-// FD discovery (level-wise partition refinement)
-// ---------------------------------------------------------------------------
-
-/// A stripped partition: the equivalence classes of `π_X` over row indices,
-/// with singleton classes dropped (they can never witness a violation).
-type Partition = Vec<Vec<u32>>;
-
-/// Refine a stripped partition by one column's values.
-fn refine(partition: &Partition, rows: &[Vec<u32>], col: usize) -> Partition {
+/// Row-based stripped-partition refinement by one column's values.
+fn refine_rows(partition: &Partition, rows: &[Vec<u32>], col: usize) -> Partition {
     let mut out = Vec::new();
     let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
     for class in partition {
@@ -543,15 +934,15 @@ fn refine(partition: &Partition, rows: &[Vec<u32>], col: usize) -> Partition {
 }
 
 /// Whether every class of `π_X` agrees on `col` — i.e. `X → col` holds.
-fn determines(partition: &Partition, rows: &[Vec<u32>], col: usize) -> bool {
+fn determines_rows(partition: &Partition, rows: &[Vec<u32>], col: usize) -> bool {
     partition.iter().all(|class| {
         let v = rows[class[0] as usize][col];
         class.iter().all(|&r| rows[r as usize][col] == v)
     })
 }
 
-/// Mine the minimal satisfied FDs of every relation.
-fn mine_fds(
+/// Row-based level-wise FD mining (sequential TANE sweep).
+fn mine_fds_rows(
     schema: &DatabaseSchema,
     data: &CompiledRows,
     config: &DiscoveryConfig,
@@ -561,16 +952,12 @@ fn mine_fds(
     for (ri, scheme) in schema.schemes().iter().enumerate() {
         let rows = data.rows(ri);
         let arity = scheme.arity();
-        // Minimal FDs found so far, as (lhs columns sorted, rhs column).
         let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
         let determined = |found: &[(Vec<usize>, usize)], lhs: &[usize], c: usize| {
             found
                 .iter()
                 .any(|(y, a)| *a == c && y.iter().all(|x| lhs.contains(x)))
         };
-        // Level 0: the empty left side; its partition is one class of all
-        // rows (stripped, so empty when the relation has ≤ 1 row — every
-        // column is then vacuously constant).
         let root: Partition = if rows.len() >= 2 {
             vec![(0..rows.len() as u32).collect()]
         } else {
@@ -580,20 +967,15 @@ fn mine_fds(
         for size in 0..=config.max_fd_lhs {
             let mut next: Vec<(Vec<usize>, Partition)> = Vec::new();
             for (lhs, partition) in &level {
-                // Right-hand candidates: columns outside `X` not already
-                // determined by a found subset (those FDs would not be
-                // minimal).
                 let rhs: Vec<usize> = (0..arity)
                     .filter(|c| !lhs.contains(c) && !determined(&found, lhs, *c))
                     .collect();
                 if rhs.is_empty() {
-                    // Everything outside X is determined by subsets of X:
-                    // no superset of X can carry a minimal FD.
                     continue;
                 }
                 for &c in &rhs {
                     stats.fd_candidates += 1;
-                    if determines(partition, rows, c) {
+                    if determines_rows(partition, rows, c) {
                         found.push((lhs.clone(), c));
                         out.push(Fd::new(
                             scheme.name().clone(),
@@ -602,21 +984,17 @@ fn mine_fds(
                         ));
                     }
                 }
-                // Superkey prune: with no class of size ≥ 2 left, X
-                // determines everything, so no superset FD is minimal.
                 if partition.is_empty() || size == config.max_fd_lhs {
                     continue;
                 }
                 let start = lhs.last().map_or(0, |&l| l + 1);
                 for c in start..arity {
-                    // A column determined by a subset of X can never sit in
-                    // a minimal left side extending X.
                     if determined(&found, lhs, c) {
                         continue;
                     }
                     let mut extended = lhs.clone();
                     extended.push(c);
-                    next.push((extended, refine(partition, rows, c)));
+                    next.push((extended, refine_rows(partition, rows, c)));
                 }
             }
             if next.is_empty() {
@@ -763,6 +1141,67 @@ mod tests {
                     found.cover[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn columnar_engine_matches_the_reference_engine() {
+        let mut rng = Rng::new(0xC01);
+        for round in 0..8 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 1,
+                    max_arity: 3,
+                },
+            );
+            let db = random_database(&mut rng, &schema, 8, 3);
+            let config = DiscoveryConfig::default();
+            let columnar = discover_with_config(&db, &config);
+            let reference = discover_reference(&db, &config);
+            assert_eq!(columnar.raw, reference.raw, "raw mismatch in round {round}");
+            assert_eq!(
+                columnar.cover, reference.cover,
+                "cover mismatch in round {round}"
+            );
+            assert_eq!(
+                columnar.stats, reference.stats,
+                "stats mismatch in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let mut rng = Rng::new(0xD1);
+        let schema = random_schema(
+            &mut rng,
+            &SchemaConfig {
+                relations: 2,
+                min_arity: 2,
+                max_arity: 3,
+            },
+        );
+        let db = random_database(&mut rng, &schema, 12, 3);
+        let single = discover_with_config(
+            &db,
+            &DiscoveryConfig {
+                threads: 1,
+                ..DiscoveryConfig::default()
+            },
+        );
+        for threads in [2, 4, 7] {
+            let multi = discover_with_config(
+                &db,
+                &DiscoveryConfig {
+                    threads,
+                    ..DiscoveryConfig::default()
+                },
+            );
+            assert_eq!(single.raw, multi.raw);
+            assert_eq!(single.cover, multi.cover);
+            assert_eq!(single.stats, multi.stats);
         }
     }
 

@@ -30,10 +30,12 @@
 //! every delta* — is enforced by `tests/incremental_vs_full.rs` and is the
 //! pattern every future serving feature should follow.
 
+use depkit_core::column::{ColumnCursor, RelationColumns};
 use depkit_core::database::Database;
 use depkit_core::delta::{Delta, DeltaOutcome};
 use depkit_core::dependency::Dependency;
 use depkit_core::error::CoreError;
+use depkit_core::hashing::FastMap;
 use depkit_core::index::{ProjectionIndex, RowSet, ValueInterner};
 use depkit_core::intern::Catalog;
 use depkit_core::relation::Tuple;
@@ -104,7 +106,7 @@ struct CompiledFd {
     dep: usize,
     lhs_cols: Vec<usize>,
     rhs_cols: Vec<usize>,
-    groups: HashMap<Vec<u32>, ProjectionIndex>,
+    groups: FastMap<Vec<u32>, ProjectionIndex>,
     violating: BTreeSet<Vec<u32>>,
 }
 
@@ -211,7 +213,7 @@ impl Validator {
                         dep,
                         lhs_cols: scheme.columns(&fd.lhs)?,
                         rhs_cols: scheme.columns(&fd.rhs)?,
-                        groups: HashMap::new(),
+                        groups: FastMap::default(),
                         violating: BTreeSet::new(),
                     });
                 }
@@ -278,15 +280,126 @@ impl Validator {
     /// Bulk-load an existing database (equivalent to applying one big
     /// insert-only delta). The database must be over the validator's
     /// schema.
+    ///
+    /// Unlike [`Validator::apply`], which pays per-row watcher dispatch,
+    /// seeding builds each relation's effective rows as struct-of-arrays
+    /// columns ([`RelationColumns`]) and then fills every watching index
+    /// with one contiguous column scan per constraint — projection keys
+    /// are gathered into a reused buffer and cloned into the tables only
+    /// on their first occurrence ([`ProjectionIndex::add_ref`]). The
+    /// violation sets of the touched constraints are recomputed exactly
+    /// from the final counts, so the post-seed state is identical to the
+    /// row-at-a-time path.
     pub fn seed(&mut self, db: &Database) -> Result<DeltaOutcome, CoreError> {
         let mut out = DeltaOutcome::default();
+        self.values.reserve(
+            db.relations()
+                .iter()
+                .map(|r| r.len() * r.scheme().arity())
+                .sum(),
+        );
+        // Resolve and validate every relation *before* mutating anything:
+        // a mid-seed error must not leave index counts updated but the
+        // violation-set recompute (after this loop) skipped.
+        let mut rel_indices = Vec::with_capacity(db.relations().len());
         for relation in db.relations() {
-            let name = relation.scheme().name().clone();
+            let name = relation.scheme().name();
+            let r = self
+                .catalog
+                .rel_id(name)
+                .ok_or_else(|| CoreError::UnknownRelation(name.name().to_owned()))?
+                .index();
+            let arity = self.schema.schemes()[r].arity();
+            if relation.scheme().arity() != arity && !relation.is_empty() {
+                return Err(CoreError::TupleArity {
+                    relation: name.name().to_owned(),
+                    expected: arity,
+                    actual: relation.scheme().arity(),
+                });
+            }
+            rel_indices.push(r);
+        }
+        let mut touched_fds: BTreeSet<usize> = BTreeSet::new();
+        let mut touched_inds: BTreeSet<usize> = BTreeSet::new();
+        for (relation, &r) in db.relations().iter().zip(&rel_indices) {
+            // Intern and insert the effective rows, accumulating them
+            // column-at-a-time for the bulk index passes below.
+            let arity = self.schema.schemes()[r].arity();
+            let mut cols = RelationColumns::with_capacity(arity, relation.len());
             for t in relation.tuples() {
-                if self.insert_tuple(&name, t)? {
+                let row = self.values.intern_row(t.values());
+                if self.rows[r].insert(row.clone()) {
+                    self.values.retain_row(&row);
+                    cols.push_row(&row);
                     out.inserted += 1;
                 }
             }
+            if cols.is_empty() {
+                continue;
+            }
+            let n = cols.row_count();
+            let mut key = Vec::new();
+            let mut val = Vec::new();
+            for w in 0..self.fd_watch[r].len() {
+                let fi = self.fd_watch[r][w] as usize;
+                touched_fds.insert(fi);
+                let f = &mut self.fds[fi];
+                // Group the new rows by their LHS projection first: the
+                // persistent witness map is probed once per class, not
+                // once per row.
+                let rhs = ColumnCursor::new(&cols, &f.rhs_cols);
+                for class in cols.group_by(&f.lhs_cols) {
+                    cols.gather(&f.lhs_cols, class[0] as usize, &mut key);
+                    if !f.groups.contains_key(key.as_slice()) {
+                        f.groups.insert(key.clone(), ProjectionIndex::new());
+                    }
+                    let group = f.groups.get_mut(key.as_slice()).expect("just inserted");
+                    for &row in &class {
+                        rhs.fill(row as usize, &mut val);
+                        group.add_ref(&val);
+                    }
+                }
+            }
+            for w in 0..self.ind_left_watch[r].len() {
+                let ii = self.ind_left_watch[r][w] as usize;
+                touched_inds.insert(ii);
+                let i = &mut self.inds[ii];
+                let lhs = ColumnCursor::new(&cols, &i.lhs_cols);
+                for row in 0..n {
+                    lhs.fill(row, &mut key);
+                    i.left.add_ref(&key);
+                }
+            }
+            for w in 0..self.ind_right_watch[r].len() {
+                let ii = self.ind_right_watch[r][w] as usize;
+                touched_inds.insert(ii);
+                let i = &mut self.inds[ii];
+                let rhs = ColumnCursor::new(&cols, &i.rhs_cols);
+                for row in 0..n {
+                    rhs.fill(row, &mut key);
+                    i.right.add_ref(&key);
+                }
+            }
+        }
+        // Recompute the violation sets of the touched constraints from the
+        // final counts — exact regardless of what was live before the seed.
+        for fi in touched_fds {
+            let f = &mut self.fds[fi];
+            f.violating = f
+                .groups
+                .iter()
+                .filter(|(_, g)| g.distinct() >= 2)
+                .map(|(k, _)| k.clone())
+                .collect();
+        }
+        for ii in touched_inds {
+            let i = &mut self.inds[ii];
+            i.violating = i
+                .left
+                .keys()
+                .filter(|k| i.right.count(k) == 0)
+                .cloned()
+                .collect();
         }
         Ok(out)
     }
@@ -506,10 +619,17 @@ pub fn full_violations(
                 let rcols = right.scheme().columns(&ind.rhs_attrs)?;
                 let covered: HashSet<Vec<Value>> =
                     right.tuples().map(|t| t.project(&rcols)).collect();
+                // Borrow-keyed membership probe; the owned projection is
+                // materialized only for actual violations.
+                let mut buf: Vec<Value> = Vec::with_capacity(lcols.len());
                 for t in left.tuples() {
-                    let p = t.project(&lcols);
-                    if !covered.contains(&p) {
-                        out.insert(ViolationKey::Ind { dep, missing: p });
+                    buf.clear();
+                    buf.extend(t.project_ref(&lcols).cloned());
+                    if !covered.contains(buf.as_slice()) {
+                        out.insert(ViolationKey::Ind {
+                            dep,
+                            missing: buf.clone(),
+                        });
                     }
                 }
             }
@@ -690,6 +810,35 @@ mod tests {
         assert_eq!(v.total_rows(), db.total_tuples());
         check_against_full(&v, &db, &sigma);
         assert_eq!(v.violation_count(), 1); // ("bio") dangling
+    }
+
+    #[test]
+    fn failed_seed_mutates_nothing() {
+        // A database whose *last* relation is unknown to the validator:
+        // the error must surface before any earlier relation's rows touch
+        // the indexes, or the violation sets would go stale (counts
+        // updated, recompute skipped).
+        let (schema, sigma) = setup();
+        let mut v = Validator::new(&schema, &sigma).unwrap();
+        let bad_schema =
+            DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO, MGR)", "X(C)"]).unwrap();
+        let mut bad = Database::empty(bad_schema);
+        // Two EMP rows that would violate the FD NAME -> DEPT.
+        bad.insert_str("EMP", &[&["h", "math"], &["h", "cs"]])
+            .unwrap();
+        bad.insert_str("X", &[&["boom"]]).unwrap();
+        assert!(matches!(v.seed(&bad), Err(CoreError::UnknownRelation(_))));
+        assert_eq!(v.total_rows(), 0);
+        assert!(v.is_consistent());
+        assert!(v.violations().is_empty());
+
+        // Arity mismatch under a known name is likewise rejected up front.
+        let widened = DatabaseSchema::parse(&["EMP(NAME, DEPT, EXTRA)"]).unwrap();
+        let mut wide = Database::empty(widened);
+        wide.insert_str("EMP", &[&["h", "math", "x"]]).unwrap();
+        assert!(matches!(v.seed(&wide), Err(CoreError::TupleArity { .. })));
+        assert_eq!(v.total_rows(), 0);
+        assert!(v.is_consistent());
     }
 
     #[test]

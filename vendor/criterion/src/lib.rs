@@ -5,23 +5,43 @@
 //! macros.
 //!
 //! It is a real (if minimal) harness, not a no-op: each benchmark is warmed
-//! up, then timed over an adaptive number of iterations, and a
-//! `group/name/param  time: [..]` line is printed. There is no statistics
-//! engine, plotting, or baseline comparison — swap in the real criterion
-//! via `Cargo.toml` when crates.io access exists. Honors
-//! `DEPKIT_BENCH_BUDGET_MS` (per-benchmark measurement budget, default 50).
+//! up, then timed over several sample batches, and a
+//! `group/name/param  time: [median]` line is printed — with an
+//! elements-per-second throughput figure when the bench declared
+//! `Throughput::Elements`. There is no statistics engine, plotting, or
+//! baseline comparison — swap in the real criterion via `Cargo.toml` when
+//! crates.io access exists.
+//!
+//! Knobs:
+//!
+//! * `DEPKIT_BENCH_BUDGET_MS` — per-benchmark measurement budget
+//!   (default 50).
+//! * `--quick` (as a harness argument, i.e. `cargo bench -- --quick`) —
+//!   clamp the budget to 10 ms for smoke runs, mirroring real criterion's
+//!   flag of the same name.
+//! * `DEPKIT_BENCH_JSON` — append one JSON object per benchmark
+//!   (`{"name", "median_ns", "samples", "iterations", "elements"?}`) to
+//!   the given path, for machine-readable perf trajectories (see the
+//!   repo's `BENCH_BASELINE.json`).
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Per-benchmark measurement budget.
+/// Per-benchmark measurement budget, honoring `DEPKIT_BENCH_BUDGET_MS` and
+/// the `--quick` harness flag.
 fn budget() -> Duration {
     let ms = std::env::var("DEPKIT_BENCH_BUDGET_MS")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(50);
+    let ms = if std::env::args().any(|a| a == "--quick") {
+        ms.min(10)
+    } else {
+        ms
+    };
     Duration::from_millis(ms)
 }
 
@@ -32,6 +52,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
+            throughput: None,
             _criterion: self,
         }
     }
@@ -40,7 +61,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.into(), f);
+        run_one(&name.into(), None, f);
         self
     }
 }
@@ -66,7 +87,8 @@ impl BenchmarkId {
     }
 }
 
-/// Throughput annotation; recorded for API compatibility, echoed in output.
+/// Throughput annotation: makes the harness report elements (or bytes) per
+/// second next to the per-iteration time.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     Elements(u64),
@@ -75,11 +97,13 @@ pub enum Throughput {
 
 pub struct BenchmarkGroup<'a> {
     name: String,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -96,7 +120,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
-        run_one(&label, &mut f);
+        run_one(&label, self.throughput, &mut f);
         self
     }
 
@@ -110,7 +134,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.label);
-        run_one(&label, |b| f(b, input));
+        run_one(&label, self.throughput, |b| f(b, input));
         self
     }
 
@@ -143,51 +167,118 @@ impl IntoBenchmarkId for String {
 }
 
 pub struct Bencher {
-    /// Total time spent inside `iter` closures and how many closure calls
-    /// that covered, accumulated across `iter` invocations.
-    elapsed: Duration,
+    /// Per-iteration nanoseconds of each measured sample batch.
+    samples: Vec<f64>,
+    /// Total measured iterations across all batches.
     iterations: u64,
 }
 
 impl Bencher {
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
-        // Warm-up / calibration: one call, timed to size the batch but
+        // Warm-up / calibration: one call, timed to size the batches but
         // excluded from the reported statistics (it runs cold).
         let start = Instant::now();
         black_box(f());
         let first = start.elapsed();
 
         let remaining = budget().saturating_sub(first);
-        // Warm iterations to record: enough to fill the remaining budget,
+        // Total warm iterations: enough to fill the remaining budget,
         // capped so a mis-calibrated first call cannot run away; at least
-        // one even when the warm-up exhausted the budget.
+        // one even when the warm-up exhausted the budget. Split into up to
+        // 15 equal sample batches so a median can be taken.
         let per_iter = first.max(Duration::from_nanos(20));
-        let n = (remaining.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
-        let start = Instant::now();
-        for _ in 0..n {
-            black_box(f());
+        let total = (remaining.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+        let batches = total.min(15);
+        let batch = (total / batches).max(1);
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            self.iterations += batch;
         }
-        self.elapsed += start.elapsed();
-        self.iterations += n;
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+/// Median of the recorded per-iteration sample means.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
     let mut b = Bencher {
-        elapsed: Duration::ZERO,
+        samples: Vec::new(),
         iterations: 0,
     };
     f(&mut b);
-    if b.iterations == 0 {
+    if b.samples.is_empty() {
         println!("{label:<50} (no iterations)");
         return;
     }
-    let ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    let med = median(&mut b.samples);
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if med > 0.0 => {
+            format!("  thrpt: {}", fmt_rate(n as f64 / (med * 1e-9), "elem/s"))
+        }
+        Some(Throughput::Bytes(n)) if med > 0.0 => {
+            format!("  thrpt: {}", fmt_rate(n as f64 / (med * 1e-9), "B/s"))
+        }
+        _ => String::new(),
+    };
     println!(
-        "{label:<50} time: {} ({} iterations)",
-        fmt_ns(ns),
-        b.iterations
+        "{label:<50} time: {} ({} samples, {} iterations){thrpt}",
+        fmt_ns(med),
+        b.samples.len(),
+        b.iterations,
     );
+    if let Ok(path) = std::env::var("DEPKIT_BENCH_JSON") {
+        if !path.is_empty() {
+            write_json(&path, label, med, &b, throughput);
+        }
+    }
+}
+
+/// Append one line-delimited JSON record; errors are reported, not fatal.
+fn write_json(
+    path: &str,
+    label: &str,
+    median_ns: f64,
+    b: &Bencher,
+    throughput: Option<Throughput>,
+) {
+    let elements = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        _ => String::new(),
+    };
+    let name: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{median_ns:.1},\"samples\":{},\"iterations\":{}{elements}}}\n",
+        b.samples.len(),
+        b.iterations,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: DEPKIT_BENCH_JSON={path}: {e}");
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -199,6 +290,18 @@ fn fmt_ns(ns: f64) -> String {
         format!("{:.2} ms", ns / 1_000_000.0)
     } else {
         format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
     }
 }
 
@@ -240,5 +343,33 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn json_lines_are_appended() {
+        let path = std::env::temp_dir().join(format!("depkit-bench-{}.json", std::process::id()));
+        let b = Bencher {
+            samples: vec![10.0, 20.0],
+            iterations: 2,
+        };
+        write_json(
+            path.to_str().unwrap(),
+            "g/f/1",
+            15.0,
+            &b,
+            Some(Throughput::Elements(8)),
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\":\"g/f/1\""));
+        assert!(text.contains("\"median_ns\":15.0"));
+        assert!(text.contains("\"elements\":8"));
+        std::fs::remove_file(path).ok();
     }
 }
