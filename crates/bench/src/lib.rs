@@ -93,11 +93,25 @@ pub fn referential_workload(
 /// database size constant. Applying [`Delta::inverse`] afterwards restores
 /// the original database, so benches can iterate the pair indefinitely.
 pub fn employee_churn_delta(emps: usize, depts: usize, batch: usize) -> Delta {
-    assert!(batch <= emps, "cannot churn more employees than exist");
+    scoped_churn_delta(emps, depts, batch, 0)
+}
+
+/// A churn batch scoped to the EID range starting at `range_start`:
+/// replace employees `range_start..range_start+batch` with fresh hires
+/// `emps+range_start..`, keeping every constraint satisfied. Distinct
+/// `range_start` values at least `batch` apart touch disjoint row sets,
+/// so N concurrent sessions (one range each) never conflict — the
+/// workload of the `concurrent_validation` bench.
+pub fn scoped_churn_delta(emps: usize, depts: usize, batch: usize, range_start: usize) -> Delta {
+    assert!(
+        range_start + batch <= emps,
+        "cannot churn more employees than exist"
+    );
     let mut d = Delta::new();
     for i in 0..batch {
-        d.delete_ints("EMP", &[i as i64, (i % depts) as i64]);
-        let hire = emps + i;
+        let old = range_start + i;
+        d.delete_ints("EMP", &[old as i64, (old % depts) as i64]);
+        let hire = emps + old;
         d.insert_ints("EMP", &[hire as i64, (hire % depts) as i64]);
     }
     d

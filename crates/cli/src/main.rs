@@ -12,6 +12,14 @@
 //!                                          (N worker threads; 0 or omitted =
 //!                                          all cores — the result is
 //!                                          identical either way)
+//! depkit serve <spec.dep> [--addr A]       run the line-JSON session server
+//!                                          on A (default 127.0.0.1:4227)
+//!                                          against the spec's constraints
+//!                                          and seed data
+//! depkit client <addr> [script]            drive a server: send each line of
+//!                                          script (a file, or stdin when
+//!                                          omitted) as a request, print each
+//!                                          response
 //! ```
 //!
 //! Spec files are plain text (see `spec.rs`): `schema R(A, B)` /
@@ -61,16 +69,52 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .map_err(|_| format!("--threads expects a number, got `{n}`"))?;
             discover(path, threads)
         }
+        [cmd, path] if cmd == "serve" => serve(path, "127.0.0.1:4227"),
+        [cmd, path, flag, addr] if cmd == "serve" && flag == "--addr" => serve(path, addr),
+        [cmd, addr] if cmd == "client" => client(addr, None),
+        [cmd, addr, script] if cmd == "client" => client(addr, Some(script)),
         _ => {
             eprintln!(
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
                  depkit validate <spec.dep> <deltas.dep>\n       \
-                 depkit discover <spec.dep> [--threads N]"
+                 depkit discover <spec.dep> [--threads N]\n       \
+                 depkit serve <spec.dep> [--addr HOST:PORT]\n       \
+                 depkit client <HOST:PORT> [script]"
             );
             Ok(ExitCode::from(2))
         }
     }
+}
+
+fn serve(path: &str, addr: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let sigma = spec.constraints.dependencies().to_vec();
+    let cat = depkit_solver::incremental::CatalogState::new(spec.constraints.schema(), &sigma)?;
+    let seeded = cat.seed(&spec.database)?;
+    let server = depkit_serve::Server::start(cat, addr, depkit_serve::ServeConfig::default())?;
+    // CI and scripts wait for this line before connecting.
+    println!(
+        "serving {} on {} ({} rows seeded, {} dependencies)",
+        path,
+        server.local_addr(),
+        seeded.applied.inserted,
+        sigma.len()
+    );
+    // Serve until killed; the accept loop owns the listener.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn client(addr: &str, script: Option<&str>) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let text = match script {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => std::io::read_to_string(std::io::stdin())?,
+    };
+    let stdout = std::io::stdout();
+    depkit_serve::run_script(addr, &text, &mut stdout.lock())?;
+    Ok(ExitCode::SUCCESS)
 }
 
 fn check(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -402,5 +446,26 @@ commit
     fn usage_error_on_bad_args() {
         assert_eq!(run(&[]).unwrap(), ExitCode::from(2));
         assert_eq!(run(&["bogus".into()]).unwrap(), ExitCode::from(2));
+    }
+
+    #[test]
+    fn client_subcommand_drives_a_live_server() {
+        let spec = parse_spec(HR).unwrap();
+        let sigma = spec.constraints.dependencies().to_vec();
+        let cat = depkit_solver::incremental::CatalogState::new(spec.constraints.schema(), &sigma)
+            .unwrap();
+        cat.seed(&spec.database).unwrap();
+        let server =
+            depkit_serve::Server::start(cat, "127.0.0.1:0", depkit_serve::ServeConfig::default())
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let script = "{\"cmd\":\"begin\"}\n{\"cmd\":\"query\"}\n{\"cmd\":\"abort\"}\n";
+        let script_path = write_temp("client-script", script);
+        assert_eq!(
+            run(&["client".into(), addr, script_path.clone()]).unwrap(),
+            ExitCode::SUCCESS
+        );
+        std::fs::remove_file(script_path).ok();
+        server.stop().unwrap();
     }
 }

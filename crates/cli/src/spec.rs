@@ -41,35 +41,43 @@ pub struct Spec {
     pub database: Database,
 }
 
-/// A parse error with its line number (1-based).
+/// A parse error with its line number (1-based) and the offending text,
+/// so a bad line in a long script is diagnosable from the message alone.
 #[derive(Debug)]
 pub struct SpecError {
-    /// 1-based line number.
+    /// 1-based line number (0 for whole-file errors with no single line).
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// The offending line, trimmed (empty for whole-file errors).
+    pub text: String,
 }
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if !self.text.is_empty() {
+            write!(f, " (in `{}`)", self.text)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for SpecError {}
 
-fn err(line: usize, message: impl Into<String>) -> SpecError {
+fn err(line: usize, text: &str, message: impl Into<String>) -> SpecError {
     SpecError {
         line,
         message: message.into(),
+        text: text.trim().to_owned(),
     }
 }
 
 /// Parse a spec from text.
 pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     let mut schemes: Vec<RelationScheme> = Vec::new();
-    let mut deps: Vec<(usize, Dependency)> = Vec::new();
-    let mut rows: Vec<(usize, String, Vec<Value>)> = Vec::new();
+    let mut deps: Vec<(usize, String, Dependency)> = Vec::new();
+    let mut rows: Vec<(usize, String, String, Vec<Value>)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -84,45 +92,46 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         match keyword {
             "schema" => {
                 let scheme = depkit_core::parser::parse_scheme(rest)
-                    .map_err(|e| err(line_no, e.to_string()))?;
+                    .map_err(|e| err(line_no, line, e.to_string()))?;
                 schemes.push(scheme);
             }
             "dep" => {
                 let dep: Dependency = rest
                     .parse()
-                    .map_err(|e: CoreError| err(line_no, e.to_string()))?;
-                deps.push((line_no, dep));
+                    .map_err(|e: CoreError| err(line_no, line, e.to_string()))?;
+                deps.push((line_no, line.to_owned(), dep));
             }
             "row" => {
                 let mut parts = rest.split_whitespace();
                 let rel = parts
                     .next()
-                    .ok_or_else(|| err(line_no, "row needs a relation name"))?
+                    .ok_or_else(|| err(line_no, line, "row needs a relation name"))?
                     .to_string();
-                rows.push((line_no, rel, parse_values(parts)));
+                rows.push((line_no, line.to_owned(), rel, parse_values(parts)));
             }
             other => {
                 return Err(err(
                     line_no,
+                    line,
                     format!("unknown directive `{other}` (expected schema/dep/row)"),
                 ))
             }
         }
     }
 
-    let schema = DatabaseSchema::new(schemes).map_err(|e| err(0, e.to_string()))?;
+    let schema = DatabaseSchema::new(schemes).map_err(|e| err(0, "", e.to_string()))?;
     let mut constraints =
-        ConstraintSet::new(schema.clone(), Vec::new()).map_err(|e| err(0, e.to_string()))?;
-    for (line_no, dep) in deps {
+        ConstraintSet::new(schema.clone(), Vec::new()).map_err(|e| err(0, "", e.to_string()))?;
+    for (line_no, text, dep) in deps {
         constraints
             .push(dep)
-            .map_err(|e| err(line_no, e.to_string()))?;
+            .map_err(|e| err(line_no, &text, e.to_string()))?;
     }
     let mut database = Database::empty(schema);
-    for (line_no, rel, values) in rows {
+    for (line_no, text, rel, values) in rows {
         database
             .insert(&RelName::new(&rel), Tuple::new(values))
-            .map_err(|e| err(line_no, e.to_string()))?;
+            .map_err(|e| err(line_no, &text, e.to_string()))?;
     }
     Ok(Spec {
         constraints,
@@ -171,7 +180,7 @@ pub fn parse_deltas(text: &str) -> Result<Vec<Delta>, SpecError> {
                 let mut parts = rest.split_whitespace();
                 let rel = parts
                     .next()
-                    .ok_or_else(|| err(line_no, format!("{keyword} needs a relation name")))?
+                    .ok_or_else(|| err(line_no, line, format!("{keyword} needs a relation name")))?
                     .to_string();
                 let t = Tuple::new(parse_values(parts));
                 if keyword == "insert" {
@@ -183,6 +192,7 @@ pub fn parse_deltas(text: &str) -> Result<Vec<Delta>, SpecError> {
             other => {
                 return Err(err(
                     line_no,
+                    line,
                     format!("unknown directive `{other}` (expected insert/delete/commit)"),
                 ))
             }
@@ -229,13 +239,17 @@ row MGR hilbert math
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_numbers_and_offending_text() {
         let e = parse_spec("schema R(A)\nbogus directive\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.text, "bogus directive");
+        assert!(e.to_string().contains("(in `bogus directive`)"), "{e}");
         let e2 = parse_spec("schema R(A)\nrow R 1 2\n").unwrap_err();
         assert_eq!(e2.line, 2); // arity mismatch
+        assert_eq!(e2.text, "row R 1 2");
         let e3 = parse_spec("schema R(A)\ndep S[A] <= R[A]\n").unwrap_err();
         assert_eq!(e3.line, 2); // unknown relation in dep
+        assert_eq!(e3.text, "dep S[A] <= R[A]");
     }
 
     #[test]
@@ -261,11 +275,14 @@ insert EMP banach 7
     }
 
     #[test]
-    fn delta_errors_carry_line_numbers() {
+    fn delta_errors_carry_line_numbers_and_offending_text() {
         let e = parse_deltas("insert R 1\nupsert R 2\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.text, "upsert R 2");
+        assert!(e.to_string().contains("(in `upsert R 2`)"), "{e}");
         let e2 = parse_deltas("insert\n").unwrap_err();
         assert_eq!(e2.line, 1);
+        assert_eq!(e2.text, "insert");
     }
 
     #[test]

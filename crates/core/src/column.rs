@@ -34,6 +34,138 @@
 use crate::database::Database;
 use crate::hashing::FastSet;
 use crate::index::ValueInterner;
+use std::sync::Arc;
+
+/// Rows per sealed chunk of a [`ChunkedColumn`]. Small enough that the
+/// copy-on-write clone triggered by mutating a shared sealed chunk stays
+/// cheap, large enough that a snapshot of an `n`-row column clones only
+/// `n / 1024` [`Arc`]s.
+pub const CHUNK_ROWS: usize = 1024;
+
+/// An append-mostly column of `Copy` cells split into `Arc`-shared sealed
+/// chunks plus a mutable tail — the copy-on-write storage unit of the
+/// snapshot-isolated catalog.
+///
+/// The write side ([`ChunkedColumn::push`] / [`ChunkedColumn::set`]) is
+/// single-owner, exactly like a `Vec`. What changes is the *read* side:
+/// [`ChunkedColumn::snapshot`] produces a [`ChunkedColumnSnapshot`] in
+/// `O(len / CHUNK_ROWS)` — it clones the `Arc` per sealed chunk and copies
+/// the short tail — and that snapshot stays byte-stable forever:
+///
+/// * later [`push`](ChunkedColumn::push)es land in the tail (or a fresh
+///   chunk), which the snapshot copied;
+/// * later [`set`](ChunkedColumn::set)s on a sealed chunk go through
+///   [`Arc::make_mut`], so a chunk still referenced by any snapshot is
+///   cloned before mutation (copy-on-write) and the snapshot keeps the
+///   pre-write cells.
+///
+/// The catalog stores committed rows this way (one column per attribute
+/// plus birth/death generation columns): appends are commits, in-place
+/// `set`s only ever touch the death-generation column, and readers scan
+/// their pinned snapshot without any lock.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedColumn<T: Copy> {
+    sealed: Vec<Arc<Vec<T>>>,
+    tail: Vec<T>,
+}
+
+impl<T: Copy> ChunkedColumn<T> {
+    /// An empty column.
+    pub fn new() -> Self {
+        ChunkedColumn {
+            sealed: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK_ROWS + self.tail.len()
+    }
+
+    /// Whether the column holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Append a cell; seals the tail into an `Arc` chunk when it fills.
+    pub fn push(&mut self, v: T) {
+        self.tail.push(v);
+        if self.tail.len() == CHUNK_ROWS {
+            let chunk = std::mem::replace(&mut self.tail, Vec::with_capacity(CHUNK_ROWS));
+            self.sealed.push(Arc::new(chunk));
+        }
+    }
+
+    /// The cell at `i` (panics when out of bounds).
+    pub fn get(&self, i: usize) -> T {
+        let (c, o) = (i / CHUNK_ROWS, i % CHUNK_ROWS);
+        if c < self.sealed.len() {
+            self.sealed[c][o]
+        } else {
+            self.tail[i - self.sealed.len() * CHUNK_ROWS]
+        }
+    }
+
+    /// Overwrite the cell at `i`. A sealed chunk still shared with a
+    /// snapshot is cloned first ([`Arc::make_mut`]), so existing snapshots
+    /// keep the pre-write value — this is the copy-on-write edge.
+    pub fn set(&mut self, i: usize, v: T) {
+        let (c, o) = (i / CHUNK_ROWS, i % CHUNK_ROWS);
+        if c < self.sealed.len() {
+            Arc::make_mut(&mut self.sealed[c])[o] = v;
+        } else {
+            self.tail[i - self.sealed.len() * CHUNK_ROWS] = v;
+        }
+    }
+
+    /// A frozen view of the current cells: `Arc` clones of the sealed
+    /// chunks plus a copy of the tail. `O(len / CHUNK_ROWS + tail)`.
+    pub fn snapshot(&self) -> ChunkedColumnSnapshot<T> {
+        ChunkedColumnSnapshot {
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+        }
+    }
+}
+
+/// A frozen view of a [`ChunkedColumn`]: immutable, cheaply cloneable, and
+/// unaffected by any later write to the column it was taken from.
+#[derive(Debug, Clone)]
+pub struct ChunkedColumnSnapshot<T: Copy> {
+    sealed: Vec<Arc<Vec<T>>>,
+    tail: Vec<T>,
+}
+
+impl<T: Copy> ChunkedColumnSnapshot<T> {
+    /// Number of cells the snapshot captured.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK_ROWS + self.tail.len()
+    }
+
+    /// Whether the snapshot captured no cells.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// The cell at `i` as of snapshot time (panics when out of bounds).
+    pub fn get(&self, i: usize) -> T {
+        let (c, o) = (i / CHUNK_ROWS, i % CHUNK_ROWS);
+        if c < self.sealed.len() {
+            self.sealed[c][o]
+        } else {
+            self.tail[i - self.sealed.len() * CHUNK_ROWS]
+        }
+    }
+
+    /// Iterate the captured cells in index order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .chain(self.tail.iter().copied())
+    }
+}
 
 /// One relation's tuples stored column-at-a-time: `columns[c][r]` is the
 /// interned id of row `r`'s entry in attribute position `c`. All columns
@@ -585,6 +717,54 @@ mod tests {
         let mut s2 = KeySet::with_arity(2);
         s2.insert(&[0, 1]);
         assert!(!s2.contains(&[1, 0]));
+    }
+
+    #[test]
+    fn chunked_column_roundtrips_across_chunk_boundaries() {
+        let mut col = ChunkedColumn::new();
+        assert!(col.is_empty());
+        let n = CHUNK_ROWS * 2 + 17;
+        for i in 0..n {
+            col.push(i as u32);
+        }
+        assert_eq!(col.len(), n);
+        assert!(!col.is_empty());
+        for i in [0, CHUNK_ROWS - 1, CHUNK_ROWS, n - 1] {
+            assert_eq!(col.get(i), i as u32);
+        }
+        col.set(0, 999); // sealed chunk
+        col.set(n - 1, 888); // tail
+        assert_eq!(col.get(0), 999);
+        assert_eq!(col.get(n - 1), 888);
+    }
+
+    #[test]
+    fn chunked_snapshot_is_immune_to_later_writes() {
+        let mut col = ChunkedColumn::new();
+        let n = CHUNK_ROWS + 10;
+        for i in 0..n {
+            col.push(i as u64);
+        }
+        let snap = col.snapshot();
+        assert_eq!(snap.len(), n);
+        assert!(!snap.is_empty());
+        // Mutate a sealed cell (copy-on-write), a tail cell, and append.
+        col.set(5, 12345);
+        col.set(n - 1, 54321);
+        col.push(777);
+        assert_eq!(col.get(5), 12345);
+        assert_eq!(col.len(), n + 1);
+        // The snapshot still sees the pre-write world.
+        assert_eq!(snap.get(5), 5);
+        assert_eq!(snap.get(n - 1), (n - 1) as u64);
+        assert_eq!(snap.len(), n);
+        let collected: Vec<u64> = snap.iter().collect();
+        assert_eq!(collected.len(), n);
+        assert_eq!(collected[5], 5);
+        // A second snapshot sees the new world; the first is unchanged.
+        let snap2 = col.snapshot();
+        assert_eq!(snap2.get(5), 12345);
+        assert_eq!(snap.get(5), 5);
     }
 
     #[test]

@@ -57,9 +57,20 @@ impl Delta {
         self.inserts.len() + self.deletes.len()
     }
 
-    /// Whether the delta queues no operations.
+    /// Whether the delta queues no operations. Consumers use this as the
+    /// empty-commit fast path: applying an empty delta must touch no index
+    /// and advance no generation (the session catalog and the incremental
+    /// validator both test this contract).
     pub fn is_empty(&self) -> bool {
         self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Drop every queued operation, keeping the allocations — the
+    /// staging-reuse path of session `abort` (and of commit loops that
+    /// recycle one staging delta across batches).
+    pub fn clear(&mut self) {
+        self.inserts.clear();
+        self.deletes.clear();
     }
 
     /// The delta that undoes this one against the database it was applied
@@ -151,6 +162,30 @@ mod tests {
         eff.delete_ints("R", &[3, 4]).insert_ints("R", &[7, 8]);
         db.apply_delta(&eff).unwrap();
         db.apply_delta(&eff.inverse()).unwrap();
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn clear_keeps_the_delta_reusable() {
+        let mut d = Delta::new();
+        d.insert_ints("R", &[1]).delete_ints("R", &[2]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        d.insert_ints("R", &[3]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_fast_path() {
+        let schema = DatabaseSchema::parse(&["R(A)"]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_ints("R", &[&[1]]).unwrap();
+        let before = db.clone();
+        let out = db.apply_delta(&Delta::new()).unwrap();
+        assert_eq!(out, DeltaOutcome::default());
         assert_eq!(db, before);
     }
 

@@ -67,12 +67,38 @@ pub struct ValueInterner {
     refs: Vec<u32>,
     /// Zero-ref slots available for reuse.
     free: Vec<u32>,
+    /// Append-only mode: ids are never unmapped or recycled, so any id
+    /// below the current [`ValueInterner::epoch`] resolves to the same
+    /// value forever — the contract pinned snapshots rely on.
+    append_only: bool,
 }
 
 impl ValueInterner {
     /// An empty interner.
     pub fn new() -> Self {
         ValueInterner::default()
+    }
+
+    /// An empty **append-only** interner: [`ValueInterner::release_row`]
+    /// never unmaps ids and slots are never recycled, so the table grows
+    /// monotonically and every id below [`ValueInterner::epoch`] stays
+    /// resolvable forever. This is the mode the snapshot-isolated catalog
+    /// uses — a reader pinned at an old generation may resolve ids whose
+    /// rows have long been deleted at the head.
+    pub fn new_append_only() -> Self {
+        ValueInterner {
+            append_only: true,
+            ..ValueInterner::default()
+        }
+    }
+
+    /// The interner's epoch: the number of slots ever allocated. In
+    /// append-only mode this is monotone and ids `0..epoch()` are frozen —
+    /// a reader that recorded `epoch()` at pin time may resolve any id it
+    /// saw then without coordinating with writers that have since
+    /// interned more values.
+    pub fn epoch(&self) -> u64 {
+        self.values.len() as u64
     }
 
     /// Number of distinct values currently mapped (retained or freshly
@@ -177,7 +203,15 @@ impl ValueInterner {
 
     /// Drop one reference per entry of a deleted row; ids reaching zero
     /// references are unmapped and their slots recycled.
+    ///
+    /// In [append-only](ValueInterner::new_append_only) mode this is a
+    /// no-op: deleted rows' values stay mapped so pinned snapshots keep
+    /// resolving them (the table is only ever compacted by rebuilding the
+    /// catalog).
     pub fn release_row(&mut self, row: &[u32]) {
+        if self.append_only {
+            return;
+        }
         for &id in row {
             let r = &mut self.refs[id as usize];
             debug_assert!(*r > 0, "released a row that was never retained");
@@ -417,6 +451,204 @@ impl ProjectionIndex {
     }
 }
 
+/// A generation-stamped `u32` value: the full history of `(generation,
+/// value)` changes, pruned below a caller-supplied watermark.
+///
+/// This is the cell type of [`VersionedIndex`] — the multi-version sibling
+/// of a plain refcount. Readers ask for the value *as of* a pinned
+/// generation ([`GenValue::at`]); writers stamp a new value at the commit
+/// generation ([`GenValue::set`]). History below the watermark — the
+/// oldest generation any reader still has pinned — is unobservable and is
+/// pruned on every touch, so a hot cell's history stays as short as the
+/// snapshot horizon, not as long as the commit log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenValue {
+    /// `(generation, value)` entries, strictly ascending by generation.
+    hist: Vec<(u64, u32)>,
+}
+
+impl GenValue {
+    /// The value as of generation `gen`: the last entry stamped at or
+    /// before `gen`, or `0` when the cell had not been written yet (zero
+    /// is the universal initial state of every counter here).
+    pub fn at(&self, gen: u64) -> u32 {
+        match self.hist.partition_point(|e| e.0 <= gen) {
+            0 => 0,
+            i => self.hist[i - 1].1,
+        }
+    }
+
+    /// The most recently stamped value (`0` when never written).
+    pub fn latest(&self) -> u32 {
+        self.hist.last().map_or(0, |e| e.1)
+    }
+
+    /// Stamp `value` at `gen`, then prune history that no reader at or
+    /// above `watermark` can observe. Re-stamping the current generation
+    /// overwrites in place (several changes within one commit collapse to
+    /// the committed outcome); stamping a generation below the newest is a
+    /// caller bug.
+    pub fn set(&mut self, gen: u64, value: u32, watermark: u64) {
+        match self.hist.last_mut() {
+            Some(last) if last.0 == gen => last.1 = value,
+            Some(last) => {
+                debug_assert!(last.0 < gen, "generation stamps must be monotone");
+                self.hist.push((gen, value));
+            }
+            None => self.hist.push((gen, value)),
+        }
+        self.prune(watermark);
+    }
+
+    /// Drop entries no reader at or above `watermark` can observe: entry
+    /// `0` is dead as soon as entry `1` is already visible at the
+    /// watermark. Histories are short (they are pruned on every touch), so
+    /// the front-removal is cheap.
+    pub fn prune(&mut self, watermark: u64) {
+        while self.hist.len() >= 2 && self.hist[1].0 <= watermark {
+            self.hist.remove(0);
+        }
+    }
+
+    /// Whether the cell is unobservable at every generation at or above
+    /// the pruning watermark — a single all-zero entry (or none), i.e. a
+    /// candidate for eviction by [`VersionedIndex::vacuum`].
+    pub fn is_dead(&self) -> bool {
+        match self.hist.as_slice() {
+            [] => true,
+            [(_, v)] => *v == 0,
+            _ => false,
+        }
+    }
+
+    /// Number of retained history entries (diagnostics and tests).
+    pub fn depth(&self) -> usize {
+        self.hist.len()
+    }
+}
+
+/// The generation-counted sibling of [`ProjectionIndex`]: a multiset of
+/// projection keys whose per-key count is a full [`GenValue`] history
+/// instead of a single `u32`.
+///
+/// This is what lets one catalog serve snapshot reads *during* writes: a
+/// writer commits generation `g+1` by stamping new counts at `g+1`
+/// ([`VersionedIndex::add`] / [`VersionedIndex::remove`]), while a reader
+/// pinned at `g` keeps probing [`VersionedIndex::count_at`]`(key, g)` and
+/// observes the exact pre-commit counts. The `0 ↔ 1` transition discipline
+/// of [`ProjectionIndex`] carries over unchanged — both mutators return
+/// the post-operation count at the head.
+///
+/// Space discipline: histories are pruned against the snapshot watermark
+/// on every touch, and [`VersionedIndex::vacuum`] evicts keys whose entire
+/// observable history is zero. Between vacuums a dead key costs one map
+/// entry — the price of readers being allowed to lag.
+#[derive(Debug, Clone, Default)]
+pub struct VersionedIndex {
+    counts: FastMap<Vec<u32>, GenValue>,
+}
+
+impl VersionedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        VersionedIndex::default()
+    }
+
+    /// The count of `key` as of generation `gen` (zero when absent).
+    pub fn count_at(&self, key: &[u32], gen: u64) -> u32 {
+        self.counts.get(key).map_or(0, |g| g.at(gen))
+    }
+
+    /// The count of `key` at the newest generation (zero when absent).
+    pub fn latest(&self, key: &[u32]) -> u32 {
+        self.counts.get(key).map_or(0, GenValue::latest)
+    }
+
+    /// Add one reference to `key`, stamped at `gen`; returns the count
+    /// after the add (so `1` means the key just became present at `gen`).
+    pub fn add(&mut self, key: &[u32], gen: u64, watermark: u64) -> u32 {
+        match self.counts.get_mut(key) {
+            Some(g) => {
+                let c = g.latest() + 1;
+                g.set(gen, c, watermark);
+                c
+            }
+            None => {
+                let mut g = GenValue::default();
+                g.set(gen, 1, watermark);
+                self.counts.insert(key.to_vec(), g);
+                1
+            }
+        }
+    }
+
+    /// Drop one reference to `key`, stamped at `gen`; returns the count
+    /// after the drop (so `0` means the key just disappeared at `gen`).
+    /// Removing an absent key is a logic error upstream; it debug-panics
+    /// and returns `0` in release.
+    pub fn remove(&mut self, key: &[u32], gen: u64, watermark: u64) -> u32 {
+        match self.counts.get_mut(key) {
+            Some(g) if g.latest() > 0 => {
+                let c = g.latest() - 1;
+                g.set(gen, c, watermark);
+                c
+            }
+            _ => {
+                debug_assert!(false, "removed a key that was never added");
+                0
+            }
+        }
+    }
+
+    /// Stamp an explicit count for `key` at `gen` (used for 0/1-valued
+    /// membership and violation flags).
+    pub fn set(&mut self, key: &[u32], gen: u64, value: u32, watermark: u64) {
+        match self.counts.get_mut(key) {
+            Some(g) => g.set(gen, value, watermark),
+            None => {
+                if value == 0 {
+                    return; // absent and zero: nothing to record
+                }
+                let mut g = GenValue::default();
+                g.set(gen, value, watermark);
+                self.counts.insert(key.to_vec(), g);
+            }
+        }
+    }
+
+    /// Iterate the keys whose count at generation `gen` is positive
+    /// (arbitrary order).
+    pub fn keys_at(&self, gen: u64) -> impl Iterator<Item = &Vec<u32>> {
+        self.counts
+            .iter()
+            .filter(move |(_, g)| g.at(gen) > 0)
+            .map(|(k, _)| k)
+    }
+
+    /// Iterate every key with its count as of generation `gen`, zero
+    /// counts included (arbitrary order) — the enumeration primitive
+    /// violation reporting filters over.
+    pub fn iter_at(&self, gen: u64) -> impl Iterator<Item = (&Vec<u32>, u32)> {
+        self.counts.iter().map(move |(k, g)| (k, g.at(gen)))
+    }
+
+    /// Prune every history against `watermark` and evict keys left with no
+    /// observable nonzero count. `O(keys)` — run occasionally, not per
+    /// commit.
+    pub fn vacuum(&mut self, watermark: u64) {
+        self.counts.retain(|_, g| {
+            g.prune(watermark);
+            !g.is_dead()
+        });
+    }
+
+    /// Number of keys currently stored, dead histories included
+    /// (diagnostics and tests; see [`VersionedIndex::vacuum`]).
+    pub fn key_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +730,89 @@ mod tests {
         assert!(rs.remove(&[1, 2]));
         assert!(!rs.remove(&[1, 2]));
         assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn append_only_interner_never_recycles() {
+        let mut vi = ValueInterner::new_append_only();
+        assert_eq!(vi.epoch(), 0);
+        let row = vi.intern_row(&[Value::Int(1), Value::Int(2)]);
+        assert_eq!(vi.epoch(), 2);
+        // Releasing is a no-op: the ids stay resolvable (a pinned snapshot
+        // may still hold them) and no slot is recycled.
+        vi.release_row(&row);
+        assert_eq!(vi.resolve(row[0]), &Value::Int(1));
+        assert_eq!(vi.lookup(&Value::Int(1)), Some(row[0]));
+        let fresh = vi.intern(&Value::str("later"));
+        assert!(fresh > row[1], "no slot recycling in append-only mode");
+        assert_eq!(vi.epoch(), 3);
+        // Epoch is monotone: re-interning existing values does not move it.
+        vi.intern(&Value::Int(1));
+        assert_eq!(vi.epoch(), 3);
+    }
+
+    #[test]
+    fn gen_value_reads_as_of_any_generation() {
+        let mut g = GenValue::default();
+        assert_eq!(g.at(0), 0);
+        assert_eq!(g.latest(), 0);
+        g.set(3, 5, 0);
+        g.set(7, 2, 0);
+        g.set(7, 9, 0); // same-generation overwrite collapses
+        assert_eq!(g.at(2), 0);
+        assert_eq!(g.at(3), 5);
+        assert_eq!(g.at(6), 5);
+        assert_eq!(g.at(7), 9);
+        assert_eq!(g.at(100), 9);
+        assert_eq!(g.latest(), 9);
+        assert_eq!(g.depth(), 2);
+        // Pruning at watermark 7: the (3, 5) entry is unobservable.
+        g.prune(7);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.at(7), 9);
+        // Readers at/above the watermark still see the same world; a read
+        // below the watermark would be a protocol violation anyway.
+        assert!(!g.is_dead());
+        g.set(9, 0, 9);
+        assert!(g.is_dead());
+    }
+
+    #[test]
+    fn versioned_index_serves_old_generations_during_writes() {
+        let mut idx = VersionedIndex::new();
+        assert_eq!(idx.add(&[1], 1, 0), 1);
+        assert_eq!(idx.add(&[1], 2, 0), 2);
+        assert_eq!(idx.add(&[2], 2, 0), 1);
+        // A reader pinned at generation 1 sees the pre-commit counts.
+        assert_eq!(idx.count_at(&[1], 1), 1);
+        assert_eq!(idx.count_at(&[2], 1), 0);
+        assert_eq!(idx.count_at(&[1], 2), 2);
+        assert_eq!(idx.latest(&[2]), 1);
+        // Removal stamps a new generation without disturbing old readers.
+        assert_eq!(idx.remove(&[1], 3, 0), 1);
+        assert_eq!(idx.remove(&[1], 4, 0), 0);
+        assert_eq!(idx.count_at(&[1], 2), 2);
+        assert_eq!(idx.count_at(&[1], 4), 0);
+        let at2: Vec<_> = idx.keys_at(2).collect();
+        assert_eq!(at2.len(), 2);
+        let at4: Vec<_> = idx.keys_at(4).collect();
+        assert_eq!(at4, vec![&vec![2]]);
+        // Vacuum at watermark 4 evicts the dead key entirely.
+        assert_eq!(idx.key_count(), 2);
+        idx.vacuum(4);
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.count_at(&[2], 4), 1);
+    }
+
+    #[test]
+    fn versioned_index_set_skips_dead_zero_writes() {
+        let mut idx = VersionedIndex::new();
+        idx.set(&[7], 1, 0, 0); // absent + zero: not recorded
+        assert_eq!(idx.key_count(), 0);
+        idx.set(&[7], 2, 1, 0);
+        idx.set(&[7], 3, 0, 0);
+        assert_eq!(idx.count_at(&[7], 2), 1);
+        assert_eq!(idx.count_at(&[7], 3), 0);
     }
 
     #[test]

@@ -95,13 +95,16 @@ pub mod symbolic;
 pub mod value;
 
 pub use attr::{Attr, AttrSeq};
-pub use column::{ColumnCursor, ColumnStore, KeySet, Refiner, RelationColumns};
+pub use column::{
+    ChunkedColumn, ChunkedColumnSnapshot, ColumnCursor, ColumnStore, KeySet, Refiner,
+    RelationColumns,
+};
 pub use constraint::ConstraintSet;
 pub use database::Database;
 pub use delta::{Delta, DeltaOutcome};
 pub use dependency::{Dependency, Emvd, Fd, Ind, Rd};
 pub use error::CoreError;
-pub use index::{ProjectionIndex, RowSet, ValueInterner};
+pub use index::{GenValue, ProjectionIndex, RowSet, ValueInterner, VersionedIndex};
 pub use intern::{AttrBitSet, AttrId, Catalog, IdSeq, RelId};
 pub use relation::{Relation, Tuple};
 pub use schema::{DatabaseSchema, RelName, RelationScheme};

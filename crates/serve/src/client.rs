@@ -1,0 +1,112 @@
+//! A scripted protocol client: send request lines, collect response
+//! lines — the driver behind `depkit client` and the CI serve smoke.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Connect to `addr`, send every non-empty, non-comment line of
+/// `script` as one request, and write each response line to `out`.
+///
+/// Script lines are raw protocol JSON; `#`-prefixed lines and blank
+/// lines are skipped, so a script can annotate itself. The responses
+/// arrive in request order (the protocol is strictly one response per
+/// request), which makes the collected output a deterministic
+/// transcript — exactly what the CI smoke job asserts against.
+pub fn run_script(addr: &str, script: &str, out: &mut dyn Write) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut response = String::new();
+    for raw in script.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        response.clear();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-script",
+            ));
+        }
+        out.write_all(response.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+    use depkit_core::dependency::Dependency;
+    use depkit_core::schema::DatabaseSchema;
+    use depkit_solver::incremental::CatalogState;
+
+    #[test]
+    fn scripted_session_round_trips_over_tcp() {
+        let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO)"]).unwrap();
+        let sigma: Vec<Dependency> = vec!["EMP[DEPT] <= DEPT[DNO]".parse().unwrap()];
+        let cat = CatalogState::new(&schema, &sigma).unwrap();
+        let server = Server::start(cat.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let script = r#"
+# stage a dangling row, look at it, walk away
+{"cmd":"begin"}
+{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}
+{"cmd":"query"}
+{"cmd":"abort"}
+# now do it properly
+{"cmd":"begin"}
+{"cmd":"insert","rel":"DEPT","row":["math"]}
+{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}
+{"cmd":"commit"}
+{"cmd":"query"}
+"#;
+        let mut out = Vec::new();
+        run_script(&addr, script, &mut out).unwrap();
+        let transcript = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = transcript.lines().collect();
+        assert_eq!(lines.len(), 9, "one response per request:\n{transcript}");
+        assert!(lines[2].contains(r#""count":1"#), "{transcript}");
+        assert!(lines[7].contains(r#""generation":1"#), "{transcript}");
+        assert!(lines[8].contains(r#""count":0"#), "{transcript}");
+        assert_eq!(cat.total_rows(), 2, "abort left no trace");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn concurrent_tcp_clients_share_one_catalog() {
+        let schema = DatabaseSchema::parse(&["R(A)"]).unwrap();
+        let cat = CatalogState::new(&schema, &[]).unwrap();
+        let server = Server::start(cat.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut script = String::from("{\"cmd\":\"begin\"}\n");
+                    for i in 0..25 {
+                        script.push_str(&format!(
+                            "{{\"cmd\":\"insert\",\"rel\":\"R\",\"row\":[{}]}}\n",
+                            t * 1000 + i
+                        ));
+                    }
+                    script.push_str("{\"cmd\":\"commit\"}\n");
+                    let mut out = Vec::new();
+                    run_script(&addr, &script, &mut out).unwrap();
+                    let text = String::from_utf8(out).unwrap();
+                    assert!(
+                        text.lines().last().unwrap().contains(r#""inserted":25"#),
+                        "{text}"
+                    );
+                });
+            }
+        });
+        assert_eq!(cat.total_rows(), 100);
+        server.stop().unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! # depkit-serve — the long-running constraint server
+//!
+//! The ROADMAP's north star is constraints *monitored live* over a
+//! mutating database shared by many writers. This crate is the network
+//! layer of that story: it exposes one snapshot-isolated
+//! [`CatalogState`](depkit_solver::incremental::CatalogState) over TCP,
+//! multiplexing any number of client connections into per-connection
+//! [`Session`](depkit_solver::incremental::Session)s.
+//!
+//! * [`json`] — a vendored, std-only line-JSON value type (the build is
+//!   offline; no external JSON dependency exists to link against).
+//! * [`protocol`] — the request/response verbs
+//!   (`begin`/`insert`/`delete`/`query`/`commit`/`abort`), one JSON
+//!   object per line in each direction.
+//! * [`server`] — the thread-per-connection TCP accept loop with
+//!   structural backpressure (bounded staging per session, bounded
+//!   connection count).
+//! * [`client`] — the scripted client used by `depkit client` and the
+//!   CI smoke transcript.
+//!
+//! The server adds **no** consistency machinery of its own: isolation,
+//! commit ordering, and O(delta) validation all live in
+//! `depkit_solver::incremental::catalog`; this crate only frames bytes.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::run_script;
+pub use json::Json;
+pub use protocol::{parse_request, Request};
+pub use server::{ServeConfig, Server};

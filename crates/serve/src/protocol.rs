@@ -1,0 +1,142 @@
+//! The line-JSON session protocol: one request object per line, one
+//! response object per line.
+//!
+//! Requests (`cmd` selects the verb):
+//!
+//! ```text
+//! {"cmd":"begin"}                                   pin a snapshot, open staging
+//! {"cmd":"insert","rel":"EMP","row":[1,"math"]}     stage an insertion
+//! {"cmd":"delete","rel":"EMP","row":[1,"math"]}     stage a deletion
+//! {"cmd":"query"}                                   violations of snapshot + staging
+//! {"cmd":"commit"}                                  apply staging, publish a generation
+//! {"cmd":"abort"}                                   drop staging without a trace
+//! ```
+//!
+//! Row entries are JSON numbers (→ [`Value::Int`]) or strings
+//! (→ [`Value::str`]). Responses are `{"ok":true,...}` on success and
+//! `{"ok":false,"error":"..."}` on failure; parse errors echo the
+//! offending text — the same report shape the `depkit validate` script
+//! parser uses, so a mis-typed line is diagnosable from the transcript
+//! alone.
+
+use crate::json::{self, Json};
+use depkit_core::relation::Tuple;
+use depkit_core::value::Value;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Pin a snapshot and open empty staging.
+    Begin,
+    /// Stage an insertion of `row` into `rel`.
+    Insert {
+        /// Target relation name.
+        rel: String,
+        /// The tuple to insert.
+        row: Tuple,
+    },
+    /// Stage a deletion of `row` from `rel`.
+    Delete {
+        /// Target relation name.
+        rel: String,
+        /// The tuple to delete.
+        row: Tuple,
+    },
+    /// Report the violation set of *snapshot + staging* (or of a fresh
+    /// snapshot when no session is active).
+    Query,
+    /// Apply the staged delta and publish a generation.
+    Commit,
+    /// Drop the staged delta.
+    Abort,
+}
+
+/// Parse one request line. The error message quotes the offending text,
+/// so a transcript line is diagnosable on its own.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let bad = |msg: &str| format!("{msg} (in `{}`)", line.trim());
+    let v = json::parse(line).map_err(|e| bad(&e))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("request must be an object with a string `cmd`"))?;
+    match cmd {
+        "begin" => Ok(Request::Begin),
+        "commit" => Ok(Request::Commit),
+        "abort" => Ok(Request::Abort),
+        "query" => Ok(Request::Query),
+        "insert" | "delete" => {
+            let rel = v
+                .get("rel")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("insert/delete need a string `rel`"))?
+                .to_owned();
+            let items = v
+                .get("row")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("insert/delete need an array `row`"))?;
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                values.push(match item {
+                    Json::Num(n) => Value::Int(*n),
+                    Json::Str(s) => Value::str(s),
+                    other => {
+                        return Err(bad(&format!(
+                            "row entries must be numbers or strings, got `{other}`"
+                        )))
+                    }
+                });
+            }
+            let row = Tuple::new(values);
+            Ok(if cmd == "insert" {
+                Request::Insert { rel, row }
+            } else {
+                Request::Delete { rel, row }
+            })
+        }
+        other => Err(bad(&format!(
+            "unknown cmd `{other}` (expected begin/insert/delete/query/commit/abort)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(parse_request(r#"{"cmd":"begin"}"#).unwrap(), Request::Begin);
+        assert_eq!(
+            parse_request(r#"{"cmd":"commit"}"#).unwrap(),
+            Request::Commit
+        );
+        assert_eq!(parse_request(r#"{"cmd":"abort"}"#).unwrap(), Request::Abort);
+        assert_eq!(parse_request(r#"{"cmd":"query"}"#).unwrap(), Request::Query);
+        let ins = parse_request(r#"{"cmd":"insert","rel":"EMP","row":[7,"math"]}"#).unwrap();
+        assert_eq!(
+            ins,
+            Request::Insert {
+                rel: "EMP".to_owned(),
+                row: Tuple::new(vec![Value::Int(7), Value::str("math")]),
+            }
+        );
+        assert!(matches!(
+            parse_request(r#"{"cmd":"delete","rel":"EMP","row":[]}"#).unwrap(),
+            Request::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_quote_the_offending_text() {
+        let e = parse_request(r#"{"cmd":"upsert"}"#).unwrap_err();
+        assert!(e.contains("unknown cmd `upsert`"), "got: {e}");
+        assert!(e.contains(r#"(in `{"cmd":"upsert"}`)"#), "got: {e}");
+        let e2 = parse_request("not json at all").unwrap_err();
+        assert!(e2.contains("(in `not json at all`)"), "got: {e2}");
+        let e3 = parse_request(r#"{"cmd":"insert","rel":"R","row":[true]}"#).unwrap_err();
+        assert!(e3.contains("numbers or strings"), "got: {e3}");
+        let e4 = parse_request(r#"{"cmd":"insert","rel":"R"}"#).unwrap_err();
+        assert!(e4.contains("array `row`"), "got: {e4}");
+    }
+}

@@ -1,0 +1,373 @@
+//! The TCP session server: one thread per connection, one catalog for
+//! everyone.
+//!
+//! Each accepted connection speaks the [protocol](crate::protocol) and
+//! owns at most one live [`Session`] at a time; the shared
+//! [`CatalogState`] serializes commits and keeps every session's pinned
+//! snapshot readable. Backpressure is structural: the per-session
+//! staging buffer is bounded ([`ServeConfig::max_staged`] — a client
+//! that keeps staging past it gets errors until it commits or aborts),
+//! and the accept loop refuses connections past
+//! [`ServeConfig::max_connections`] with a one-line error instead of
+//! queueing unboundedly.
+
+use crate::json::{obj, Json};
+use crate::protocol::{parse_request, Request};
+use depkit_solver::incremental::{CatalogState, Session};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server limits. The defaults are deliberately generous: the catalog
+/// itself is the scaling bottleneck, not the socket layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum concurrently served connections; further accepts are
+    /// answered with an error line and closed.
+    pub max_connections: usize,
+    /// Maximum staged operations per session; staging past this returns
+    /// errors until the client commits or aborts.
+    pub max_staged: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            // Thread-per-connection: scale the cap with the machine, the
+            // way `core::pool` sizes its workers, but allow deep
+            // oversubscription — sessions are mostly idle between lines.
+            max_connections: 64 * depkit_core::pool::default_threads().max(1),
+            max_staged: 65_536,
+        }
+    }
+}
+
+/// A running server: the accept loop plus its shutdown switch.
+///
+/// # Examples
+///
+/// ```
+/// use depkit_core::prelude::*;
+/// use depkit_solver::incremental::CatalogState;
+/// use depkit_serve::{Server, ServeConfig};
+///
+/// let schema = DatabaseSchema::parse(&["R(A)"]).unwrap();
+/// let cat = CatalogState::new(&schema, &[]).unwrap();
+/// let server = Server::start(cat, "127.0.0.1:0", ServeConfig::default()).unwrap();
+/// let addr = server.local_addr();
+/// // ... connect clients against `addr` ...
+/// server.stop().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting connections against `cat`.
+    pub fn start(cat: CatalogState, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
+                    active.fetch_sub(1, Ordering::AcqRel);
+                    let mut s = stream;
+                    let _ = writeln!(
+                        s,
+                        "{}",
+                        err(format!(
+                            "server at capacity ({} connections)",
+                            cfg.max_connections
+                        ))
+                    );
+                    continue;
+                }
+                let cat = cat.clone();
+                let active = Arc::clone(&active);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&cat, stream, cfg.max_staged);
+                    active.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Connections already being
+    /// served run until their client hangs up.
+    pub fn stop(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept_thread
+            .join()
+            .map_err(|_| io::Error::other("accept loop panicked"))
+    }
+}
+
+fn err(message: String) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message)),
+    ])
+}
+
+/// Drive one connection: read request lines, write response lines, until
+/// the client hangs up. A dropped connection aborts any live session
+/// (its staging is session-local, so nothing leaks).
+fn serve_connection(cat: &CatalogState, stream: TcpStream, max_staged: usize) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut session: Option<Session> = None;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(cat, &mut session, &line, max_staged);
+        writeln!(writer, "{response}")?;
+    }
+    Ok(())
+}
+
+/// Execute one request against the connection's session slot.
+fn respond(
+    cat: &CatalogState,
+    session: &mut Option<Session>,
+    line: &str,
+    max_staged: usize,
+) -> Json {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return err(e),
+    };
+    match request {
+        Request::Begin => {
+            if session.is_some() {
+                return err("a session is already active (commit or abort it first)".into());
+            }
+            let s = cat.begin();
+            let gen = s.generation();
+            *session = Some(s);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("generation", Json::Num(gen as i64)),
+            ])
+        }
+        Request::Insert { rel, row } => stage_op(session, max_staged, &rel, row, true),
+        Request::Delete { rel, row } => stage_op(session, max_staged, &rel, row, false),
+        Request::Query => {
+            let (gen, violations) = match session.as_ref() {
+                Some(s) => (s.generation(), s.violations()),
+                None => {
+                    let snap = cat.snapshot();
+                    (snap.generation(), snap.violations())
+                }
+            };
+            let rendered: Vec<Json> = violations
+                .iter()
+                .map(|v| Json::Str(v.to_string()))
+                .collect();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("generation", Json::Num(gen as i64)),
+                ("count", Json::Num(rendered.len() as i64)),
+                ("violations", Json::Arr(rendered)),
+            ])
+        }
+        Request::Commit => {
+            let Some(s) = session.take() else {
+                return err("no active session (send begin first)".into());
+            };
+            let out = s.commit();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("generation", Json::Num(out.generation as i64)),
+                ("inserted", Json::Num(out.applied.inserted as i64)),
+                ("deleted", Json::Num(out.applied.deleted as i64)),
+            ])
+        }
+        Request::Abort => {
+            let Some(s) = session.take() else {
+                return err("no active session (send begin first)".into());
+            };
+            s.abort();
+            obj(vec![("ok", Json::Bool(true))])
+        }
+    }
+}
+
+/// Stage one operation into the connection's live session, enforcing the
+/// staging bound.
+fn stage_op(
+    session: &mut Option<Session>,
+    max_staged: usize,
+    rel: &str,
+    row: depkit_core::relation::Tuple,
+    insert: bool,
+) -> Json {
+    let Some(s) = session.as_mut() else {
+        return err("no active session (send begin first)".into());
+    };
+    if s.staged().len() >= max_staged {
+        return err(format!(
+            "staging limit reached ({max_staged} operations): commit or abort"
+        ));
+    }
+    let result = if insert {
+        s.stage_insert(rel, row)
+    } else {
+        s.stage_delete(rel, row)
+    };
+    match result {
+        Ok(()) => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("staged", Json::Num(s.staged().len() as i64)),
+        ]),
+        Err(e) => err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::dependency::Dependency;
+    use depkit_core::schema::DatabaseSchema;
+
+    fn catalog() -> CatalogState {
+        let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO)"]).unwrap();
+        let sigma: Vec<Dependency> = vec!["EMP[DEPT] <= DEPT[DNO]".parse().unwrap()];
+        CatalogState::new(&schema, &sigma).unwrap()
+    }
+
+    fn drive(cat: &CatalogState, lines: &[&str]) -> Vec<String> {
+        let mut session = None;
+        lines
+            .iter()
+            .map(|l| respond(cat, &mut session, l, 4).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn the_smoke_transcript_insert_query_abort_commit() {
+        let cat = catalog();
+        let t = drive(
+            &cat,
+            &[
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}"#,
+                r#"{"cmd":"query"}"#,
+                r#"{"cmd":"abort"}"#,
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["math"]}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}"#,
+                r#"{"cmd":"commit"}"#,
+                r#"{"cmd":"query"}"#,
+            ],
+        );
+        assert_eq!(t[0], r#"{"ok":true,"generation":0}"#);
+        assert_eq!(t[1], r#"{"ok":true,"staged":1}"#);
+        assert!(
+            t[2].contains(r#""count":1"#),
+            "staged dangling row: {}",
+            t[2]
+        );
+        assert!(t[2].contains("IND #0"), "names the violation: {}", t[2]);
+        assert_eq!(t[3], r#"{"ok":true}"#);
+        assert!(
+            t[7].contains(r#""generation":1"#),
+            "commit published: {}",
+            t[7]
+        );
+        assert!(
+            t[7].contains(r#""inserted":2"#),
+            "both rows landed: {}",
+            t[7]
+        );
+        assert!(
+            t[8].contains(r#""count":0"#),
+            "consistent after commit: {}",
+            t[8]
+        );
+        // The abort left no trace: only the committed rows exist.
+        assert_eq!(cat.total_rows(), 2);
+    }
+
+    #[test]
+    fn protocol_misuse_is_reported_not_fatal() {
+        let cat = catalog();
+        let t = drive(
+            &cat,
+            &[
+                r#"{"cmd":"commit"}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["a","b"]}"#,
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"frobnicate"}"#,
+                "not json",
+                r#"{"cmd":"insert","rel":"GHOST","row":[1]}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["a"]}"#,
+                r#"{"cmd":"abort"}"#,
+            ],
+        );
+        assert!(t[0].contains("no active session"));
+        assert!(t[1].contains("no active session"));
+        assert!(t[3].contains("already active"));
+        assert!(t[4].contains("unknown cmd `frobnicate`"));
+        assert!(t[5].contains("(in `not json`)"));
+        assert!(t[6].contains("unknown relation"), "got: {}", t[6]);
+        assert!(t[7].contains("arity"), "got: {}", t[7]);
+        assert!(t[8].contains(r#""ok":true"#));
+        assert_eq!(cat.generation(), 0, "nothing committed");
+    }
+
+    #[test]
+    fn staging_is_bounded_for_backpressure() {
+        let cat = catalog();
+        let mut session = None;
+        assert!(respond(&cat, &mut session, r#"{"cmd":"begin"}"#, 2)
+            .to_string()
+            .contains("true"));
+        for i in 0..2 {
+            let r = respond(
+                &cat,
+                &mut session,
+                &format!(r#"{{"cmd":"insert","rel":"DEPT","row":["d{i}"]}}"#),
+                2,
+            );
+            assert!(r.to_string().contains(r#""ok":true"#));
+        }
+        let over = respond(
+            &cat,
+            &mut session,
+            r#"{"cmd":"insert","rel":"DEPT","row":["d9"]}"#,
+            2,
+        );
+        assert!(over.to_string().contains("staging limit reached"));
+        // The session is still usable: commit lands the two staged rows.
+        let done = respond(&cat, &mut session, r#"{"cmd":"commit"}"#, 2);
+        assert!(done.to_string().contains(r#""inserted":2"#));
+    }
+}

@@ -29,6 +29,16 @@
 //! The differential-testing contract — *incremental == full recheck after
 //! every delta* — is enforced by `tests/incremental_vs_full.rs` and is the
 //! pattern every future serving feature should follow.
+//!
+//! [`Validator`] owns its state exclusively — one writer, no readers
+//! during writes. The [`catalog`] submodule refactors the same engine
+//! into a snapshot-isolated form ([`CatalogState`] / [`Session`] /
+//! [`Snapshot`]) where any number of sessions stage, preview, and commit
+//! deltas against one shared catalog — the shape `depkit serve` runs.
+
+pub mod catalog;
+
+pub use catalog::{CatalogState, CommitOutcome, FrozenRelation, Session, Snapshot};
 
 use depkit_core::column::{ColumnCursor, RelationColumns};
 use depkit_core::database::Database;

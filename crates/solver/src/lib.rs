@@ -67,7 +67,9 @@ pub use armstrong::armstrong_relation;
 pub use discover::{discover, Discovery, DiscoveryConfig, DiscoveryStats};
 pub use fd::FdEngine;
 pub use finite::FiniteEngine;
-pub use incremental::{full_violations, Validator, ViolationKey};
+pub use incremental::{
+    full_violations, CatalogState, CommitOutcome, Session, Snapshot, Validator, ViolationKey,
+};
 pub use ind::{Expression, IndSolver, SearchStats};
 pub use interact::Saturator;
 pub use reference::{ReferenceFdEngine, ReferenceIndSolver};

@@ -15,6 +15,7 @@
 //! | [`lba`]   | `depkit-lba`    | §3 Theorem 3.3 PSPACE reduction |
 //! | [`perm`]  | `depkit-perm`   | §3 Landau lower bound |
 //! | [`bench`][mod@bench] | `depkit-bench`  | shared workloads for the bench suite |
+//! | [`serve`] | `depkit-serve`  | §1 motivation: constraints monitored live over TCP sessions |
 //!
 //! ```
 //! use depkit::prelude::*;
@@ -30,6 +31,7 @@ pub use depkit_chase as chase;
 pub use depkit_core as core;
 pub use depkit_lba as lba;
 pub use depkit_perm as perm;
+pub use depkit_serve as serve;
 pub use depkit_solver as solver;
 
 /// The core prelude, re-exported at the facade level.

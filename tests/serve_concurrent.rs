@@ -1,0 +1,225 @@
+//! Concurrency stress suite for the snapshot-isolated catalog behind
+//! `depkit serve`.
+//!
+//! Two contracts:
+//!
+//! 1. **Serializability in commit order.** N threads run randomly
+//!    interleaved sessions (random staging, random commit/abort) against
+//!    one shared [`CatalogState`]. Because staged operations are absolute
+//!    presence ops applied to the *latest* state at commit time, the
+//!    final catalog must equal a single-threaded oracle that replays the
+//!    committed deltas in commit (generation) order — and its violation
+//!    set must match a from-scratch recheck of that oracle.
+//! 2. **Snapshot isolation.** A snapshot taken while another session has
+//!    staged-but-uncommitted operations never observes them: staged
+//!    inserts are invisible, staged deletes leave the row visible, and
+//!    row counts / violations are those of the committed state
+//!    (property-checked over random staging).
+
+use std::sync::Mutex;
+use std::thread;
+
+use depkit_core::delta::Delta;
+use depkit_core::prelude::*;
+use depkit_solver::incremental::{full_violations, CatalogState};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// The referential-integrity catalog every serve test speaks:
+/// EMP(EID, DNO) / DEPT(DNO, MGR) with the foreign key and two FDs.
+fn referential_catalog() -> (DatabaseSchema, Vec<Dependency>, CatalogState) {
+    let schema = DatabaseSchema::parse(&["EMP(EID, DNO)", "DEPT(DNO, MGR)"]).unwrap();
+    let sigma: Vec<Dependency> = vec![
+        "EMP[DNO] <= DEPT[DNO]".parse().unwrap(),
+        "EMP: EID -> DNO".parse().unwrap(),
+        "DEPT: DNO -> MGR".parse().unwrap(),
+    ];
+    let cat = CatalogState::new(&schema, &sigma).unwrap();
+    (schema, sigma, cat)
+}
+
+/// A small consistent base instance: `depts` departments, `emps`
+/// employees round-robined over them.
+fn base_database(schema: &DatabaseSchema, emps: u32, depts: u32) -> Database {
+    let mut db = Database::empty(schema.clone());
+    for d in 0..depts {
+        let row = Tuple::strs(&[&format!("d{d}"), &format!("m{}", d % 2)]);
+        db.insert(&RelName::new("DEPT"), row).unwrap();
+    }
+    for e in 0..emps {
+        let row = Tuple::strs(&[&format!("e{e}"), &format!("d{}", e % depts.max(1))]);
+        db.insert(&RelName::new("EMP"), row).unwrap();
+    }
+    db
+}
+
+/// One random staged operation over the shared value universe. The
+/// universe is deliberately small (16 employees, 6 departments) so
+/// threads collide on the same rows constantly.
+fn random_op(rng: &mut StdRng) -> (&'static str, Tuple) {
+    if rng.random_range(0..2u32) == 0 {
+        let eid = format!("e{}", rng.random_range(0..16u32));
+        let dno = format!("d{}", rng.random_range(0..6u32));
+        ("EMP", Tuple::strs(&[&eid, &dno]))
+    } else {
+        let dno = format!("d{}", rng.random_range(0..6u32));
+        let mgr = format!("m{}", rng.random_range(0..3u32));
+        ("DEPT", Tuple::strs(&[&dno, &mgr]))
+    }
+}
+
+/// Contract 1: randomly interleaved commit/abort sessions across 8
+/// threads equal a serial replay of the committed deltas in commit
+/// order.
+#[test]
+fn concurrent_sessions_match_a_serial_oracle() {
+    const THREADS: u64 = 8;
+    const ROUNDS: usize = 40;
+    let (schema, sigma, cat) = referential_catalog();
+    let base = base_database(&schema, 8, 4);
+    cat.seed(&base).unwrap();
+
+    // Committed deltas tagged with the generation their commit
+    // published. Aborted sessions leave no entry — and must leave no
+    // trace in the catalog either.
+    let committed: Mutex<Vec<(u64, Delta)>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for tid in 0..THREADS {
+            let cat = cat.clone();
+            let committed = &committed;
+            let sigma = &sigma;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5E55_1010 + tid);
+                for _ in 0..ROUNDS {
+                    let mut s = cat.begin();
+                    for _ in 0..rng.random_range(0..6u32) {
+                        let (rel, t) = random_op(&mut rng);
+                        if rng.random_range(0..3u32) == 0 {
+                            s.stage_delete(rel, t).unwrap();
+                        } else {
+                            s.stage_insert(rel, t).unwrap();
+                        }
+                    }
+                    // Mid-flight reads keep pins live across commits, so
+                    // vacuuming and generation pruning race with us too.
+                    // Each pinned view must agree with a full recheck of
+                    // its own materialization.
+                    if rng.random_range(0..4u32) == 0 {
+                        let snap = cat.snapshot();
+                        let db = snap.to_database();
+                        assert_eq!(
+                            snap.violations(),
+                            full_violations(&db, sigma).unwrap(),
+                            "pinned snapshot at gen {} disagrees with full recheck",
+                            snap.generation()
+                        );
+                    }
+                    if rng.random_range(0..4u32) == 0 {
+                        s.abort();
+                    } else {
+                        let staged = s.staged().clone();
+                        let out = s.commit();
+                        committed.lock().unwrap().push((out.generation, staged));
+                    }
+                }
+            });
+        }
+    });
+
+    // Serial oracle: replay the committed deltas in commit order. Ties
+    // (no-op commits share the generation of the state they observed)
+    // are order-irrelevant because every op is an idempotent absolute
+    // presence op.
+    let mut log = committed.into_inner().unwrap();
+    log.sort_by_key(|&(generation, _)| generation);
+    let mut oracle = base;
+    for (_, delta) in &log {
+        oracle.apply_delta(delta).unwrap();
+    }
+
+    let snap = cat.snapshot();
+    assert_eq!(snap.to_database(), oracle, "final state != serial replay");
+    assert_eq!(
+        snap.violations(),
+        full_violations(&oracle, &sigma).unwrap(),
+        "violation set != full recheck of the oracle"
+    );
+}
+
+/// Aborts are always invisible: with every session aborting, the catalog
+/// never leaves its seeded state no matter how many threads hammer it.
+#[test]
+fn all_abort_storm_leaves_the_catalog_untouched() {
+    let (schema, sigma, cat) = referential_catalog();
+    let base = base_database(&schema, 8, 4);
+    cat.seed(&base).unwrap();
+    let seeded_gen = cat.generation();
+
+    thread::scope(|scope| {
+        for tid in 0..8u64 {
+            let cat = cat.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xAB_0127 + tid);
+                for _ in 0..50 {
+                    let mut s = cat.begin();
+                    for _ in 0..rng.random_range(1..5u32) {
+                        let (rel, t) = random_op(&mut rng);
+                        s.stage_insert(rel, t).unwrap();
+                    }
+                    s.abort();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        cat.generation(),
+        seeded_gen,
+        "aborts must not bump the generation"
+    );
+    let snap = cat.snapshot();
+    assert_eq!(snap.to_database(), base);
+    assert_eq!(snap.violations(), full_violations(&base, &sigma).unwrap());
+}
+
+proptest! {
+    /// Contract 2: a snapshot taken while a session holds staged,
+    /// uncommitted operations never observes them — staged inserts are
+    /// invisible, staged deletes leave their rows visible, and the
+    /// snapshot's row count and violations are exactly the committed
+    /// state's. After an abort the catalog is bit-for-bit the base.
+    #[test]
+    fn snapshot_reads_never_observe_uncommitted_rows(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (schema, _sigma, cat) = referential_catalog();
+        let base = base_database(&schema, 2 + rng.random_range(0..6u32), 1 + rng.random_range(0..3u32));
+        cat.seed(&base).unwrap();
+        let before = cat.snapshot();
+
+        let mut s = cat.begin();
+        // Staged inserts use a value universe ("x…") disjoint from the
+        // base, so "invisible" is checkable row by row.
+        let mut fresh: Vec<Tuple> = Vec::new();
+        for i in 0..1 + rng.random_range(0..4u32) {
+            let t = Tuple::strs(&[&format!("x{i}"), &format!("d{}", rng.random_range(0..6u32))]);
+            s.stage_insert("EMP", t.clone()).unwrap();
+            fresh.push(t);
+        }
+        // And one staged delete of a base row that must stay visible.
+        let victim = Tuple::strs(&["e0", "d0"]);
+        s.stage_delete("EMP", victim.clone()).unwrap();
+
+        let during = cat.snapshot();
+        let emp = RelName::new("EMP");
+        for t in &fresh {
+            prop_assert!(!during.contains(&emp, t).unwrap(), "uncommitted insert visible: {t}");
+        }
+        prop_assert!(during.contains(&emp, &victim).unwrap(), "uncommitted delete already applied");
+        prop_assert_eq!(during.total_rows(), before.total_rows());
+        prop_assert_eq!(during.violations(), before.violations());
+
+        s.abort();
+        prop_assert_eq!(cat.snapshot().to_database(), base);
+    }
+}
