@@ -2,10 +2,13 @@
 //! `paper-tables` harness.
 
 use depkit_core::attr::{attrs, Attr, AttrSeq};
+use depkit_core::column::{ColumnStore, RelationColumns};
 use depkit_core::database::Database;
 use depkit_core::delta::Delta;
 use depkit_core::dependency::{Dependency, Fd, Ind};
+use depkit_core::index::ValueInterner;
 use depkit_core::schema::{DatabaseSchema, RelationScheme};
+use depkit_core::value::Value;
 
 /// A chain of typed INDs `R_0[A..] ⊆ R_1[A..] ⊆ ... ⊆ R_len[A..]` over
 /// `width`-attribute schemes, plus the end-to-end target. Exercises both
@@ -87,6 +90,43 @@ pub fn referential_workload(
     (schema, sigma, db)
 }
 
+/// The [`referential_workload`] shape compiled straight to columnar form,
+/// for scales where materializing a row [`Database`] first would dominate
+/// the build (every cell a heap [`Value`]): the interner and dense `u32`
+/// id columns are assembled directly and handed to
+/// [`ColumnStore::from_raw_parts`], so multi-10M-row stores for the
+/// out-of-core discovery benches cost one `Vec<u32>` per column.
+///
+/// Same dependencies hold as in [`referential_workload`] — IND
+/// `EMP[DNO] ⊆ DEPT[DNO]`, FDs `EMP: EID → DNO` and `DEPT: DNO → MGR` —
+/// with one deliberate difference: manager values live in a disjoint
+/// (negative) integer space, so `MGR` never reads as included in
+/// `EID`/`DNO` at any scale and the mined raw set has the same shape for
+/// every `emps`.
+pub fn referential_columns(emps: usize, depts: usize) -> (DatabaseSchema, ColumnStore) {
+    assert!(depts > 0 && depts <= emps, "need 0 < depts <= emps");
+    let schema =
+        DatabaseSchema::parse(&["EMP(EID, DNO)", "DEPT(DNO, MGR)"]).expect("static schema parses");
+    let mut interner = ValueInterner::new();
+    interner.reserve_distinct(emps + depts);
+    let eid: Vec<u32> = (0..emps)
+        .map(|e| interner.intern(&Value::Int(e as i64)))
+        .collect();
+    let mgr: Vec<u32> = (0..depts)
+        .map(|d| interner.intern(&Value::Int(-1 - d as i64)))
+        .collect();
+    let mut emp = RelationColumns::with_capacity(2, emps);
+    for e in 0..emps {
+        emp.push_row(&[eid[e], eid[e % depts]]);
+    }
+    let mut dept = RelationColumns::with_capacity(2, depts);
+    for d in 0..depts {
+        dept.push_row(&[eid[d], mgr[d]]);
+    }
+    let store = ColumnStore::from_raw_parts(interner, vec![emp, dept]);
+    (schema, store)
+}
+
 /// A steady-state churn batch against [`referential_workload`]: replace the
 /// first `batch` employees (`EID = 0..batch`) with fresh hires
 /// (`EID = emps..emps+batch`), keeping every constraint satisfied and the
@@ -141,6 +181,37 @@ mod tests {
     fn fd_chain_closure_reaches_end() {
         let (_scheme, fds, target) = fd_chain(10);
         assert!(depkit_solver::fd::implies_fd(&fds, &target));
+    }
+
+    #[test]
+    fn referential_columns_mines_the_same_dependencies_as_the_row_workload() {
+        use depkit_solver::discover::{discover_store, discover_with_config, DiscoveryConfig};
+        let (emps, depts) = (200, 7);
+        let config = DiscoveryConfig::default();
+        let (schema, store) = referential_columns(emps, depts);
+        let columnar = discover_store(&schema, &store, &config).unwrap();
+        let (_schema, _sigma, db) = referential_workload(emps, depts);
+        let rowwise = discover_with_config(&db, &config);
+        // Manager values differ (disjoint negative space vs 1_000_000+d)
+        // but both are disjoint from EID/DNO at this scale, so the mined
+        // sets coincide exactly.
+        assert_eq!(columnar.raw, rowwise.raw);
+        assert_eq!(columnar.cover, rowwise.cover);
+
+        // A tiny budget must not change what is mined, only where the
+        // intermediate state lives.
+        let budgeted = discover_store(
+            &schema,
+            &store,
+            &DiscoveryConfig {
+                memory_budget: 1,
+                ..DiscoveryConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(budgeted.spill.spilled());
+        assert_eq!(budgeted.raw, columnar.raw);
+        assert_eq!(budgeted.cover, columnar.cover);
     }
 
     #[test]

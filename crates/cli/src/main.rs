@@ -8,10 +8,19 @@
 //! depkit validate <spec.dep> <deltas.dep>  stream mutation batches through the
 //!                                          incremental validator
 //! depkit discover <spec.dep> [--threads N] mine the FDs/INDs the inline data
-//!                                          satisfies, minimized to a cover
-//!                                          (N worker threads; 0 or omitted =
+//!         [--memory-budget BYTES]          satisfies, minimized to a cover
+//!         [--spill-dir PATH] [--stats]     (N worker threads; 0 or omitted =
 //!                                          all cores — the result is
-//!                                          identical either way)
+//!                                          identical either way). A positive
+//!                                          --memory-budget (plain bytes or
+//!                                          human form: 512M, 64K, 2G) bounds
+//!                                          the working set by spilling sorted
+//!                                          runs under --spill-dir (default:
+//!                                          the system temp dir); the mined
+//!                                          cover is byte-identical to the
+//!                                          unbounded run. --stats prints the
+//!                                          spill counters (runs written,
+//!                                          bytes spilled, merge passes)
 //! depkit serve <spec.dep> [--addr A]       run the line-JSON session server
 //!                                          on A (default 127.0.0.1:4227)
 //!                                          against the spec's constraints
@@ -62,13 +71,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path, rel] if cmd == "keys" => keys(path, rel),
         [cmd, path, rel] if cmd == "design" => design(path, rel),
         [cmd, path, deltas] if cmd == "validate" => validate(path, deltas),
-        [cmd, path] if cmd == "discover" => discover(path, 0),
-        [cmd, path, flag, n] if cmd == "discover" && flag == "--threads" => {
-            let threads: usize = n
-                .parse()
-                .map_err(|_| format!("--threads expects a number, got `{n}`"))?;
-            discover(path, threads)
-        }
+        [cmd, path, rest @ ..] if cmd == "discover" => discover(path, rest),
         [cmd, path] if cmd == "serve" => serve(path, "127.0.0.1:4227"),
         [cmd, path, flag, addr] if cmd == "serve" && flag == "--addr" => serve(path, addr),
         [cmd, addr] if cmd == "client" => client(addr, None),
@@ -78,7 +81,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
                  depkit validate <spec.dep> <deltas.dep>\n       \
-                 depkit discover <spec.dep> [--threads N]\n       \
+                 depkit discover <spec.dep> [--threads N] [--memory-budget BYTES] [--spill-dir PATH] [--stats]\n       \
                  depkit serve <spec.dep> [--addr HOST:PORT]\n       \
                  depkit client <HOST:PORT> [script]"
             );
@@ -181,13 +184,74 @@ fn validate(path: &str, deltas_path: &str) -> Result<ExitCode, Box<dyn std::erro
     })
 }
 
-fn discover(path: &str, threads: usize) -> Result<ExitCode, Box<dyn std::error::Error>> {
+/// Parsed `discover` flags.
+struct DiscoverOpts {
+    threads: usize,
+    memory_budget: usize,
+    spill_dir: Option<std::path::PathBuf>,
+    stats: bool,
+}
+
+fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
+    let mut opts = DiscoverOpts {
+        threads: 0,
+        memory_budget: 0,
+        spill_dir: None,
+        stats: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let n = it.next().ok_or("--threads expects a number")?;
+                opts.threads = n
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got `{n}`"))?;
+            }
+            "--memory-budget" => {
+                let n = it.next().ok_or("--memory-budget expects a byte count")?;
+                opts.memory_budget = parse_bytes(n)?;
+            }
+            "--spill-dir" => {
+                let p = it.next().ok_or("--spill-dir expects a path")?;
+                opts.spill_dir = Some(std::path::PathBuf::from(p));
+            }
+            "--stats" => opts.stats = true,
+            other => return Err(format!("unknown discover flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse a byte count: plain digits, or a human suffix `K`/`M`/`G`
+/// (binary multiples, optional trailing `B`, any case) — `512M`, `64kb`,
+/// `2G`.
+fn parse_bytes(src: &str) -> Result<usize, String> {
+    let upper = src.trim().to_ascii_uppercase();
+    let body = upper.strip_suffix('B').unwrap_or(&upper);
+    let (digits, mult) = match body.chars().last() {
+        Some('K') => (&body[..body.len() - 1], 1usize << 10),
+        Some('M') => (&body[..body.len() - 1], 1 << 20),
+        Some('G') => (&body[..body.len() - 1], 1 << 30),
+        _ => (body, 1),
+    };
+    let n: usize = digits.parse().map_err(|_| {
+        format!("--memory-budget expects bytes (e.g. 536870912 or `512M`), got `{src}`")
+    })?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("--memory-budget overflows usize: `{src}`"))
+}
+
+fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = parse_discover_opts(rest)?;
     let spec = load(path)?;
     let config = depkit_solver::discover::DiscoveryConfig {
-        threads,
+        threads: opts.threads,
+        memory_budget: opts.memory_budget,
+        spill_dir: opts.spill_dir,
         ..Default::default()
     };
-    let found = depkit_solver::discover::discover_with_config(&spec.database, &config);
+    let found = depkit_solver::discover::try_discover_with_config(&spec.database, &config)?;
     let s = &found.stats;
     println!(
         "profiled {} rows, {} columns, {} distinct values",
@@ -202,6 +266,13 @@ fn discover(path: &str, threads: usize) -> Result<ExitCode, Box<dyn std::error::
         found.cover.len(),
         s.pruned
     );
+    if opts.stats {
+        let sp = &found.spill;
+        println!(
+            "spill: {} column(s) spilled, {} run(s) written, {} bytes, {} merge pass(es)",
+            sp.spilled_columns, sp.runs_written, sp.bytes_spilled, sp.merge_passes
+        );
+    }
     // `dep`-prefixed lines so the output pastes straight back into a spec.
     for d in &found.cover {
         println!("dep {d}");
@@ -440,6 +511,65 @@ commit
         ])
         .is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn discover_accepts_a_memory_budget_and_spill_dir() {
+        let path = write_temp("disc-budget", HR);
+        let spill = std::env::temp_dir().join(format!("depkit-cli-spill-{}", std::process::id()));
+        // A 1-byte budget forces the disk path on any nonempty spec; the
+        // mined cover is identical regardless (printed output aside, the
+        // exit code is the observable here).
+        assert_eq!(
+            run(&[
+                "discover".into(),
+                path.clone(),
+                "--memory-budget".into(),
+                "1".into(),
+                "--spill-dir".into(),
+                spill.to_string_lossy().into_owned(),
+                "--stats".into(),
+            ])
+            .unwrap(),
+            ExitCode::SUCCESS
+        );
+        // Human byte forms parse; unbounded budget with --stats also runs.
+        for budget in ["512M", "64kb", "2G", "0"] {
+            assert_eq!(
+                run(&[
+                    "discover".into(),
+                    path.clone(),
+                    "--memory-budget".into(),
+                    budget.into(),
+                    "--stats".into(),
+                ])
+                .unwrap(),
+                ExitCode::SUCCESS
+            );
+        }
+        // Malformed budgets and unknown flags are usage errors.
+        assert!(run(&[
+            "discover".into(),
+            path.clone(),
+            "--memory-budget".into(),
+            "lots".into()
+        ])
+        .is_err());
+        assert!(run(&["discover".into(), path.clone(), "--bogus".into()]).is_err());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_dir_all(spill).ok();
+    }
+
+    #[test]
+    fn parse_bytes_handles_human_suffixes() {
+        assert_eq!(parse_bytes("1234").unwrap(), 1234);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert_eq!(parse_bytes("8kb").unwrap(), 8 << 10);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("12X").is_err());
+        assert!(parse_bytes("M").is_err());
     }
 
     #[test]

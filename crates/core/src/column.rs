@@ -34,6 +34,8 @@
 use crate::database::Database;
 use crate::hashing::FastSet;
 use crate::index::ValueInterner;
+use crate::spill::{self, DistinctStream, SpillDir, SpillStats};
+use std::io;
 use std::sync::Arc;
 
 /// Rows per sealed chunk of a [`ChunkedColumn`]. Small enough that the
@@ -167,6 +169,19 @@ impl<T: Copy> ChunkedColumnSnapshot<T> {
     }
 }
 
+/// The spill plan for one column's distinct sweep: where runs go and how
+/// many bytes of in-memory distinct state the column is allowed before it
+/// goes external. Produced by the discovery pipeline from its global
+/// `memory_budget`; consumed by
+/// [`RelationColumns::sorted_distinct_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSpill<'a> {
+    /// Scratch directory the sorted runs are written into.
+    pub dir: &'a SpillDir,
+    /// This column's byte share of the discovery memory budget.
+    pub share_bytes: usize,
+}
+
 /// One relation's tuples stored column-at-a-time: `columns[c][r]` is the
 /// interned id of row `r`'s entry in attribute position `c`. All columns
 /// have the same length ([`RelationColumns::row_count`]).
@@ -256,6 +271,56 @@ impl RelationColumns {
             }
         }
         out
+    }
+
+    /// Bytes the in-memory [`RelationColumns::sorted_distinct`] sweep
+    /// needs for a column of `rows` cells over a dense id domain of size
+    /// `domain`: the presence bitmap plus the distinct output vector
+    /// (at most `min(rows, domain)` ids).
+    ///
+    /// This estimate is the spill decision's only input, and it is
+    /// deliberately a function of the *data alone* — never of thread
+    /// count, timing, or actual allocator state — so whether a column
+    /// spills is deterministic and `threads=1 == threads=N` holds
+    /// byte-for-byte even when the disk path engages.
+    pub fn distinct_bytes_estimate(rows: usize, domain: usize) -> usize {
+        domain.div_ceil(8) + 4 * rows.min(domain)
+    }
+
+    /// The distinct ids of one column as a stream: the uniform entry point
+    /// behind memory-budgeted discovery. Under budget (or with no spill
+    /// plan) this is the in-memory [`RelationColumns::sorted_distinct`]
+    /// sweep; over budget the column is written as sorted runs of at most
+    /// `share_bytes / 8` ids each and merged back via
+    /// [`RunMerger`](crate::spill::RunMerger). Both backings yield the
+    /// identical ascending duplicate-free sequence.
+    ///
+    /// `domain` is the dense id domain size (the store's
+    /// [`distinct_values`](ColumnStore::distinct_values)); `global_col`
+    /// names the run files, so it must be unique per column within one
+    /// [`SpillDir`].
+    pub fn sorted_distinct_stream(
+        &self,
+        c: usize,
+        domain: usize,
+        global_col: usize,
+        plan: Option<ColumnSpill<'_>>,
+    ) -> io::Result<(DistinctStream, SpillStats)> {
+        let mut stats = SpillStats::default();
+        let col = &self.columns[c];
+        if let Some(plan) = plan {
+            if Self::distinct_bytes_estimate(col.len(), domain) > plan.share_bytes {
+                let chunk_ids = (plan.share_bytes / 8).max(16);
+                let set =
+                    spill::write_sorted_runs(col, chunk_ids, plan.dir, global_col, &mut stats)?;
+                let merger = spill::merge_run_set(&set, plan.dir, &mut stats)?;
+                return Ok((DistinctStream::Spilled(merger), stats));
+            }
+        }
+        Ok((
+            DistinctStream::Mem(self.sorted_distinct(c).into_iter()),
+            stats,
+        ))
     }
 
     /// Group the rows by their key at `cols`: a sort-based partition of
@@ -371,6 +436,28 @@ impl ColumnStore {
         }
     }
 
+    /// Assemble a store from an interner and pre-built columns, without a
+    /// [`Database`] round trip. This is how synthetic at-scale workloads
+    /// (the out-of-core discovery benches) build multi-10M-row stores: id
+    /// columns are cheap dense `u32`s, while the equivalent `Database`
+    /// would materialize every cell as a heap [`Value`](crate::Value).
+    ///
+    /// Contract (debug-asserted): every id in every column must resolve in
+    /// `interner`, i.e. be `< interner.epoch()`.
+    pub fn from_raw_parts(interner: ValueInterner, relations: Vec<RelationColumns>) -> Self {
+        debug_assert!(
+            relations
+                .iter()
+                .flat_map(|r| r.columns.iter().flatten())
+                .all(|&id| (id as u64) < interner.epoch()),
+            "column id outside the interner's id space"
+        );
+        ColumnStore {
+            interner,
+            relations,
+        }
+    }
+
     /// The shared value table. Ids are dense: `0..interner().len()`.
     pub fn interner(&self) -> &ValueInterner {
         &self.interner
@@ -400,6 +487,19 @@ impl ColumnStore {
     /// Total number of rows across all relations.
     pub fn total_rows(&self) -> usize {
         self.relations.iter().map(RelationColumns::row_count).sum()
+    }
+
+    /// Streaming sorted-distinct view of one column (see
+    /// [`RelationColumns::sorted_distinct_stream`]), with the dense id
+    /// domain filled in from this store.
+    pub fn sorted_distinct_stream(
+        &self,
+        rel: usize,
+        c: usize,
+        global_col: usize,
+        plan: Option<ColumnSpill<'_>>,
+    ) -> io::Result<(DistinctStream, SpillStats)> {
+        self.relations[rel].sorted_distinct_stream(c, self.distinct_values(), global_col, plan)
     }
 }
 
@@ -601,6 +701,60 @@ mod tests {
         .unwrap();
         db.insert_ints("S", &[&[10], &[20]]).unwrap();
         db
+    }
+
+    #[test]
+    fn distinct_stream_spilled_equals_in_memory() {
+        let db = sample_db();
+        let store = ColumnStore::new(&db);
+        let dir = SpillDir::create_in(&std::env::temp_dir().join("depkit-column-tests")).unwrap();
+        for rel in 0..store.relation_count() {
+            for c in 0..store.relation(rel).arity() {
+                let expect = store.relation(rel).sorted_distinct(c);
+                // Under budget: memory-backed.
+                let (mem, stats) = store
+                    .sorted_distinct_stream(
+                        rel,
+                        c,
+                        rel * 8 + c,
+                        Some(ColumnSpill {
+                            dir: &dir,
+                            share_bytes: usize::MAX,
+                        }),
+                    )
+                    .unwrap();
+                assert!(!mem.is_spilled());
+                assert!(!stats.spilled());
+                assert_eq!(mem.collect::<Vec<_>>(), expect);
+                // A 0-byte share forces the disk path; identical output.
+                let (spilled, stats) = store
+                    .sorted_distinct_stream(
+                        rel,
+                        c,
+                        100 + rel * 8 + c,
+                        Some(ColumnSpill {
+                            dir: &dir,
+                            share_bytes: 0,
+                        }),
+                    )
+                    .unwrap();
+                assert!(spilled.is_spilled());
+                assert!(stats.spilled() && stats.merge_passes >= 1);
+                assert_eq!(spilled.collect::<Vec<_>>(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_matches_compiled_store() {
+        let db = sample_db();
+        let built = ColumnStore::new(&db);
+        let raw = ColumnStore::from_raw_parts(built.interner().clone(), built.relations().to_vec());
+        assert_eq!(raw.distinct_values(), built.distinct_values());
+        assert_eq!(raw.total_rows(), built.total_rows());
+        for rel in 0..built.relation_count() {
+            assert_eq!(raw.relation(rel), built.relation(rel));
+        }
     }
 
     #[test]

@@ -122,6 +122,30 @@ impl ValueInterner {
         self.refs.reserve(additional);
     }
 
+    /// Pre-size **both** hash tables for `additional` more distinct values
+    /// of any kind. [`ValueInterner::reserve`] deliberately sizes only the
+    /// `Int` fast path — right for row compilers, whose non-int vocabulary
+    /// is a handful of column names' worth — but the spill/merge re-read
+    /// path ([`crate::spill::reintern_merged`]) bulk-interns runs of
+    /// arbitrary values, and feeding those through an unsized general
+    /// table rehashes it repeatedly mid-stream. With a sized hint from the
+    /// run manifest, the intake allocates once and never rehashes (see the
+    /// capacity-stability unit test).
+    pub fn reserve_distinct(&mut self, additional: usize) {
+        self.int_ids.reserve(additional);
+        self.ids.reserve(additional);
+        self.values.reserve(additional);
+        self.refs.reserve(additional);
+    }
+
+    /// Current capacities of the `(int, general)` hash tables. This is the
+    /// observability hook for the no-rehash contract of sized bulk
+    /// intakes: capacities that are unchanged after an intake prove no
+    /// rehash happened.
+    pub fn table_capacities(&self) -> (usize, usize) {
+        (self.int_ids.capacity(), self.ids.capacity())
+    }
+
     /// Allocate (or recycle) a slot for a fresh value.
     fn fresh_slot(
         values: &mut Vec<Value>,
@@ -652,6 +676,37 @@ impl VersionedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reserve_distinct_prevents_rehash_during_bulk_intake() {
+        let n = 10_000;
+        let mut vi = ValueInterner::new();
+        vi.reserve_distinct(2 * n);
+        let (int_cap, gen_cap) = vi.table_capacities();
+        assert!(int_cap >= n && gen_cap >= n);
+        // A merged-run-sized intake of mixed kinds: with the sized hint in
+        // place, neither table may grow (capacity growth == a rehash).
+        for i in 0..n as i64 {
+            vi.intern(&Value::Int(i));
+            vi.intern(&Value::Str(format!("s{i}").into()));
+        }
+        assert_eq!(
+            vi.table_capacities(),
+            (int_cap, gen_cap),
+            "bulk intake rehashed a table despite the sized hint"
+        );
+        // Contrast: the row-compiler `reserve` leaves the general table
+        // unsized, so the same intake without `reserve_distinct` *does*
+        // grow it — the bug the sized-hint intake exists to fix.
+        let mut unsized_vi = ValueInterner::new();
+        unsized_vi.reserve(2 * n);
+        let (_, gen_before) = unsized_vi.table_capacities();
+        for i in 0..n as i64 {
+            unsized_vi.intern(&Value::Str(format!("s{i}").into()));
+        }
+        let (_, gen_after) = unsized_vi.table_capacities();
+        assert!(gen_after > gen_before);
+    }
 
     #[test]
     fn interner_roundtrip_and_lookup() {

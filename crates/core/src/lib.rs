@@ -52,6 +52,15 @@
 //! indexed parallel map those scans fan out on, and [`hashing`] the
 //! deterministic fast hasher the id-keyed tables use.
 //!
+//! ## Out-of-core spill runs
+//!
+//! The [`spill`] module is the external-memory layer beneath memory-budgeted
+//! discovery: sorted little-endian `u32` run files plus a per-attribute
+//! manifest ([`RunSet`]), buffered streaming readers ([`RunCursor`]), a
+//! deduplicating k-way merge ([`RunMerger`]) with fan-in-capped
+//! consolidation passes, and the uniform [`DistinctStream`] iterator that
+//! hides whether an attribute's sorted distinct ids come from RAM or disk.
+//!
 //! ## Infinite relations
 //!
 //! Theorem 4.4 of the paper separates finite from unrestricted implication by
@@ -91,12 +100,13 @@ pub mod pool;
 pub mod relation;
 pub mod satisfy;
 pub mod schema;
+pub mod spill;
 pub mod symbolic;
 pub mod value;
 
 pub use attr::{Attr, AttrSeq};
 pub use column::{
-    ChunkedColumn, ChunkedColumnSnapshot, ColumnCursor, ColumnStore, KeySet, Refiner,
+    ChunkedColumn, ChunkedColumnSnapshot, ColumnCursor, ColumnSpill, ColumnStore, KeySet, Refiner,
     RelationColumns,
 };
 pub use constraint::ConstraintSet;
@@ -108,6 +118,7 @@ pub use index::{GenValue, ProjectionIndex, RowSet, ValueInterner, VersionedIndex
 pub use intern::{AttrBitSet, AttrId, Catalog, IdSeq, RelId};
 pub use relation::{Relation, Tuple};
 pub use schema::{DatabaseSchema, RelName, RelationScheme};
+pub use spill::{DistinctStream, RunCursor, RunMerger, RunSet, SpillDir, SpillStats};
 pub use value::Value;
 
 /// Convenient glob import for downstream crates and examples.

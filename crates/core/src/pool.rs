@@ -117,9 +117,37 @@ where
         .collect()
 }
 
+/// [`map_indexed_with`] over an explicit index subset: `f` is applied to
+/// `items[0], items[1], …` and results come back in `items` order.
+///
+/// This is the scheduling primitive of the memory-budgeted discovery
+/// waves: the caller shards a level's nodes by a deterministic hash into
+/// waves, runs each wave's subset through the pool, and scatters results
+/// back by original index — identical output to one flat pass, with the
+/// working set bounded by the largest wave instead of the whole level.
+pub fn map_subset_with<S, T, I, F>(threads: usize, items: &[usize], init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    map_indexed_with(threads, items.len(), init, |scratch, i| {
+        f(scratch, items[i])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn map_subset_follows_the_item_order() {
+        let items = [9usize, 3, 7, 3];
+        for threads in [1, 4] {
+            let out = map_subset_with(threads, &items, || (), |(), i| i * 10);
+            assert_eq!(out, vec![90, 30, 70, 30]);
+        }
+    }
 
     #[test]
     fn output_is_in_index_order_for_any_thread_count() {

@@ -1,0 +1,662 @@
+//! External-memory sorted runs: the spill layer behind out-of-core
+//! dependency discovery.
+//!
+//! The original SPIDER algorithm is external by design — each attribute's
+//! value set is sorted in memory-sized chunks, spilled to disk as sorted
+//! runs, and read back through one merge cursor per attribute. This module
+//! provides that machinery over the dense `u32` id space of the columnar
+//! engine, deliberately minimal and `std`-only:
+//!
+//! * **Run files** are plain little-endian `u32` id sequences, strictly
+//!   ascending and deduplicated within each run ([`write_run`],
+//!   [`write_sorted_runs`]). No framing, no compression: a run is
+//!   `4 × ids` bytes that any tool (or another process) can `mmap` or
+//!   stream.
+//! * **Manifests** ([`RunSet`]) record the runs of one attribute — file
+//!   names and id counts — as a small text file next to the runs, so a
+//!   spill directory is self-describing and survives a process boundary.
+//! * **Cursors and merging**: [`RunCursor`] streams one run back through a
+//!   fixed-size buffer; [`RunMerger`] performs a buffered k-way merge with
+//!   duplicate elimination, yielding the attribute's globally sorted
+//!   distinct ids without ever materializing them. Run sets wider than
+//!   [`MAX_FAN_IN`] are consolidated by intermediate merge passes
+//!   ([`merge_run_set`]) so the final merge never holds more than
+//!   `MAX_FAN_IN` read buffers.
+//! * **[`DistinctStream`]** is the uniform iterator the discovery engine
+//!   consumes: backed either by an in-memory sorted vector (under budget)
+//!   or by a [`RunMerger`] over spilled runs (over budget). Both backings
+//!   yield the identical ascending id sequence, which is what keeps
+//!   spilled discovery byte-for-byte equal to in-memory discovery.
+//! * **[`SpillStats`]** counts runs written, bytes spilled, and merge
+//!   passes, surfaced by `depkit discover --stats`.
+//!
+//! I/O failure semantics: *creating* spill state (directories, run writes,
+//! consolidation merges) returns [`io::Result`] — disk-full and
+//! permission errors are expected operational failures. *Reading back* a
+//! run this process just wrote panics on I/O error or truncation; at that
+//! point the computation cannot continue and no caller has a meaningful
+//! recovery.
+
+use crate::index::ValueInterner;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of runs merged by one cursor set. A wider run set is
+/// first consolidated by intermediate passes ([`merge_run_set`]), bounding
+/// the merge's resident buffer memory at `MAX_FAN_IN ×` [`READ_BUF_BYTES`].
+pub const MAX_FAN_IN: usize = 64;
+
+/// Read-buffer size per open [`RunCursor`].
+pub const READ_BUF_BYTES: usize = 64 * 1024;
+
+/// Counters for one spill session: how much discovery state went to disk
+/// and how many passes it took to stream it back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Columns whose distinct set exceeded its budget share and spilled.
+    pub spilled_columns: usize,
+    /// Sorted run files written (initial runs plus consolidation output).
+    pub runs_written: usize,
+    /// Total bytes of run data written.
+    pub bytes_spilled: u64,
+    /// Merge passes over spilled data: one per consolidation sweep plus
+    /// one for the final streaming merge of each spilled column.
+    pub merge_passes: usize,
+}
+
+impl SpillStats {
+    /// Fold another session's counters into this one.
+    pub fn absorb(&mut self, other: &SpillStats) {
+        self.spilled_columns += other.spilled_columns;
+        self.runs_written += other.runs_written;
+        self.bytes_spilled += other.bytes_spilled;
+        self.merge_passes += other.merge_passes;
+    }
+
+    /// Whether anything actually spilled.
+    pub fn spilled(&self) -> bool {
+        self.runs_written > 0
+    }
+}
+
+/// Distinguishes concurrently created spill directories within a process.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// An owned scratch directory for run files, removed (best effort) on
+/// drop. Created as a uniquely named subdirectory of the caller's chosen
+/// root so concurrent discoveries never collide.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+    file_seq: AtomicU64,
+}
+
+impl SpillDir {
+    /// Create a fresh spill directory under `root` (which is created if
+    /// missing).
+    pub fn create_in(root: &Path) -> io::Result<SpillDir> {
+        std::fs::create_dir_all(root)?;
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = root.join(format!("depkit-spill-{}-{}", std::process::id(), seq));
+        std::fs::create_dir(&path)?;
+        Ok(SpillDir {
+            path,
+            file_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A fresh, unique file path inside the directory (for consolidation
+    /// output and other unnamed scratch).
+    pub fn fresh_path(&self, tag: &str) -> PathBuf {
+        let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
+        self.path.join(format!("{tag}-{n}.ids"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// One spilled run: its file and how many ids it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Absolute path of the run file.
+    pub path: PathBuf,
+    /// Number of `u32` ids in the run.
+    pub ids: u64,
+}
+
+/// The spilled runs of one attribute, with manifest round-tripping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSet {
+    /// The global column id the runs belong to.
+    pub column: usize,
+    /// The runs, in write order.
+    pub runs: Vec<RunMeta>,
+}
+
+impl RunSet {
+    /// Total ids across all runs — an upper bound on the merged distinct
+    /// count (runs may overlap), and the sized hint for re-interning.
+    pub fn total_ids(&self) -> u64 {
+        self.runs.iter().map(|r| r.ids).sum()
+    }
+
+    /// Write the manifest: a `depkit-runs v1` header line, then one
+    /// `<ids>\t<file name>` line per run (file names relative to the
+    /// manifest's directory).
+    pub fn write_manifest(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(&format!("depkit-runs v1 column {}\n", self.column));
+        for run in &self.runs {
+            let name = run
+                .path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| io::Error::other("run file name is not valid UTF-8"))?;
+            out.push_str(&format!("{}\t{}\n", run.ids, name));
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Read a manifest back; run paths are resolved against the
+    /// manifest's directory.
+    pub fn read_manifest(path: &Path) -> io::Result<RunSet> {
+        let text = std::fs::read_to_string(path)?;
+        let dir = path.parent().unwrap_or(Path::new("."));
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::other("empty run manifest"))?;
+        let column = header
+            .strip_prefix("depkit-runs v1 column ")
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| io::Error::other(format!("bad run manifest header: `{header}`")))?;
+        let mut runs = Vec::new();
+        for line in lines {
+            let (ids, name) = line
+                .split_once('\t')
+                .ok_or_else(|| io::Error::other(format!("bad run manifest line: `{line}`")))?;
+            let ids = ids
+                .parse()
+                .map_err(|_| io::Error::other(format!("bad run id count: `{ids}`")))?;
+            runs.push(RunMeta {
+                path: dir.join(name),
+                ids,
+            });
+        }
+        Ok(RunSet { column, runs })
+    }
+}
+
+/// Write one run file: the ids as consecutive little-endian `u32`s.
+/// Returns the byte count. The caller is responsible for the ids being
+/// sorted and deduplicated (the merge discipline assumes it).
+pub fn write_run(path: &Path, ids: &[u32]) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &id in ids {
+        w.write_all(&id.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(ids.len() as u64 * 4)
+}
+
+/// Spill one column's values as sorted, per-chunk-deduplicated runs of at
+/// most `chunk_ids` ids each, and write the attribute's manifest. Runs may
+/// overlap in value range; [`RunMerger`] removes cross-run duplicates.
+pub fn write_sorted_runs(
+    values: &[u32],
+    chunk_ids: usize,
+    dir: &SpillDir,
+    column: usize,
+    stats: &mut SpillStats,
+) -> io::Result<RunSet> {
+    let chunk_ids = chunk_ids.max(16);
+    let mut runs = Vec::new();
+    let mut scratch = Vec::with_capacity(chunk_ids.min(values.len()));
+    for (k, chunk) in values.chunks(chunk_ids).enumerate() {
+        scratch.clear();
+        scratch.extend_from_slice(chunk);
+        scratch.sort_unstable();
+        scratch.dedup();
+        let path = dir.path().join(format!("col{column}-run{k}.ids"));
+        let bytes = write_run(&path, &scratch)?;
+        stats.runs_written += 1;
+        stats.bytes_spilled += bytes;
+        runs.push(RunMeta {
+            path,
+            ids: scratch.len() as u64,
+        });
+    }
+    let set = RunSet { column, runs };
+    set.write_manifest(&dir.path().join(format!("col{column}.manifest")))?;
+    stats.spilled_columns += 1;
+    Ok(set)
+}
+
+/// A buffered streaming reader over one run file.
+///
+/// Reads [`READ_BUF_BYTES`] at a time; [`RunCursor::next_id`] never does
+/// per-id system calls. Opening is fallible; reading panics on I/O error
+/// or a truncated (non-multiple-of-4) file — see the module docs for the
+/// failure-semantics split.
+#[derive(Debug)]
+pub struct RunCursor {
+    file: File,
+    path: PathBuf,
+    buf: Vec<u8>,
+    len: usize,
+    pos: usize,
+}
+
+impl RunCursor {
+    /// Open a run file for streaming.
+    pub fn open(path: &Path) -> io::Result<RunCursor> {
+        Ok(RunCursor {
+            file: File::open(path)?,
+            path: path.to_path_buf(),
+            buf: vec![0; READ_BUF_BYTES],
+            len: 0,
+            pos: 0,
+        })
+    }
+
+    /// The next id, or `None` at end of run.
+    ///
+    /// # Panics
+    ///
+    /// On read errors or truncated run files (see module docs).
+    pub fn next_id(&mut self) -> Option<u32> {
+        if self.pos + 4 > self.len {
+            // Shift the partial tail (0–3 bytes) to the front and refill.
+            self.buf.copy_within(self.pos..self.len, 0);
+            self.len -= self.pos;
+            self.pos = 0;
+            while self.len < 4 {
+                let n = self
+                    .file
+                    .read(&mut self.buf[self.len..])
+                    .unwrap_or_else(|e| {
+                        panic!("spill read failed on {}: {e}", self.path.display())
+                    });
+                if n == 0 {
+                    assert!(
+                        self.len == 0,
+                        "truncated run file {} ({} trailing bytes)",
+                        self.path.display(),
+                        self.len
+                    );
+                    return None;
+                }
+                self.len += n;
+            }
+        }
+        let id = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        self.pos += 4;
+        Some(id)
+    }
+}
+
+/// A k-way merge over run cursors yielding each id once, ascending — the
+/// read side of an attribute's spilled distinct set.
+#[derive(Debug)]
+pub struct RunMerger {
+    heap: BinaryHeap<Reverse<(u32, usize)>>,
+    cursors: Vec<RunCursor>,
+    last: Option<u32>,
+}
+
+impl RunMerger {
+    /// Merge the given cursors (each individually sorted ascending).
+    pub fn new(mut cursors: Vec<RunCursor>) -> RunMerger {
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(v) = cursor.next_id() {
+                heap.push(Reverse((v, i)));
+            }
+        }
+        RunMerger {
+            heap,
+            cursors,
+            last: None,
+        }
+    }
+}
+
+impl Iterator for RunMerger {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while let Some(Reverse((v, i))) = self.heap.pop() {
+            if let Some(n) = self.cursors[i].next_id() {
+                self.heap.push(Reverse((n, i)));
+            }
+            if self.last != Some(v) {
+                self.last = Some(v);
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// Open a [`RunMerger`] over a run set, consolidating first when the set
+/// is wider than [`MAX_FAN_IN`]: groups of `MAX_FAN_IN` runs are merged
+/// into single larger runs, pass by pass, until one cursor set suffices.
+/// Each consolidation sweep and the final streaming merge count as one
+/// merge pass in `stats`.
+pub fn merge_run_set(
+    set: &RunSet,
+    dir: &SpillDir,
+    stats: &mut SpillStats,
+) -> io::Result<RunMerger> {
+    let mut runs = set.runs.clone();
+    while runs.len() > MAX_FAN_IN {
+        stats.merge_passes += 1;
+        let mut next = Vec::with_capacity(runs.len().div_ceil(MAX_FAN_IN));
+        for group in runs.chunks(MAX_FAN_IN) {
+            let cursors = group
+                .iter()
+                .map(|r| RunCursor::open(&r.path))
+                .collect::<io::Result<Vec<_>>>()?;
+            let path = dir.fresh_path(&format!("col{}-merge", set.column));
+            let mut w = BufWriter::new(File::create(&path)?);
+            let mut ids = 0u64;
+            for id in RunMerger::new(cursors) {
+                w.write_all(&id.to_le_bytes())?;
+                ids += 1;
+            }
+            w.flush()?;
+            stats.runs_written += 1;
+            stats.bytes_spilled += ids * 4;
+            // The inputs are dead; reclaim the disk before the next pass.
+            for r in group {
+                let _ = std::fs::remove_file(&r.path);
+            }
+            next.push(RunMeta { path, ids });
+        }
+        runs = next;
+    }
+    if !runs.is_empty() {
+        stats.merge_passes += 1;
+    }
+    let cursors = runs
+        .iter()
+        .map(|r| RunCursor::open(&r.path))
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(RunMerger::new(cursors))
+}
+
+/// The uniform streaming view of one attribute's sorted distinct ids:
+/// in-memory (under budget) or merged from spilled runs (over budget).
+/// Both backings yield the identical ascending, duplicate-free sequence —
+/// consumers cannot (and must not) tell them apart.
+#[derive(Debug)]
+pub enum DistinctStream {
+    /// Backed by the in-memory bitmap-sweep path
+    /// ([`RelationColumns::sorted_distinct`](crate::column::RelationColumns::sorted_distinct)).
+    Mem(std::vec::IntoIter<u32>),
+    /// Backed by a k-way merge over disk runs.
+    Spilled(RunMerger),
+}
+
+impl DistinctStream {
+    /// Whether the stream reads from disk runs.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, DistinctStream::Spilled(_))
+    }
+
+    /// Consume every value strictly below `bound` and also the first value
+    /// `>= bound`, returning the latter (`None` when the stream ends
+    /// first). Equivalent to calling [`Iterator::next`] until it yields
+    /// `>= bound`, but the resident backing answers with one binary search
+    /// and a pointer bump — this is what lets a merge consumer fast-forward
+    /// through a long run of values it knows no other stream holds.
+    pub fn skip_below(&mut self, bound: u32) -> Option<u32> {
+        match self {
+            DistinctStream::Mem(it) => {
+                let skip = it.as_slice().partition_point(|&v| v < bound);
+                it.nth(skip)
+            }
+            DistinctStream::Spilled(m) => loop {
+                match m.next() {
+                    Some(n) if n < bound => {}
+                    other => return other,
+                }
+            },
+        }
+    }
+}
+
+impl Iterator for DistinctStream {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            DistinctStream::Mem(it) => it.next(),
+            DistinctStream::Spilled(m) => m.next(),
+        }
+    }
+}
+
+/// Re-intern a merged run into another interner, resolving each id
+/// through `src` — the re-read path for handing spilled state to a
+/// consumer with its own value table (another catalog, another process's
+/// store). `distinct_hint` — typically [`RunSet::total_ids`] — pre-sizes
+/// `dst` in one step so the bulk intake never rehashes mid-stream.
+pub fn reintern_merged(
+    merged: impl Iterator<Item = u32>,
+    distinct_hint: usize,
+    src: &ValueInterner,
+    dst: &mut ValueInterner,
+) -> Vec<u32> {
+    dst.reserve_distinct(distinct_hint);
+    merged.map(|id| dst.intern(src.resolve(id))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn temp_dir() -> SpillDir {
+        SpillDir::create_in(&std::env::temp_dir().join("depkit-spill-tests")).unwrap()
+    }
+
+    #[test]
+    fn run_roundtrip_across_buffer_boundaries() {
+        let dir = temp_dir();
+        // More than one read buffer's worth of ids.
+        let n = READ_BUF_BYTES / 4 + 1000;
+        let ids: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
+        let path = dir.path().join("r.ids");
+        let bytes = write_run(&path, &ids).unwrap();
+        assert_eq!(bytes, ids.len() as u64 * 4);
+        let mut cursor = RunCursor::open(&path).unwrap();
+        let mut got = Vec::new();
+        while let Some(id) = cursor.next_id() {
+            got.push(id);
+        }
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated run file")]
+    fn truncated_run_panics() {
+        let dir = temp_dir();
+        let path = dir.path().join("bad.ids");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        let mut cursor = RunCursor::open(&path).unwrap();
+        cursor.next_id();
+    }
+
+    #[test]
+    fn merger_dedups_across_runs() {
+        let dir = temp_dir();
+        let a = dir.path().join("a.ids");
+        let b = dir.path().join("b.ids");
+        let c = dir.path().join("c.ids");
+        write_run(&a, &[1, 3, 5, 7]).unwrap();
+        write_run(&b, &[2, 3, 4, 7, 9]).unwrap();
+        write_run(&c, &[]).unwrap();
+        let cursors = [&a, &b, &c]
+            .iter()
+            .map(|p| RunCursor::open(p).unwrap())
+            .collect();
+        let merged: Vec<u32> = RunMerger::new(cursors).collect();
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sorted_runs_and_manifest_roundtrip() {
+        let dir = temp_dir();
+        let mut stats = SpillStats::default();
+        // Unsorted with duplicates, 3 chunks at chunk_ids = 16 (the floor).
+        let values: Vec<u32> = (0..40u32).rev().flat_map(|v| [v, v]).collect();
+        let set = write_sorted_runs(&values, 8, &dir, 7, &mut stats).unwrap();
+        assert_eq!(set.column, 7);
+        assert_eq!(stats.runs_written, set.runs.len());
+        assert_eq!(stats.spilled_columns, 1);
+        assert!(stats.bytes_spilled > 0);
+        let manifest = dir.path().join("col7.manifest");
+        let read_back = RunSet::read_manifest(&manifest).unwrap();
+        assert_eq!(read_back, set);
+        assert_eq!(set.total_ids(), set.runs.iter().map(|r| r.ids).sum::<u64>());
+        // Merged: exactly 0..40 ascending.
+        let merged: Vec<u32> = merge_run_set(&set, &dir, &mut stats).unwrap().collect();
+        assert_eq!(merged, (0..40).collect::<Vec<u32>>());
+        assert!(stats.merge_passes >= 1);
+    }
+
+    #[test]
+    fn wide_run_sets_consolidate_in_passes() {
+        let dir = temp_dir();
+        let mut stats = SpillStats::default();
+        // One id per chunk → MAX_FAN_IN * 2 + 3 runs → needs consolidation.
+        // chunk_ids floors at 16, so feed 16 copies of each id.
+        let n = MAX_FAN_IN * 2 + 3;
+        let values: Vec<u32> = (0..n as u32).flat_map(|v| [v; 16]).collect();
+        let set = write_sorted_runs(&values, 16, &dir, 0, &mut stats).unwrap();
+        assert_eq!(set.runs.len(), n);
+        let before = stats.merge_passes;
+        let merged: Vec<u32> = merge_run_set(&set, &dir, &mut stats).unwrap().collect();
+        assert_eq!(merged, (0..n as u32).collect::<Vec<u32>>());
+        // One consolidation sweep plus the final merge.
+        assert_eq!(stats.merge_passes - before, 2);
+    }
+
+    #[test]
+    fn distinct_stream_backings_agree() {
+        let dir = temp_dir();
+        let mut stats = SpillStats::default();
+        let values = vec![9u32, 1, 4, 4, 9, 2, 8, 2, 0, 5];
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mem = DistinctStream::Mem(sorted.clone().into_iter());
+        assert!(!mem.is_spilled());
+        let set = write_sorted_runs(&values, 16, &dir, 0, &mut stats).unwrap();
+        let spilled = DistinctStream::Spilled(merge_run_set(&set, &dir, &mut stats).unwrap());
+        assert!(spilled.is_spilled());
+        assert_eq!(mem.collect::<Vec<_>>(), sorted);
+        assert_eq!(spilled.collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn skip_below_agrees_with_plain_iteration_on_both_backings() {
+        let dir = temp_dir();
+        let mut stats = SpillStats::default();
+        let values: Vec<u32> = (0..200).map(|v| v * 3).collect();
+        for bound in [0u32, 1, 3, 100, 299, 300, 597, 598, 10_000, u32::MAX] {
+            let mut mem = DistinctStream::Mem(values.clone().into_iter());
+            let set = write_sorted_runs(&values, 16, &dir, 0, &mut stats).unwrap();
+            let mut spilled =
+                DistinctStream::Spilled(merge_run_set(&set, &dir, &mut stats).unwrap());
+            let expected = values.iter().copied().find(|&v| v >= bound);
+            assert_eq!(mem.skip_below(bound), expected, "mem, bound {bound}");
+            assert_eq!(
+                spilled.skip_below(bound),
+                expected,
+                "spilled, bound {bound}"
+            );
+            // Both resume right after the consumed value.
+            let tail = values
+                .iter()
+                .copied()
+                .find(|&v| v > bound.max(expected.unwrap_or(0)));
+            assert_eq!(mem.next(), tail, "mem tail, bound {bound}");
+            assert_eq!(spilled.next(), tail, "spilled tail, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn spill_dir_cleans_up_on_drop() {
+        let dir = temp_dir();
+        let path = dir.path().to_path_buf();
+        write_run(&path.join("x.ids"), &[1, 2, 3]).unwrap();
+        assert!(path.exists());
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stats_absorb_sums_fields() {
+        let mut a = SpillStats {
+            spilled_columns: 1,
+            runs_written: 2,
+            bytes_spilled: 100,
+            merge_passes: 1,
+        };
+        let b = SpillStats {
+            spilled_columns: 2,
+            runs_written: 3,
+            bytes_spilled: 50,
+            merge_passes: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.spilled_columns, 3);
+        assert_eq!(a.runs_written, 5);
+        assert_eq!(a.bytes_spilled, 150);
+        assert_eq!(a.merge_passes, 3);
+        assert!(a.spilled());
+        assert!(!SpillStats::default().spilled());
+    }
+
+    #[test]
+    fn reintern_merged_remaps_into_a_fresh_interner() {
+        let mut src = ValueInterner::new();
+        // Interleave kinds so the re-read path exercises both tables.
+        let vals: Vec<Value> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Value::Int(1000 + i)
+                } else {
+                    Value::Str(format!("v{i}").into())
+                }
+            })
+            .collect();
+        let ids: Vec<u32> = vals.iter().map(|v| src.intern(v)).collect();
+        let mut dst = ValueInterner::new();
+        dst.intern(&Value::Str("pre-existing".into()));
+        let remapped = reintern_merged(ids.iter().copied(), ids.len(), &src, &mut dst);
+        assert_eq!(remapped.len(), ids.len());
+        for (old, new) in ids.iter().zip(&remapped) {
+            assert_eq!(src.resolve(*old), dst.resolve(*new));
+        }
+    }
+}

@@ -13,14 +13,18 @@
 //! scoped-thread pool of [`depkit_core::pool`], governed by
 //! [`DiscoveryConfig::threads`]:
 //!
-//! 1. **Unary INDs, SPIDER-style.** Each column is reduced to its
-//!    [`sorted_distinct`](depkit_core::column::RelationColumns::sorted_distinct)
-//!    id run (one run per column, computed in parallel); merging the runs
-//!    into a per-value occurrence bit set and intersecting
-//!    (`cand[c] &= occurs[v]` for every `v` in column `c`, again parallel
-//!    per column) decides *all* `R[A] ⊆ S[B]` simultaneously — SPIDER's
-//!    external sort-merge collapsed onto dense ids, touching each
-//!    *distinct* value once per column instead of each row.
+//! 1. **Unary INDs, SPIDER proper.** Each column becomes a sorted
+//!    distinct **stream**
+//!    ([`sorted_distinct_stream`](depkit_core::column::RelationColumns::sorted_distinct_stream),
+//!    opened in parallel) — backed by the in-memory bitmap sweep under
+//!    budget, by merged disk runs over it — and one cursor-per-attribute
+//!    k-way merge decides *all* `R[A] ⊆ S[B]` simultaneously: popping
+//!    every cursor at the minimum value yields the bit set of columns
+//!    containing it, which intersects into each group member's candidate
+//!    set on the spot. No distinct vectors are materialized and no
+//!    per-value occurrence table is built; each *distinct* value is
+//!    touched once per column containing it, independent of row
+//!    repetition.
 //! 2. **n-ary INDs by pairwise composition.** Valid `k`-ary INDs are
 //!    extended with valid unary INDs over the same relation pair
 //!    (candidates are canonical: left columns in ascending order, which
@@ -52,26 +56,46 @@
 //! property-checks that the columnar engine (at any thread count)
 //! produces byte-identical results.
 //!
+//! **Out-of-core operation.** A positive
+//! [`DiscoveryConfig::memory_budget`] bounds the pipeline's working set:
+//! columns whose distinct state exceeds its budget share spill sorted
+//! little-endian `u32` runs to [`DiscoveryConfig::spill_dir`] and stream
+//! back through [`depkit_core::spill`]'s buffered k-way merge; oversized
+//! right-side projection sets validate in hash-of-key passes; oversized
+//! FD lattice levels recompute partitions from the root in hash-of-lhs
+//! waves. Every budget decision is a deterministic function of the data
+//! shape, so a spilled run is byte-identical to the in-memory one —
+//! discovery on data 10× the budget is slower, never different.
+//! [`Discovery::spill`] reports runs written, bytes spilled, and merge
+//! passes.
+//!
 //! Exactness contract: within the configured caps
 //! ([`DiscoveryConfig::max_ind_arity`], [`DiscoveryConfig::max_fd_lhs`])
 //! the raw set contains **every** satisfied nontrivial IND (one canonical
 //! representative per IND2-permutation class) and every minimal satisfied
 //! FD; `tests/discovery_vs_satisfy.rs` checks both directions against
 //! [`depkit_core::satisfy`]. The result is also independent of
-//! [`DiscoveryConfig::threads`]: every parallel stage merges worker
-//! output in deterministic input order.
+//! [`DiscoveryConfig::threads`] **and** of the memory budget: every
+//! parallel stage merges worker output in deterministic input order, and
+//! every external stage shards by deterministic hashes of the data.
 
 use crate::fd::FdEngine;
 use crate::ind::IndSolver;
 use crate::interact::{SaturationLimits, Saturator};
-use depkit_core::column::{ColumnCursor, ColumnStore, KeySet, Refiner};
+use depkit_core::column::{
+    ColumnCursor, ColumnSpill, ColumnStore, KeySet, Refiner, RelationColumns,
+};
 use depkit_core::database::Database;
 use depkit_core::dependency::{Dependency, Fd, Ind};
 use depkit_core::hashing::{FastMap, FastSet};
 use depkit_core::index::{CompiledRows, ProjectionIndex};
 use depkit_core::pool;
 use depkit_core::schema::DatabaseSchema;
-use std::collections::HashMap;
+use depkit_core::spill::{SpillDir, SpillStats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::path::PathBuf;
 
 /// Resource caps and rule toggles for [`discover_with_config`].
 #[derive(Debug, Clone)]
@@ -96,6 +120,24 @@ pub struct DiscoveryConfig {
     /// ([`pool::default_threads`]); `1` runs every stage inline. The mined
     /// result is identical for every setting. Default `0`.
     pub threads: usize,
+    /// In-memory byte budget for the discovery working set. `0` (the
+    /// default) is unbounded: every stage runs fully in RAM, exactly as
+    /// before the external pipeline existed. A positive budget splits
+    /// into fixed, data-independent shares (see `BudgetPlan` in the
+    /// source): columns whose distinct sweep would exceed their share
+    /// spill sorted runs to [`DiscoveryConfig::spill_dir`] and stream
+    /// back through a k-way merge; oversized right-side projection sets
+    /// are validated in hash-of-key passes; oversized FD lattice levels
+    /// recompute partitions from the root and run in hash-of-left-side
+    /// waves. The mined result is byte-identical to the unbounded run —
+    /// the budget changes *where* intermediate state lives, never what is
+    /// found ([`Discovery::spill`] reports what went to disk).
+    pub memory_budget: usize,
+    /// Directory under which spilled sorted runs are written when
+    /// [`DiscoveryConfig::memory_budget`] forces the disk path; `None`
+    /// uses the system temp directory. Each discovery run creates a
+    /// uniquely named subdirectory and removes it when the run completes.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for DiscoveryConfig {
@@ -105,6 +147,8 @@ impl Default for DiscoveryConfig {
             max_fd_lhs: 3,
             interaction_pruning: true,
             threads: 0,
+            memory_budget: 0,
+            spill_dir: None,
         }
     }
 }
@@ -156,6 +200,12 @@ pub struct Discovery {
     pub cover: Vec<Dependency>,
     /// Instrumentation.
     pub stats: DiscoveryStats,
+    /// Spill-layer counters: all zero when the run stayed in memory.
+    /// Deliberately kept out of [`DiscoveryStats`] — `stats` is part of
+    /// the determinism contract (`spilled == in-memory` byte-for-byte),
+    /// while `spill` describes *how* the run executed, which legitimately
+    /// differs between a budgeted and an unbounded run.
+    pub spill: SpillStats,
 }
 
 /// Mine `db` with the default [`DiscoveryConfig`].
@@ -187,11 +237,36 @@ pub fn discover(db: &Database) -> Discovery {
 
 /// Mine `db` under explicit caps: compile it to columnar form, discover
 /// INDs and FDs over the column runs (in parallel per
-/// [`DiscoveryConfig::threads`]), and minimize the result through the
-/// implication engines.
+/// [`DiscoveryConfig::threads`], externally per
+/// [`DiscoveryConfig::memory_budget`]), and minimize the result through
+/// the implication engines.
+///
+/// Spill I/O failures panic; use [`try_discover_with_config`] to handle
+/// them. With `memory_budget == 0` no I/O happens and no panic is
+/// possible.
 pub fn discover_with_config(db: &Database, config: &DiscoveryConfig) -> Discovery {
-    let schema = db.schema();
+    try_discover_with_config(db, config).expect("discovery spill I/O failed")
+}
+
+/// Fallible variant of [`discover_with_config`]: spill I/O errors (an
+/// unwritable spill directory, a full disk) surface as `Err` instead of a
+/// panic.
+pub fn try_discover_with_config(db: &Database, config: &DiscoveryConfig) -> io::Result<Discovery> {
     let store = ColumnStore::new(db);
+    discover_store(db.schema(), &store, config)
+}
+
+/// Mine a pre-built [`ColumnStore`] directly. This is the entry point for
+/// workloads that never materialize a [`Database`] — the out-of-core
+/// scaling benches build multi-10M-row stores synthetically via
+/// [`ColumnStore::from_raw_parts`], where the row form would blow the
+/// heap the budget is there to protect. `schema` must be the schema the
+/// store was compiled from (same relation order and arities).
+pub fn discover_store(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    config: &DiscoveryConfig,
+) -> io::Result<Discovery> {
     let columns = column_table(schema);
     let threads = config.effective_threads();
     let mut stats = DiscoveryStats {
@@ -200,16 +275,36 @@ pub fn discover_with_config(db: &Database, config: &DiscoveryConfig) -> Discover
         distinct_values: store.distinct_values(),
         ..DiscoveryStats::default()
     };
+    let mut spill = SpillStats::default();
+    // The spill directory must outlive every stream created from it;
+    // dropping it at return removes the run files.
+    let spill_dir = match config.memory_budget {
+        0 => None,
+        _ => {
+            let root = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            Some(SpillDir::create_in(&root)?)
+        }
+    };
+    let plan = spill_dir
+        .as_ref()
+        .map(|dir| BudgetPlan::new(dir, config.memory_budget, columns.len()));
 
     let mut raw: Vec<Dependency> = Vec::new();
-    let unary = spider_unary(&store, &columns, threads);
+    let unary = spider_unary(store, &columns, threads, plan.as_ref(), &mut spill)?;
     for ind in mine_inds(
-        schema, &store, &columns, &unary, config, threads, &mut stats,
+        schema,
+        store,
+        &columns,
+        &unary,
+        config,
+        threads,
+        plan.as_ref(),
+        &mut stats,
     ) {
         raw.push(ind.into());
     }
     stats.raw_inds = raw.len();
-    for fd in mine_fds(schema, &store, config, threads, &mut stats) {
+    for fd in mine_fds(schema, store, config, threads, plan.as_ref(), &mut stats) {
         raw.push(fd.into());
     }
     stats.raw_fds = raw.len() - stats.raw_inds;
@@ -218,7 +313,42 @@ pub fn discover_with_config(db: &Database, config: &DiscoveryConfig) -> Discover
 
     let cover = minimize_cover(&raw, config);
     stats.pruned = raw.len() - cover.len();
-    Discovery { raw, cover, stats }
+    Ok(Discovery {
+        raw,
+        cover,
+        stats,
+        spill,
+    })
+}
+
+/// How a positive [`DiscoveryConfig::memory_budget`] is split across the
+/// discovery stages. The shares are **fixed fractions of the budget and
+/// functions of the data shape alone** — never of thread count or runtime
+/// measurements — so every budget decision (spill or not, how many
+/// passes, how many waves) is deterministic and the mined result is
+/// byte-identical to the unbounded run. The stages run sequentially, so
+/// their shares may overlap rather than sum to the budget.
+struct BudgetPlan<'a> {
+    /// The per-run spill directory.
+    dir: &'a SpillDir,
+    /// Per-column share of the distinct-sweep stage: `budget / (2·ncols)`
+    /// (every column's sweep may be in flight at once, bitmap + output).
+    distinct_share: usize,
+    /// Share for one right-side projection [`KeySet`]: `budget / 4`.
+    keyset_share: usize,
+    /// Share for one FD lattice level's carried partitions: `budget / 4`.
+    fd_share: usize,
+}
+
+impl<'a> BudgetPlan<'a> {
+    fn new(dir: &'a SpillDir, budget: usize, ncols: usize) -> Self {
+        BudgetPlan {
+            dir,
+            distinct_share: (budget / (2 * ncols.max(1))).max(1),
+            keyset_share: (budget / 4).max(1),
+            fd_share: (budget / 4).max(1),
+        }
+    }
 }
 
 /// Saturation caps for the pruning oracle. Cover minimization calls the
@@ -387,45 +517,119 @@ fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
 /// For each column, the columns whose value sets contain it (including
 /// itself): `result[c]` lists every `d` with `values(c) ⊆ values(d)`.
 ///
-/// Columnar SPIDER: each column is first collapsed to its sorted-distinct
-/// id run (parallel per column); the runs are merged into `occurs[v]` —
-/// the bit set of columns containing value `v` — and each column's
-/// candidate set is the intersection of `occurs[v]` over its run (again
-/// parallel per column). Every distinct value is touched once per column
-/// containing it, independent of how many rows repeat it. Empty columns
-/// keep every candidate, matching the vacuous-satisfaction semantics of
+/// SPIDER proper, cursor-per-attribute: every column becomes a sorted
+/// distinct stream — the in-memory bitmap sweep under budget, a merge
+/// over spilled runs above it ([`ColumnStore::sorted_distinct_stream`],
+/// streams opened in parallel) — and one k-way merge pops all cursors
+/// sitting at the minimum value `v`. That popped group *is* the bit set
+/// of columns containing `v`, so each group member's candidate set is
+/// intersected with the group mask on the spot. No `occurs` table over
+/// the whole value domain and no materialized distinct vectors: resident
+/// state is the `ncols²`-bit candidate matrix plus one buffered cursor
+/// per column, regardless of data size. Every distinct value is touched
+/// at most once per column containing it, independent of how many rows
+/// repeat it — and values held by a *single* column (the bulk of any key
+/// column) collapse further: their candidate update is idempotent, so
+/// after the first such value the merge fast-forwards the cursor to the
+/// next other-column bound ([`DistinctStream::skip_below`] — one binary
+/// search on the resident backing) with no heap traffic at all. Empty
+/// columns never surface in the merge, so they keep every candidate —
+/// matching the vacuous-satisfaction semantics of
 /// [`depkit_core::satisfy::check_ind`].
 fn spider_unary(
     store: &ColumnStore,
     columns: &[(usize, usize)],
     threads: usize,
-) -> Vec<Vec<usize>> {
+    plan: Option<&BudgetPlan>,
+    spill: &mut SpillStats,
+) -> io::Result<Vec<Vec<usize>>> {
     let ncols = columns.len();
     let blocks = ncols.div_ceil(64);
-    let nvals = store.distinct_values();
-    let distinct: Vec<Vec<u32>> = pool::map_indexed(threads, ncols, |c| {
+    let made = pool::map_indexed(threads, ncols, |c| {
         let (rel, col) = columns[c];
-        store.relation(rel).sorted_distinct(col)
+        store.sorted_distinct_stream(
+            rel,
+            col,
+            c,
+            plan.map(|p| ColumnSpill {
+                dir: p.dir,
+                share_bytes: p.distinct_share,
+            }),
+        )
     });
-    // occurs[v * blocks ..][..blocks] = columns containing value v.
-    let mut occurs = vec![0u64; nvals * blocks];
-    for (c, run) in distinct.iter().enumerate() {
-        for &v in run {
-            occurs[v as usize * blocks + c / 64] |= 1 << (c % 64);
+    let mut streams = Vec::with_capacity(ncols);
+    for res in made {
+        let (stream, stats) = res?;
+        spill.absorb(&stats);
+        streams.push(stream);
+    }
+    // cand[c * blocks..][..blocks]: columns whose value set still covers
+    // column c's values seen so far.
+    let mut cand = vec![!0u64; ncols * blocks];
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::with_capacity(ncols);
+    for (c, stream) in streams.iter_mut().enumerate() {
+        if let Some(v) = stream.next() {
+            heap.push(Reverse((v, c)));
         }
     }
-    pool::map_indexed(threads, ncols, |c| {
-        let mut bits = vec![!0u64; blocks];
-        for &v in &distinct[c] {
-            let set = &occurs[v as usize * blocks..(v as usize + 1) * blocks];
-            for (dst, &src) in bits.iter_mut().zip(set) {
+    let mut mask = vec![0u64; blocks];
+    let mut group: Vec<usize> = Vec::with_capacity(ncols);
+    // Columns already reduced to the singleton candidate set {c} by a
+    // value nobody else holds: further sole values are no-ops, so their
+    // runs fast-forward below without touching the heap.
+    let mut soled = vec![false; ncols];
+    while let Some(Reverse((v, c))) = heap.pop() {
+        let shared = heap.peek().is_some_and(|&Reverse((v2, _))| v2 == v);
+        if !shared {
+            // `v` lives only in column `c`: no other column can cover
+            // `c`, so cand[c] collapses to {c} — idempotently. Apply
+            // once, then skip the whole run of values strictly below
+            // every other cursor (they are sole for the same reason)
+            // with plain stream reads, no heap traffic.
+            if !soled[c] {
+                soled[c] = true;
+                for (b, dst) in cand[c * blocks..(c + 1) * blocks].iter_mut().enumerate() {
+                    *dst &= if b == c / 64 { 1 << (c % 64) } else { 0 };
+                }
+            }
+            let bound = heap.peek().map_or(u32::MAX, |&Reverse((m, _))| m);
+            if let Some(n) = streams[c].skip_below(bound) {
+                heap.push(Reverse((n, c)));
+            }
+            continue;
+        }
+        mask.fill(0);
+        group.clear();
+        mask[c / 64] |= 1 << (c % 64);
+        group.push(c);
+        if let Some(n) = streams[c].next() {
+            heap.push(Reverse((n, c)));
+        }
+        while let Some(&Reverse((v2, c2))) = heap.peek() {
+            if v2 != v {
+                break;
+            }
+            heap.pop();
+            mask[c2 / 64] |= 1 << (c2 % 64);
+            group.push(c2);
+            if let Some(n) = streams[c2].next() {
+                heap.push(Reverse((n, c2)));
+            }
+        }
+        for &c in &group {
+            for (dst, &src) in cand[c * blocks..(c + 1) * blocks].iter_mut().zip(&mask) {
                 *dst &= src;
             }
         }
-        (0..ncols)
-            .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
-            .collect()
-    })
+    }
+    Ok((0..ncols)
+        .map(|c| {
+            let bits = &cand[c * blocks..(c + 1) * blocks];
+            (0..ncols)
+                .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
+                .collect()
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -452,11 +656,14 @@ impl IndCand {
 
 /// Mine every satisfied canonical IND up to `config.max_ind_arity`.
 ///
-/// Levels are processed one at a time; within a level the distinct
-/// right-side projection sets are materialized first (in parallel) as
-/// word-packed [`KeySet`]s keyed by their global column ids — the cache
-/// persists across levels and is probed borrow-keyed, never cloning the
-/// column list — and then every candidate is validated in parallel.
+/// Levels are processed one at a time. Unbounded, the distinct right-side
+/// projection sets are materialized first (in parallel) as word-packed
+/// [`KeySet`]s keyed by their global column ids — the cache persists
+/// across levels and is probed borrow-keyed, never cloning the column
+/// list — and then every candidate is validated in parallel. Under a
+/// memory budget, a right side whose key set would exceed its share is
+/// instead validated in [`key_shard`]-partitioned passes (see
+/// `validate_sharded`), and nothing is cached across levels.
 #[allow(clippy::too_many_arguments)]
 fn mine_inds(
     schema: &DatabaseSchema,
@@ -465,6 +672,7 @@ fn mine_inds(
     unary: &[Vec<usize>],
     config: &DiscoveryConfig,
     threads: usize,
+    plan: Option<&BudgetPlan>,
     stats: &mut DiscoveryStats,
 ) -> Vec<Ind> {
     let mut out = Vec::new();
@@ -516,33 +724,38 @@ fn mine_inds(
         if cands.is_empty() {
             break;
         }
-        // Materialize the missing right-side key sets, in parallel; the
-        // borrow-keyed probe never clones an already-cached column list,
-        // and a constant-time seen-guard keeps the dedup linear in the
-        // candidate count.
-        let mut missing: Vec<Vec<usize>> = Vec::new();
-        let mut queued: FastSet<Vec<usize>> = FastSet::default();
-        for cand in &cands {
-            if !cand.is_trivial()
-                && !rhs_sets.contains_key(cand.rhs.as_slice())
-                && !queued.contains(cand.rhs.as_slice())
-            {
-                queued.insert(cand.rhs.clone());
-                missing.push(cand.rhs.clone());
+        let ok = if let Some(plan) = plan {
+            validate_sharded(store, columns, &cands, plan, threads)
+        } else {
+            // Materialize the missing right-side key sets, in parallel;
+            // the borrow-keyed probe never clones an already-cached
+            // column list, and a constant-time seen-guard keeps the dedup
+            // linear in the candidate count.
+            let mut missing: Vec<Vec<usize>> = Vec::new();
+            let mut queued: FastSet<Vec<usize>> = FastSet::default();
+            for cand in &cands {
+                if !cand.is_trivial()
+                    && !rhs_sets.contains_key(cand.rhs.as_slice())
+                    && !queued.contains(cand.rhs.as_slice())
+                {
+                    queued.insert(cand.rhs.clone());
+                    missing.push(cand.rhs.clone());
+                }
             }
-        }
-        let built = pool::map_indexed(threads, missing.len(), |i| {
-            build_rhs_keys(store, columns, &missing[i])
-        });
-        for (cols, set) in missing.into_iter().zip(built) {
-            rhs_sets.insert(cols, set);
-        }
-        // Validate every candidate in parallel (read-only cache); merge in
-        // candidate order so the output is thread-count independent.
-        let ok = pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
-            let cand = &cands[i];
-            cand.is_trivial() || ind_holds(store, columns, cand, &rhs_sets, buf)
-        });
+            let built = pool::map_indexed(threads, missing.len(), |i| {
+                build_rhs_keys(store, columns, &missing[i])
+            });
+            for (cols, set) in missing.into_iter().zip(built) {
+                rhs_sets.insert(cols, set);
+            }
+            // Validate every candidate in parallel (read-only cache);
+            // merge in candidate order so the output is thread-count
+            // independent.
+            pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
+                let cand = &cands[i];
+                cand.is_trivial() || ind_holds(store, columns, cand, &rhs_sets, buf)
+            })
+        };
         let mut next = Vec::new();
         for (cand, ok) in cands.into_iter().zip(ok) {
             if !cand.is_trivial() {
@@ -602,6 +815,146 @@ fn ind_holds(
     true
 }
 
+/// Hard cap on [`key_shard`] passes per right side. The pass count is
+/// `est_bytes / keyset_share`, so a pathologically tiny budget on a big
+/// relation could demand thousands of full left-side rescans; beyond this
+/// cap the shard sets exceed their share instead (graceful degradation —
+/// the run may use more memory than asked, never produce different
+/// output).
+const MAX_KEY_PASSES: usize = 64;
+
+/// Bytes a [`KeySet`] of `rows` keys at the given arity occupies, by the
+/// set's own packing rules (`u64` entries up to arity 2, `u128` for 3–4,
+/// boxed slices beyond) plus a fixed per-entry table overhead.
+/// Deliberately a function of the data shape alone, so the sharded pass
+/// count is deterministic.
+fn keyset_bytes_estimate(rows: usize, arity: usize) -> usize {
+    let per_key = match arity {
+        0..=2 => 16,
+        3..=4 => 24,
+        a => 24 + 4 * a,
+    };
+    rows * per_key
+}
+
+/// Deterministic shard of a projection key: FNV-1a over the id words.
+/// The right-side build and the left-side probe must agree on this, and
+/// it must depend on nothing but the key itself — then pass `p` validates
+/// exactly the keys the unsharded validator would have looked up in shard
+/// `p`, and the sharded verdict equals the unsharded one.
+fn key_shard(key: &[u32], passes: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in key {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % passes as u64) as usize
+}
+
+/// Memory-budgeted candidate validation: group candidates by right side;
+/// for each right side whose full [`KeySet`] would exceed its budget
+/// share, run `passes = est / share` hash-partitioned passes — build the
+/// shard-`p` subset of the right keys, then scan every member candidate's
+/// left rows restricted to shard `p` (parallel over candidates, merged in
+/// candidate order). A candidate is valid iff it survives every pass.
+/// Verdicts are exactly the unsharded ones; only peak memory differs.
+fn validate_sharded(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cands: &[IndCand],
+    plan: &BudgetPlan,
+    threads: usize,
+) -> Vec<bool> {
+    // Trivial candidates hold by definition, mirroring the unsharded path.
+    let mut ok = vec![true; cands.len()];
+    // Group candidate indices by right side, first-seen order.
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut by_rhs: FastMap<Vec<usize>, usize> = FastMap::default();
+    for (i, cand) in cands.iter().enumerate() {
+        if cand.is_trivial() {
+            continue;
+        }
+        match by_rhs.get(cand.rhs.as_slice()) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                by_rhs.insert(cand.rhs.clone(), groups.len());
+                groups.push((cand.rhs.clone(), vec![i]));
+            }
+        }
+    }
+    for (rhs, members) in &groups {
+        let rrel = columns[rhs[0]].0;
+        let rows = store.relation(rrel).row_count();
+        let passes = keyset_bytes_estimate(rows, rhs.len())
+            .div_ceil(plan.keyset_share)
+            .clamp(1, MAX_KEY_PASSES);
+        for pass in 0..passes {
+            // Candidates already refuted by an earlier pass need no more
+            // scans; skipping them cannot change any verdict.
+            let alive: Vec<usize> = members.iter().copied().filter(|&i| ok[i]).collect();
+            if alive.is_empty() {
+                break;
+            }
+            let shard = build_rhs_keys_shard(store, columns, rhs, pass, passes);
+            let verdicts = pool::map_subset_with(threads, &alive, Vec::new, |buf, i| {
+                ind_holds_shard(store, columns, &cands[i], &shard, pass, passes, buf)
+            });
+            for (&i, good) in alive.iter().zip(verdicts) {
+                ok[i] = good;
+            }
+        }
+    }
+    ok
+}
+
+/// The shard-`pass` subset of [`build_rhs_keys`]: only right keys whose
+/// [`key_shard`] is `pass` enter the set.
+fn build_rhs_keys_shard(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    rhs: &[usize],
+    pass: usize,
+    passes: usize,
+) -> KeySet {
+    let rrel = columns[rhs[0]].0;
+    let rcols: Vec<usize> = rhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(rrel);
+    let cursor = ColumnCursor::new(rel, &rcols);
+    let mut set = KeySet::with_arity(rcols.len());
+    let mut buf = Vec::with_capacity(rcols.len());
+    for r in 0..rel.row_count() {
+        cursor.fill(r, &mut buf);
+        if key_shard(&buf, passes) == pass {
+            set.insert(&buf);
+        }
+    }
+    set
+}
+
+/// The shard-`pass` slice of [`ind_holds`]: left rows outside the shard
+/// are someone else's pass; rows inside it must appear in the shard set.
+#[allow(clippy::too_many_arguments)]
+fn ind_holds_shard(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cand: &IndCand,
+    shard: &KeySet,
+    pass: usize,
+    passes: usize,
+    buf: &mut Vec<u32>,
+) -> bool {
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(cand.lrel);
+    let cursor = ColumnCursor::new(rel, &lcols);
+    for r in 0..rel.row_count() {
+        cursor.fill(r, buf);
+        if key_shard(buf, passes) == pass && !shard.contains(buf) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Resolve a candidate's global column ids back to a string-typed [`Ind`].
 fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -> Ind {
     let lhs_scheme = &schema.schemes()[cand.lrel];
@@ -634,6 +987,99 @@ struct NodeResult {
     children: Vec<(Vec<usize>, Partition)>,
 }
 
+/// Check one lattice node against the `found` set frozen at the level
+/// boundary: which right-hand columns `X` determines, and which child
+/// left sides extend it. With `carry` set, children materialize their
+/// refined partitions (the in-memory mode); without it, children carry
+/// the left side only and the next level recomputes partitions via
+/// [`recompute_partition`] (the memory-budgeted mode).
+#[allow(clippy::too_many_arguments)]
+fn check_fd_node(
+    rel: &RelationColumns,
+    arity: usize,
+    found: &[(Vec<usize>, usize)],
+    lhs: &[usize],
+    partition: &Partition,
+    refiner: &mut Refiner,
+    last_level: bool,
+    carry: bool,
+) -> NodeResult {
+    let determined = |c: usize| {
+        found
+            .iter()
+            .any(|(y, a)| *a == c && y.iter().all(|x| lhs.contains(x)))
+    };
+    // Right-hand candidates: columns outside `X` not already determined
+    // by a found subset (those FDs would not be minimal).
+    let rhs: Vec<usize> = (0..arity)
+        .filter(|&c| !lhs.contains(&c) && !determined(c))
+        .collect();
+    if rhs.is_empty() {
+        // Everything outside X is determined by subsets of X: no superset
+        // of X can carry a minimal FD.
+        return NodeResult::default();
+    }
+    let mut node = NodeResult {
+        checked: rhs.len(),
+        ..NodeResult::default()
+    };
+    for &c in &rhs {
+        if Refiner::determines(partition, rel.column(c)) {
+            node.determined_cols.push(c);
+        }
+    }
+    // Superkey prune: with no class of size ≥ 2 left, X determines
+    // everything, so no superset FD is minimal.
+    if partition.is_empty() || last_level {
+        return node;
+    }
+    let start = lhs.last().map_or(0, |&l| l + 1);
+    for c in start..arity {
+        // A column determined by a subset of X (or by X itself, just
+        // established) can never sit in a minimal left side extending X.
+        if node.determined_cols.contains(&c) || determined(c) {
+            continue;
+        }
+        let mut extended = lhs.to_vec();
+        extended.push(c);
+        let child = if carry {
+            refiner.refine_stripped(partition, rel.column(c))
+        } else {
+            Vec::new()
+        };
+        node.children.push((extended, child));
+    }
+    node
+}
+
+/// Recompute `π_X` from the root by refining one column at a time in
+/// ascending order — exactly the order the carried-partition mode refines
+/// in (children always extend with a larger column index), so the result
+/// is identical to the partition that would have been carried.
+fn recompute_partition(
+    refiner: &mut Refiner,
+    rel: &RelationColumns,
+    root: &Partition,
+    lhs: &[usize],
+) -> Partition {
+    let mut part: Option<Partition> = None;
+    for &c in lhs {
+        part = Some(refiner.refine_stripped(part.as_ref().unwrap_or(root), rel.column(c)));
+    }
+    part.unwrap_or_else(|| root.clone())
+}
+
+/// Deterministic wave of one lattice node under the memory budget:
+/// FNV-1a over its left-side column indices.
+fn lhs_shard(lhs: &[usize], waves: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in lhs {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % waves as u64) as usize
+}
+
 /// Mine the minimal satisfied FDs of every relation.
 ///
 /// Lattice nodes of one level are processed in parallel against the
@@ -642,81 +1088,88 @@ struct NodeResult {
 /// the same size as every other node's `X`, so it can only be a subset of
 /// `X` by being `X` itself — other nodes' same-level finds can never
 /// influence a node's pruning, and each node sees its own finds locally.
+///
+/// Under a memory budget, a relation whose carried partitions would
+/// exceed the FD share switches to **external mode**: level entries carry
+/// left sides only, each node recomputes its partition from the root
+/// ([`recompute_partition`] — trading refinement passes for memory), and
+/// the level is processed in [`lhs_shard`]-assigned waves so at most one
+/// wave's worth of transient partitions is in flight. Results are
+/// scattered back by node index and merged in the same order as the
+/// in-memory sweep — the frozen-`found` argument above covers waves just
+/// as it covers threads, so the output is byte-identical.
 fn mine_fds(
     schema: &DatabaseSchema,
     store: &ColumnStore,
     config: &DiscoveryConfig,
     threads: usize,
+    plan: Option<&BudgetPlan>,
     stats: &mut DiscoveryStats,
 ) -> Vec<Fd> {
     let mut out = Vec::new();
+    let nvals = store.distinct_values();
     for (ri, scheme) in schema.schemes().iter().enumerate() {
         let rel = store.relation(ri);
         let arity = scheme.arity();
+        let rows = rel.row_count();
+        // External when even one partition per attribute would overrun
+        // the share — a deterministic function of the data shape.
+        let external = plan.is_some_and(|p| 4 * rows * arity > p.fd_share);
         // Minimal FDs found so far, as (lhs columns sorted, rhs column).
         let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
         // Level 0: the empty left side; its partition is one class of all
         // rows (stripped, so empty when the relation has ≤ 1 row — every
         // column is then vacuously constant).
-        let root: Partition = if rel.row_count() >= 2 {
-            vec![(0..rel.row_count() as u32).collect()]
+        let root: Partition = if rows >= 2 {
+            vec![(0..rows as u32).collect()]
         } else {
             Vec::new()
         };
-        let mut level: Vec<(Vec<usize>, Partition)> = vec![(Vec::new(), root)];
+        let mut level: Vec<(Vec<usize>, Partition)> = vec![(Vec::new(), root.clone())];
         for size in 0..=config.max_fd_lhs {
-            let results = pool::map_indexed_with(
-                threads,
-                level.len(),
-                || Refiner::new(store.distinct_values()),
-                |refiner, i| {
-                    let (lhs, partition) = &level[i];
-                    let determined = |c: usize| {
-                        found
-                            .iter()
-                            .any(|(y, a)| *a == c && y.iter().all(|x| lhs.contains(x)))
-                    };
-                    // Right-hand candidates: columns outside `X` not
-                    // already determined by a found subset (those FDs
-                    // would not be minimal).
-                    let rhs: Vec<usize> = (0..arity)
-                        .filter(|&c| !lhs.contains(&c) && !determined(c))
+            let node = |refiner: &mut Refiner, i: usize| {
+                let (lhs, carried) = &level[i];
+                let recomputed;
+                let partition = if external && size > 0 {
+                    recomputed = recompute_partition(refiner, rel, &root, lhs);
+                    &recomputed
+                } else {
+                    carried
+                };
+                check_fd_node(
+                    rel,
+                    arity,
+                    &found,
+                    lhs,
+                    partition,
+                    refiner,
+                    size == config.max_fd_lhs,
+                    !external,
+                )
+            };
+            let results: Vec<NodeResult> = if !external {
+                pool::map_indexed_with(threads, level.len(), || Refiner::new(nvals), node)
+            } else {
+                let fd_share = plan.expect("external implies a plan").fd_share;
+                let waves = (level.len().saturating_mul(4 * rows))
+                    .div_ceil(fd_share)
+                    .clamp(1, level.len().max(1));
+                let mut slots: Vec<Option<NodeResult>> = (0..level.len()).map(|_| None).collect();
+                for w in 0..waves {
+                    let members: Vec<usize> = (0..level.len())
+                        .filter(|&i| lhs_shard(&level[i].0, waves) == w)
                         .collect();
-                    if rhs.is_empty() {
-                        // Everything outside X is determined by subsets of
-                        // X: no superset of X can carry a minimal FD.
-                        return NodeResult::default();
+                    let wave =
+                        pool::map_subset_with(threads, &members, || Refiner::new(nvals), node);
+                    for (&i, res) in members.iter().zip(wave) {
+                        slots[i] = Some(res);
                     }
-                    let mut node = NodeResult {
-                        checked: rhs.len(),
-                        ..NodeResult::default()
-                    };
-                    for &c in &rhs {
-                        if Refiner::determines(partition, rel.column(c)) {
-                            node.determined_cols.push(c);
-                        }
-                    }
-                    // Superkey prune: with no class of size ≥ 2 left, X
-                    // determines everything, so no superset FD is minimal.
-                    if partition.is_empty() || size == config.max_fd_lhs {
-                        return node;
-                    }
-                    let start = lhs.last().map_or(0, |&l| l + 1);
-                    for c in start..arity {
-                        // A column determined by a subset of X (or by X
-                        // itself, just established) can never sit in a
-                        // minimal left side extending X.
-                        if node.determined_cols.contains(&c) || determined(c) {
-                            continue;
-                        }
-                        let mut extended = lhs.clone();
-                        extended.push(c);
-                        node.children
-                            .push((extended, refiner.refine_stripped(partition, rel.column(c))));
-                    }
-                    node
-                },
-            );
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every node lands in exactly one wave"))
+                    .collect()
+            };
             // Merge in node order: output and `found` growth are identical
             // to the sequential sweep, independent of the thread count.
             let mut next: Vec<(Vec<usize>, Partition)> = Vec::new();
@@ -781,7 +1234,12 @@ pub fn discover_reference(db: &Database, config: &DiscoveryConfig) -> Discovery 
 
     let cover = minimize_cover(&raw, config);
     stats.pruned = raw.len() - cover.len();
-    Discovery { raw, cover, stats }
+    Discovery {
+        raw,
+        cover,
+        stats,
+        spill: SpillStats::default(),
+    }
 }
 
 /// Row-based SPIDER: `occurs[v]` built by scanning every row of every
@@ -1203,6 +1661,62 @@ mod tests {
             assert_eq!(single.cover, multi.cover);
             assert_eq!(single.stats, multi.stats);
         }
+    }
+
+    #[test]
+    fn memory_budget_does_not_change_the_result() {
+        let mut rng = Rng::new(0xB0D6);
+        for round in 0..4 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 1,
+                    max_arity: 3,
+                },
+            );
+            let db = random_database(&mut rng, &schema, 10, 3);
+            let unbounded = discover_with_config(&db, &DiscoveryConfig::default());
+            assert!(!unbounded.spill.spilled());
+            for budget in [1usize, 64, 4096] {
+                for threads in [1usize, 3] {
+                    let budgeted = discover_with_config(
+                        &db,
+                        &DiscoveryConfig {
+                            memory_budget: budget,
+                            threads,
+                            ..DiscoveryConfig::default()
+                        },
+                    );
+                    assert_eq!(
+                        unbounded.raw, budgeted.raw,
+                        "raw mismatch: round {round}, budget {budget}, threads {threads}"
+                    );
+                    assert_eq!(unbounded.cover, budgeted.cover);
+                    assert_eq!(unbounded.stats, budgeted.stats);
+                    // A 1-byte budget must actually exercise the disk path
+                    // whenever there is any data to profile.
+                    if budget == 1 && budgeted.stats.rows > 0 {
+                        assert!(budgeted.spill.spilled(), "1-byte budget never spilled");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discover_store_matches_the_database_entry_point() {
+        let db = db(
+            &["R(A, B)", "S(B)"],
+            &[("R", &[1, 10]), ("R", &[2, 10]), ("S", &[10])],
+        );
+        let config = DiscoveryConfig::default();
+        let via_db = discover_with_config(&db, &config);
+        let store = ColumnStore::new(&db);
+        let via_store = discover_store(db.schema(), &store, &config).unwrap();
+        assert_eq!(via_db.raw, via_store.raw);
+        assert_eq!(via_db.cover, via_store.cover);
+        assert_eq!(via_db.stats, via_store.stats);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `ColumnStore`-backed discovery path must be indistinguishable from the
 //! row-based reference path, and from itself at any thread count.
 //!
-//! Three contracts, all property-checked on the planted-Σ generators of
+//! Four contracts, all property-checked on the planted-Σ generators of
 //! `core::generate` (random databases repaired until a random mixed Σ
 //! holds — the same instances the discovery round-trip tests mine):
 //!
@@ -16,13 +16,20 @@
 //!    identical covers in identical (stable) order — the parallel stages
 //!    merge worker output in deterministic input order, so the thread
 //!    knob can never change a mined result.
+//! 4. **Budget determinism.** A memory budget small enough to force every
+//!    out-of-core mechanism — spilled sorted runs, hash-of-key validation
+//!    passes, FD lattice waves — reproduces the unbounded in-memory result
+//!    (and hence the reference result) byte for byte; the budget moves
+//!    intermediate state to disk, never changes what is mined.
 
 use depkit_core::column::ColumnStore;
 use depkit_core::generate::{
     random_database, random_mixed_set, random_satisfying_database, random_schema, Rng, SchemaConfig,
 };
 use depkit_core::index::CompiledRows;
-use depkit_solver::discover::{discover_reference, discover_with_config, DiscoveryConfig};
+use depkit_solver::discover::{
+    discover_reference, discover_with_config, try_discover_with_config, DiscoveryConfig,
+};
 use proptest::prelude::*;
 
 /// A planted-Σ instance: random schema, random mixed Σ, database repaired
@@ -111,6 +118,60 @@ proptest! {
             prop_assert_eq!(single.stats, multi.stats, "stats at threads={}", threads);
         }
     }
+
+    /// Contract 4: forced-spill discovery == in-memory discovery == the
+    /// row-based reference, on planted-Σ databases. A 1-byte budget puts
+    /// every column over its spill share and every validation stage into
+    /// its sharded mode, so this drives the whole external pipeline.
+    #[test]
+    fn forced_spill_discovery_equals_in_memory_and_reference(seed in any::<u64>()) {
+        let db = planted_instance(seed);
+        let in_memory = discover_with_config(&db, &DiscoveryConfig::default());
+        let reference = discover_reference(&db, &DiscoveryConfig::default());
+        let spilled = try_discover_with_config(&db, &DiscoveryConfig {
+            memory_budget: 1,
+            ..DiscoveryConfig::default()
+        }).expect("spill I/O");
+        if db.total_tuples() > 0 {
+            prop_assert!(spilled.spill.spilled(), "1-byte budget must hit the disk path");
+        }
+        prop_assert_eq!(&spilled.raw, &in_memory.raw);
+        prop_assert_eq!(&spilled.cover, &in_memory.cover);
+        prop_assert_eq!(spilled.stats, in_memory.stats);
+        prop_assert_eq!(&spilled.raw, &reference.raw);
+        prop_assert_eq!(&spilled.cover, &reference.cover);
+        prop_assert_eq!(spilled.stats, reference.stats);
+    }
+}
+
+/// Acceptance: a dataset at least 10× the configured memory budget must
+/// complete discovery and produce output byte-identical to the in-memory
+/// path. 4096 employee rows hold 32 KiB of EMP column data against a
+/// 3 KiB budget (~10.7×).
+#[test]
+fn dataset_ten_times_the_budget_discovers_identically() {
+    let schema = depkit_core::DatabaseSchema::parse(&["EMP(EID, DNO)", "DEPT(DNO, MGR)"]).unwrap();
+    let mut db = depkit_core::Database::empty(schema);
+    for d in 0..32i64 {
+        db.insert_ints("DEPT", &[&[d, 100 + d]]).unwrap();
+    }
+    for e in 0..4096i64 {
+        db.insert_ints("EMP", &[&[e, e % 32]]).unwrap();
+    }
+    let budget = 3 << 10;
+    let unbounded = discover_with_config(&db, &DiscoveryConfig::default());
+    let budgeted = try_discover_with_config(
+        &db,
+        &DiscoveryConfig {
+            memory_budget: budget,
+            ..DiscoveryConfig::default()
+        },
+    )
+    .expect("spill I/O");
+    assert!(budgeted.spill.spilled());
+    assert_eq!(budgeted.raw, unbounded.raw);
+    assert_eq!(budgeted.cover, unbounded.cover);
+    assert_eq!(budgeted.stats, unbounded.stats);
 }
 
 /// The acceptance workload shape (keys + referential IND), deterministic:
