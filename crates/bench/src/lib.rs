@@ -164,6 +164,108 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// A counting wrapper around the system allocator, for allocation-count
+/// regression tests (e.g. pinning that `merge_run_set` consolidation
+/// recycles its cursor buffers instead of allocating fresh ones per
+/// pass). Install it in a test binary with
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: depkit_bench::alloc_counter::CountingAlloc =
+///     depkit_bench::alloc_counter::CountingAlloc;
+/// ```
+///
+/// and wrap the region under measurement in
+/// [`alloc_counter::measure`]. Counting is off outside `measure`, so the
+/// wrapper adds one relaxed atomic load per allocation to everything
+/// else in the process.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// The pass-through allocator; see the module docs for installation.
+    pub struct CountingAlloc;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+    static TOTAL: AtomicU64 = AtomicU64::new(0);
+    static LARGE: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    /// Serializes [`measure`] calls: the counters are process-global, so
+    /// concurrent measured regions would bleed into each other.
+    static MEASURING: Mutex<()> = Mutex::new(());
+
+    fn record(size: usize) {
+        if ENABLED.load(Ordering::Relaxed) {
+            TOTAL.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(size as u64, Ordering::Relaxed);
+            if size >= THRESHOLD.load(Ordering::Relaxed) {
+                LARGE.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A growing realloc is a fresh reservation of `new_size`.
+            record(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    /// Allocation counts observed during one [`measure`] region.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct AllocStats {
+        /// Every allocation (and growing reallocation).
+        pub total: u64,
+        /// Allocations of at least the `large_threshold` passed to
+        /// [`measure`] — the interesting ones when small bookkeeping
+        /// allocations would otherwise drown the signal.
+        pub large: u64,
+        /// Bytes requested across all counted allocations.
+        pub bytes: u64,
+    }
+
+    /// Run `f` with counting enabled and return its result plus the
+    /// allocation stats for the region. Only allocations made by this
+    /// thread's work *and anything else running concurrently* are
+    /// counted — callers serialize through an internal lock, so keep
+    /// measured regions single-threaded for exact counts.
+    pub fn measure<T>(large_threshold: usize, f: impl FnOnce() -> T) -> (T, AllocStats) {
+        let _guard = MEASURING.lock().unwrap();
+        THRESHOLD.store(large_threshold, Ordering::Relaxed);
+        TOTAL.store(0, Ordering::Relaxed);
+        LARGE.store(0, Ordering::Relaxed);
+        BYTES.store(0, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Release);
+        let out = f();
+        ENABLED.store(false, Ordering::Release);
+        (
+            out,
+            AllocStats {
+                total: TOTAL.load(Ordering::Relaxed),
+                large: LARGE.load(Ordering::Relaxed),
+                bytes: BYTES.load(Ordering::Relaxed),
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,76 @@
+//! Allocation-count regression for `merge_run_set`: fan-in consolidation
+//! used to open every `RunCursor` with a freshly allocated 64 KiB read
+//! buffer — one per run per pass — so wide merges churned megabytes of
+//! short-lived buffers. The [`BufferPool`] fix recycles buffers across
+//! consolidation groups and passes, capping large allocations near
+//! [`MAX_FAN_IN`] no matter how many runs flow through. This test pins
+//! that cap with a counting global allocator.
+
+use depkit_bench::alloc_counter::{measure, CountingAlloc};
+use depkit_core::spill::{
+    merge_run_set, write_sorted_runs, SpillDir, SpillStats, MAX_FAN_IN, READ_BUF_BYTES,
+};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn consolidation_recycles_read_buffers_instead_of_allocating_per_run() {
+    // MAX_FAN_IN * 2 + 2 runs of 16 ids each: wide enough to force a
+    // consolidation pass (3 groups), small enough that nothing but the
+    // cursor read buffers reaches 64 KiB.
+    let runs = MAX_FAN_IN * 2 + 2;
+    let chunk = 16;
+    let values: Vec<u32> = (0..(runs * chunk) as u32).rev().collect();
+    let dir = SpillDir::create_in(&std::env::temp_dir()).unwrap();
+    let mut stats = SpillStats::default();
+    let set = write_sorted_runs(&values, chunk, &dir, 0, &mut stats).unwrap();
+    assert_eq!(set.runs.len(), runs, "workload shape drifted");
+
+    let ((merged, merge_stats), allocs) = measure(READ_BUF_BYTES, || {
+        let mut stats = SpillStats::default();
+        let merged: Vec<u32> = merge_run_set(&set, &dir, &mut stats)
+            .expect("merge I/O")
+            .collect();
+        (merged, stats)
+    });
+
+    // Correctness first: the merge still yields the full sorted range,
+    // through an actual consolidation pass.
+    let expected: Vec<u32> = (0..(runs * chunk) as u32).collect();
+    assert_eq!(merged, expected);
+    assert!(
+        merge_stats.merge_passes >= 1,
+        "workload must exercise consolidation: {merge_stats:?}"
+    );
+
+    // The pin: every cursor across all passes draws from the pool, so
+    // buffer-sized allocations stay near one pool's worth (MAX_FAN_IN)
+    // instead of one per run per pass (~2x the run count here). Slack
+    // covers the consolidated runs' cursors and incidental large
+    // allocations, while staying far below the unpooled count.
+    let cap = (MAX_FAN_IN + 8) as u64;
+    assert!(
+        allocs.large <= cap,
+        "{} buffer-sized allocations for {} runs — the read-buffer pool \
+         regressed (expected <= {cap})",
+        allocs.large,
+        runs
+    );
+}
+
+#[test]
+fn counting_allocator_measures_its_region() {
+    // Shim self-check: a region that allocates twice over the threshold
+    // reports at least those two, and a no-op region reports none large.
+    let (_, quiet) = measure(1 << 20, || 0u8);
+    assert_eq!(quiet.large, 0);
+    let (v, stats) = measure(1 << 10, || {
+        let a = vec![0u8; 4 << 10];
+        let b = vec![0u8; 8 << 10];
+        a.len() + b.len()
+    });
+    assert_eq!(v, 12 << 10);
+    assert!(stats.large >= 2, "{stats:?}");
+    assert!(stats.bytes >= (12 << 10), "{stats:?}");
+}

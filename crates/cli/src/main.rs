@@ -8,19 +8,29 @@
 //! depkit validate <spec.dep> <deltas.dep>  stream mutation batches through the
 //!                                          incremental validator
 //! depkit discover <spec.dep> [--threads N] mine the FDs/INDs the inline data
-//!         [--memory-budget BYTES]          satisfies, minimized to a cover
-//!         [--spill-dir PATH] [--stats]     (N worker threads; 0 or omitted =
-//!                                          all cores — the result is
+//!         [--workers N]                    satisfies, minimized to a cover
+//!         [--memory-budget BYTES]          (N worker threads; 0 or omitted =
+//!         [--spill-dir PATH] [--stats]     all cores — the result is
 //!                                          identical either way). A positive
-//!                                          --memory-budget (plain bytes or
-//!                                          human form: 512M, 64K, 2G) bounds
-//!                                          the working set by spilling sorted
-//!                                          runs under --spill-dir (default:
-//!                                          the system temp dir); the mined
-//!                                          cover is byte-identical to the
-//!                                          unbounded run. --stats prints the
-//!                                          spill counters (runs written,
-//!                                          bytes spilled, merge passes)
+//!                                          --workers N shards the discovery
+//!                                          across N `shard-worker` child
+//!                                          processes (cover still identical).
+//!                                          A positive --memory-budget (plain
+//!                                          bytes or human form: 512M, 64K,
+//!                                          2G) bounds the working set by
+//!                                          spilling sorted runs under
+//!                                          --spill-dir (default: the system
+//!                                          temp dir); the mined cover is
+//!                                          byte-identical to the unbounded
+//!                                          run. --stats prints the spill
+//!                                          counters (runs written, bytes
+//!                                          spilled, merge passes) and, when
+//!                                          sharded, the coordinator counters
+//! depkit shard-worker <spec.dep>           run one discovery shard worker
+//!         --connect HOST:PORT              against a `discover --workers`
+//!                                          coordinator (spawned by the
+//!                                          coordinator; honors DEPKIT_FAULT
+//!                                          for fault-injection tests)
 //! depkit serve <spec.dep> [--addr A]       run the line-JSON session server
 //!                                          on A (default 127.0.0.1:4227)
 //!                                          against the spec's constraints
@@ -72,6 +82,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path, rel] if cmd == "design" => design(path, rel),
         [cmd, path, deltas] if cmd == "validate" => validate(path, deltas),
         [cmd, path, rest @ ..] if cmd == "discover" => discover(path, rest),
+        [cmd, path, flag, addr] if cmd == "shard-worker" && flag == "--connect" => {
+            shard_worker(path, addr)
+        }
         [cmd, path] if cmd == "serve" => serve(path, "127.0.0.1:4227"),
         [cmd, path, flag, addr] if cmd == "serve" && flag == "--addr" => serve(path, addr),
         [cmd, addr] if cmd == "client" => client(addr, None),
@@ -81,7 +94,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
                  depkit validate <spec.dep> <deltas.dep>\n       \
-                 depkit discover <spec.dep> [--threads N] [--memory-budget BYTES] [--spill-dir PATH] [--stats]\n       \
+                 depkit discover <spec.dep> [--threads N] [--workers N] [--memory-budget BYTES] [--spill-dir PATH] [--stats]\n       \
+                 depkit shard-worker <spec.dep> --connect <HOST:PORT>\n       \
                  depkit serve <spec.dep> [--addr HOST:PORT]\n       \
                  depkit client <HOST:PORT> [script]"
             );
@@ -187,6 +201,7 @@ fn validate(path: &str, deltas_path: &str) -> Result<ExitCode, Box<dyn std::erro
 /// Parsed `discover` flags.
 struct DiscoverOpts {
     threads: usize,
+    workers: usize,
     memory_budget: usize,
     spill_dir: Option<std::path::PathBuf>,
     stats: bool,
@@ -195,6 +210,7 @@ struct DiscoverOpts {
 fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
     let mut opts = DiscoverOpts {
         threads: 0,
+        workers: 0,
         memory_budget: 0,
         spill_dir: None,
         stats: false,
@@ -207,6 +223,12 @@ fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
                 opts.threads = n
                     .parse()
                     .map_err(|_| format!("--threads expects a number, got `{n}`"))?;
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers expects a number")?;
+                opts.workers = n
+                    .parse()
+                    .map_err(|_| format!("--workers expects a number, got `{n}`"))?;
             }
             "--memory-budget" => {
                 let n = it.next().ok_or("--memory-budget expects a byte count")?;
@@ -251,7 +273,15 @@ fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error:
         spill_dir: opts.spill_dir,
         ..Default::default()
     };
-    let found = depkit_solver::discover::try_discover_with_config(&spec.database, &config)?;
+    let (found, shard_stats) = if opts.workers > 0 {
+        let (found, stats) = discover_sharded(path, &spec, &config, opts.workers)?;
+        (found, Some(stats))
+    } else {
+        (
+            depkit_solver::discover::try_discover_with_config(&spec.database, &config)?,
+            None,
+        )
+    };
     let s = &found.stats;
     println!(
         "profiled {} rows, {} columns, {} distinct values",
@@ -272,6 +302,13 @@ fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error:
             "spill: {} column(s) spilled, {} run(s) written, {} bytes, {} merge pass(es)",
             sp.spilled_columns, sp.runs_written, sp.bytes_spilled, sp.merge_passes
         );
+        if let Some(sh) = &shard_stats {
+            println!(
+                "shard: {} shard(s), {} assigned, {} completed, {} retried, {} reassigned, {} checksum-rejected, {} stale",
+                sh.shards, sh.assigned, sh.completed, sh.retried, sh.reassigned,
+                sh.checksum_rejected, sh.stale_results
+            );
+        }
     }
     // `dep`-prefixed lines so the output pastes straight back into a spec.
     for d in &found.cover {
@@ -283,6 +320,61 @@ fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error:
             println!("note: declared `{declared}` is not implied by the discovered cover");
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Drive one sharded discovery: bind a coordinator on an ephemeral local
+/// port, spawn `workers` child `shard-worker` processes pointed at this
+/// same spec file (each re-parses it and interns its own identical
+/// [`depkit_core::ColumnStore`]), run, then reap the children. The
+/// returned cover is byte-identical to the in-process pipeline's.
+fn discover_sharded(
+    path: &str,
+    spec: &spec::Spec,
+    config: &depkit_solver::discover::DiscoveryConfig,
+    workers: usize,
+) -> Result<
+    (depkit_solver::discover::Discovery, depkit_serve::ShardStats),
+    Box<dyn std::error::Error>,
+> {
+    let shard_cfg = depkit_serve::ShardConfig {
+        shard_root: config.spill_dir.clone(),
+        ..Default::default()
+    };
+    let coordinator = depkit_serve::Coordinator::bind("127.0.0.1:0", shard_cfg)?;
+    let addr = coordinator.local_addr().to_string();
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    for _ in 0..workers {
+        children.push(
+            std::process::Command::new(&exe)
+                .args(["shard-worker", path, "--connect", &addr])
+                .spawn()?,
+        );
+    }
+    let schema = spec.database.schema().clone();
+    let store = depkit_core::ColumnStore::new(&spec.database);
+    let result = coordinator.run(&schema, &store, config, workers);
+    // run() has told workers to shut down (even on error); reap them
+    // before surfacing the result so no child outlives the parent.
+    for mut child in children {
+        let _ = child.wait();
+    }
+    coordinator.shutdown()?;
+    Ok(result?)
+}
+
+/// The worker half of `discover --workers`: parse the same spec the
+/// coordinator holds, build this process's own column store (row-major
+/// interning makes it identical to the coordinator's), and poll the
+/// coordinator for shards until told to shut down. `DEPKIT_FAULT`
+/// injects deterministic faults for the crash-safety tests.
+fn shard_worker(path: &str, addr: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let spec = load(path)?;
+    let fault = depkit_serve::FaultPlan::from_env().map_err(|e| format!("DEPKIT_FAULT: {e}"))?;
+    let schema = spec.database.schema().clone();
+    let store = depkit_core::ColumnStore::new(&spec.database);
+    depkit_serve::run_worker(addr, &schema, &store, &fault)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -558,6 +650,16 @@ commit
         assert!(run(&["discover".into(), path.clone(), "--bogus".into()]).is_err());
         std::fs::remove_file(path).ok();
         std::fs::remove_dir_all(spill).ok();
+    }
+
+    #[test]
+    fn discover_parses_a_worker_count() {
+        let opts = parse_discover_opts(&["--workers".into(), "4".into()]).unwrap();
+        assert_eq!(opts.workers, 4);
+        let opts = parse_discover_opts(&[]).unwrap();
+        assert_eq!(opts.workers, 0);
+        assert!(parse_discover_opts(&["--workers".into(), "many".into()]).is_err());
+        assert!(parse_discover_opts(&["--workers".into()]).is_err());
     }
 
     #[test]

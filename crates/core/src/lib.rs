@@ -118,7 +118,10 @@ pub use index::{GenValue, ProjectionIndex, RowSet, ValueInterner, VersionedIndex
 pub use intern::{AttrBitSet, AttrId, Catalog, IdSeq, RelId};
 pub use relation::{Relation, Tuple};
 pub use schema::{DatabaseSchema, RelName, RelationScheme};
-pub use spill::{DistinctStream, RunCursor, RunMerger, RunSet, SpillDir, SpillStats};
+pub use spill::{
+    load_verified_run_set, verify_run_set, DistinctStream, RunCursor, RunMerger, RunMeta, RunSet,
+    SpillDir, SpillStats,
+};
 pub use value::Value;
 
 /// Convenient glob import for downstream crates and examples.

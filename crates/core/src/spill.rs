@@ -13,8 +13,16 @@
 //!   `4 × ids` bytes that any tool (or another process) can `mmap` or
 //!   stream.
 //! * **Manifests** ([`RunSet`]) record the runs of one attribute — file
-//!   names and id counts — as a small text file next to the runs, so a
-//!   spill directory is self-describing and survives a process boundary.
+//!   names, id counts, and FNV-1a64 content checksums — as a small text
+//!   file next to the runs (`depkit-runs v2`), so a spill directory is
+//!   self-describing and survives a process boundary. A run set read from
+//!   an untrusted boundary (another process, a recovered directory) is
+//!   validated by [`verify_run_set`] / [`load_verified_run_set`] before
+//!   any merge touches it.
+//! * **Atomic publication**: [`publish_run`] and
+//!   [`RunSet::publish_manifest`] write through a unique temporary file
+//!   and `rename` into place, so a writer killed mid-run never leaves a
+//!   partially written file under its published name.
 //! * **Cursors and merging**: [`RunCursor`] streams one run back through a
 //!   fixed-size buffer; [`RunMerger`] performs a buffered k-way merge with
 //!   duplicate elimination, yielding the attribute's globally sorted
@@ -32,10 +40,11 @@
 //!
 //! I/O failure semantics: *creating* spill state (directories, run writes,
 //! consolidation merges) returns [`io::Result`] — disk-full and
-//! permission errors are expected operational failures. *Reading back* a
-//! run this process just wrote panics on I/O error or truncation; at that
-//! point the computation cannot continue and no caller has a meaningful
-//! recovery.
+//! permission errors are expected operational failures. *Validating*
+//! foreign run sets ([`verify_run_set`]) likewise returns diagnostics
+//! naming the offending file. *Reading back* a run this process wrote or
+//! already verified panics on I/O error or truncation; at that point the
+//! computation cannot continue and no caller has a meaningful recovery.
 
 use crate::index::ValueInterner;
 use std::cmp::Reverse;
@@ -83,8 +92,64 @@ impl SpillStats {
     }
 }
 
+/// Incremental FNV-1a 64-bit hash — the run-content checksum. FNV is
+/// already the hash discipline of the discovery engine's shard
+/// partitioning, is trivially reproducible in any language, and is
+/// byte-order-free over the little-endian id stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a64 of a byte slice in one call.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
 /// Distinguishes concurrently created spill directories within a process.
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Distinguishes temporary publish files within a process (the process id
+/// distinguishes them across processes sharing a directory).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A sibling path of `path` that is unique per process and call — the
+/// scratch name runs are written under before the atomic rename.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}.{}", std::process::id(), n));
+    path.with_file_name(name)
+}
 
 /// An owned scratch directory for run files, removed (best effort) on
 /// drop. Created as a uniquely named subdirectory of the caller's chosen
@@ -128,13 +193,16 @@ impl Drop for SpillDir {
     }
 }
 
-/// One spilled run: its file and how many ids it holds.
+/// One spilled run: its file, how many ids it holds, and the FNV-1a64
+/// checksum of its bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunMeta {
     /// Absolute path of the run file.
     pub path: PathBuf,
     /// Number of `u32` ids in the run.
     pub ids: u64,
+    /// FNV-1a64 over the run file's bytes.
+    pub checksum: u64,
 }
 
 /// The spilled runs of one attribute, with manifest round-tripping.
@@ -153,63 +221,224 @@ impl RunSet {
         self.runs.iter().map(|r| r.ids).sum()
     }
 
-    /// Write the manifest: a `depkit-runs v1` header line, then one
-    /// `<ids>\t<file name>` line per run (file names relative to the
-    /// manifest's directory).
-    pub fn write_manifest(&self, path: &Path) -> io::Result<()> {
+    /// Render the manifest text: a `depkit-runs v2` header line, then one
+    /// `<ids>\t<checksum hex>\t<file name>` line per run (file names
+    /// relative to the manifest's directory).
+    fn manifest_text(&self) -> io::Result<String> {
         let mut out = String::new();
-        out.push_str(&format!("depkit-runs v1 column {}\n", self.column));
+        out.push_str(&format!("depkit-runs v2 column {}\n", self.column));
         for run in &self.runs {
             let name = run
                 .path
                 .file_name()
                 .and_then(|n| n.to_str())
                 .ok_or_else(|| io::Error::other("run file name is not valid UTF-8"))?;
-            out.push_str(&format!("{}\t{}\n", run.ids, name));
+            out.push_str(&format!("{}\t{:016x}\t{}\n", run.ids, run.checksum, name));
         }
-        std::fs::write(path, out)
+        Ok(out)
+    }
+
+    /// Write the manifest (non-atomically; for in-process spill state).
+    pub fn write_manifest(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.manifest_text()?)
+    }
+
+    /// Write the manifest through a unique temporary sibling and `rename`
+    /// into place, so a concurrent reader of `path` sees either nothing or
+    /// the complete manifest — never a torn prefix.
+    pub fn publish_manifest(&self, path: &Path) -> io::Result<()> {
+        let tmp = tmp_sibling(path);
+        std::fs::write(&tmp, self.manifest_text()?)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Read a manifest back; run paths are resolved against the
-    /// manifest's directory.
+    /// manifest's directory. Diagnostics name the manifest file. Only
+    /// version 2 manifests (with checksums) are accepted; anything else —
+    /// including a v1 manifest from before checksums existed — is an
+    /// error, not a silent degradation.
     pub fn read_manifest(path: &Path) -> io::Result<RunSet> {
-        let text = std::fs::read_to_string(path)?;
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            io::Error::other(format!("cannot read run manifest {}: {e}", path.display()))
+        })?;
         let dir = path.parent().unwrap_or(Path::new("."));
         let mut lines = text.lines();
         let header = lines
             .next()
-            .ok_or_else(|| io::Error::other("empty run manifest"))?;
-        let column = header
-            .strip_prefix("depkit-runs v1 column ")
-            .and_then(|c| c.parse().ok())
-            .ok_or_else(|| io::Error::other(format!("bad run manifest header: `{header}`")))?;
+            .ok_or_else(|| io::Error::other(format!("empty run manifest {}", path.display())))?;
+        let column = match header.strip_prefix("depkit-runs v2 column ") {
+            Some(c) => c.parse().map_err(|_| {
+                io::Error::other(format!(
+                    "bad run manifest header `{header}` in {}",
+                    path.display()
+                ))
+            })?,
+            None if header.starts_with("depkit-runs v") => {
+                return Err(io::Error::other(format!(
+                    "unsupported run manifest version in {}: `{header}` (expected depkit-runs v2)",
+                    path.display()
+                )));
+            }
+            None => {
+                return Err(io::Error::other(format!(
+                    "bad run manifest header `{header}` in {}",
+                    path.display()
+                )));
+            }
+        };
         let mut runs = Vec::new();
         for line in lines {
-            let (ids, name) = line
-                .split_once('\t')
-                .ok_or_else(|| io::Error::other(format!("bad run manifest line: `{line}`")))?;
-            let ids = ids
-                .parse()
-                .map_err(|_| io::Error::other(format!("bad run id count: `{ids}`")))?;
+            let mut fields = line.splitn(3, '\t');
+            let (ids, sum, name) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => {
+                    return Err(io::Error::other(format!(
+                        "bad run manifest line `{line}` in {}",
+                        path.display()
+                    )));
+                }
+            };
+            let ids = ids.parse().map_err(|_| {
+                io::Error::other(format!("bad run id count `{ids}` in {}", path.display()))
+            })?;
+            let checksum = u64::from_str_radix(sum, 16).map_err(|_| {
+                io::Error::other(format!("bad run checksum `{sum}` in {}", path.display()))
+            })?;
             runs.push(RunMeta {
                 path: dir.join(name),
                 ids,
+                checksum,
             });
         }
         Ok(RunSet { column, runs })
     }
 }
 
+/// Validate every run of a set against its manifest entry: the file must
+/// exist, hold exactly `ids × 4` bytes, and hash to the recorded FNV-1a64
+/// checksum. Each failure is an [`io::Result`] diagnostic naming the
+/// offending file — never a panic — so a coordinator can reject a torn or
+/// corrupted worker run and re-shard instead of merging garbage.
+pub fn verify_run_set(set: &RunSet) -> io::Result<()> {
+    let mut buf = vec![0u8; READ_BUF_BYTES];
+    for run in &set.runs {
+        let mut file = File::open(&run.path).map_err(|e| {
+            io::Error::other(format!("missing run file {}: {e}", run.path.display()))
+        })?;
+        let mut hasher = Fnv64::new();
+        let mut bytes = 0u64;
+        loop {
+            let n = file.read(&mut buf).map_err(|e| {
+                io::Error::other(format!("cannot read run file {}: {e}", run.path.display()))
+            })?;
+            if n == 0 {
+                break;
+            }
+            hasher.update(&buf[..n]);
+            bytes += n as u64;
+        }
+        if bytes != run.ids * 4 {
+            return Err(io::Error::other(format!(
+                "run file {} truncated: manifest says {} ids ({} bytes), file has {} bytes",
+                run.path.display(),
+                run.ids,
+                run.ids * 4,
+                bytes
+            )));
+        }
+        if hasher.finish() != run.checksum {
+            return Err(io::Error::other(format!(
+                "checksum mismatch in run file {}: manifest says {:016x}, file hashes to {:016x}",
+                run.path.display(),
+                run.checksum,
+                hasher.finish()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Read a manifest and validate every run it names ([`verify_run_set`]) —
+/// the only correct way to ingest a run set across a trust boundary.
+pub fn load_verified_run_set(path: &Path) -> io::Result<RunSet> {
+    let set = RunSet::read_manifest(path)?;
+    verify_run_set(&set)?;
+    Ok(set)
+}
+
 /// Write one run file: the ids as consecutive little-endian `u32`s.
-/// Returns the byte count. The caller is responsible for the ids being
-/// sorted and deduplicated (the merge discipline assumes it).
-pub fn write_run(path: &Path, ids: &[u32]) -> io::Result<u64> {
+/// Returns the run's metadata (id count and content checksum). The caller
+/// is responsible for the ids being sorted and deduplicated (the merge
+/// discipline assumes it).
+pub fn write_run(path: &Path, ids: &[u32]) -> io::Result<RunMeta> {
     let mut w = BufWriter::new(File::create(path)?);
+    let mut hasher = Fnv64::new();
     for &id in ids {
-        w.write_all(&id.to_le_bytes())?;
+        let bytes = id.to_le_bytes();
+        hasher.update(&bytes);
+        w.write_all(&bytes)?;
     }
     w.flush()?;
-    Ok(ids.len() as u64 * 4)
+    Ok(RunMeta {
+        path: path.to_path_buf(),
+        ids: ids.len() as u64,
+        checksum: hasher.finish(),
+    })
+}
+
+/// Write one run file through a unique temporary sibling and `rename` it
+/// into place. A writer killed at any point leaves at worst an orphaned
+/// `.tmp.` file — the published name either does not exist or holds the
+/// complete run, which is what makes a worker crash recoverable by simply
+/// re-running its shard.
+pub fn publish_run(path: &Path, ids: &[u32]) -> io::Result<RunMeta> {
+    let tmp = tmp_sibling(path);
+    let meta = write_run(&tmp, ids)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(RunMeta {
+        path: path.to_path_buf(),
+        ..meta
+    })
+}
+
+/// Shared body of [`write_sorted_runs`] / [`publish_sorted_runs`]: chunk,
+/// sort, dedup, write each run (atomically when `atomic`), then the
+/// manifest.
+fn sorted_runs_at(
+    values: &[u32],
+    chunk_ids: usize,
+    dir: &Path,
+    column: usize,
+    stats: &mut SpillStats,
+    atomic: bool,
+) -> io::Result<RunSet> {
+    let chunk_ids = chunk_ids.max(16);
+    let mut runs = Vec::new();
+    let mut scratch = Vec::with_capacity(chunk_ids.min(values.len()));
+    for (k, chunk) in values.chunks(chunk_ids).enumerate() {
+        scratch.clear();
+        scratch.extend_from_slice(chunk);
+        scratch.sort_unstable();
+        scratch.dedup();
+        let path = dir.join(format!("col{column}-run{k}.ids"));
+        let meta = if atomic {
+            publish_run(&path, &scratch)?
+        } else {
+            write_run(&path, &scratch)?
+        };
+        stats.runs_written += 1;
+        stats.bytes_spilled += meta.ids * 4;
+        runs.push(meta);
+    }
+    let set = RunSet { column, runs };
+    let manifest = dir.join(format!("col{column}.manifest"));
+    if atomic {
+        set.publish_manifest(&manifest)?;
+    } else {
+        set.write_manifest(&manifest)?;
+    }
+    stats.spilled_columns += 1;
+    Ok(set)
 }
 
 /// Spill one column's values as sorted, per-chunk-deduplicated runs of at
@@ -222,27 +451,21 @@ pub fn write_sorted_runs(
     column: usize,
     stats: &mut SpillStats,
 ) -> io::Result<RunSet> {
-    let chunk_ids = chunk_ids.max(16);
-    let mut runs = Vec::new();
-    let mut scratch = Vec::with_capacity(chunk_ids.min(values.len()));
-    for (k, chunk) in values.chunks(chunk_ids).enumerate() {
-        scratch.clear();
-        scratch.extend_from_slice(chunk);
-        scratch.sort_unstable();
-        scratch.dedup();
-        let path = dir.path().join(format!("col{column}-run{k}.ids"));
-        let bytes = write_run(&path, &scratch)?;
-        stats.runs_written += 1;
-        stats.bytes_spilled += bytes;
-        runs.push(RunMeta {
-            path,
-            ids: scratch.len() as u64,
-        });
-    }
-    let set = RunSet { column, runs };
-    set.write_manifest(&dir.path().join(format!("col{column}.manifest")))?;
-    stats.spilled_columns += 1;
-    Ok(set)
+    sorted_runs_at(values, chunk_ids, dir.path(), column, stats, false)
+}
+
+/// [`write_sorted_runs`] for a *shared* directory crossing a process
+/// boundary: every run and the manifest are published atomically
+/// (tmp + rename), and the directory is a plain path the caller owns —
+/// a shard worker must never remove the coordinator's session directory.
+pub fn publish_sorted_runs(
+    values: &[u32],
+    chunk_ids: usize,
+    dir: &Path,
+    column: usize,
+    stats: &mut SpillStats,
+) -> io::Result<RunSet> {
+    sorted_runs_at(values, chunk_ids, dir, column, stats, true)
 }
 
 /// A buffered streaming reader over one run file.
@@ -261,15 +484,31 @@ pub struct RunCursor {
 }
 
 impl RunCursor {
-    /// Open a run file for streaming.
+    /// Open a run file for streaming with a freshly allocated buffer.
     pub fn open(path: &Path) -> io::Result<RunCursor> {
+        RunCursor::open_with(path, vec![0; READ_BUF_BYTES])
+    }
+
+    /// Open a run file for streaming, reusing `buf` as the read buffer
+    /// (resized to [`READ_BUF_BYTES`] if needed). Recover the buffer with
+    /// [`RunCursor::into_buffer`] when the cursor is exhausted — this is
+    /// what lets [`merge_run_set`] consolidate arbitrarily wide run sets
+    /// with a bounded buffer pool instead of a fresh 64 KiB allocation
+    /// per run per pass.
+    pub fn open_with(path: &Path, mut buf: Vec<u8>) -> io::Result<RunCursor> {
+        buf.resize(READ_BUF_BYTES, 0);
         Ok(RunCursor {
             file: File::open(path)?,
             path: path.to_path_buf(),
-            buf: vec![0; READ_BUF_BYTES],
+            buf,
             len: 0,
             pos: 0,
         })
+    }
+
+    /// Consume the cursor, yielding its read buffer for reuse.
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.buf
     }
 
     /// The next id, or `None` at end of run.
@@ -336,6 +575,38 @@ impl RunMerger {
             last: None,
         }
     }
+
+    /// Consume the merger, yielding its cursors (and through them, via
+    /// [`RunCursor::into_buffer`], their read buffers) for reuse.
+    pub fn into_cursors(self) -> Vec<RunCursor> {
+        self.cursors
+    }
+}
+
+/// A pool of read buffers recycled across [`RunCursor`]s. Consolidation
+/// passes in [`merge_run_set`] open up to [`MAX_FAN_IN`] cursors per
+/// group, group after group, pass after pass; the pool caps the
+/// buffer allocations of the whole consolidation at one group's worth.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Take a buffer from the pool, allocating only when empty.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_else(|| vec![0; READ_BUF_BYTES])
+    }
+
+    /// Return a buffer for reuse.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        self.free.push(buf);
+    }
 }
 
 impl Iterator for RunMerger {
@@ -366,29 +637,43 @@ pub fn merge_run_set(
     stats: &mut SpillStats,
 ) -> io::Result<RunMerger> {
     let mut runs = set.runs.clone();
+    // One group's worth of read buffers, recycled across groups and
+    // passes; consolidation allocates at most MAX_FAN_IN buffers total.
+    let mut pool = BufferPool::new();
     while runs.len() > MAX_FAN_IN {
         stats.merge_passes += 1;
         let mut next = Vec::with_capacity(runs.len().div_ceil(MAX_FAN_IN));
         for group in runs.chunks(MAX_FAN_IN) {
             let cursors = group
                 .iter()
-                .map(|r| RunCursor::open(&r.path))
+                .map(|r| RunCursor::open_with(&r.path, pool.take()))
                 .collect::<io::Result<Vec<_>>>()?;
             let path = dir.fresh_path(&format!("col{}-merge", set.column));
             let mut w = BufWriter::new(File::create(&path)?);
+            let mut hasher = Fnv64::new();
             let mut ids = 0u64;
-            for id in RunMerger::new(cursors) {
-                w.write_all(&id.to_le_bytes())?;
+            let mut merger = RunMerger::new(cursors);
+            for id in &mut merger {
+                let bytes = id.to_le_bytes();
+                hasher.update(&bytes);
+                w.write_all(&bytes)?;
                 ids += 1;
             }
             w.flush()?;
+            for cursor in merger.into_cursors() {
+                pool.put(cursor.into_buffer());
+            }
             stats.runs_written += 1;
             stats.bytes_spilled += ids * 4;
             // The inputs are dead; reclaim the disk before the next pass.
             for r in group {
                 let _ = std::fs::remove_file(&r.path);
             }
-            next.push(RunMeta { path, ids });
+            next.push(RunMeta {
+                path,
+                ids,
+                checksum: hasher.finish(),
+            });
         }
         runs = next;
     }
@@ -397,7 +682,7 @@ pub fn merge_run_set(
     }
     let cursors = runs
         .iter()
-        .map(|r| RunCursor::open(&r.path))
+        .map(|r| RunCursor::open_with(&r.path, pool.take()))
         .collect::<io::Result<Vec<_>>>()?;
     Ok(RunMerger::new(cursors))
 }
@@ -485,8 +770,9 @@ mod tests {
         let n = READ_BUF_BYTES / 4 + 1000;
         let ids: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
         let path = dir.path().join("r.ids");
-        let bytes = write_run(&path, &ids).unwrap();
-        assert_eq!(bytes, ids.len() as u64 * 4);
+        let meta = write_run(&path, &ids).unwrap();
+        assert_eq!(meta.ids, ids.len() as u64);
+        assert_eq!(meta.path, path);
         let mut cursor = RunCursor::open(&path).unwrap();
         let mut got = Vec::new();
         while let Some(id) = cursor.next_id() {
@@ -635,6 +921,106 @@ mod tests {
         assert_eq!(a.merge_passes, 3);
         assert!(a.spilled());
         assert!(!SpillStats::default().spilled());
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn publish_run_is_atomic_and_leaves_no_scratch() {
+        let dir = temp_dir();
+        let path = dir.path().join("p.ids");
+        let meta = publish_run(&path, &[1, 2, 3]).unwrap();
+        assert_eq!(meta.path, path);
+        assert_eq!(meta.ids, 3);
+        assert_eq!(meta.checksum, fnv64(&std::fs::read(&path).unwrap()));
+        let leftovers: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "scratch files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn verify_accepts_intact_and_rejects_corrupted_runs() {
+        let dir = temp_dir();
+        let mut stats = SpillStats::default();
+        let values: Vec<u32> = (0..100).collect();
+        let set = write_sorted_runs(&values, 32, &dir, 3, &mut stats).unwrap();
+        verify_run_set(&set).unwrap();
+        let manifest = dir.path().join("col3.manifest");
+        load_verified_run_set(&manifest).unwrap();
+
+        // Flip one byte: checksum mismatch naming the file.
+        let victim = &set.runs[0].path;
+        let mut bytes = std::fs::read(victim).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(victim, &bytes).unwrap();
+        let err = verify_run_set(&set).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(
+            err.contains(victim.file_name().unwrap().to_str().unwrap()),
+            "{err}"
+        );
+
+        // Truncate: size mismatch naming the file.
+        bytes[0] ^= 0xff;
+        bytes.pop();
+        std::fs::write(victim, &bytes).unwrap();
+        let err = verify_run_set(&set).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Remove: missing file named.
+        std::fs::remove_file(victim).unwrap();
+        let err = verify_run_set(&set).unwrap_err().to_string();
+        assert!(err.contains("missing run file"), "{err}");
+        assert!(
+            err.contains(victim.file_name().unwrap().to_str().unwrap()),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_manifest_rejects_other_versions_naming_the_file() {
+        let dir = temp_dir();
+        let path = dir.path().join("old.manifest");
+        std::fs::write(&path, "depkit-runs v1 column 0\n3\tx.ids\n").unwrap();
+        let err = RunSet::read_manifest(&path).unwrap_err().to_string();
+        assert!(err.contains("unsupported run manifest version"), "{err}");
+        assert!(err.contains("old.manifest"), "{err}");
+    }
+
+    #[test]
+    fn buffer_pool_recycles() {
+        let mut pool = BufferPool::new();
+        let a = pool.take();
+        assert_eq!(a.len(), READ_BUF_BYTES);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.take();
+        assert_eq!(b.as_ptr(), ptr, "pool must hand back the same buffer");
+        let dir = temp_dir();
+        let path = dir.path().join("r.ids");
+        write_run(&path, &[5, 6, 7]).unwrap();
+        let cursor = RunCursor::open_with(&path, b).unwrap();
+        let merger = RunMerger::new(vec![cursor]);
+        let cursors = merger.into_cursors();
+        assert_eq!(cursors.len(), 1);
+        for c in cursors {
+            pool.put(c.into_buffer());
+        }
+        let recycled = pool.take();
+        assert_eq!(recycled.as_ptr(), ptr);
     }
 
     #[test]

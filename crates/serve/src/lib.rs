@@ -17,6 +17,10 @@
 //!   connection count).
 //! * [`client`] — the scripted client used by `depkit client` and the
 //!   CI smoke transcript.
+//! * [`shard`] — cross-process sharded discovery: the coordinator that
+//!   plans column/key-range shards and merges worker-published runs, the
+//!   worker poll loop, and the [`FaultPlan`] fault-injection hook the
+//!   crash-safety tests drive.
 //!
 //! The server adds **no** consistency machinery of its own: isolation,
 //! commit ordering, and O(delta) validation all live in
@@ -26,8 +30,10 @@ pub mod client;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::run_script;
 pub use json::Json;
 pub use protocol::{parse_request, Request};
 pub use server::{ServeConfig, Server};
+pub use shard::{run_worker, Coordinator, Fault, FaultKind, FaultPlan, ShardConfig, ShardStats};

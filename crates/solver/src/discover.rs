@@ -91,11 +91,13 @@ use depkit_core::hashing::{FastMap, FastSet};
 use depkit_core::index::{CompiledRows, ProjectionIndex};
 use depkit_core::pool;
 use depkit_core::schema::DatabaseSchema;
-use depkit_core::spill::{SpillDir, SpillStats};
+use depkit_core::spill::{
+    merge_run_set, publish_sorted_runs, DistinctStream, RunSet, SpillDir, SpillStats,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Resource caps and rule toggles for [`discover_with_config`].
 #[derive(Debug, Clone)]
@@ -351,6 +353,180 @@ impl<'a> BudgetPlan<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process sharded execution
+// ---------------------------------------------------------------------------
+
+/// The two work distributions a sharded coordinator performs on behalf of
+/// [`discover_store_sharded`]. Implementations (the worker-pool
+/// coordinator in `depkit-serve`) must return **exact** results —
+/// published runs whose merge equals the column's sorted distinct set,
+/// and verdicts equal to the local validator's — because the pipeline
+/// above asserts nothing and recomputes nothing: sharded determinism is
+/// the executor's contract, not the solver's fallback.
+///
+/// Workers need no coordinator state beyond the shard plan itself: global
+/// column ids resolve through [`column_table`] on any process that parses
+/// the same schema, and [`ColumnStore::new`] interns row-major in schema
+/// order, so every process over the same database builds the identical
+/// value-id space — worker-published runs merge directly into the
+/// coordinator's pipeline with no re-interning.
+pub trait ShardExecutor {
+    /// Profile every global column `0..ncols` into a published (and
+    /// verified) [`RunSet`] per column, in column order. Runs must be
+    /// sorted and per-run deduplicated; their k-way merge must equal the
+    /// column's sorted distinct id set.
+    fn profile_columns(&mut self, ncols: usize) -> io::Result<Vec<RunSet>>;
+
+    /// Exact satisfaction verdicts for a batch of nontrivial candidates,
+    /// in batch order.
+    fn validate_candidates(&mut self, cands: &[IndCand]) -> io::Result<Vec<bool>>;
+}
+
+/// [`discover_store`] with the two data-parallel stages — column
+/// profiling (SPIDER's input) and level ≥ 2 IND validation — delegated to
+/// a [`ShardExecutor`]. The executor hands back published sorted runs,
+/// which k-way-merge ([`merge_run_set`]) into the very
+/// [`DistinctStream`]s the local pipeline would have opened, and
+/// candidate verdicts, which feed the same composition loop
+/// (`mine_inds_with` is shared code, not a reimplementation). FD mining
+/// and cover minimization run locally on the coordinator. The result —
+/// raw set, cover, and [`DiscoveryStats`] — is byte-identical to every
+/// other execution mode; only [`Discovery::spill`] (which is outside the
+/// determinism contract) reflects the sharded run's own merges.
+pub fn discover_store_sharded(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    config: &DiscoveryConfig,
+    exec: &mut dyn ShardExecutor,
+) -> io::Result<Discovery> {
+    let columns = column_table(schema);
+    let threads = config.effective_threads();
+    let mut stats = DiscoveryStats {
+        rows: store.total_rows(),
+        columns: columns.len(),
+        distinct_values: store.distinct_values(),
+        ..DiscoveryStats::default()
+    };
+    let mut spill = SpillStats::default();
+    // Coordinator-side scratch for consolidating worker runs; removed on
+    // drop, so it must outlive the spider merge.
+    let root = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let dir = SpillDir::create_in(&root)?;
+    let plan = (config.memory_budget > 0)
+        .then(|| BudgetPlan::new(&dir, config.memory_budget, columns.len()));
+
+    let run_sets = exec.profile_columns(columns.len())?;
+    if run_sets.len() != columns.len() {
+        return Err(io::Error::other(format!(
+            "shard executor profiled {} columns, schema has {}",
+            run_sets.len(),
+            columns.len()
+        )));
+    }
+    let mut streams = Vec::with_capacity(columns.len());
+    for set in &run_sets {
+        streams.push(DistinctStream::Spilled(merge_run_set(
+            set, &dir, &mut spill,
+        )?));
+    }
+    let unary = spider_merge(streams);
+
+    let mut raw: Vec<Dependency> = Vec::new();
+    for ind in mine_inds_with(
+        schema,
+        store,
+        &columns,
+        &unary,
+        config,
+        threads,
+        NaryBackend::Executor(exec),
+        &mut stats,
+    )? {
+        raw.push(ind.into());
+    }
+    stats.raw_inds = raw.len();
+    for fd in mine_fds(schema, store, config, threads, plan.as_ref(), &mut stats) {
+        raw.push(fd.into());
+    }
+    stats.raw_fds = raw.len() - stats.raw_inds;
+    raw.sort();
+    raw.dedup();
+
+    let cover = minimize_cover(&raw, config);
+    stats.pruned = raw.len() - cover.len();
+    Ok(Discovery {
+        raw,
+        cover,
+        stats,
+        spill,
+    })
+}
+
+/// Worker-side profiling of one shard of the plan: publish the column's
+/// values as sorted, checksummed runs (atomic rename per run and for the
+/// manifest) into the coordinator's session directory, named
+/// `col<C>-run<K>.ids` / `col<C>.manifest` — the names
+/// [`publish_sorted_runs`] and the coordinator agree on. Two attempts at
+/// the same shard write identical bytes through distinct scratch names,
+/// so a retry racing a zombie worker is benign.
+pub fn profile_column_runs(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    col: usize,
+    dir: &Path,
+    chunk_ids: usize,
+) -> io::Result<RunSet> {
+    let (rel, c) = columns[col];
+    let values = store.relation(rel).column(c);
+    let mut stats = SpillStats::default();
+    publish_sorted_runs(values, chunk_ids, dir, col, &mut stats)
+}
+
+/// Worker-side n-ary refutation: which of `cands` fail on key-shard
+/// `pass` of `passes` (`key_shard`-partitioned, the same partitioning
+/// the budgeted local validator uses). A candidate is satisfied iff **no**
+/// pass refutes it, so a coordinator unions refutations across passes —
+/// every projection key is examined by exactly one pass, which is what
+/// makes the union equal the unsharded verdict. Returns refuted indices
+/// into `cands`, ascending. Trivial candidates are never refuted.
+pub fn refute_candidates_pass(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cands: &[IndCand],
+    pass: usize,
+    passes: usize,
+) -> Vec<usize> {
+    // Group candidate indices by right side so each shard key set is
+    // built once per pass.
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut by_rhs: FastMap<Vec<usize>, usize> = FastMap::default();
+    for (i, cand) in cands.iter().enumerate() {
+        if cand.is_trivial() {
+            continue;
+        }
+        match by_rhs.get(cand.rhs.as_slice()) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                by_rhs.insert(cand.rhs.clone(), groups.len());
+                groups.push((cand.rhs.clone(), vec![i]));
+            }
+        }
+    }
+    let mut refuted = Vec::new();
+    let mut buf = Vec::new();
+    for (rhs, members) in &groups {
+        let shard = build_rhs_keys_shard(store, columns, rhs, pass, passes);
+        for &i in members {
+            if !ind_holds_shard(store, columns, &cands[i], &shard, pass, passes, &mut buf) {
+                refuted.push(i);
+            }
+        }
+    }
+    refuted.sort_unstable();
+    refuted
+}
+
 /// Saturation caps for the pruning oracle. Cover minimization calls the
 /// oracle quadratically often, and mined sets from low-cardinality data can
 /// hold large accidental IND cliques whose full saturation materializes
@@ -500,8 +676,10 @@ pub fn minimize_cover(raw: &[Dependency], config: &DiscoveryConfig) -> Vec<Depen
 // ---------------------------------------------------------------------------
 
 /// Global column table: `(scheme index, column index)` per column id, in
-/// schema order — the id space both IND miners share.
-fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
+/// schema order — the id space both IND miners share, and the id space a
+/// shard plan is written in. Public so a shard worker, given only the
+/// schema, reconstructs the exact table the coordinator planned against.
+pub fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
     schema
         .schemes()
         .iter()
@@ -544,7 +722,6 @@ fn spider_unary(
     spill: &mut SpillStats,
 ) -> io::Result<Vec<Vec<usize>>> {
     let ncols = columns.len();
-    let blocks = ncols.div_ceil(64);
     let made = pool::map_indexed(threads, ncols, |c| {
         let (rel, col) = columns[c];
         store.sorted_distinct_stream(
@@ -563,6 +740,18 @@ fn spider_unary(
         spill.absorb(&stats);
         streams.push(stream);
     }
+    Ok(spider_merge(streams))
+}
+
+/// The merge half of [`spider_unary`], over any set of sorted distinct
+/// streams — the local pipeline feeds it streams it opened itself;
+/// the sharded pipeline ([`discover_store_sharded`]) feeds it merges over
+/// worker-published runs. Identical streams in, identical candidate sets
+/// out: this shared loop is what makes `sharded == local` an equality of
+/// code paths rather than of luck.
+fn spider_merge(mut streams: Vec<DistinctStream>) -> Vec<Vec<usize>> {
+    let ncols = streams.len();
+    let blocks = ncols.div_ceil(64);
     // cand[c * blocks..][..blocks]: columns whose value set still covers
     // column c's values seen so far.
     let mut cand = vec![!0u64; ncols * blocks];
@@ -622,14 +811,14 @@ fn spider_unary(
             }
         }
     }
-    Ok((0..ncols)
+    (0..ncols)
         .map(|c| {
             let bits = &cand[c * blocks..(c + 1) * blocks];
             (0..ncols)
                 .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
                 .collect()
         })
-        .collect())
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -640,18 +829,37 @@ fn spider_unary(
 /// ascending (quotienting the IND2 permutation class), both sides over one
 /// relation pair. Trivial candidates (`lhs == rhs` on one relation) are
 /// kept as composition bases but never emitted.
-#[derive(Debug, Clone)]
-struct IndCand {
-    lrel: usize,
-    rrel: usize,
-    lhs: Vec<usize>,
-    rhs: Vec<usize>,
+///
+/// Public (with public fields) because this is the unit of work a shard
+/// plan ships to worker processes: both sides of the process boundary
+/// resolve the global column ids through the same [`column_table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndCand {
+    /// Scheme index of the left relation.
+    pub lrel: usize,
+    /// Scheme index of the right relation.
+    pub rrel: usize,
+    /// Global column ids of the left side, strictly ascending.
+    pub lhs: Vec<usize>,
+    /// Global column ids of the right side, pairwise distinct.
+    pub rhs: Vec<usize>,
 }
 
 impl IndCand {
-    fn is_trivial(&self) -> bool {
+    /// Whether the candidate holds by reflexivity (IND1) alone.
+    pub fn is_trivial(&self) -> bool {
         self.lrel == self.rrel && self.lhs == self.rhs
     }
+}
+
+/// Where n-ary candidate verdicts come from: the local validator (cached
+/// key sets, or budget-sharded passes under a plan) or a
+/// [`ShardExecutor`] distributing the refutation passes across worker
+/// processes. Both produce the exact satisfied set, so the composition
+/// loop above them is shared verbatim.
+enum NaryBackend<'a, 'b> {
+    Local(Option<&'a BudgetPlan<'b>>),
+    Executor(&'a mut dyn ShardExecutor),
 }
 
 /// Mine every satisfied canonical IND up to `config.max_ind_arity`.
@@ -675,6 +883,34 @@ fn mine_inds(
     plan: Option<&BudgetPlan>,
     stats: &mut DiscoveryStats,
 ) -> Vec<Ind> {
+    mine_inds_with(
+        schema,
+        store,
+        columns,
+        unary,
+        config,
+        threads,
+        NaryBackend::Local(plan),
+        stats,
+    )
+    .expect("local validation performs no I/O")
+}
+
+/// [`mine_inds`] over an explicit [`NaryBackend`] — the executor variant
+/// is how [`discover_store_sharded`] routes level ≥ 2 validation to
+/// worker processes while keeping the composition loop (and therefore
+/// the candidate order, the stats, and the emitted set) identical.
+#[allow(clippy::too_many_arguments)]
+fn mine_inds_with(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    unary: &[Vec<usize>],
+    config: &DiscoveryConfig,
+    threads: usize,
+    mut backend: NaryBackend,
+    stats: &mut DiscoveryStats,
+) -> io::Result<Vec<Ind>> {
     let mut out = Vec::new();
     // Level 1, plus the per-relation-pair extension table.
     let mut level: Vec<IndCand> = Vec::new();
@@ -724,37 +960,61 @@ fn mine_inds(
         if cands.is_empty() {
             break;
         }
-        let ok = if let Some(plan) = plan {
-            validate_sharded(store, columns, &cands, plan, threads)
-        } else {
-            // Materialize the missing right-side key sets, in parallel;
-            // the borrow-keyed probe never clones an already-cached
-            // column list, and a constant-time seen-guard keeps the dedup
-            // linear in the candidate count.
-            let mut missing: Vec<Vec<usize>> = Vec::new();
-            let mut queued: FastSet<Vec<usize>> = FastSet::default();
-            for cand in &cands {
-                if !cand.is_trivial()
-                    && !rhs_sets.contains_key(cand.rhs.as_slice())
-                    && !queued.contains(cand.rhs.as_slice())
-                {
-                    queued.insert(cand.rhs.clone());
-                    missing.push(cand.rhs.clone());
+        let ok = match &mut backend {
+            NaryBackend::Local(Some(plan)) => {
+                validate_sharded(store, columns, &cands, plan, threads)
+            }
+            NaryBackend::Local(None) => {
+                // Materialize the missing right-side key sets, in parallel;
+                // the borrow-keyed probe never clones an already-cached
+                // column list, and a constant-time seen-guard keeps the dedup
+                // linear in the candidate count.
+                let mut missing: Vec<Vec<usize>> = Vec::new();
+                let mut queued: FastSet<Vec<usize>> = FastSet::default();
+                for cand in &cands {
+                    if !cand.is_trivial()
+                        && !rhs_sets.contains_key(cand.rhs.as_slice())
+                        && !queued.contains(cand.rhs.as_slice())
+                    {
+                        queued.insert(cand.rhs.clone());
+                        missing.push(cand.rhs.clone());
+                    }
                 }
+                let built = pool::map_indexed(threads, missing.len(), |i| {
+                    build_rhs_keys(store, columns, &missing[i])
+                });
+                for (cols, set) in missing.into_iter().zip(built) {
+                    rhs_sets.insert(cols, set);
+                }
+                // Validate every candidate in parallel (read-only cache);
+                // merge in candidate order so the output is thread-count
+                // independent.
+                pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
+                    let cand = &cands[i];
+                    cand.is_trivial() || ind_holds(store, columns, cand, &rhs_sets, buf)
+                })
             }
-            let built = pool::map_indexed(threads, missing.len(), |i| {
-                build_rhs_keys(store, columns, &missing[i])
-            });
-            for (cols, set) in missing.into_iter().zip(built) {
-                rhs_sets.insert(cols, set);
+            NaryBackend::Executor(exec) => {
+                // Ship only the nontrivial candidates; trivial ones hold
+                // by IND1 and stay composition bases on this side.
+                let shipped: Vec<usize> = (0..cands.len())
+                    .filter(|&i| !cands[i].is_trivial())
+                    .collect();
+                let batch: Vec<IndCand> = shipped.iter().map(|&i| cands[i].clone()).collect();
+                let verdicts = exec.validate_candidates(&batch)?;
+                if verdicts.len() != batch.len() {
+                    return Err(io::Error::other(format!(
+                        "shard executor returned {} verdicts for {} candidates",
+                        verdicts.len(),
+                        batch.len()
+                    )));
+                }
+                let mut ok = vec![true; cands.len()];
+                for (&i, v) in shipped.iter().zip(verdicts) {
+                    ok[i] = v;
+                }
+                ok
             }
-            // Validate every candidate in parallel (read-only cache);
-            // merge in candidate order so the output is thread-count
-            // independent.
-            pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
-                let cand = &cands[i];
-                cand.is_trivial() || ind_holds(store, columns, cand, &rhs_sets, buf)
-            })
         };
         let mut next = Vec::new();
         for (cand, ok) in cands.into_iter().zip(ok) {
@@ -773,7 +1033,7 @@ fn mine_inds(
         }
         level = next;
     }
-    out
+    Ok(out)
 }
 
 /// Materialize the distinct right-side projections of one global-column
@@ -1700,6 +1960,78 @@ mod tests {
                         assert!(budgeted.spill.spilled(), "1-byte budget never spilled");
                     }
                 }
+            }
+        }
+    }
+
+    /// The simplest possible [`ShardExecutor`]: runs every shard itself,
+    /// through the exact worker-side helpers the process workers use —
+    /// the in-crate proof that profile + refutation-pass delegation is
+    /// verdict-preserving, independent of any transport.
+    struct InlineExec<'a> {
+        schema: &'a DatabaseSchema,
+        store: &'a ColumnStore,
+        dir: SpillDir,
+        passes: usize,
+        chunk_ids: usize,
+    }
+
+    impl ShardExecutor for InlineExec<'_> {
+        fn profile_columns(&mut self, ncols: usize) -> io::Result<Vec<RunSet>> {
+            let columns = column_table(self.schema);
+            assert_eq!(columns.len(), ncols);
+            (0..ncols)
+                .map(|c| {
+                    profile_column_runs(self.store, &columns, c, self.dir.path(), self.chunk_ids)
+                })
+                .collect()
+        }
+
+        fn validate_candidates(&mut self, cands: &[IndCand]) -> io::Result<Vec<bool>> {
+            let columns = column_table(self.schema);
+            let mut ok = vec![true; cands.len()];
+            for pass in 0..self.passes {
+                for i in refute_candidates_pass(self.store, &columns, cands, pass, self.passes) {
+                    ok[i] = false;
+                }
+            }
+            Ok(ok)
+        }
+    }
+
+    #[test]
+    fn sharded_execution_equals_local() {
+        let mut rng = Rng::new(0x5A4D);
+        for round in 0..4 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 1,
+                    max_arity: 3,
+                },
+            );
+            let db = random_database(&mut rng, &schema, 12, 3);
+            let config = DiscoveryConfig::default();
+            let local = discover_with_config(&db, &config);
+            let store = ColumnStore::new(&db);
+            for (passes, chunk_ids) in [(1usize, 1usize), (3, 16), (8, 1024)] {
+                let mut exec = InlineExec {
+                    schema: db.schema(),
+                    store: &store,
+                    dir: SpillDir::create_in(&std::env::temp_dir().join("depkit-shard-tests"))
+                        .unwrap(),
+                    passes,
+                    chunk_ids,
+                };
+                let sharded =
+                    discover_store_sharded(db.schema(), &store, &config, &mut exec).unwrap();
+                assert_eq!(
+                    local.raw, sharded.raw,
+                    "raw mismatch: round {round}, passes {passes}, chunk {chunk_ids}"
+                );
+                assert_eq!(local.cover, sharded.cover);
+                assert_eq!(local.stats, sharded.stats);
             }
         }
     }

@@ -1,0 +1,105 @@
+//! The corrupted-manifest corpus: every damaged artifact under
+//! `tests/data/corrupt/` must be rejected by manifest loading or run
+//! verification with a diagnostic `io::Error` *naming the offending
+//! file* — never a panic, and never a partially loaded run set that
+//! could flow into a partial cover downstream.
+
+use depkit_core::spill::{load_verified_run_set, RunSet};
+use std::path::{Path, PathBuf};
+
+fn corrupt_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/corrupt")
+}
+
+/// Load a corpus manifest and assert the diagnostic names `culprit`.
+fn assert_rejected(manifest: &str, culprit: &str, expect: &str) {
+    let path = corrupt_dir().join(manifest);
+    let err = load_verified_run_set(&path)
+        .expect_err("damaged artifact must not load")
+        .to_string();
+    assert!(
+        err.contains(culprit),
+        "`{manifest}` diagnostic must name `{culprit}`, got: {err}"
+    );
+    assert!(
+        err.contains(expect),
+        "`{manifest}` diagnostic must explain the failure (`{expect}`), got: {err}"
+    );
+}
+
+#[test]
+fn truncated_manifest_is_rejected_naming_the_manifest() {
+    // The run line lost its name field — the shape of a torn write that
+    // `publish_manifest`'s rename protocol exists to prevent.
+    assert_rejected(
+        "truncated.manifest",
+        "truncated.manifest",
+        "bad run manifest line",
+    );
+}
+
+#[test]
+fn wrong_version_manifest_is_rejected_naming_the_manifest() {
+    // A pre-checksum v1 manifest carries no integrity data, so it is an
+    // error, not a fallback.
+    assert_rejected(
+        "wrong-version.manifest",
+        "wrong-version.manifest",
+        "expected depkit-runs v2",
+    );
+}
+
+#[test]
+fn checksum_mismatch_is_rejected_naming_the_run_file() {
+    // The manifest parses fine; verification must still catch the run
+    // whose bytes hash differently than recorded.
+    assert_rejected(
+        "checksum-mismatch.manifest",
+        "checksum-mismatch-run0.ids",
+        "checksum mismatch",
+    );
+}
+
+#[test]
+fn missing_run_file_is_rejected_naming_the_run_file() {
+    assert_rejected(
+        "missing-run.manifest",
+        "missing-run0.ids",
+        "missing run file",
+    );
+}
+
+#[test]
+fn truncated_run_file_is_rejected_naming_the_run_file() {
+    assert_rejected(
+        "truncated-run.manifest",
+        "truncated-run0.ids",
+        "manifest says 4 ids (16 bytes), file has 12 bytes",
+    );
+}
+
+#[test]
+fn nonexistent_manifest_is_rejected_naming_the_manifest() {
+    assert_rejected(
+        "no-such.manifest",
+        "no-such.manifest",
+        "cannot read run manifest",
+    );
+}
+
+#[test]
+fn parse_failures_happen_before_any_run_is_exposed() {
+    // `read_manifest` alone (no verification) must also reject the
+    // structurally damaged corpus entries outright: a caller can never
+    // hold a `RunSet` describing runs the manifest didn't fully commit.
+    for manifest in ["truncated.manifest", "wrong-version.manifest"] {
+        assert!(RunSet::read_manifest(&corrupt_dir().join(manifest)).is_err());
+    }
+    // The verification-stage entries do parse — their damage is in the
+    // run files — which is exactly why `load_verified_run_set` (parse +
+    // verify) is the only loading path the shard coordinator uses.
+    for manifest in ["checksum-mismatch.manifest", "missing-run.manifest"] {
+        assert!(RunSet::read_manifest(&corrupt_dir().join(manifest)).is_ok());
+        assert!(load_verified_run_set(&corrupt_dir().join(manifest)).is_err());
+    }
+}
