@@ -127,6 +127,47 @@ pub fn referential_columns(emps: usize, depts: usize) -> (DatabaseSchema, Column
     (schema, store)
 }
 
+/// [`referential_columns`] with `dirty` corrupt employee rows appended:
+/// employee `i < dirty` gains a second row pointing at a dangling
+/// department id (`emps + i`, disjoint from every EID, DNO, and MGR
+/// value in the clean workload), so the key FD misses on exactly `dirty`
+/// rows (one extra department per corrupted EID, g3 error 1 each) and
+/// the foreign key misses on exactly the same `dirty` dangling rows.
+/// The workload of the `approximate_discovery` bench: exact discovery
+/// must drop both planted dependencies, tolerant discovery re-mines them
+/// with predictable confidence `1 − dirty / (emps + dirty)`.
+pub fn dirty_referential_columns(
+    emps: usize,
+    depts: usize,
+    dirty: usize,
+) -> (DatabaseSchema, ColumnStore) {
+    assert!(dirty <= emps, "need dirty <= emps");
+    let schema =
+        DatabaseSchema::parse(&["EMP(EID, DNO)", "DEPT(DNO, MGR)"]).expect("static schema parses");
+    let mut interner = ValueInterner::new();
+    interner.reserve_distinct(emps + depts + dirty);
+    let eid: Vec<u32> = (0..emps)
+        .map(|e| interner.intern(&Value::Int(e as i64)))
+        .collect();
+    let mgr: Vec<u32> = (0..depts)
+        .map(|d| interner.intern(&Value::Int(-1 - d as i64)))
+        .collect();
+    let mut emp = RelationColumns::with_capacity(2, emps + dirty);
+    for e in 0..emps {
+        emp.push_row(&[eid[e], eid[e % depts]]);
+    }
+    for (i, &e) in eid.iter().enumerate().take(dirty) {
+        let dangling = interner.intern(&Value::Int((emps + i) as i64));
+        emp.push_row(&[e, dangling]);
+    }
+    let mut dept = RelationColumns::with_capacity(2, depts);
+    for d in 0..depts {
+        dept.push_row(&[eid[d], mgr[d]]);
+    }
+    let store = ColumnStore::from_raw_parts(interner, vec![emp, dept]);
+    (schema, store)
+}
+
 /// A steady-state churn batch against [`referential_workload`]: replace the
 /// first `batch` employees (`EID = 0..batch`) with fresh hires
 /// (`EID = emps..emps+batch`), keeping every constraint satisfied and the

@@ -25,7 +25,16 @@
 //!                                          run. --stats prints the spill
 //!                                          counters (runs written, bytes
 //!                                          spilled, merge passes) and, when
-//!                                          sharded, the coordinator counters
+//!                                          sharded, the coordinator counters.
+//!         [--max-error E] [--top-k K]      A positive --max-error E (fraction
+//!                                          `0.05` or percentage `5%`) also
+//!                                          mines *approximate* dependencies
+//!                                          violated by at most a fraction E
+//!                                          of their support (g3 error for
+//!                                          FDs, missing rows for INDs), and
+//!                                          ranks everything mined by
+//!                                          confidence × support (--top-k
+//!                                          truncates the ranking; 0 = all)
 //! depkit shard-worker <spec.dep>           run one discovery shard worker
 //!         --connect HOST:PORT              against a `discover --workers`
 //!                                          coordinator (spawned by the
@@ -39,6 +48,9 @@
 //!                                          script (a file, or stdin when
 //!                                          omitted) as a request, print each
 //!                                          response
+//! depkit client <addr> health              one-shot health query: print each
+//!                                          dependency's live satisfaction
+//!                                          ratio (exit 1 if any is violated)
 //! ```
 //!
 //! Spec files are plain text (see `spec.rs`): `schema R(A, B)` /
@@ -88,16 +100,17 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path] if cmd == "serve" => serve(path, "127.0.0.1:4227"),
         [cmd, path, flag, addr] if cmd == "serve" && flag == "--addr" => serve(path, addr),
         [cmd, addr] if cmd == "client" => client(addr, None),
+        [cmd, addr, word] if cmd == "client" && word == "health" => client_health(addr),
         [cmd, addr, script] if cmd == "client" => client(addr, Some(script)),
         _ => {
             eprintln!(
                 "usage: depkit check <spec.dep>\n       depkit implies <spec.dep> <DEP>\n       \
                  depkit keys <spec.dep> <RELATION>\n       depkit design <spec.dep> <RELATION>\n       \
                  depkit validate <spec.dep> <deltas.dep>\n       \
-                 depkit discover <spec.dep> [--threads N] [--workers N] [--memory-budget BYTES] [--spill-dir PATH] [--stats]\n       \
+                 depkit discover <spec.dep> [--threads N] [--workers N] [--memory-budget BYTES] [--spill-dir PATH] [--stats] [--max-error E] [--top-k K]\n       \
                  depkit shard-worker <spec.dep> --connect <HOST:PORT>\n       \
                  depkit serve <spec.dep> [--addr HOST:PORT]\n       \
-                 depkit client <HOST:PORT> [script]"
+                 depkit client <HOST:PORT> [script | health]"
             );
             Ok(ExitCode::from(2))
         }
@@ -132,6 +145,53 @@ fn client(addr: &str, script: Option<&str>) -> Result<ExitCode, Box<dyn std::err
     let stdout = std::io::stdout();
     depkit_serve::run_script(addr, &text, &mut stdout.lock())?;
     Ok(ExitCode::SUCCESS)
+}
+
+/// One-shot `client <addr> health`: send a single health query and
+/// render each dependency's live satisfaction for humans. Exit code 1
+/// when any dependency is below 100%.
+fn client_health(addr: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut raw = Vec::new();
+    depkit_serve::run_script(addr, r#"{"cmd":"health"}"#, &mut raw)?;
+    let text = String::from_utf8(raw)?;
+    let v = depkit_serve::json::parse(text.trim())
+        .map_err(|e| format!("malformed health response: {e}"))?;
+    let deps = v
+        .get("deps")
+        .and_then(depkit_serve::Json::as_arr)
+        .ok_or("health response has no `deps` array")?;
+    println!(
+        "health at generation {}:",
+        v.get("generation")
+            .and_then(depkit_serve::Json::as_i64)
+            .unwrap_or(-1)
+    );
+    let mut all_clean = true;
+    for d in deps {
+        let name = d
+            .get("dep")
+            .and_then(depkit_serve::Json::as_str)
+            .unwrap_or("?");
+        let violating = d
+            .get("violating")
+            .and_then(depkit_serve::Json::as_i64)
+            .unwrap_or(0);
+        let satisfied = d
+            .get("satisfied")
+            .and_then(depkit_serve::Json::as_str)
+            .unwrap_or("?");
+        let tracked = d
+            .get("tracked")
+            .and_then(depkit_serve::Json::as_i64)
+            .unwrap_or(0);
+        println!("  {name} is {satisfied} satisfied ({violating} of {tracked} keys violating)");
+        all_clean &= violating == 0;
+    }
+    Ok(if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn check(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -205,6 +265,8 @@ struct DiscoverOpts {
     memory_budget: usize,
     spill_dir: Option<std::path::PathBuf>,
     stats: bool,
+    max_error: f64,
+    top_k: usize,
 }
 
 fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
@@ -214,6 +276,8 @@ fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
         memory_budget: 0,
         spill_dir: None,
         stats: false,
+        max_error: 0.0,
+        top_k: 0,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -232,22 +296,52 @@ fn parse_discover_opts(rest: &[String]) -> Result<DiscoverOpts, String> {
             }
             "--memory-budget" => {
                 let n = it.next().ok_or("--memory-budget expects a byte count")?;
-                opts.memory_budget = parse_bytes(n)?;
+                opts.memory_budget = parse_bytes(n).map_err(|e| format!("--memory-budget: {e}"))?;
             }
             "--spill-dir" => {
                 let p = it.next().ok_or("--spill-dir expects a path")?;
                 opts.spill_dir = Some(std::path::PathBuf::from(p));
             }
             "--stats" => opts.stats = true,
+            "--max-error" => {
+                let n = it.next().ok_or("--max-error expects a tolerance")?;
+                opts.max_error =
+                    parse_error_tolerance(n).map_err(|e| format!("--max-error: {e}"))?;
+            }
+            "--top-k" => {
+                let n = it.next().ok_or("--top-k expects a count")?;
+                opts.top_k = n
+                    .parse()
+                    .map_err(|_| format!("--top-k expects a count, got `{n}`"))?;
+            }
             other => return Err(format!("unknown discover flag `{other}`")),
         }
     }
     Ok(opts)
 }
 
-/// Parse a byte count: plain digits, or a human suffix `K`/`M`/`G`
-/// (binary multiples, optional trailing `B`, any case) — `512M`, `64kb`,
-/// `2G`.
+/// Parse a nonnegative decimal literal — digits with an optional
+/// fractional part (`12`, `1.5`), no sign, exponent, or locale forms.
+/// The shared numeric core of [`parse_bytes`] and
+/// [`parse_error_tolerance`]: both accept exactly this shape, so their
+/// error messages can promise it.
+fn parse_decimal(src: &str) -> Option<f64> {
+    let (int, frac) = match src.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (src, None),
+    };
+    let all_digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !all_digits(int) || !frac.is_none_or(all_digits) {
+        return None;
+    }
+    src.parse::<f64>().ok()
+}
+
+/// Parse a byte count: digits, or a decimal with a human suffix
+/// `K`/`M`/`G` (binary multiples, optional trailing `B`, any case) —
+/// `512M`, `64kb`, `1.5G` (= 1610612736). A bare `B` counts plain bytes
+/// (`12B` = 12); a fractional count needs a unit to round against
+/// (`12.5` alone is rejected, `12.5K` is 12800).
 fn parse_bytes(src: &str) -> Result<usize, String> {
     let upper = src.trim().to_ascii_uppercase();
     let body = upper.strip_suffix('B').unwrap_or(&upper);
@@ -257,11 +351,47 @@ fn parse_bytes(src: &str) -> Result<usize, String> {
         Some('G') => (&body[..body.len() - 1], 1 << 30),
         _ => (body, 1),
     };
-    let n: usize = digits.parse().map_err(|_| {
-        format!("--memory-budget expects bytes (e.g. 536870912 or `512M`), got `{src}`")
+    let value = parse_decimal(digits).ok_or_else(|| {
+        format!(
+            "expected a byte count: digits with an optional K/M/G unit and B suffix \
+             (e.g. 536870912, `512M`, `1.5G`), got `{src}`"
+        )
     })?;
+    if digits.contains('.') {
+        if mult == 1 {
+            return Err(format!(
+                "fractional byte counts need a unit suffix to round against (`1.5G`, not `{src}`)"
+            ));
+        }
+        let bytes = value * mult as f64;
+        if bytes > usize::MAX as f64 {
+            return Err(format!("byte count overflows usize: `{src}`"));
+        }
+        return Ok(bytes as usize);
+    }
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("byte count overflows usize: `{src}`"))?;
     n.checked_mul(mult)
-        .ok_or_else(|| format!("--memory-budget overflows usize: `{src}`"))
+        .ok_or_else(|| format!("byte count overflows usize: `{src}`"))
+}
+
+/// Parse an error tolerance: a fraction (`0.05`) or a percentage
+/// (`5%`), in `[0, 1)` — a tolerance of 1 would score every candidate
+/// as vacuously satisfied.
+fn parse_error_tolerance(src: &str) -> Result<f64, String> {
+    let trimmed = src.trim();
+    let (body, scale) = match trimmed.strip_suffix('%') {
+        Some(p) => (p.trim_end(), 0.01),
+        None => (trimmed, 1.0),
+    };
+    let v = parse_decimal(body).ok_or_else(|| {
+        format!("expected an error tolerance as a fraction or percentage (e.g. 0.05 or `5%`), got `{src}`")
+    })? * scale;
+    if !(0.0..1.0).contains(&v) {
+        return Err(format!("error tolerance must lie in [0, 1), got `{src}`"));
+    }
+    Ok(v)
 }
 
 fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -271,6 +401,8 @@ fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error:
         threads: opts.threads,
         memory_budget: opts.memory_budget,
         spill_dir: opts.spill_dir,
+        max_error: opts.max_error,
+        top_k: opts.top_k,
         ..Default::default()
     };
     let (found, shard_stats) = if opts.workers > 0 {
@@ -314,10 +446,44 @@ fn discover(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error:
     for d in &found.cover {
         println!("dep {d}");
     }
-    // Cross-check against any constraints the spec declared.
+    // With a tolerance, rank everything mined by confidence × support so
+    // the strongest near-dependencies of a dirty table surface first.
+    if config.max_error > 0.0 {
+        let ranked = found.ranked(opts.top_k);
+        println!(
+            "ranked: top {} of {} scored dependencies (by confidence × support):",
+            ranked.len(),
+            found.scored.len()
+        );
+        for (i, s) in ranked.iter().enumerate() {
+            println!(
+                "  #{} {}  confidence {:.4}, support {}, misses {}",
+                i + 1,
+                s.dep,
+                s.confidence(),
+                s.support,
+                s.misses
+            );
+        }
+    }
+    // Cross-check against any constraints the spec declared. Under a
+    // tolerance, a declared dependency the data *nearly* satisfies is
+    // reported with its confidence — dirty data reads differently from a
+    // wrong schema. Exact runs keep the original wording byte-for-byte.
     for declared in spec.constraints.dependencies() {
-        if !depkit_solver::discover::implied_by(&found.cover, declared) {
-            println!("note: declared `{declared}` is not implied by the discovered cover");
+        if depkit_solver::discover::implied_by(&found.cover, declared) {
+            continue;
+        }
+        let approx = found
+            .scored
+            .iter()
+            .find(|s| s.dep == *declared && s.misses > 0);
+        match approx {
+            Some(s) => println!(
+                "note: declared `{declared}` approximately holds (confidence {:.4} < 1.0)",
+                s.confidence()
+            ),
+            None => println!("note: declared `{declared}` is not implied by the discovered cover"),
         }
     }
     Ok(ExitCode::SUCCESS)
@@ -669,9 +835,67 @@ commit
         assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
         assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
         assert_eq!(parse_bytes("8kb").unwrap(), 8 << 10);
+        // A bare B counts plain bytes; fractional counts take a unit.
+        assert_eq!(parse_bytes("12B").unwrap(), 12);
+        assert_eq!(parse_bytes("1.5G").unwrap(), 3 << 29);
+        assert_eq!(parse_bytes("12.5K").unwrap(), 12_800);
+        assert_eq!(parse_bytes("0.5mb").unwrap(), 1 << 19);
         assert!(parse_bytes("").is_err());
         assert!(parse_bytes("12X").is_err());
         assert!(parse_bytes("M").is_err());
+        assert!(parse_bytes("1.2.3K").is_err());
+        assert!(parse_bytes(".5G").is_err());
+        assert!(parse_bytes("1.G").is_err());
+        // A unitless fraction is ambiguous; the error says what to do.
+        let e = parse_bytes("12.5").unwrap_err();
+        assert!(e.contains("unit suffix"), "got: {e}");
+    }
+
+    #[test]
+    fn parse_error_tolerance_accepts_fractions_and_percentages() {
+        assert_eq!(parse_error_tolerance("0.05").unwrap(), 0.05);
+        assert_eq!(parse_error_tolerance("0").unwrap(), 0.0);
+        assert!((parse_error_tolerance("5%").unwrap() - 0.05).abs() < 1e-12);
+        assert!((parse_error_tolerance("0.5%").unwrap() - 0.005).abs() < 1e-12);
+        assert!(parse_error_tolerance("1").is_err(), "1 is out of range");
+        assert!(parse_error_tolerance("100%").is_err());
+        assert!(parse_error_tolerance("-0.1").is_err());
+        assert!(parse_error_tolerance("lots").is_err());
+        assert!(parse_error_tolerance("%").is_err());
+        let e = parse_error_tolerance("1.5").unwrap_err();
+        assert!(e.contains("[0, 1)"), "got: {e}");
+    }
+
+    #[test]
+    fn discover_accepts_a_tolerance_and_top_k() {
+        let opts = parse_discover_opts(&[
+            "--max-error".into(),
+            "5%".into(),
+            "--top-k".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!((opts.max_error - 0.05).abs() < 1e-12);
+        assert_eq!(opts.top_k, 3);
+        assert!(parse_discover_opts(&["--max-error".into(), "2".into()]).is_err());
+        assert!(parse_discover_opts(&["--top-k".into(), "few".into()]).is_err());
+        // End to end on a dirtied spec: the declared FD is only
+        // approximately satisfied, and the run still exits 0.
+        let dirty = format!("{HR}row EMP hilbert cs\nrow MGR hilbert cs\n");
+        let path = write_temp("disc-approx", &dirty);
+        assert_eq!(
+            run(&[
+                "discover".into(),
+                path.clone(),
+                "--max-error".into(),
+                "0.5".into(),
+                "--top-k".into(),
+                "5".into(),
+            ])
+            .unwrap(),
+            ExitCode::SUCCESS
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
@@ -696,6 +920,36 @@ commit
         assert_eq!(
             run(&["client".into(), addr, script_path.clone()]).unwrap(),
             ExitCode::SUCCESS
+        );
+        std::fs::remove_file(script_path).ok();
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn client_health_reports_live_satisfaction() {
+        // Seeded consistent: health exits 0. After a commit breaks the
+        // IND, the one-shot health query exits 1.
+        let spec = parse_spec(HR).unwrap();
+        let sigma = spec.constraints.dependencies().to_vec();
+        let cat = depkit_solver::incremental::CatalogState::new(spec.constraints.schema(), &sigma)
+            .unwrap();
+        cat.seed(&spec.database).unwrap();
+        let server =
+            depkit_serve::Server::start(cat, "127.0.0.1:0", depkit_serve::ServeConfig::default())
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        assert_eq!(
+            run(&["client".into(), addr.clone(), "health".into()]).unwrap(),
+            ExitCode::SUCCESS
+        );
+        let break_it = "{\"cmd\":\"begin\"}\n\
+                        {\"cmd\":\"insert\",\"rel\":\"MGR\",\"row\":[\"ghost\",\"cs\"]}\n\
+                        {\"cmd\":\"commit\"}\n";
+        let script_path = write_temp("health-break", break_it);
+        run(&["client".into(), addr.clone(), script_path.clone()]).unwrap();
+        assert_eq!(
+            run(&["client".into(), addr, "health".into()]).unwrap(),
+            ExitCode::FAILURE
         );
         std::fs::remove_file(script_path).ok();
         server.stop().unwrap();

@@ -32,7 +32,7 @@
 //!   IND candidate allocates nothing per row.
 
 use crate::database::Database;
-use crate::hashing::FastSet;
+use crate::hashing::{FastMap, FastSet};
 use crate::index::ValueInterner;
 use crate::spill::{self, DistinctStream, SpillDir, SpillStats};
 use std::io;
@@ -606,6 +606,33 @@ impl Refiner {
             class[1..].iter().all(|&r| column[r as usize] == v)
         })
     }
+
+    /// The g3 error of `X → column` against the stripped partition of `X`:
+    /// the minimum number of rows to remove before the FD holds exactly.
+    /// Per class that is `|class| −` (the highest multiplicity of a single
+    /// `column` value in it) — singleton classes, stripped away, agree
+    /// vacuously and contribute zero, so the stripped partition already
+    /// carries everything the measure needs. Zero iff [`Refiner::determines`].
+    ///
+    /// g3 is monotone non-increasing as `X` grows (refining classes can
+    /// only raise the per-class agreement), which is what lets the FD
+    /// lattice walk keep its minimality and superkey pruning at any error
+    /// threshold.
+    pub fn g3_error(classes: &[Vec<u32>], column: &[u32]) -> u64 {
+        let mut err = 0u64;
+        let mut freq: FastMap<u32, u32> = FastMap::default();
+        for class in classes {
+            freq.clear();
+            let mut best = 0u32;
+            for &r in class {
+                let n = freq.entry(column[r as usize]).or_insert(0);
+                *n += 1;
+                best = best.max(*n);
+            }
+            err += class.len() as u64 - u64::from(best);
+        }
+        err
+    }
 }
 
 /// A membership set of fixed-arity `u32` projection keys.
@@ -837,6 +864,26 @@ mod tests {
         assert!(Refiner::determines(&by_bc, rel.column(2)));
         // A (all distinct) refines everything to singletons.
         assert!(refiner.refine_stripped(&root, rel.column(0)).is_empty());
+    }
+
+    #[test]
+    fn g3_error_counts_minimum_row_removals() {
+        // One class of five rows: values {5:3, 7:2} → removing the two
+        // 7-rows makes the class agree, so g3 = 2.
+        let column = vec![5u32, 5, 7, 7, 5];
+        let classes = vec![vec![0u32, 1, 2, 3, 4]];
+        assert_eq!(Refiner::g3_error(&classes, &column), 2);
+        // Agreement is per class: {0,1,4} and {2,3} each agree → g3 = 0,
+        // and zero coincides exactly with `determines`.
+        let split = vec![vec![0u32, 1, 4], vec![2, 3]];
+        assert_eq!(Refiner::g3_error(&split, &column), 0);
+        assert!(Refiner::determines(&split, &column));
+        // Monotone: refining a partition never raises the error.
+        let coarse = Refiner::g3_error(&classes, &column);
+        let fine = Refiner::g3_error(&split, &column);
+        assert!(fine <= coarse);
+        // Empty (fully stripped) partitions are vacuously exact.
+        assert_eq!(Refiner::g3_error(&[], &column), 0);
     }
 
     #[test]

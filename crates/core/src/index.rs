@@ -534,6 +534,40 @@ impl GenValue {
         }
     }
 
+    /// Drop entries no *live* reader can observe, given the full sorted
+    /// set of pinned generations rather than just their minimum.
+    ///
+    /// [`GenValue::prune`]'s single watermark keeps every entry above the
+    /// oldest pin — so one long-lived snapshot pinned below an oscillating
+    /// counter makes its history grow with the commit log even though the
+    /// generations between the pin and the head are unobservable. Here an
+    /// entry `(g_i, v)` survives only if it is the newest (it serves the
+    /// head and every future snapshot) or some pin `p` satisfies
+    /// `g_i ≤ p < g_{i+1}`: exactly the entries some reader can still
+    /// resolve through [`GenValue::at`]. With no pins the history
+    /// collapses to its newest entry.
+    pub fn prune_sparse(&mut self, pins: &[u64]) {
+        debug_assert!(pins.windows(2).all(|w| w[0] <= w[1]), "pins must be sorted");
+        if self.hist.len() <= 1 {
+            return;
+        }
+        let last = self.hist.len() - 1;
+        let mut kept = 0;
+        for i in 0..self.hist.len() {
+            let observable = i == last || {
+                let lo = self.hist[i].0;
+                let hi = self.hist[i + 1].0;
+                let p = pins.partition_point(|&p| p < lo);
+                p < pins.len() && pins[p] < hi
+            };
+            if observable {
+                self.hist[kept] = self.hist[i];
+                kept += 1;
+            }
+        }
+        self.hist.truncate(kept);
+    }
+
     /// Whether the cell is unobservable at every generation at or above
     /// the pruning watermark — a single all-zero entry (or none), i.e. a
     /// candidate for eviction by [`VersionedIndex::vacuum`].
@@ -662,6 +696,17 @@ impl VersionedIndex {
     pub fn vacuum(&mut self, watermark: u64) {
         self.counts.retain(|_, g| {
             g.prune(watermark);
+            !g.is_dead()
+        });
+    }
+
+    /// [`VersionedIndex::vacuum`] against the full pinned-generation set
+    /// (see [`GenValue::prune_sparse`]): drops the history entries between
+    /// pins that a min-watermark prune would retain forever under a
+    /// long-lived snapshot.
+    pub fn vacuum_sparse(&mut self, pins: &[u64]) {
+        self.counts.retain(|_, g| {
+            g.prune_sparse(pins);
             !g.is_dead()
         });
     }
@@ -830,6 +875,43 @@ mod tests {
         assert!(!g.is_dead());
         g.set(9, 0, 9);
         assert!(g.is_dead());
+    }
+
+    #[test]
+    fn sparse_prune_keeps_exactly_what_pins_can_observe() {
+        // An oscillating counter stamped at generations 1..=8.
+        let mut g = GenValue::default();
+        for gen in 1..=8u64 {
+            g.set(gen, (gen % 2) as u32, 0);
+        }
+        assert_eq!(g.depth(), 8);
+        // A pin at 3 and one at 6: every pinned read and every read at or
+        // past the head must survive the prune; everything else may go.
+        let before: Vec<u32> = [3u64, 6, 8, 100].iter().map(|&p| g.at(p)).collect();
+        g.prune_sparse(&[3, 6]);
+        let after: Vec<u32> = [3u64, 6, 8, 100].iter().map(|&p| g.at(p)).collect();
+        assert_eq!(before, after);
+        assert_eq!(g.depth(), 3, "entries at 3, 6, and the head remain");
+        // No pins at all: only the newest entry is observable.
+        g.prune_sparse(&[]);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.at(100), 0);
+    }
+
+    #[test]
+    fn sparse_vacuum_evicts_dead_keys_like_the_watermark_form() {
+        let mut idx = VersionedIndex::new();
+        assert_eq!(idx.add(&[1], 1, 0), 1);
+        assert_eq!(idx.remove(&[1], 2, 0), 0);
+        assert_eq!(idx.add(&[2], 2, 0), 1);
+        // A pin at generation 1 keeps key [1] observable.
+        idx.vacuum_sparse(&[1]);
+        assert_eq!(idx.count_at(&[1], 1), 1);
+        assert_eq!(idx.key_count(), 2);
+        // Pin released: the dead key is evicted, the live one survives.
+        idx.vacuum_sparse(&[]);
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.latest(&[2]), 1);
     }
 
     #[test]

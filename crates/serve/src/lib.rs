@@ -10,7 +10,7 @@
 //! * [`json`] — a vendored, std-only line-JSON value type (the build is
 //!   offline; no external JSON dependency exists to link against).
 //! * [`protocol`] — the request/response verbs
-//!   (`begin`/`insert`/`delete`/`query`/`commit`/`abort`), one JSON
+//!   (`begin`/`insert`/`delete`/`query`/`health`/`commit`/`abort`), one JSON
 //!   object per line in each direction.
 //! * [`server`] — the thread-per-connection TCP accept loop with
 //!   structural backpressure (bounded staging per session, bounded

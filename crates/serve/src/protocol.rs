@@ -8,6 +8,7 @@
 //! {"cmd":"insert","rel":"EMP","row":[1,"math"]}     stage an insertion
 //! {"cmd":"delete","rel":"EMP","row":[1,"math"]}     stage a deletion
 //! {"cmd":"query"}                                   violations of snapshot + staging
+//! {"cmd":"health"}                                  per-dependency satisfaction ratios
 //! {"cmd":"commit"}                                  apply staging, publish a generation
 //! {"cmd":"abort"}                                   drop staging without a trace
 //! ```
@@ -45,6 +46,10 @@ pub enum Request {
     /// Report the violation set of *snapshot + staging* (or of a fresh
     /// snapshot when no session is active).
     Query,
+    /// Report per-dependency satisfaction ratios at the latest committed
+    /// generation (never the session's staging — health is the
+    /// observer's view of what commits have done to Σ).
+    Health,
     /// Apply the staged delta and publish a generation.
     Commit,
     /// Drop the staged delta.
@@ -65,6 +70,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "commit" => Ok(Request::Commit),
         "abort" => Ok(Request::Abort),
         "query" => Ok(Request::Query),
+        "health" => Ok(Request::Health),
         "insert" | "delete" => {
             let rel = v
                 .get("rel")
@@ -95,7 +101,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         other => Err(bad(&format!(
-            "unknown cmd `{other}` (expected begin/insert/delete/query/commit/abort)"
+            "unknown cmd `{other}` (expected begin/insert/delete/query/health/commit/abort)"
         ))),
     }
 }
@@ -113,6 +119,10 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"cmd":"abort"}"#).unwrap(), Request::Abort);
         assert_eq!(parse_request(r#"{"cmd":"query"}"#).unwrap(), Request::Query);
+        assert_eq!(
+            parse_request(r#"{"cmd":"health"}"#).unwrap(),
+            Request::Health
+        );
         let ins = parse_request(r#"{"cmd":"insert","rel":"EMP","row":[7,"math"]}"#).unwrap();
         assert_eq!(
             ins,

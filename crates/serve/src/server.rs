@@ -197,6 +197,33 @@ fn respond(
                 ("violations", Json::Arr(rendered)),
             ])
         }
+        Request::Health => {
+            // Always a fresh snapshot, even mid-session: health is the
+            // observer's view of committed state, so a client polling it
+            // between its own commits watches ratios move as *other*
+            // sessions land. Each commit maintained the counters in
+            // O(delta); reading them here is O(Σ).
+            let snap = cat.snapshot();
+            let deps: Vec<Json> = snap
+                .health()
+                .iter()
+                .map(|h| {
+                    obj(vec![
+                        ("dep", Json::Str(h.dep.to_string())),
+                        ("violating", Json::Num(h.violating as i64)),
+                        ("tracked", Json::Num(h.tracked as i64)),
+                        // The wire format is integer-only; the ratio is
+                        // rendered to four places for human eyes.
+                        ("satisfied", Json::Str(format!("{:.4}", h.ratio()))),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("generation", Json::Num(snap.generation() as i64)),
+                ("deps", Json::Arr(deps)),
+            ])
+        }
         Request::Commit => {
             let Some(s) = session.take() else {
                 return err("no active session (send begin first)".into());
@@ -313,6 +340,37 @@ mod tests {
         );
         // The abort left no trace: only the committed rows exist.
         assert_eq!(cat.total_rows(), 2);
+    }
+
+    #[test]
+    fn health_reports_ratios_that_move_with_commits() {
+        let cat = catalog();
+        let t = drive(
+            &cat,
+            &[
+                r#"{"cmd":"health"}"#,
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["math"]}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["galois","duel"]}"#,
+                r#"{"cmd":"health"}"#,
+                r#"{"cmd":"commit"}"#,
+                r#"{"cmd":"health"}"#,
+            ],
+        );
+        // Empty catalog: vacuously 100% satisfied, nothing tracked.
+        assert!(t[0].contains(r#""satisfied":"1.0000""#), "got: {}", t[0]);
+        assert!(t[0].contains(r#""tracked":0"#), "got: {}", t[0]);
+        // Mid-session health ignores staging: still the committed state.
+        assert!(t[5].contains(r#""tracked":0"#), "got: {}", t[5]);
+        // After commit: 2 left keys tracked, `duel` dangling → 50%.
+        assert!(t[7].contains(r#""generation":1"#), "got: {}", t[7]);
+        assert!(
+            t[7].contains(r#""violating":1,"tracked":2,"satisfied":"0.5000""#),
+            "got: {}",
+            t[7]
+        );
+        assert!(t[7].contains("EMP[DEPT] <= DEPT[DNO]"), "got: {}", t[7]);
     }
 
     #[test]

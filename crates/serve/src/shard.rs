@@ -17,6 +17,14 @@
 //!   coordinator unions refutations across passes, which equals the
 //!   unsharded verdict because every projection key belongs to exactly
 //!   one pass.
+//! * **Count** tasks — the approximate pipeline's quantitative form of a
+//!   refute pass: the worker reports per-candidate *miss counts* on its
+//!   key shard
+//!   ([`depkit_solver::discover::count_candidate_misses_pass`]); the
+//!   coordinator **sums** counts across passes, which equals the
+//!   unsharded scan for the same exactly-one-pass-per-key reason — so the
+//!   confidences a sharded run reports are identical to every in-process
+//!   mode.
 //!
 //! **Commit / retry protocol.** Workers poll (`hello` → `next` → work →
 //! `done`/`failed`), heartbeating while a task runs. Every assignment
@@ -50,8 +58,8 @@ use depkit_core::column::ColumnStore;
 use depkit_core::schema::DatabaseSchema;
 use depkit_core::spill::{load_verified_run_set, RunSet, SpillDir};
 use depkit_solver::discover::{
-    column_table, discover_store_sharded, profile_column_runs, refute_candidates_pass, Discovery,
-    DiscoveryConfig, IndCand, ShardExecutor,
+    column_table, count_candidate_misses_pass, discover_store_sharded, profile_column_runs,
+    refute_candidates_pass, Discovery, DiscoveryConfig, IndCand, ShardExecutor,
 };
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -155,6 +163,9 @@ pub enum TaskKind {
     Profile,
     /// An n-ary refutation pass; the index is the pass number.
     Refute,
+    /// An n-ary miss-counting pass (approximate discovery); the index is
+    /// the pass number.
+    Count,
 }
 
 /// One deterministic fault: fires when a worker is assigned the matching
@@ -187,7 +198,7 @@ impl FaultPlan {
     /// Parse a plan from the `DEPKIT_FAULT` syntax:
     /// `<kind>:<task>:<index>[:<stall ms>]`, `;`-separated. Examples:
     /// `kill:profile:0`, `stall:profile:2:3000`, `corrupt:profile:1`,
-    /// `kill:refute:0`.
+    /// `kill:refute:0`, `kill:count:1`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut faults = Vec::new();
         for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
@@ -198,6 +209,7 @@ impl FaultPlan {
             let task = match parts[1] {
                 "profile" => TaskKind::Profile,
                 "refute" => TaskKind::Refute,
+                "count" => TaskKind::Count,
                 other => return Err(format!("bad fault task `{other}`")),
             };
             let index: usize = parts[2]
@@ -257,6 +269,11 @@ enum TaskSpec {
         passes: usize,
         cands: Arc<Vec<IndCand>>,
     },
+    Count {
+        pass: usize,
+        passes: usize,
+        cands: Arc<Vec<IndCand>>,
+    },
 }
 
 /// What an accepted completion contributed.
@@ -264,6 +281,7 @@ enum TaskSpec {
 enum TaskResult {
     Runs(RunSet),
     Refuted(Vec<usize>),
+    Misses(Vec<u64>),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -526,7 +544,7 @@ impl ShardExecutor for CoordExec<'_> {
             .into_iter()
             .map(|r| match r {
                 TaskResult::Runs(set) => set,
-                TaskResult::Refuted(_) => unreachable!("profile phase yields runs"),
+                _ => unreachable!("profile phase yields runs"),
             })
             .collect())
     }
@@ -558,10 +576,43 @@ impl ShardExecutor for CoordExec<'_> {
                         }
                     }
                 }
-                TaskResult::Runs(_) => unreachable!("refute phase yields refutations"),
+                _ => unreachable!("refute phase yields refutations"),
             }
         }
         Ok(ok)
+    }
+
+    fn count_misses(&mut self, cands: &[IndCand]) -> io::Result<Vec<u64>> {
+        if cands.is_empty() {
+            return Ok(Vec::new());
+        }
+        let passes = match self.coord.shared.cfg.refute_passes {
+            0 => self.expected_workers.max(1),
+            p => p,
+        };
+        let shared_cands = Arc::new(cands.to_vec());
+        let specs = (0..passes)
+            .map(|pass| TaskSpec::Count {
+                pass,
+                passes,
+                cands: Arc::clone(&shared_cands),
+            })
+            .collect();
+        let results = self.coord.run_phase(specs)?;
+        // Sum element-wise: every projection key is counted by exactly
+        // one pass, so the pass sums equal the unsharded miss counts.
+        let mut misses = vec![0u64; cands.len()];
+        for r in results {
+            match r {
+                TaskResult::Misses(counts) => {
+                    for (sum, m) in misses.iter_mut().zip(counts) {
+                        *sum += m;
+                    }
+                }
+                _ => unreachable!("count phase yields miss counts"),
+            }
+        }
+        Ok(misses)
     }
 }
 
@@ -742,6 +793,16 @@ fn next_task(shared: &Shared, running: &mut Option<(usize, u32)>, req: &Json) ->
             fields.push(("passes", Json::Num(passes as i64)));
             fields.push(("cands", Json::Arr(cands.iter().map(cand_to_json).collect())));
         }
+        TaskSpec::Count {
+            pass,
+            passes,
+            cands,
+        } => {
+            fields.push(("task", Json::Str("count".into())));
+            fields.push(("pass", Json::Num(pass as i64)));
+            fields.push(("passes", Json::Num(passes as i64)));
+            fields.push(("cands", Json::Arr(cands.iter().map(cand_to_json).collect())));
+        }
     }
     obj(fields)
 }
@@ -804,6 +865,31 @@ fn task_done(shared: &Shared, running: &mut Option<(usize, u32)>, req: &Json) ->
                     return jerr("refuted index out of range".into());
                 }
                 phase.tasks[t].result = Some(TaskResult::Refuted(refuted));
+                phase.tasks[t].status = TaskStatus::Done;
+                phase.remaining -= 1;
+                stats.completed += 1;
+                shared.cv.notify_all();
+                return accepted(true);
+            }
+            TaskSpec::Count { cands, .. } => {
+                let Some(values) = req.get("misses").and_then(Json::as_arr) else {
+                    return jerr("count done needs `misses`".into());
+                };
+                let Some(misses) = values
+                    .iter()
+                    .map(|v| v.as_i64().filter(|&n| n >= 0).map(|n| n as u64))
+                    .collect::<Option<Vec<u64>>>()
+                else {
+                    return jerr("bad misses list".into());
+                };
+                if misses.len() != cands.len() {
+                    return jerr(format!(
+                        "count done has {} misses for {} candidates",
+                        misses.len(),
+                        cands.len()
+                    ));
+                }
+                phase.tasks[t].result = Some(TaskResult::Misses(misses));
                 phase.tasks[t].status = TaskStatus::Done;
                 phase.remaining -= 1;
                 stats.completed += 1;
@@ -967,6 +1053,10 @@ pub fn run_worker(
                 TaskKind::Refute,
                 next.get("pass").and_then(Json::as_i64).unwrap_or(-1) as usize,
             ),
+            "count" => (
+                TaskKind::Count,
+                next.get("pass").and_then(Json::as_i64).unwrap_or(-1) as usize,
+            ),
             other => return Err(io::Error::other(format!("unknown task kind `{other}`"))),
         };
         let injected = fault.matching(kind, index, attempt32);
@@ -1085,6 +1175,28 @@ fn execute_task(
                 Json::Arr(refuted.into_iter().map(|i| Json::Num(i as i64)).collect()),
             )])
         }
+        "count" => {
+            let (Some(pass), Some(passes), Some(cand_json)) = (
+                next.get("pass").and_then(Json::as_i64),
+                next.get("passes").and_then(Json::as_i64),
+                next.get("cands").and_then(Json::as_arr),
+            ) else {
+                return Err(io::Error::other("malformed count task"));
+            };
+            let cands: Vec<IndCand> = cand_json
+                .iter()
+                .map(|v| {
+                    cand_from_json(v, columns)
+                        .ok_or_else(|| io::Error::other(format!("bad candidate: {v}")))
+                })
+                .collect::<io::Result<_>>()?;
+            let misses =
+                count_candidate_misses_pass(store, columns, &cands, pass as usize, passes as usize);
+            Ok(vec![(
+                "misses",
+                Json::Arr(misses.into_iter().map(|m| Json::Num(m as i64)).collect()),
+            )])
+        }
         other => Err(io::Error::other(format!("unknown task kind `{other}`"))),
     }
 }
@@ -1172,6 +1284,38 @@ mod tests {
         assert_eq!(local.stats, sharded.stats);
         assert_eq!(stats.completed, stats.shards);
         assert_eq!(stats.retried, 0);
+    }
+
+    #[test]
+    fn sharded_approximate_run_reports_local_confidences() {
+        let (schema, mut db) = worked_example();
+        // Dirty the reference: one employee in a department that DEPT has
+        // never heard of, so EMP[DEPT] <= DEPT[DNO] only *approximately*
+        // holds (3 of 4 rows; confidence 0.75).
+        db.insert_str("EMP", &[&["galois", "duel", "nobody"]])
+            .unwrap();
+        let config = DiscoveryConfig {
+            max_error: 0.3,
+            ..DiscoveryConfig::default()
+        };
+        let local = depkit_solver::discover::discover_with_config(&db, &config);
+        assert!(
+            local.scored.iter().any(|s| s.misses > 0),
+            "fixture must plant at least one dirty dependency"
+        );
+        let coordinator = Coordinator::bind("127.0.0.1:0", shard_cfg()).unwrap();
+        let workers = spawn_workers(coordinator.local_addr(), &db, 3, FaultPlan::none());
+        let store = ColumnStore::new(&db);
+        let (sharded, stats) = coordinator.run(&schema, &store, &config, 3).unwrap();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+        coordinator.shutdown().unwrap();
+        assert_eq!(local.raw, sharded.raw);
+        assert_eq!(local.cover, sharded.cover);
+        assert_eq!(local.scored, sharded.scored);
+        assert_eq!(local.stats, sharded.stats);
+        assert_eq!(stats.completed, stats.shards);
     }
 
     #[test]

@@ -140,6 +140,21 @@ pub struct DiscoveryConfig {
     /// uses the system temp directory. Each discovery run creates a
     /// uniquely named subdirectory and removes it when the run completes.
     pub spill_dir: Option<PathBuf>,
+    /// Error tolerance for approximate discovery, as a fraction of rows in
+    /// `[0, 1)`. `0.0` (the default) mines exactly, through code paths
+    /// untouched by the approximate machinery — the output is
+    /// byte-identical to an exact-only build. A positive tolerance keeps a
+    /// dependency when its error is at most `max_error` of the governing
+    /// row count: FDs use the g3 measure ([`Refiner::g3_error`] — the
+    /// minimum rows to delete, from stripped-partition group sizes), INDs
+    /// count left rows whose projection is absent on the right. Every kept
+    /// dependency lands in [`Discovery::scored`] with its exact `misses`
+    /// and `support`, identical across threads, budgets, and sharding.
+    pub max_error: f64,
+    /// Rank cutoff carried for front ends: how many entries of the scored
+    /// set [`Discovery::ranked`] should present, `0` meaning all of them.
+    /// Mining itself never truncates — `scored` always holds the full set.
+    pub top_k: usize,
 }
 
 impl Default for DiscoveryConfig {
@@ -151,6 +166,8 @@ impl Default for DiscoveryConfig {
             threads: 0,
             memory_budget: 0,
             spill_dir: None,
+            max_error: 0.0,
+            top_k: 0,
         }
     }
 }
@@ -189,17 +206,60 @@ pub struct DiscoveryStats {
     pub pruned: usize,
 }
 
+/// One mined dependency with its error accounting. Produced only by
+/// approximate runs ([`DiscoveryConfig::max_error`] > 0); exact runs
+/// leave [`Discovery::scored`] empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoredDependency {
+    /// The mined dependency.
+    pub dep: Dependency,
+    /// Rows that would have to be removed for the dependency to hold
+    /// exactly: the g3 measure for FDs, missing left projections for
+    /// INDs. `0` means the dependency holds outright.
+    pub misses: u64,
+    /// Rows the measure is taken over — the (left) relation's row count.
+    pub support: u64,
+}
+
+impl ScoredDependency {
+    /// Fraction of supporting rows consistent with the dependency:
+    /// `1 − misses / support` (`1.0` on empty support, matching vacuous
+    /// satisfaction).
+    pub fn confidence(&self) -> f64 {
+        if self.support == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.support as f64
+        }
+    }
+
+    /// Integer ranking weight: `confidence × support`, which simplifies
+    /// to `support − misses`. Kept in integers so every execution mode
+    /// ranks identically, with no float-rounding tie hazards.
+    pub fn score(&self) -> u64 {
+        self.support - self.misses
+    }
+}
+
 /// The result of mining a database: the raw satisfied set and its minimal
 /// cover.
 #[derive(Debug, Clone)]
 pub struct Discovery {
     /// Every nontrivial dependency mined within the caps, sorted and
-    /// deduplicated.
+    /// deduplicated. Under a positive [`DiscoveryConfig::max_error`] this
+    /// includes the approximately satisfied dependencies; consult
+    /// [`Discovery::scored`] for which hold outright.
     pub raw: Vec<Dependency>,
-    /// The minimal cover: a subset of `raw` that still implies all of it,
-    /// and from which removing any member leaves a set that no longer
-    /// does (see [`minimize_cover`]).
+    /// The minimal cover: a subset of the *exactly* satisfied part of
+    /// `raw` that still implies all of it, and from which removing any
+    /// member leaves a set that no longer does (see [`minimize_cover`]).
+    /// Approximately satisfied dependencies neither enter the cover nor
+    /// prune it — implication over dirty premises is unsound.
     pub cover: Vec<Dependency>,
+    /// Error accounting, one entry per member of `raw` sorted by
+    /// dependency, when [`DiscoveryConfig::max_error`] is positive; empty
+    /// on exact runs.
+    pub scored: Vec<ScoredDependency>,
     /// Instrumentation.
     pub stats: DiscoveryStats,
     /// Spill-layer counters: all zero when the run stayed in memory.
@@ -208,6 +268,21 @@ pub struct Discovery {
     /// while `spill` describes *how* the run executed, which legitimately
     /// differs between a budgeted and an unbounded run.
     pub spill: SpillStats,
+}
+
+impl Discovery {
+    /// The scored set ranked most-trustworthy-mass first: descending
+    /// [`ScoredDependency::score`] (confidence × support, in integers),
+    /// ties broken by dependency order, truncated to `top_k` entries when
+    /// `top_k > 0`. Empty on exact runs.
+    pub fn ranked(&self, top_k: usize) -> Vec<ScoredDependency> {
+        let mut out = self.scored.clone();
+        out.sort_by(|a, b| b.score().cmp(&a.score()).then_with(|| a.dep.cmp(&b.dep)));
+        if top_k > 0 {
+            out.truncate(top_k);
+        }
+        out
+    }
 }
 
 /// Mine `db` with the default [`DiscoveryConfig`].
@@ -292,35 +367,99 @@ pub fn discover_store(
         .map(|dir| BudgetPlan::new(dir, config.memory_budget, columns.len()));
 
     let mut raw: Vec<Dependency> = Vec::new();
-    let unary = spider_unary(store, &columns, threads, plan.as_ref(), &mut spill)?;
-    for ind in mine_inds(
+    let mut scored: Vec<ScoredDependency> = Vec::new();
+    let streams = open_distinct_streams(store, &columns, threads, plan.as_ref(), &mut spill)?;
+    if config.max_error > 0.0 {
+        let unary = spider_merge_counting(streams, store, &columns, config.max_error);
+        for ind in mine_inds_scored(
+            schema,
+            store,
+            &columns,
+            &unary,
+            config,
+            threads,
+            NaryBackend::Local(plan.as_ref()),
+            &mut stats,
+            &mut scored,
+        )? {
+            raw.push(ind.into());
+        }
+    } else {
+        let unary = spider_merge(streams);
+        for ind in mine_inds(
+            schema,
+            store,
+            &columns,
+            &unary,
+            config,
+            threads,
+            plan.as_ref(),
+            &mut stats,
+        ) {
+            raw.push(ind.into());
+        }
+    }
+    stats.raw_inds = raw.len();
+    for fd in mine_fds(
         schema,
         store,
-        &columns,
-        &unary,
         config,
         threads,
         plan.as_ref(),
         &mut stats,
+        &mut scored,
     ) {
-        raw.push(ind.into());
-    }
-    stats.raw_inds = raw.len();
-    for fd in mine_fds(schema, store, config, threads, plan.as_ref(), &mut stats) {
         raw.push(fd.into());
     }
     stats.raw_fds = raw.len() - stats.raw_inds;
+    Ok(finish_discovery(raw, scored, config, stats, spill))
+}
+
+/// Shared tail of every discovery pipeline: canonicalize the raw set,
+/// minimize the cover, and assemble the [`Discovery`]. The cover is
+/// minimized over the **exactly** satisfied subset only — implication
+/// from premises that merely approximately hold is unsound (errors
+/// compound through derivation), so dirty dependencies stay in `raw` and
+/// `scored` but never enter the cover nor prune anything from it. With
+/// `max_error == 0` the exact subset is all of `raw` and the behaviour
+/// is byte-identical to the pre-approximate pipeline.
+fn finish_discovery(
+    mut raw: Vec<Dependency>,
+    mut scored: Vec<ScoredDependency>,
+    config: &DiscoveryConfig,
+    mut stats: DiscoveryStats,
+    spill: SpillStats,
+) -> Discovery {
     raw.sort();
     raw.dedup();
-
-    let cover = minimize_cover(&raw, config);
-    stats.pruned = raw.len() - cover.len();
-    Ok(Discovery {
+    scored.sort_by(|a, b| a.dep.cmp(&b.dep));
+    let (exact_len, cover) = if config.max_error > 0.0 {
+        let mut dirty: Vec<&Dependency> = scored
+            .iter()
+            .filter(|s| s.misses > 0)
+            .map(|s| &s.dep)
+            .collect();
+        dirty.sort();
+        dirty.dedup();
+        let clean: Vec<Dependency> = raw
+            .iter()
+            .filter(|d| dirty.binary_search(d).is_err())
+            .cloned()
+            .collect();
+        let cover = minimize_cover(&clean, config);
+        (clean.len(), cover)
+    } else {
+        let cover = minimize_cover(&raw, config);
+        (raw.len(), cover)
+    };
+    stats.pruned = exact_len - cover.len();
+    Discovery {
         raw,
         cover,
+        scored,
         stats,
         spill,
-    })
+    }
 }
 
 /// How a positive [`DiscoveryConfig::memory_budget`] is split across the
@@ -381,6 +520,16 @@ pub trait ShardExecutor {
     /// Exact satisfaction verdicts for a batch of nontrivial candidates,
     /// in batch order.
     fn validate_candidates(&mut self, cands: &[IndCand]) -> io::Result<Vec<bool>>;
+
+    /// Exact per-candidate miss counts (left rows whose projection is
+    /// absent on the right) for a batch of nontrivial candidates, in
+    /// batch order. The approximate pipeline's analogue of
+    /// [`ShardExecutor::validate_candidates`]: where boolean refutation
+    /// may stop at the first failing pass, counting must sum **every**
+    /// key-range pass — each projection key lands in exactly one pass
+    /// (`key_shard`), so the pass sums equal the unsharded scan and the
+    /// reported confidences match every other execution mode.
+    fn count_misses(&mut self, cands: &[IndCand]) -> io::Result<Vec<u64>>;
 }
 
 /// [`discover_store`] with the two data-parallel stages — column
@@ -430,37 +579,53 @@ pub fn discover_store_sharded(
             set, &dir, &mut spill,
         )?));
     }
-    let unary = spider_merge(streams);
 
     let mut raw: Vec<Dependency> = Vec::new();
-    for ind in mine_inds_with(
-        schema,
-        store,
-        &columns,
-        &unary,
-        config,
-        threads,
-        NaryBackend::Executor(exec),
-        &mut stats,
-    )? {
-        raw.push(ind.into());
+    let mut scored: Vec<ScoredDependency> = Vec::new();
+    if config.max_error > 0.0 {
+        let unary = spider_merge_counting(streams, store, &columns, config.max_error);
+        for ind in mine_inds_scored(
+            schema,
+            store,
+            &columns,
+            &unary,
+            config,
+            threads,
+            NaryBackend::Executor(exec),
+            &mut stats,
+            &mut scored,
+        )? {
+            raw.push(ind.into());
+        }
+    } else {
+        let unary = spider_merge(streams);
+        for ind in mine_inds_with(
+            schema,
+            store,
+            &columns,
+            &unary,
+            config,
+            threads,
+            NaryBackend::Executor(exec),
+            &mut stats,
+        )? {
+            raw.push(ind.into());
+        }
     }
     stats.raw_inds = raw.len();
-    for fd in mine_fds(schema, store, config, threads, plan.as_ref(), &mut stats) {
+    for fd in mine_fds(
+        schema,
+        store,
+        config,
+        threads,
+        plan.as_ref(),
+        &mut stats,
+        &mut scored,
+    ) {
         raw.push(fd.into());
     }
     stats.raw_fds = raw.len() - stats.raw_inds;
-    raw.sort();
-    raw.dedup();
-
-    let cover = minimize_cover(&raw, config);
-    stats.pruned = raw.len() - cover.len();
-    Ok(Discovery {
-        raw,
-        cover,
-        stats,
-        spill,
-    })
+    Ok(finish_discovery(raw, scored, config, stats, spill))
 }
 
 /// Worker-side profiling of one shard of the plan: publish the column's
@@ -525,6 +690,46 @@ pub fn refute_candidates_pass(
     }
     refuted.sort_unstable();
     refuted
+}
+
+/// Worker-side n-ary miss counting, the quantitative sibling of
+/// [`refute_candidates_pass`]: for each candidate, how many of its left
+/// rows on key-shard `pass` of `passes` have no matching right
+/// projection. Every projection key is examined by exactly one pass, so a
+/// coordinator *sums* the per-pass counts to obtain the exact unsharded
+/// miss count — the counting analogue of unioning refutations. Returns
+/// one count per candidate, in candidate order; trivial candidates count
+/// zero misses.
+pub fn count_candidate_misses_pass(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cands: &[IndCand],
+    pass: usize,
+    passes: usize,
+) -> Vec<u64> {
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut by_rhs: FastMap<Vec<usize>, usize> = FastMap::default();
+    for (i, cand) in cands.iter().enumerate() {
+        if cand.is_trivial() {
+            continue;
+        }
+        match by_rhs.get(cand.rhs.as_slice()) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                by_rhs.insert(cand.rhs.clone(), groups.len());
+                groups.push((cand.rhs.clone(), vec![i]));
+            }
+        }
+    }
+    let mut misses = vec![0u64; cands.len()];
+    let mut buf = Vec::new();
+    for (rhs, members) in &groups {
+        let shard = build_rhs_keys_shard(store, columns, rhs, pass, passes);
+        for &i in members {
+            misses[i] = ind_misses_shard(store, columns, &cands[i], &shard, pass, passes, &mut buf);
+        }
+    }
+    misses
 }
 
 /// Saturation caps for the pruning oracle. Cover minimization calls the
@@ -692,35 +897,19 @@ pub fn column_table(schema: &DatabaseSchema) -> Vec<(usize, usize)> {
 // Unary IND discovery (SPIDER over sorted-distinct column runs)
 // ---------------------------------------------------------------------------
 
-/// For each column, the columns whose value sets contain it (including
-/// itself): `result[c]` lists every `d` with `values(c) ⊆ values(d)`.
-///
-/// SPIDER proper, cursor-per-attribute: every column becomes a sorted
-/// distinct stream — the in-memory bitmap sweep under budget, a merge
-/// over spilled runs above it ([`ColumnStore::sorted_distinct_stream`],
-/// streams opened in parallel) — and one k-way merge pops all cursors
-/// sitting at the minimum value `v`. That popped group *is* the bit set
-/// of columns containing `v`, so each group member's candidate set is
-/// intersected with the group mask on the spot. No `occurs` table over
-/// the whole value domain and no materialized distinct vectors: resident
-/// state is the `ncols²`-bit candidate matrix plus one buffered cursor
-/// per column, regardless of data size. Every distinct value is touched
-/// at most once per column containing it, independent of how many rows
-/// repeat it — and values held by a *single* column (the bulk of any key
-/// column) collapse further: their candidate update is idempotent, so
-/// after the first such value the merge fast-forwards the cursor to the
-/// next other-column bound ([`DistinctStream::skip_below`] — one binary
-/// search on the resident backing) with no heap traffic at all. Empty
-/// columns never surface in the merge, so they keep every candidate —
-/// matching the vacuous-satisfaction semantics of
-/// [`depkit_core::satisfy::check_ind`].
-fn spider_unary(
+/// The stream-opening half of the unary SPIDER stage: every column as a
+/// sorted distinct stream — the in-memory bitmap sweep under budget, a
+/// merge over spilled runs above it
+/// ([`ColumnStore::sorted_distinct_stream`]) — opened in parallel. Shared
+/// by the exact merge ([`spider_merge`]) and the counting merge
+/// ([`spider_merge_counting`]) so both consume byte-identical inputs.
+fn open_distinct_streams(
     store: &ColumnStore,
     columns: &[(usize, usize)],
     threads: usize,
     plan: Option<&BudgetPlan>,
     spill: &mut SpillStats,
-) -> io::Result<Vec<Vec<usize>>> {
+) -> io::Result<Vec<DistinctStream>> {
     let ncols = columns.len();
     let made = pool::map_indexed(threads, ncols, |c| {
         let (rel, col) = columns[c];
@@ -740,12 +929,30 @@ fn spider_unary(
         spill.absorb(&stats);
         streams.push(stream);
     }
-    Ok(spider_merge(streams))
+    Ok(streams)
 }
 
-/// The merge half of [`spider_unary`], over any set of sorted distinct
-/// streams — the local pipeline feeds it streams it opened itself;
-/// the sharded pipeline ([`discover_store_sharded`]) feeds it merges over
+/// SPIDER proper, cursor-per-attribute, over any set of sorted distinct
+/// streams: for each column, compute the columns whose value sets contain
+/// it — `result[c]` lists every `d` with `values(c) ⊆ values(d)`. One
+/// k-way merge pops all cursors sitting at the minimum value `v`; that
+/// popped group *is* the bit set of columns containing `v`, so each group
+/// member's candidate set is intersected with the group mask on the spot.
+/// No `occurs` table over the whole value domain and no materialized
+/// distinct vectors: resident state is the `ncols²`-bit candidate matrix
+/// plus one buffered cursor per column, regardless of data size. Every
+/// distinct value is touched at most once per column containing it,
+/// independent of how many rows repeat it — and values held by a *single*
+/// column (the bulk of any key column) collapse further: their candidate
+/// update is idempotent, so after the first such value the merge
+/// fast-forwards the cursor to the next other-column bound
+/// ([`DistinctStream::skip_below`] — one binary search on the resident
+/// backing) with no heap traffic at all. Empty columns never surface in
+/// the merge, so they keep every candidate — matching the
+/// vacuous-satisfaction semantics of [`depkit_core::satisfy::check_ind`].
+///
+/// The local pipeline feeds it streams it opened itself; the sharded
+/// pipeline ([`discover_store_sharded`]) feeds it merges over
 /// worker-published runs. Identical streams in, identical candidate sets
 /// out: this shared loop is what makes `sharded == local` an equality of
 /// code paths rather than of luck.
@@ -816,6 +1023,91 @@ fn spider_merge(mut streams: Vec<DistinctStream>) -> Vec<Vec<usize>> {
             let bits = &cand[c * blocks..(c + 1) * blocks];
             (0..ncols)
                 .filter(|d| bits[d / 64] & (1 << (d % 64)) != 0)
+                .collect()
+        })
+        .collect()
+}
+
+/// The counting sibling of [`spider_merge`]: the same cursor-per-attribute
+/// k-way merge, but instead of intersecting candidate bit sets it
+/// accumulates, for every ordered column pair `(c, d)`, the number of
+/// **rows** of `c` whose value is absent from `d` — the row-based miss
+/// measure behind approximate unary INDs. When the merge pops value `v`
+/// with group `G` (the columns containing `v`), each `c ∈ G` contributes
+/// its frequency of `v` to `misses[c][d]` for every `d ∉ G`; summed over
+/// all values this is exactly `|{rows of c : value ∉ d}|`. Row
+/// frequencies come from a dense `distinct × ncols` table built by one
+/// scan per column — resident state the exact merge never needs, which is
+/// why the exact path keeps its own merge (and its sole-value
+/// fast-forward, unusable here because skipped values still carry miss
+/// weight). Per column `c`, returns the pairs `(d, misses)` kept by the
+/// tolerance — `misses ≤ max_error × rows(c)` — always including the
+/// zero-miss self pair. Empty columns surface nowhere in the merge, so
+/// they keep every candidate at zero misses, matching vacuous
+/// satisfaction. The output is a pure function of the streams and the
+/// store: identical across threads, budgets, and sharded profiling.
+fn spider_merge_counting(
+    mut streams: Vec<DistinctStream>,
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    max_error: f64,
+) -> Vec<Vec<(usize, u64)>> {
+    let ncols = streams.len();
+    let nvals = store.distinct_values();
+    let mut freq = vec![0u32; nvals * ncols];
+    for (c, &(rel, col)) in columns.iter().enumerate() {
+        for &v in store.relation(rel).column(col) {
+            freq[v as usize * ncols + c] += 1;
+        }
+    }
+    let mut misses = vec![0u64; ncols * ncols];
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::with_capacity(ncols);
+    for (c, stream) in streams.iter_mut().enumerate() {
+        if let Some(v) = stream.next() {
+            heap.push(Reverse((v, c)));
+        }
+    }
+    let mut group: Vec<usize> = Vec::with_capacity(ncols);
+    let mut in_group = vec![false; ncols];
+    while let Some(Reverse((v, c))) = heap.pop() {
+        group.clear();
+        group.push(c);
+        if let Some(n) = streams[c].next() {
+            heap.push(Reverse((n, c)));
+        }
+        while let Some(&Reverse((v2, c2))) = heap.peek() {
+            if v2 != v {
+                break;
+            }
+            heap.pop();
+            group.push(c2);
+            if let Some(n) = streams[c2].next() {
+                heap.push(Reverse((n, c2)));
+            }
+        }
+        for &c in &group {
+            in_group[c] = true;
+        }
+        for &c in &group {
+            let f = u64::from(freq[v as usize * ncols + c]);
+            for (d, row) in misses[c * ncols..(c + 1) * ncols].iter_mut().enumerate() {
+                if !in_group[d] {
+                    *row += f;
+                }
+            }
+        }
+        for &c in &group {
+            in_group[c] = false;
+        }
+    }
+    (0..ncols)
+        .map(|c| {
+            let rows = store.relation(columns[c].0).row_count() as f64;
+            (0..ncols)
+                .filter_map(|d| {
+                    let m = misses[c * ncols + d];
+                    (m as f64 <= max_error * rows).then_some((d, m))
+                })
                 .collect()
         })
         .collect()
@@ -1036,6 +1328,160 @@ fn mine_inds_with(
     Ok(out)
 }
 
+/// The approximate sibling of [`mine_inds_with`]: identical composition
+/// loop, but every candidate is *counted* rather than refuted — its exact
+/// miss count (left rows with no matching right projection) decides
+/// whether it survives the tolerance, and every survivor is recorded in
+/// `scored` with its misses and support. Kept as a separate function
+/// rather than a mode flag so the exact loop stays byte-identical and
+/// boolean early-exit validation keeps its speed.
+///
+/// Composition over approximate bases is sound a-priori-style: a
+/// projection of an IND can only miss on rows where the full tuple also
+/// misses, so `misses(projection) ≤ misses(full)` and every candidate
+/// within tolerance arises from bases within tolerance. Trivial
+/// candidates stay zero-miss composition bases, exactly as in the exact
+/// loop.
+#[allow(clippy::too_many_arguments)]
+fn mine_inds_scored(
+    schema: &DatabaseSchema,
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    unary: &[Vec<(usize, u64)>],
+    config: &DiscoveryConfig,
+    threads: usize,
+    mut backend: NaryBackend,
+    stats: &mut DiscoveryStats,
+    scored: &mut Vec<ScoredDependency>,
+) -> io::Result<Vec<Ind>> {
+    let mut out = Vec::new();
+    let mut level: Vec<IndCand> = Vec::new();
+    let mut by_pair: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for (c, supersets) in unary.iter().enumerate() {
+        let support = store.relation(columns[c].0).row_count() as u64;
+        for &(d, miss) in supersets {
+            let cand = IndCand {
+                lrel: columns[c].0,
+                rrel: columns[d].0,
+                lhs: vec![c],
+                rhs: vec![d],
+            };
+            if !cand.is_trivial() {
+                let ind = to_ind(schema, columns, &cand);
+                scored.push(ScoredDependency {
+                    dep: ind.clone().into(),
+                    misses: miss,
+                    support,
+                });
+                out.push(ind);
+            }
+            by_pair
+                .entry((cand.lrel, cand.rrel))
+                .or_default()
+                .push((c, d));
+            level.push(cand);
+        }
+    }
+    let mut rhs_sets: FastMap<Vec<usize>, KeySet> = FastMap::default();
+    for _arity in 2..=config.max_ind_arity {
+        let mut cands: Vec<IndCand> = Vec::new();
+        for base in &level {
+            let Some(extensions) = by_pair.get(&(base.lrel, base.rrel)) else {
+                continue;
+            };
+            for &(a, b) in extensions {
+                if a <= *base.lhs.last().expect("bases are nonempty") || base.rhs.contains(&b) {
+                    continue;
+                }
+                cands.push(IndCand {
+                    lrel: base.lrel,
+                    rrel: base.rrel,
+                    lhs: base.lhs.iter().copied().chain([a]).collect(),
+                    rhs: base.rhs.iter().copied().chain([b]).collect(),
+                });
+            }
+        }
+        if cands.is_empty() {
+            break;
+        }
+        let misses: Vec<u64> = match &mut backend {
+            NaryBackend::Local(Some(plan)) => {
+                count_misses_sharded(store, columns, &cands, plan, threads)
+            }
+            NaryBackend::Local(None) => {
+                let mut missing: Vec<Vec<usize>> = Vec::new();
+                let mut queued: FastSet<Vec<usize>> = FastSet::default();
+                for cand in &cands {
+                    if !cand.is_trivial()
+                        && !rhs_sets.contains_key(cand.rhs.as_slice())
+                        && !queued.contains(cand.rhs.as_slice())
+                    {
+                        queued.insert(cand.rhs.clone());
+                        missing.push(cand.rhs.clone());
+                    }
+                }
+                let built = pool::map_indexed(threads, missing.len(), |i| {
+                    build_rhs_keys(store, columns, &missing[i])
+                });
+                for (cols, set) in missing.into_iter().zip(built) {
+                    rhs_sets.insert(cols, set);
+                }
+                pool::map_indexed_with(threads, cands.len(), Vec::new, |buf, i| {
+                    let cand = &cands[i];
+                    if cand.is_trivial() {
+                        0
+                    } else {
+                        ind_misses(store, columns, cand, &rhs_sets, buf)
+                    }
+                })
+            }
+            NaryBackend::Executor(exec) => {
+                let shipped: Vec<usize> = (0..cands.len())
+                    .filter(|&i| !cands[i].is_trivial())
+                    .collect();
+                let batch: Vec<IndCand> = shipped.iter().map(|&i| cands[i].clone()).collect();
+                let counts = exec.count_misses(&batch)?;
+                if counts.len() != batch.len() {
+                    return Err(io::Error::other(format!(
+                        "shard executor returned {} miss counts for {} candidates",
+                        counts.len(),
+                        batch.len()
+                    )));
+                }
+                let mut misses = vec![0u64; cands.len()];
+                for (&i, m) in shipped.iter().zip(counts) {
+                    misses[i] = m;
+                }
+                misses
+            }
+        };
+        let mut next = Vec::new();
+        for (cand, miss) in cands.into_iter().zip(misses) {
+            if !cand.is_trivial() {
+                stats.ind_candidates += 1;
+            }
+            let support = store.relation(cand.lrel).row_count() as u64;
+            if miss as f64 <= config.max_error * support as f64 {
+                if !cand.is_trivial() {
+                    let ind = to_ind(schema, columns, &cand);
+                    scored.push(ScoredDependency {
+                        dep: ind.clone().into(),
+                        misses: miss,
+                        support,
+                    });
+                    out.push(ind);
+                }
+                next.push(cand);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    Ok(out)
+}
+
 /// Materialize the distinct right-side projections of one global-column
 /// set as a word-packed [`KeySet`].
 fn build_rhs_keys(store: &ColumnStore, columns: &[(usize, usize)], rhs: &[usize]) -> KeySet {
@@ -1073,6 +1519,30 @@ fn ind_holds(
         }
     }
     true
+}
+
+/// Count a candidate's misses: left rows whose projection is absent from
+/// the right key set. [`ind_holds`] without the early return — the full
+/// scan is the price of the exact count.
+fn ind_misses(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cand: &IndCand,
+    rhs_sets: &FastMap<Vec<usize>, KeySet>,
+    buf: &mut Vec<u32>,
+) -> u64 {
+    let keys = &rhs_sets[cand.rhs.as_slice()];
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(cand.lrel);
+    let cursor = ColumnCursor::new(rel, &lcols);
+    let mut misses = 0u64;
+    for r in 0..rel.row_count() {
+        cursor.fill(r, buf);
+        if !keys.contains(buf) {
+            misses += 1;
+        }
+    }
+    misses
 }
 
 /// Hard cap on [`key_shard`] passes per right side. The pass count is
@@ -1167,6 +1637,55 @@ fn validate_sharded(
     ok
 }
 
+/// Memory-budgeted miss counting: [`validate_sharded`]'s pass structure
+/// with the boolean verdicts replaced by per-pass miss sums. Two
+/// deliberate differences: there is **no** early break — a candidate
+/// already over tolerance still needs its exact count, and every
+/// projection key lands in exactly one [`key_shard`] pass, so only the
+/// full pass sum equals the unsharded [`ind_misses`] scan; and trivial
+/// candidates count zero without scanning. The per-pass shard sets obey
+/// the same budget share as boolean validation.
+fn count_misses_sharded(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cands: &[IndCand],
+    plan: &BudgetPlan,
+    threads: usize,
+) -> Vec<u64> {
+    let mut misses = vec![0u64; cands.len()];
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut by_rhs: FastMap<Vec<usize>, usize> = FastMap::default();
+    for (i, cand) in cands.iter().enumerate() {
+        if cand.is_trivial() {
+            continue;
+        }
+        match by_rhs.get(cand.rhs.as_slice()) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                by_rhs.insert(cand.rhs.clone(), groups.len());
+                groups.push((cand.rhs.clone(), vec![i]));
+            }
+        }
+    }
+    for (rhs, members) in &groups {
+        let rrel = columns[rhs[0]].0;
+        let rows = store.relation(rrel).row_count();
+        let passes = keyset_bytes_estimate(rows, rhs.len())
+            .div_ceil(plan.keyset_share)
+            .clamp(1, MAX_KEY_PASSES);
+        for pass in 0..passes {
+            let shard = build_rhs_keys_shard(store, columns, rhs, pass, passes);
+            let counts = pool::map_subset_with(threads, members, Vec::new, |buf, i| {
+                ind_misses_shard(store, columns, &cands[i], &shard, pass, passes, buf)
+            });
+            for (&i, m) in members.iter().zip(counts) {
+                misses[i] += m;
+            }
+        }
+    }
+    misses
+}
+
 /// The shard-`pass` subset of [`build_rhs_keys`]: only right keys whose
 /// [`key_shard`] is `pass` enter the set.
 fn build_rhs_keys_shard(
@@ -1215,6 +1734,33 @@ fn ind_holds_shard(
     true
 }
 
+/// The counting slice of [`ind_misses`]: misses among the left rows whose
+/// projection key falls on shard `pass`. Summed over all passes this is
+/// the exact unsharded miss count, because [`key_shard`] assigns every
+/// key to exactly one pass.
+#[allow(clippy::too_many_arguments)]
+fn ind_misses_shard(
+    store: &ColumnStore,
+    columns: &[(usize, usize)],
+    cand: &IndCand,
+    shard: &KeySet,
+    pass: usize,
+    passes: usize,
+    buf: &mut Vec<u32>,
+) -> u64 {
+    let lcols: Vec<usize> = cand.lhs.iter().map(|&c| columns[c].1).collect();
+    let rel = store.relation(cand.lrel);
+    let cursor = ColumnCursor::new(rel, &lcols);
+    let mut misses = 0u64;
+    for r in 0..rel.row_count() {
+        cursor.fill(r, buf);
+        if key_shard(buf, passes) == pass && !shard.contains(buf) {
+            misses += 1;
+        }
+    }
+    misses
+}
+
 /// Resolve a candidate's global column ids back to a string-typed [`Ind`].
 fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -> Ind {
     let lhs_scheme = &schema.schemes()[cand.lrel];
@@ -1239,11 +1785,12 @@ fn to_ind(schema: &DatabaseSchema, columns: &[(usize, usize)], cand: &IndCand) -
 type Partition = Vec<Vec<u32>>;
 
 /// What one lattice node contributes: how many `(X, A)` pairs it checked,
-/// which right-hand columns `X` determines, and its refined children.
+/// which right-hand columns `X` determines — each with its g3 error,
+/// always `0` in exact mode — and its refined children.
 #[derive(Default)]
 struct NodeResult {
     checked: usize,
-    determined_cols: Vec<usize>,
+    determined_cols: Vec<(usize, u64)>,
     children: Vec<(Vec<usize>, Partition)>,
 }
 
@@ -1253,6 +1800,15 @@ struct NodeResult {
 /// refined partitions (the in-memory mode); without it, children carry
 /// the left side only and the next level recomputes partitions via
 /// [`recompute_partition`] (the memory-budgeted mode).
+///
+/// `g3_budget` is `None` in exact mode ([`Refiner::determines`], with its
+/// first-disagreement early exit) and `Some(max_error × rows)` in
+/// approximate mode, where a column is "determined" when its
+/// [`Refiner::g3_error`] fits the budget. g3 is monotone non-increasing
+/// as `X` grows, so both minimality pruning (a subset within budget makes
+/// every superset within budget, hence non-minimal) and the superkey
+/// prune (an empty stripped partition has g3 = 0 everywhere) remain valid
+/// at any threshold.
 #[allow(clippy::too_many_arguments)]
 fn check_fd_node(
     rel: &RelationColumns,
@@ -1263,6 +1819,7 @@ fn check_fd_node(
     refiner: &mut Refiner,
     last_level: bool,
     carry: bool,
+    g3_budget: Option<f64>,
 ) -> NodeResult {
     let determined = |c: usize| {
         found
@@ -1284,8 +1841,18 @@ fn check_fd_node(
         ..NodeResult::default()
     };
     for &c in &rhs {
-        if Refiner::determines(partition, rel.column(c)) {
-            node.determined_cols.push(c);
+        match g3_budget {
+            None => {
+                if Refiner::determines(partition, rel.column(c)) {
+                    node.determined_cols.push((c, 0));
+                }
+            }
+            Some(budget) => {
+                let err = Refiner::g3_error(partition, rel.column(c));
+                if err as f64 <= budget {
+                    node.determined_cols.push((c, err));
+                }
+            }
         }
     }
     // Superkey prune: with no class of size ≥ 2 left, X determines
@@ -1297,7 +1864,7 @@ fn check_fd_node(
     for c in start..arity {
         // A column determined by a subset of X (or by X itself, just
         // established) can never sit in a minimal left side extending X.
-        if node.determined_cols.contains(&c) || determined(c) {
+        if node.determined_cols.iter().any(|&(d, _)| d == c) || determined(c) {
             continue;
         }
         let mut extended = lhs.to_vec();
@@ -1365,6 +1932,7 @@ fn mine_fds(
     threads: usize,
     plan: Option<&BudgetPlan>,
     stats: &mut DiscoveryStats,
+    scored: &mut Vec<ScoredDependency>,
 ) -> Vec<Fd> {
     let mut out = Vec::new();
     let nvals = store.distinct_values();
@@ -1372,6 +1940,9 @@ fn mine_fds(
         let rel = store.relation(ri);
         let arity = scheme.arity();
         let rows = rel.row_count();
+        // Approximate mode: a column is determined when its g3 error fits
+        // `max_error` of the relation's rows; each find is scored below.
+        let g3_budget = (config.max_error > 0.0).then_some(config.max_error * rows as f64);
         // External when even one partition per attribute would overrun
         // the share — a deterministic function of the data shape.
         let external = plan.is_some_and(|p| 4 * rows * arity > p.fd_share);
@@ -1405,6 +1976,7 @@ fn mine_fds(
                     refiner,
                     size == config.max_fd_lhs,
                     !external,
+                    g3_budget,
                 )
             };
             let results: Vec<NodeResult> = if !external {
@@ -1436,13 +2008,21 @@ fn mine_fds(
             for (i, node) in results.into_iter().enumerate() {
                 let lhs = &level[i].0;
                 stats.fd_candidates += node.checked;
-                for c in node.determined_cols {
+                for (c, err) in node.determined_cols {
                     found.push((lhs.clone(), c));
-                    out.push(Fd::new(
+                    let fd = Fd::new(
                         scheme.name().clone(),
                         scheme.attrs().select(lhs).expect("distinct columns"),
                         scheme.attrs().select(&[c]).expect("single column"),
-                    ));
+                    );
+                    if config.max_error > 0.0 {
+                        scored.push(ScoredDependency {
+                            dep: fd.clone().into(),
+                            misses: err,
+                            support: rows as u64,
+                        });
+                    }
+                    out.push(fd);
                 }
                 next.extend(node.children);
             }
@@ -1494,9 +2074,12 @@ pub fn discover_reference(db: &Database, config: &DiscoveryConfig) -> Discovery 
 
     let cover = minimize_cover(&raw, config);
     stats.pruned = raw.len() - cover.len();
+    // The reference engine is exact-only: it specifies the zero-tolerance
+    // semantics, and `columnar_vs_rows` compares it against exact runs.
     Discovery {
         raw,
         cover,
+        scored: Vec::new(),
         stats,
         spill: SpillStats::default(),
     }
@@ -1997,6 +2580,19 @@ mod tests {
             }
             Ok(ok)
         }
+
+        fn count_misses(&mut self, cands: &[IndCand]) -> io::Result<Vec<u64>> {
+            let columns = column_table(self.schema);
+            let mut misses = vec![0u64; cands.len()];
+            for pass in 0..self.passes {
+                let counts =
+                    count_candidate_misses_pass(self.store, &columns, cands, pass, self.passes);
+                for (sum, m) in misses.iter_mut().zip(counts) {
+                    *sum += m;
+                }
+            }
+            Ok(misses)
+        }
     }
 
     #[test]
@@ -2060,5 +2656,217 @@ mod tests {
         assert_eq!(found.stats.distinct_values, 2);
         assert_eq!(found.stats.raw_fds + found.stats.raw_inds, found.raw.len());
         assert_eq!(found.stats.pruned, found.raw.len() - found.cover.len());
+    }
+
+    /// A small dirty database: one of R's ten A-values is junk (absent
+    /// from S.B), and one of R's four C-rows breaks A → C.
+    fn dirty_db() -> Database {
+        let schema = DatabaseSchema::parse(&["R(A, C)", "S(B)"]).unwrap();
+        let mut db = Database::empty(schema);
+        // A: 1..=9 plus the junk 99; C: constant 7 except row 9.
+        for a in 1..=9i64 {
+            db.insert_ints("R", &[&[a, 7]]).unwrap();
+        }
+        db.insert_ints("R", &[&[99, 8]]).unwrap();
+        for b in 1..=9i64 {
+            db.insert_ints("S", &[&[b]]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn zero_tolerance_is_byte_identical_to_exact_discovery() {
+        let db = dirty_db();
+        let exact = discover(&db);
+        let store = ColumnStore::new(&db);
+        for threads in [1usize, 3] {
+            for budget in [0usize, 1] {
+                let run = discover_with_config(
+                    &db,
+                    &DiscoveryConfig {
+                        max_error: 0.0,
+                        threads,
+                        memory_budget: budget,
+                        ..DiscoveryConfig::default()
+                    },
+                );
+                assert_eq!(exact.raw, run.raw, "threads {threads}, budget {budget}");
+                assert_eq!(exact.cover, run.cover);
+                assert_eq!(exact.stats, run.stats);
+                assert!(run.scored.is_empty(), "exact runs score nothing");
+            }
+        }
+        let mut exec = InlineExec {
+            schema: db.schema(),
+            store: &store,
+            dir: SpillDir::create_in(&std::env::temp_dir().join("depkit-approx-tests")).unwrap(),
+            passes: 3,
+            chunk_ids: 16,
+        };
+        let config = DiscoveryConfig {
+            max_error: 0.0,
+            ..DiscoveryConfig::default()
+        };
+        let sharded = discover_store_sharded(db.schema(), &store, &config, &mut exec).unwrap();
+        assert_eq!(exact.raw, sharded.raw);
+        assert_eq!(exact.cover, sharded.cover);
+        assert_eq!(exact.stats, sharded.stats);
+        assert!(sharded.scored.is_empty());
+    }
+
+    #[test]
+    fn approximate_discovery_scores_planted_dirt() {
+        let db = dirty_db();
+        let config = DiscoveryConfig {
+            max_error: 0.15,
+            ..DiscoveryConfig::default()
+        };
+        let found = discover_with_config(&db, &config);
+        // R[A] ⊆ S[B] misses exactly the junk row: confidence 9/10.
+        let ind = found
+            .scored
+            .iter()
+            .find(|s| s.dep == dep("R[A] <= S[B]"))
+            .expect("dirty IND is mined at 15% tolerance");
+        assert_eq!((ind.misses, ind.support), (1, 10));
+        assert!((ind.confidence() - 0.9).abs() < 1e-12);
+        // The constant-ish C column: `-> C` has g3 error 1 (nine 7s, one 8).
+        let fd = found
+            .scored
+            .iter()
+            .find(|s| s.dep == dep("R: -> C"))
+            .expect("nearly-constant column is mined at 15% tolerance");
+        assert_eq!((fd.misses, fd.support), (1, 10));
+        // Dirty dependencies are in `raw` but never in the exact cover.
+        assert!(found.raw.contains(&dep("R[A] <= S[B]")));
+        assert!(!found.cover.contains(&dep("R[A] <= S[B]")));
+        assert!(!found.cover.contains(&dep("R: -> C")));
+        // `scored` is parallel to `raw`: same members, sorted by dependency.
+        let scored_deps: Vec<&Dependency> = found.scored.iter().map(|s| &s.dep).collect();
+        let raw_refs: Vec<&Dependency> = found.raw.iter().collect();
+        assert_eq!(scored_deps, raw_refs);
+        // Below the dirt level the junk candidates disappear again.
+        let strict = discover_with_config(
+            &db,
+            &DiscoveryConfig {
+                max_error: 0.05,
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert!(!strict.raw.contains(&dep("R[A] <= S[B]")));
+        assert!(strict.scored.iter().all(|s| s.misses == 0));
+    }
+
+    #[test]
+    fn approximate_nary_inds_compose_over_dirty_bases() {
+        // R's pairs miss S's on one of three rows; both unary projections
+        // are within tolerance, so the binary candidate composes and its
+        // miss count is exact.
+        let db = db(
+            &["R(A, B)", "S(A, B)"],
+            &[
+                ("R", &[1, 10]),
+                ("R", &[2, 20]),
+                ("R", &[3, 31]),
+                ("S", &[1, 10]),
+                ("S", &[2, 20]),
+                ("S", &[3, 30]),
+                ("S", &[4, 40]),
+            ],
+        );
+        let config = DiscoveryConfig {
+            max_error: 0.34,
+            ..DiscoveryConfig::default()
+        };
+        let found = discover_with_config(&db, &config);
+        let binary = found
+            .scored
+            .iter()
+            .find(|s| s.dep == dep("R[A, B] <= S[A, B]"))
+            .expect("dirty binary IND composes");
+        assert_eq!((binary.misses, binary.support), (1, 3));
+    }
+
+    #[test]
+    fn approximate_confidences_are_identical_across_modes() {
+        let mut rng = Rng::new(0xA11D);
+        for round in 0..4 {
+            let schema = random_schema(
+                &mut rng,
+                &SchemaConfig {
+                    relations: 2,
+                    min_arity: 1,
+                    max_arity: 3,
+                },
+            );
+            let db = random_database(&mut rng, &schema, 10, 3);
+            let config = DiscoveryConfig {
+                max_error: 0.25,
+                threads: 1,
+                ..DiscoveryConfig::default()
+            };
+            let baseline = discover_with_config(&db, &config);
+            for (threads, budget) in [(3usize, 0usize), (1, 1), (3, 64)] {
+                let run = discover_with_config(
+                    &db,
+                    &DiscoveryConfig {
+                        threads,
+                        memory_budget: budget,
+                        ..config.clone()
+                    },
+                );
+                assert_eq!(
+                    baseline.scored, run.scored,
+                    "scored mismatch: round {round}, threads {threads}, budget {budget}"
+                );
+                assert_eq!(baseline.raw, run.raw);
+                assert_eq!(baseline.cover, run.cover);
+                assert_eq!(baseline.stats, run.stats);
+            }
+            let store = ColumnStore::new(&db);
+            for passes in [1usize, 3, 8] {
+                let mut exec = InlineExec {
+                    schema: db.schema(),
+                    store: &store,
+                    dir: SpillDir::create_in(&std::env::temp_dir().join("depkit-approx-tests"))
+                        .unwrap(),
+                    passes,
+                    chunk_ids: 16,
+                };
+                let sharded =
+                    discover_store_sharded(db.schema(), &store, &config, &mut exec).unwrap();
+                assert_eq!(
+                    baseline.scored, sharded.scored,
+                    "scored mismatch: round {round}, sharded passes {passes}"
+                );
+                assert_eq!(baseline.raw, sharded.raw);
+                assert_eq!(baseline.cover, sharded.cover);
+                assert_eq!(baseline.stats, sharded.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_orders_by_score_then_dependency_and_truncates() {
+        let db = dirty_db();
+        let config = DiscoveryConfig {
+            max_error: 0.15,
+            ..DiscoveryConfig::default()
+        };
+        let found = discover_with_config(&db, &config);
+        let ranked = found.ranked(0);
+        assert_eq!(ranked.len(), found.scored.len());
+        for pair in ranked.windows(2) {
+            assert!(
+                pair[0].score() > pair[1].score()
+                    || (pair[0].score() == pair[1].score() && pair[0].dep < pair[1].dep),
+                "ranked order violated: {} before {}",
+                pair[0].dep,
+                pair[1].dep
+            );
+        }
+        let top = found.ranked(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top, ranked[..3].to_vec());
     }
 }

@@ -136,6 +136,16 @@ struct MutState {
     /// [`Snapshot::is_consistent`] is `O(log)` and
     /// [`Session::is_consistent`] is `O(delta)`, never a key-space scan.
     viol_count: GenValue,
+    /// Per-dependency violating-key history, indexed by position in Σ —
+    /// the same transitions that feed `viol_count`, split out so
+    /// [`Snapshot::health`] answers per-dependency satisfaction without a
+    /// key-space scan.
+    dep_viol: Vec<GenValue>,
+    /// Per-dependency tracked-key history, indexed by position in Σ: for
+    /// an FD the number of live distinct LHS groups, for an IND the
+    /// number of live distinct left-side projections. `violating /
+    /// tracked` is the unsatisfied fraction at any pinned generation.
+    dep_keys: Vec<GenValue>,
     /// Commits since the last automatic vacuum.
     commits: u64,
     /// Reusable projection-key buffer for the write path (no per-op
@@ -190,6 +200,13 @@ impl Inner {
         Ok(id.index())
     }
 
+    /// The sorted set of generations live snapshots currently pin —
+    /// exactly what sparse pruning must keep observable.
+    fn pinned_gens(&self) -> Vec<u64> {
+        let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        pins.keys().copied().collect()
+    }
+
     /// Register one more snapshot of `gen` and lower the watermark to it.
     /// Caller must hold the read (or write) lock so no commit can advance
     /// the generation — and prune up to it — between choosing `gen` and
@@ -241,28 +258,38 @@ impl Inner {
             key.extend(f.lhs_cols.iter().map(|&c| row[c]));
             let split = key.len();
             key.extend(f.rhs_cols.iter().map(|&c| row[c]));
-            if st.fd_pairs[fi as usize].remove(&key, gen, w) == 0
-                && st.fd_distinct[fi as usize].remove(&key[..split], gen, w) == 1
-            {
-                dv -= 1; // the LHS group dropped from 2 distinct RHS to 1
+            if st.fd_pairs[fi as usize].remove(&key, gen, w) == 0 {
+                match st.fd_distinct[fi as usize].remove(&key[..split], gen, w) {
+                    0 => bump_gen(&mut st.dep_keys[f.dep], -1, gen, w), // group gone
+                    1 => {
+                        dv -= 1; // the LHS group dropped from 2 distinct RHS to 1
+                        bump_gen(&mut st.dep_viol[f.dep], -1, gen, w);
+                    }
+                    _ => {}
+                }
             }
         }
         for &ii in &self.ind_left_watch[r] {
+            let i = &self.inds[ii as usize];
             key.clear();
-            key.extend(self.inds[ii as usize].lhs_cols.iter().map(|&c| row[c]));
-            if st.ind_left[ii as usize].remove(&key, gen, w) == 0
-                && st.ind_right[ii as usize].latest(&key) == 0
-            {
-                dv -= 1; // the last dangling left occurrence is gone
+            key.extend(i.lhs_cols.iter().map(|&c| row[c]));
+            if st.ind_left[ii as usize].remove(&key, gen, w) == 0 {
+                bump_gen(&mut st.dep_keys[i.dep], -1, gen, w); // left key gone
+                if st.ind_right[ii as usize].latest(&key) == 0 {
+                    dv -= 1; // the last dangling left occurrence is gone
+                    bump_gen(&mut st.dep_viol[i.dep], -1, gen, w);
+                }
             }
         }
         for &ii in &self.ind_right_watch[r] {
+            let i = &self.inds[ii as usize];
             key.clear();
-            key.extend(self.inds[ii as usize].rhs_cols.iter().map(|&c| row[c]));
+            key.extend(i.rhs_cols.iter().map(|&c| row[c]));
             if st.ind_right[ii as usize].remove(&key, gen, w) == 0
                 && st.ind_left[ii as usize].latest(&key) > 0
             {
                 dv += 1; // left occurrences just lost their last witness
+                bump_gen(&mut st.dep_viol[i.dep], 1, gen, w);
             }
         }
         st.scratch = key;
@@ -296,28 +323,38 @@ impl Inner {
             key.extend(f.lhs_cols.iter().map(|&c| row[c]));
             let split = key.len();
             key.extend(f.rhs_cols.iter().map(|&c| row[c]));
-            if st.fd_pairs[fi as usize].add(&key, gen, w) == 1
-                && st.fd_distinct[fi as usize].add(&key[..split], gen, w) == 2
-            {
-                dv += 1; // the LHS group just reached 2 distinct RHS
+            if st.fd_pairs[fi as usize].add(&key, gen, w) == 1 {
+                match st.fd_distinct[fi as usize].add(&key[..split], gen, w) {
+                    1 => bump_gen(&mut st.dep_keys[f.dep], 1, gen, w), // fresh group
+                    2 => {
+                        dv += 1; // the LHS group just reached 2 distinct RHS
+                        bump_gen(&mut st.dep_viol[f.dep], 1, gen, w);
+                    }
+                    _ => {}
+                }
             }
         }
         for &ii in &self.ind_left_watch[r] {
+            let i = &self.inds[ii as usize];
             key.clear();
-            key.extend(self.inds[ii as usize].lhs_cols.iter().map(|&c| row[c]));
-            if st.ind_left[ii as usize].add(&key, gen, w) == 1
-                && st.ind_right[ii as usize].latest(&key) == 0
-            {
-                dv += 1; // a fresh left occurrence with no witness
+            key.extend(i.lhs_cols.iter().map(|&c| row[c]));
+            if st.ind_left[ii as usize].add(&key, gen, w) == 1 {
+                bump_gen(&mut st.dep_keys[i.dep], 1, gen, w); // fresh left key
+                if st.ind_right[ii as usize].latest(&key) == 0 {
+                    dv += 1; // a fresh left occurrence with no witness
+                    bump_gen(&mut st.dep_viol[i.dep], 1, gen, w);
+                }
             }
         }
         for &ii in &self.ind_right_watch[r] {
+            let i = &self.inds[ii as usize];
             key.clear();
-            key.extend(self.inds[ii as usize].rhs_cols.iter().map(|&c| row[c]));
+            key.extend(i.rhs_cols.iter().map(|&c| row[c]));
             if st.ind_right[ii as usize].add(&key, gen, w) == 1
                 && st.ind_left[ii as usize].latest(&key) > 0
             {
                 dv -= 1; // dangling left occurrences just got a witness
+                bump_gen(&mut st.dep_viol[i.dep], -1, gen, w);
             }
         }
         st.scratch = key;
@@ -589,12 +626,49 @@ fn project(row: &[u32], cols: &[usize]) -> Vec<u32> {
     cols.iter().map(|&c| row[c]).collect()
 }
 
+/// Stamp a net change of `dv` onto one generation-stamped counter.
+fn bump_gen(g: &mut GenValue, dv: i64, gen: u64, w: u64) {
+    if dv != 0 {
+        let c = i64::from(g.latest()) + dv;
+        debug_assert!(c >= 0, "generation counter went negative");
+        g.set(gen, c.max(0) as u32, w);
+    }
+}
+
 /// Stamp a net change of `dv` violating keys at `gen`.
 fn bump_viol_count(st: &mut MutState, dv: i64, gen: u64, w: u64) {
-    if dv != 0 {
-        let c = i64::from(st.viol_count.latest()) + dv;
-        debug_assert!(c >= 0, "violation counter went negative");
-        st.viol_count.set(gen, c.max(0) as u32, w);
+    bump_gen(&mut st.viol_count, dv, gen, w);
+}
+
+/// Live satisfaction accounting for one dependency of Σ at a pinned
+/// generation — the quantitative form of a [`ViolationKey`] listing.
+///
+/// `tracked` counts the keys the dependency quantifies over (FD: live
+/// distinct LHS groups; IND: live distinct left-side projections) and
+/// `violating` how many of them currently break it, so
+/// [`ratio`](DepHealth::ratio) is the satisfied fraction. Both are
+/// maintained incrementally on the same index transitions that feed the
+/// global violation counter: reading health is `O(Σ)` regardless of the
+/// database size, and each commit updates it in `O(delta)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepHealth {
+    /// The dependency, cloned from the catalog's Σ.
+    pub dep: Dependency,
+    /// Keys currently violating the dependency.
+    pub violating: u64,
+    /// Keys the dependency is evaluated over.
+    pub tracked: u64,
+}
+
+impl DepHealth {
+    /// The satisfied fraction, in `[0, 1]` — vacuously `1.0` when no key
+    /// is tracked (an empty relation satisfies every dependency).
+    pub fn ratio(&self) -> f64 {
+        if self.tracked == 0 {
+            1.0
+        } else {
+            1.0 - self.violating as f64 / self.tracked as f64
+        }
     }
 }
 
@@ -713,6 +787,8 @@ impl CatalogState {
             ind_left: (0..inds.len()).map(|_| VersionedIndex::new()).collect(),
             ind_right: (0..inds.len()).map(|_| VersionedIndex::new()).collect(),
             viol_count: GenValue::default(),
+            dep_viol: (0..sigma.len()).map(|_| GenValue::default()).collect(),
+            dep_keys: (0..sigma.len()).map(|_| GenValue::default()).collect(),
             commits: 0,
             scratch: Vec::new(),
         };
@@ -828,33 +904,51 @@ impl CatalogState {
         })
     }
 
-    /// Prune every history to the watermark and evict dead keys — the
-    /// `O(keys)` pass that runs automatically every `VACUUM_EVERY` (8192)
-    /// commits, exposed for tests and maintenance windows.
+    /// Prune every history down to what live snapshots can still observe
+    /// and evict dead keys — the `O(keys)` pass that runs automatically
+    /// every `VACUUM_EVERY` (8192) commits, exposed for tests and
+    /// maintenance windows.
     pub fn vacuum(&self) {
         let inner = &*self.inner;
         let mut st = inner.write();
         let gen = inner.generation.load(Ordering::Acquire);
-        let w = inner.watermark.load(Ordering::Acquire).min(gen);
-        vacuum_locked(&mut st, w);
+        vacuum_locked(&mut st, gen, &inner.pinned_gens());
     }
 }
 
 /// Publish a commit: bump the generation only if something changed, and
 /// run the periodic vacuum. Returns the generation now current.
-fn finish_commit(inner: &Inner, st: &mut MutState, gen: u64, w: u64, applied: DeltaOutcome) -> u64 {
+fn finish_commit(
+    inner: &Inner,
+    st: &mut MutState,
+    gen: u64,
+    _w: u64,
+    applied: DeltaOutcome,
+) -> u64 {
     if applied == DeltaOutcome::default() {
         return gen - 1; // nothing was stamped; the generation stays put
     }
     inner.generation.store(gen, Ordering::Release);
     st.commits += 1;
     if st.commits.is_multiple_of(VACUUM_EVERY) {
-        vacuum_locked(st, w);
+        vacuum_locked(st, gen, &inner.pinned_gens());
     }
     gen
 }
 
-fn vacuum_locked(st: &mut MutState, w: u64) {
+/// Prune every history to the *sparse* pin set rather than the watermark:
+/// an entry survives only if it is the newest of its history or some
+/// pinned generation still observes it. The distinction matters for
+/// long-lived sessions — one old pin holds the watermark down forever,
+/// and a counter that oscillates (a violation appearing and healing every
+/// batch) would otherwise accrete one history entry per commit between
+/// the pin and the head. Sparse pruning keeps `O(pins)` entries per
+/// history instead.
+fn vacuum_locked(st: &mut MutState, gen: u64, pins: &[u64]) {
+    debug_assert!(pins.is_sorted());
+    // The append-only row log still compacts by watermark below; the
+    // index histories prune by the exact pin set.
+    let w = pins.first().copied().unwrap_or(gen).min(gen);
     for idx in st
         .rows
         .iter_mut()
@@ -863,12 +957,17 @@ fn vacuum_locked(st: &mut MutState, w: u64) {
         .chain(st.ind_left.iter_mut())
         .chain(st.ind_right.iter_mut())
     {
-        idx.vacuum(w);
+        idx.vacuum_sparse(pins);
     }
-    for g in &mut st.row_count {
-        g.prune(w);
+    for g in st
+        .row_count
+        .iter_mut()
+        .chain(st.dep_viol.iter_mut())
+        .chain(st.dep_keys.iter_mut())
+    {
+        g.prune_sparse(pins);
     }
-    st.viol_count.prune(w);
+    st.viol_count.prune_sparse(pins);
     // Compact the append-only row logs: a row whose whole visibility
     // interval `[born, died)` lies below the watermark is unobservable at
     // every pinnable generation, so the log can forget it. This is what
@@ -951,6 +1050,23 @@ impl Snapshot {
     /// `O(log)` off the maintained violation counter, no key-space scan.
     pub fn is_consistent(&self) -> bool {
         self.inner.read().viol_count.at(self.gen) == 0
+    }
+
+    /// Per-dependency satisfaction at the pinned generation, in Σ order —
+    /// `O(Σ)` off the maintained per-dependency counters, no key-space
+    /// scan (see [`DepHealth`]).
+    pub fn health(&self) -> Vec<DepHealth> {
+        let st = self.inner.read();
+        self.inner
+            .sigma
+            .iter()
+            .enumerate()
+            .map(|(i, dep)| DepHealth {
+                dep: dep.clone(),
+                violating: u64::from(st.dep_viol[i].at(self.gen)),
+                tracked: u64::from(st.dep_keys[i].at(self.gen)),
+            })
+            .collect()
     }
 
     /// Materialize the pinned generation as a plain [`Database`] (tests
@@ -1068,6 +1184,12 @@ impl Session {
         &self.staged
     }
 
+    /// Per-dependency satisfaction at the session's pinned generation
+    /// (staging is not reflected — health reports committed state).
+    pub fn health(&self) -> Vec<DepHealth> {
+        self.snapshot.health()
+    }
+
     /// Stage an insertion (validated against the schema now, so commit
     /// cannot fail mid-batch).
     pub fn stage_insert(&mut self, rel: impl Into<RelName>, t: Tuple) -> Result<(), CoreError> {
@@ -1177,14 +1299,36 @@ mod tests {
         (schema, sigma, cat)
     }
 
+    /// The number of keys `dep` quantifies over in `db` (FD: distinct
+    /// LHS groups; IND: distinct left projections), recomputed from
+    /// scratch as the oracle for the maintained `tracked` counter.
+    fn tracked_oracle(db: &Database, dep: &Dependency) -> u64 {
+        let (rel, attrs) = match dep {
+            Dependency::Fd(fd) => (&fd.rel, &fd.lhs),
+            Dependency::Ind(ind) => (&ind.lhs_rel, &ind.lhs_attrs),
+            other => panic!("catalog sigma holds FDs and INDs only, got {other}"),
+        };
+        let rel = db.relation(rel).unwrap();
+        let cols = rel.scheme().columns(attrs).unwrap();
+        rel.tuples()
+            .map(|t| {
+                cols.iter()
+                    .map(|&c| t.values()[c].clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect::<BTreeSet<_>>()
+            .len() as u64
+    }
+
     /// A snapshot must agree with the full recheck of its own
     /// materialization, and a session preview with the full recheck of
     /// materialization + staged delta.
     fn check_snapshot(snap: &Snapshot, sigma: &[Dependency]) {
         let db = snap.to_database();
+        let viols = full_violations(&db, sigma).unwrap();
         assert_eq!(
             snap.violations(),
-            full_violations(&db, sigma).unwrap(),
+            viols,
             "snapshot disagrees with full recheck at gen {}",
             snap.generation()
         );
@@ -1194,6 +1338,30 @@ mod tests {
             "violation counter disagrees with the violation set at gen {}",
             snap.generation()
         );
+        let health = snap.health();
+        assert_eq!(health.len(), sigma.len());
+        for (i, h) in health.iter().enumerate() {
+            assert_eq!(h.dep, sigma[i], "health is reported in Σ order");
+            let expect = viols
+                .iter()
+                .filter(|v| match v {
+                    ViolationKey::Fd { dep, .. } | ViolationKey::Ind { dep, .. } => *dep == i,
+                })
+                .count() as u64;
+            assert_eq!(
+                h.violating,
+                expect,
+                "dep {i} violating count at gen {}",
+                snap.generation()
+            );
+            assert_eq!(
+                h.tracked,
+                tracked_oracle(&db, &sigma[i]),
+                "dep {i} tracked count at gen {}",
+                snap.generation()
+            );
+            assert!((0.0..=1.0).contains(&h.ratio()));
+        }
     }
 
     fn check_session(s: &Session, sigma: &[Dependency]) {
@@ -1413,6 +1581,93 @@ mod tests {
         // The compacted log still materializes and freezes correctly.
         assert_eq!(snap.to_database().total_tuples(), 1);
         assert_eq!(snap.freeze(&RelName::new("DEPT")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn health_tracks_satisfaction_ratios_across_commits() {
+        let (_, sigma, cat) = setup();
+        // Vacuous start: nothing tracked, everything 100% satisfied.
+        for h in cat.snapshot().health() {
+            assert_eq!((h.violating, h.tracked), (0, 0));
+            assert_eq!(h.ratio(), 1.0);
+        }
+        // 10 employees in distinct departments, only 8 departments real:
+        // the IND tracks 10 left keys and violates 2 of them.
+        let mut s = cat.begin();
+        for i in 0..10i64 {
+            s.stage_insert("EMP", Tuple::strs(&[&format!("e{i}"), &format!("d{i}")]))
+                .unwrap();
+            if i < 8 {
+                s.stage_insert("DEPT", Tuple::strs(&[&format!("d{i}"), "mgr"]))
+                    .unwrap();
+            }
+        }
+        s.commit();
+        let before = cat.snapshot();
+        let ind = &before.health()[0];
+        assert_eq!((ind.violating, ind.tracked), (2, 10));
+        assert!((ind.ratio() - 0.8).abs() < 1e-9);
+        // One employee switches into a conflicting NAME → DEPT pair: the
+        // FD over EMP degrades while the IND heals by one key.
+        let mut s = cat.begin();
+        s.stage_insert("EMP", Tuple::strs(&["e9", "d0"])).unwrap();
+        s.stage_delete("EMP", Tuple::strs(&["e8", "d8"])).unwrap();
+        s.commit();
+        let after = cat.snapshot();
+        let [ind, fd, _] = &after.health()[..] else {
+            panic!("three deps in sigma")
+        };
+        assert_eq!((ind.violating, ind.tracked), (1, 9), "d8 gone, d9 dangling");
+        assert_eq!((fd.violating, fd.tracked), (1, 9), "e9 maps to d9 and d0");
+        assert!((fd.ratio() - 8.0 / 9.0).abs() < 1e-9);
+        // The pre-commit snapshot still reports its own generation's
+        // ratios: health is per-pinned-generation like every other read.
+        assert_eq!(before.health()[0].violating, 2);
+        check_snapshot(&before, &sigma);
+        check_snapshot(&after, &sigma);
+    }
+
+    /// Satellite regression: a counter that oscillates 0 ↔ 1 for 10k
+    /// commits under one long-lived pin must vacuum down to the few
+    /// entries the pin can still observe, not retain one entry per
+    /// commit (the watermark-based prune kept them all).
+    #[test]
+    fn oscillating_violation_history_is_pruned_under_a_live_pin() {
+        let (_, _, cat) = setup();
+        let pinned = cat.snapshot(); // holds the watermark at 0 throughout
+        for i in 0..10_000i64 {
+            let mut s = cat.begin();
+            s.stage_insert("EMP", Tuple::strs(&["h", "ghost"])).unwrap();
+            s.commit(); // dangling: viol_count 0 -> 1
+            let mut s = cat.begin();
+            s.stage_delete("EMP", Tuple::strs(&["h", "ghost"])).unwrap();
+            s.commit(); // healed: viol_count 1 -> 0
+            if i == 0 {
+                // Depth grows while commits outpace the vacuum cadence.
+                assert!(cat.inner.read().viol_count.depth() >= 2);
+            }
+        }
+        cat.vacuum();
+        {
+            let st = cat.inner.read();
+            assert!(
+                st.viol_count.depth() <= 2,
+                "oscillating viol_count history must prune to O(pins), got {}",
+                st.viol_count.depth()
+            );
+            let ind_viol = &st.dep_viol[0];
+            assert!(
+                ind_viol.depth() <= 2,
+                "per-dependency history must prune to O(pins), got {}",
+                ind_viol.depth()
+            );
+        }
+        // The pinned generation still reads its exact pre-churn state.
+        assert!(pinned.is_consistent());
+        assert_eq!(pinned.total_rows(), 0);
+        assert_eq!(pinned.health()[0].tracked, 0);
+        drop(pinned);
+        assert!(cat.snapshot().is_consistent());
     }
 
     #[test]

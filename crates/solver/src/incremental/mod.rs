@@ -38,7 +38,7 @@
 
 pub mod catalog;
 
-pub use catalog::{CatalogState, CommitOutcome, FrozenRelation, Session, Snapshot};
+pub use catalog::{CatalogState, CommitOutcome, DepHealth, FrozenRelation, Session, Snapshot};
 
 use depkit_core::column::{ColumnCursor, RelationColumns};
 use depkit_core::database::Database;

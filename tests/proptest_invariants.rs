@@ -366,6 +366,83 @@ proptest! {
         }
     }
 
+    /// Planted-noise bound for approximate discovery: flip `k` of the
+    /// `n` rows of the left relation and the planted dependencies must
+    /// survive mining at a tolerance just above `k/n`, scored with
+    /// confidence ≥ 1 − k/n — each flipped row adds at most one unit of
+    /// g3 error (FD) and at most one missing row (IND), so `misses ≤ k`.
+    /// Only left-relation rows are flipped: corrupting the *right* side
+    /// of an IND can orphan arbitrarily many left rows at once, and no
+    /// per-row bound would hold.
+    #[test]
+    fn planted_deps_survive_row_flips_with_bounded_confidence(
+        seed in any::<u64>(), k in 0usize..6,
+    ) {
+        use depkit_core::{Database, RelName, Tuple};
+        use depkit_solver::discover::{discover_with_config, DiscoveryConfig};
+        let mut rng = Rng::new(seed);
+        let schema = DatabaseSchema::parse(&["L(A, B)", "R(C, D)"]).unwrap();
+        // domain ≥ 3 keeps `∅ -> A` outside every budget we mine at
+        // (g3(∅→A) = domain + k − 2 > k + ½): were it inside, the
+        // lattice's LHS prune would bar A from minimal left sides and
+        // subsume the planted FD instead of emitting it.
+        let domain = 3 + rng.below(5) as i64;
+        // f: A -> B is the planted FD's witness function; every A value
+        // appears in R[C], witnessing the planted IND. Pinning f(0)=0 and
+        // f(1)=1 keeps B from being near-constant, so the vacuous
+        // `∅ -> B` stays outside any budget we mine at and cannot
+        // subsume the planted FD as the minimal form.
+        let f: Vec<i64> = (0..domain)
+            .map(|a| if a < 2 { a } else { rng.below(50) as i64 })
+            .collect();
+        let mut rows: Vec<(i64, i64)> = (0..domain).map(|a| (a, f[a as usize])).collect();
+        // Flip k rows: relations are sets, so flipping one copy of a
+        // duplicated clean row is the same as appending the dirty row —
+        // append, keeping every clean witness present. Even flips dirty
+        // the IND (fresh A value), odd flips dirty the FD (same A, fresh
+        // B). Fresh values are negative, colliding with nothing R or f
+        // can produce, so all n = domain + k rows are distinct.
+        for i in 0..k {
+            let fresh = -(1 + i as i64);
+            if i % 2 == 0 {
+                rows.push((fresh, fresh));
+            } else {
+                rows.push((i as i64 % domain, fresh));
+            }
+        }
+        let n = rows.len();
+        let mut db = Database::empty(schema);
+        for (a, b) in rows {
+            db.insert(&RelName::new("L"), Tuple::ints(&[a, b])).unwrap();
+        }
+        for a in 0..domain {
+            db.insert(&RelName::new("R"), Tuple::ints(&[a, rng.below(9) as i64]))
+                .unwrap();
+        }
+        let config = DiscoveryConfig {
+            max_error: (k as f64 + 0.5) / n as f64,
+            ..DiscoveryConfig::default()
+        };
+        let found = discover_with_config(&db, &config);
+        for dep_src in ["L[A] <= R[C]", "L: A -> B"] {
+            let dep: Dependency = dep_src.parse().unwrap();
+            let s = found
+                .scored
+                .iter()
+                .find(|s| s.dep == dep)
+                .unwrap_or_else(|| panic!("planted `{dep}` was mined away: {:?}", found.scored));
+            prop_assert!(
+                s.misses <= k as u64,
+                "planted {} has {} misses from {} flipped rows", dep, s.misses, k
+            );
+            prop_assert!(
+                s.confidence() >= 1.0 - k as f64 / n as f64 - 1e-9,
+                "planted {} confidence {} below 1 - k/n = {}",
+                dep, s.confidence(), 1.0 - k as f64 / n as f64
+            );
+        }
+    }
+
     /// Spill round-trip: writing an arbitrary id multiset as sorted runs
     /// and merging the runs back yields exactly the in-memory
     /// `sorted_distinct` answer, for any chunk size — the spilled and

@@ -16,12 +16,13 @@
 //!    row counts / violations are those of the committed state
 //!    (property-checked over random staging).
 
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 use std::thread;
 
 use depkit_core::delta::Delta;
 use depkit_core::prelude::*;
-use depkit_solver::incremental::{full_violations, CatalogState};
+use depkit_solver::incremental::{full_violations, CatalogState, ViolationKey};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -145,6 +146,161 @@ fn concurrent_sessions_match_a_serial_oracle() {
         full_violations(&oracle, &sigma).unwrap(),
         "violation set != full recheck of the oracle"
     );
+}
+
+/// What a dependency's health *tracks*, recomputed from scratch: distinct
+/// left-hand-side groups for an FD, distinct left projections for an IND.
+fn tracked_oracle(db: &Database, dep: &Dependency) -> u64 {
+    let (rel, attrs) = match dep {
+        Dependency::Fd(fd) => (&fd.rel, &fd.lhs),
+        Dependency::Ind(ind) => (&ind.lhs_rel, &ind.lhs_attrs),
+        other => panic!("catalog sigma holds FDs and INDs only, got {other}"),
+    };
+    let rel = db.relation(rel).unwrap();
+    let cols = rel.scheme().columns(attrs).unwrap();
+    rel.tuples()
+        .map(|t| {
+            cols.iter()
+                .map(|&c| t.values()[c].clone())
+                .collect::<Vec<_>>()
+        })
+        .collect::<BTreeSet<_>>()
+        .len() as u64
+}
+
+/// The health side of the live-monitoring story: satisfaction ratios move
+/// by exactly the committed delta — one dangling employee per commit
+/// degrades the foreign key from `r/(5+r)` violating keys, in O(delta)
+/// counter bumps rather than any rescan — while snapshots pinned at
+/// earlier generations keep reporting the ratio of *their* generation.
+#[test]
+fn health_ratios_update_per_delta_and_stay_pinned() {
+    let (schema, sigma, cat) = referential_catalog();
+    // 10 employees over 5 departments: 5 distinct DNO keys tracked by
+    // the foreign key, all satisfied.
+    let base = base_database(&schema, 10, 5);
+    cat.seed(&base).unwrap();
+    let seeded = cat.snapshot();
+    assert!(
+        seeded
+            .health()
+            .iter()
+            .all(|h| h.violating == 0 && h.ratio() == 1.0),
+        "seeded base must be fully satisfied: {:?}",
+        seeded.health()
+    );
+
+    let mut pinned = vec![seeded];
+    let mut last_ratio = 1.0f64;
+    for r in 1..=6u64 {
+        let mut s = cat.begin();
+        let ghost = Tuple::strs(&[&format!("g{r}"), &format!("ghost{r}")]);
+        s.stage_insert("EMP", ghost).unwrap();
+        s.commit();
+        let snap = cat.snapshot();
+        let fk = &snap.health()[0];
+        assert_eq!(fk.dep, sigma[0], "health is reported in Σ order");
+        assert_eq!(
+            (fk.violating, fk.tracked),
+            (r, 5 + r),
+            "commit #{r} must add exactly one violating key and one tracked key"
+        );
+        assert!(
+            fk.ratio() < last_ratio,
+            "the foreign key must degrade with every dangling commit"
+        );
+        last_ratio = fk.ratio();
+        // The FDs never see a duplicate left side: still fully satisfied.
+        for h in &snap.health()[1..] {
+            assert_eq!((h.violating, h.ratio()), (0, 1.0), "{} regressed", h.dep);
+        }
+        pinned.push(snap);
+    }
+
+    // Each pinned snapshot still answers with its own generation's ratio.
+    for (r, snap) in pinned.iter().enumerate() {
+        let fk = &snap.health()[0];
+        assert_eq!(
+            (fk.violating, fk.tracked),
+            (r as u64, 5 + r as u64),
+            "pinned snapshot at gen {} lost its ratio",
+            snap.generation()
+        );
+    }
+}
+
+/// Health under contention: readers snapshotting mid-storm must see
+/// per-dependency counters that agree with a from-scratch recheck of
+/// their own materialization — the live `health` verb is just this
+/// snapshot read over the wire.
+#[test]
+fn concurrent_health_readers_agree_with_a_full_recheck() {
+    let (schema, sigma, cat) = referential_catalog();
+    let base = base_database(&schema, 8, 4);
+    cat.seed(&base).unwrap();
+
+    thread::scope(|scope| {
+        for tid in 0..4u64 {
+            let cat = cat.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x4EA1_7000 + tid);
+                for _ in 0..30 {
+                    let mut s = cat.begin();
+                    for _ in 0..rng.random_range(1..4u32) {
+                        let (rel, t) = random_op(&mut rng);
+                        if rng.random_range(0..3u32) == 0 {
+                            s.stage_delete(rel, t).unwrap();
+                        } else {
+                            s.stage_insert(rel, t).unwrap();
+                        }
+                    }
+                    if rng.random_range(0..5u32) == 0 {
+                        s.abort();
+                    } else {
+                        s.commit();
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let cat = cat.clone();
+            let sigma = &sigma;
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    let snap = cat.snapshot();
+                    let db = snap.to_database();
+                    let viols = full_violations(&db, sigma).unwrap();
+                    let health = snap.health();
+                    assert_eq!(health.len(), sigma.len());
+                    for (i, h) in health.iter().enumerate() {
+                        assert_eq!(h.dep, sigma[i], "health is reported in Σ order");
+                        let expect = viols
+                            .iter()
+                            .filter(|v| match v {
+                                ViolationKey::Fd { dep, .. } | ViolationKey::Ind { dep, .. } => {
+                                    *dep == i
+                                }
+                            })
+                            .count() as u64;
+                        assert_eq!(
+                            h.violating,
+                            expect,
+                            "{} violating count diverged at gen {}",
+                            h.dep,
+                            snap.generation()
+                        );
+                        assert_eq!(
+                            h.tracked,
+                            tracked_oracle(&db, &sigma[i]),
+                            "{} tracked count diverged at gen {}",
+                            h.dep,
+                            snap.generation()
+                        );
+                    }
+                }
+            });
+        }
+    });
 }
 
 /// Aborts are always invisible: with every session aborting, the catalog

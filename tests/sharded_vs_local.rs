@@ -137,6 +137,96 @@ fn assert_all_pipelines_agree(db: &Database, context: &str) {
     }
 }
 
+/// The tolerance-zero matrix of the approximate-discovery tentpole:
+/// `max_error = 0.0` must be byte-identical to the pre-tolerance exact
+/// pipeline at every point of threads ∈ {1, N} × {in-memory,
+/// forced-spill} × workers ∈ {0, 3} — same raw, cover, and stats, and no
+/// scored entries anywhere (scoring is an approximate-mode artifact).
+#[test]
+fn zero_tolerance_matrix_is_byte_identical_to_exact() {
+    let text = std::fs::read_to_string(data_dir().join("employees.dep")).unwrap();
+    let db = load_database(&text);
+    let exact = discover_with_config(&db, &DiscoveryConfig::default());
+    assert!(exact.scored.is_empty(), "exact discovery never scores");
+    for threads in [1, 0] {
+        for budget in [0usize, 1] {
+            let config = DiscoveryConfig {
+                threads,
+                memory_budget: budget,
+                max_error: 0.0,
+                ..DiscoveryConfig::default()
+            };
+            let ctx = format!("threads={threads} budget={budget}");
+            let local = discover_with_config(&db, &config);
+            assert_eq!(exact.raw, local.raw, "{ctx} workers=0: raw diverged");
+            assert_eq!(exact.cover, local.cover, "{ctx} workers=0: cover diverged");
+            assert_eq!(exact.stats, local.stats, "{ctx} workers=0: stats diverged");
+            assert!(local.scored.is_empty(), "{ctx} workers=0: scored nonempty");
+            let sharded = discover_sharded(&db, 3, &config);
+            assert_eq!(exact.raw, sharded.raw, "{ctx} workers=3: raw diverged");
+            assert_eq!(
+                exact.cover, sharded.cover,
+                "{ctx} workers=3: cover diverged"
+            );
+            assert_eq!(
+                exact.stats, sharded.stats,
+                "{ctx} workers=3: stats diverged"
+            );
+            assert!(
+                sharded.scored.is_empty(),
+                "{ctx} workers=3: scored nonempty"
+            );
+        }
+    }
+}
+
+/// Approximate discovery must report the *same confidences* everywhere:
+/// per-candidate miss counts summed over key-range shards across real
+/// socket workers equal the single-store counts, spilled or not.
+#[test]
+fn approximate_confidences_agree_across_the_matrix() {
+    let text = std::fs::read_to_string(data_dir().join("employees.dep")).unwrap();
+    let mut db = load_database(&text);
+    // Dirty the reference data: one employee in an unknown department
+    // and a second manager for dept 10, so both an IND and an FD are
+    // only approximately satisfied.
+    db.insert(&RelName::new("EMP"), Tuple::ints(&[4, 30]))
+        .unwrap();
+    db.insert(&RelName::new("DEPT"), Tuple::ints(&[10, 101]))
+        .unwrap();
+    let config = DiscoveryConfig {
+        max_error: 0.4,
+        ..DiscoveryConfig::default()
+    };
+    let local = discover_with_config(&db, &config);
+    assert!(
+        local.scored.iter().any(|s| s.misses > 0),
+        "the planted dirt must surface as scored misses: {:?}",
+        local.scored
+    );
+    for (threads, budget) in [(1, 0usize), (0, 1)] {
+        let c = DiscoveryConfig {
+            threads,
+            memory_budget: budget,
+            ..config.clone()
+        };
+        let other = discover_with_config(&db, &c);
+        assert_eq!(
+            local.scored, other.scored,
+            "threads={threads} budget={budget}"
+        );
+        assert_eq!(local.raw, other.raw);
+        assert_eq!(local.cover, other.cover);
+    }
+    for workers in [2, 3] {
+        let sharded = discover_sharded(&db, workers, &config);
+        assert_eq!(local.scored, sharded.scored, "workers={workers}");
+        assert_eq!(local.raw, sharded.raw, "workers={workers}");
+        assert_eq!(local.cover, sharded.cover, "workers={workers}");
+        assert_eq!(local.stats, sharded.stats, "workers={workers}");
+    }
+}
+
 #[test]
 fn sharded_matches_local_on_every_fixture() {
     let mut fixtures: Vec<PathBuf> = std::fs::read_dir(data_dir())
