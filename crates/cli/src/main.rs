@@ -41,9 +41,17 @@
 //!                                          coordinator; honors DEPKIT_FAULT
 //!                                          for fault-injection tests)
 //! depkit serve <spec.dep> [--addr A]       run the line-JSON session server
-//!                                          on A (default 127.0.0.1:4227)
-//!                                          against the spec's constraints
-//!                                          and seed data
+//!         [--data-dir D]                   on A (default 127.0.0.1:4227)
+//!         [--fsync always|never|           against the spec's constraints
+//!                 interval:N]              and seed data; with --data-dir the
+//!         [--checkpoint-every N]           catalog is durable: commits are
+//!                                          write-ahead logged (fsync policy
+//!                                          --fsync, default `always`) and
+//!                                          checkpointed every N commits
+//!                                          (default 512), and a restart
+//!                                          recovers checkpoint + WAL replay,
+//!                                          printing `recovered: ...` before
+//!                                          the `serving ...` line
 //! depkit client <addr> [script]            drive a server: send each line of
 //!                                          script (a file, or stdin when
 //!                                          omitted) as a request, print each
@@ -97,8 +105,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         [cmd, path, flag, addr] if cmd == "shard-worker" && flag == "--connect" => {
             shard_worker(path, addr)
         }
-        [cmd, path] if cmd == "serve" => serve(path, "127.0.0.1:4227"),
-        [cmd, path, flag, addr] if cmd == "serve" && flag == "--addr" => serve(path, addr),
+        [cmd, path, rest @ ..] if cmd == "serve" => serve(path, rest),
         [cmd, addr] if cmd == "client" => client(addr, None),
         [cmd, addr, word] if cmd == "client" && word == "health" => client_health(addr),
         [cmd, addr, script] if cmd == "client" => client(addr, Some(script)),
@@ -109,7 +116,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                  depkit validate <spec.dep> <deltas.dep>\n       \
                  depkit discover <spec.dep> [--threads N] [--workers N] [--memory-budget BYTES] [--spill-dir PATH] [--stats] [--max-error E] [--top-k K]\n       \
                  depkit shard-worker <spec.dep> --connect <HOST:PORT>\n       \
-                 depkit serve <spec.dep> [--addr HOST:PORT]\n       \
+                 depkit serve <spec.dep> [--addr HOST:PORT] [--data-dir DIR] [--fsync always|never|interval:N] [--checkpoint-every N]\n       \
                  depkit client <HOST:PORT> [script | health]"
             );
             Ok(ExitCode::from(2))
@@ -117,18 +124,71 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
 }
 
-fn serve(path: &str, addr: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+fn serve(path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut addr = String::from("127.0.0.1:4227");
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = depkit_core::wal::FsyncPolicy::Always;
+    let mut checkpoint_every = 512u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| -> Result<String, String> {
+            v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value(it.next())?,
+            "--data-dir" => data_dir = Some(std::path::PathBuf::from(value(it.next())?)),
+            "--fsync" => fsync = depkit_core::wal::FsyncPolicy::parse(&value(it.next())?)?,
+            "--checkpoint-every" => {
+                checkpoint_every = value(it.next())?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            other => return Err(format!("unknown serve flag `{other}`").into()),
+        }
+    }
     let spec = load(path)?;
     let sigma = spec.constraints.dependencies().to_vec();
-    let cat = depkit_solver::incremental::CatalogState::new(spec.constraints.schema(), &sigma)?;
-    let seeded = cat.seed(&spec.database)?;
-    let server = depkit_serve::Server::start(cat, addr, depkit_serve::ServeConfig::default())?;
+    let schema = spec.constraints.schema();
+    let (cat, durability, seeded_rows) = match data_dir {
+        Some(dir) => {
+            let mut cfg = depkit_solver::incremental::DurabilityConfig::new(dir);
+            cfg.fsync = fsync;
+            cfg.checkpoint_every = checkpoint_every;
+            let (cat, dur, report) =
+                depkit_solver::incremental::Durability::open(schema, &sigma, cfg)?;
+            // A fresh data dir starts from the spec's seed rows; the seed
+            // bypasses the commit sink, so checkpoint immediately to make
+            // it durable. A recovered dir keeps its own state — the
+            // spec's rows are already in it (or were deleted since).
+            let seeded = if report.fresh {
+                let out = cat.seed(&spec.database)?;
+                dur.checkpoint(&cat)?;
+                out.applied.inserted
+            } else {
+                0
+            };
+            // Harnesses parse this line to learn what recovery did.
+            println!("{report}");
+            (cat, Some(dur), seeded)
+        }
+        None => {
+            let cat = depkit_solver::incremental::CatalogState::new(schema, &sigma)?;
+            let seeded = cat.seed(&spec.database)?;
+            (cat, None, seeded.applied.inserted)
+        }
+    };
+    let server = depkit_serve::Server::start_durable(
+        cat,
+        &addr,
+        depkit_serve::ServeConfig::default(),
+        durability,
+    )?;
     // CI and scripts wait for this line before connecting.
     println!(
         "serving {} on {} ({} rows seeded, {} dependencies)",
         path,
         server.local_addr(),
-        seeded.applied.inserted,
+        seeded_rows,
         sigma.len()
     );
     // Serve until killed; the accept loop owns the listener.

@@ -1,0 +1,302 @@
+//! The crash-fault harness: real `depkit serve --data-dir` child
+//! processes, aborted *by the server itself* at every `DEPKIT_CRASH`
+//! injection point, restarted, and differentially compared — the
+//! recovered server's `dump` and `health` must be byte-identical to an
+//! in-process oracle server that applied exactly the acknowledged
+//! batches once each.
+//!
+//! The client side is the real [`ResilientClient`]: when the crash eats
+//! an ack, the harness retries the batch under its original token after
+//! the restart, exactly as a production writer would — so these tests
+//! also prove the token table survives recovery.
+
+use depkit_core::dependency::Dependency;
+use depkit_core::schema::DatabaseSchema;
+use depkit_serve::{ResilientClient, RetryConfig, ServeConfig, Server};
+use depkit_solver::incremental::CatalogState;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+const SPEC: &str = "\
+schema EMP(NAME, DEPT)
+schema DEPT(DNO)
+dep EMP[DEPT] <= DEPT[DNO]
+row DEPT math
+row EMP hilbert math
+";
+
+fn tpath(tag: &str, suffix: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "depkit-durable-cli-{tag}-{}{suffix}",
+        std::process::id()
+    ))
+}
+
+struct ServeChild {
+    child: Child,
+    addr: String,
+    recovered: Option<String>,
+    _reader: BufReader<ChildStdout>,
+}
+
+/// Spawn `depkit serve --data-dir` and wait for its `serving ...` line,
+/// collecting the `recovered: ...` line if one precedes it.
+fn start_serve(spec: &PathBuf, dir: &PathBuf, crash: Option<&str>) -> ServeChild {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_depkit"));
+    cmd.arg("serve")
+        .arg(spec)
+        .args(["--addr", "127.0.0.1:0"])
+        .arg("--data-dir")
+        .arg(dir)
+        .args(["--fsync", "always", "--checkpoint-every", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(c) = crash {
+        cmd.env("DEPKIT_CRASH", c);
+    }
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut recovered = None;
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            panic!(
+                "server exited before its serving line: {:?}",
+                child.wait().unwrap()
+            );
+        }
+        if line.starts_with("recovered:") {
+            recovered = Some(line.trim().to_owned());
+        }
+        if let Some(rest) = line.split(" on ").nth(1) {
+            if line.starts_with("serving ") {
+                break rest.split_whitespace().next().unwrap().to_owned();
+            }
+        }
+    };
+    ServeChild {
+        child,
+        addr,
+        recovered,
+        _reader: reader,
+    }
+}
+
+fn harness_client(addr: &str) -> ResilientClient {
+    ResilientClient::with_retry(
+        addr,
+        "harness",
+        RetryConfig {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(50),
+        },
+    )
+}
+
+/// Deterministic batches: every batch inserts 1–3 `DEPT` rows and, on
+/// odd batches, an `EMP` row referencing the seeded `math` department.
+fn batches(seed: u64, count: usize) -> Vec<Vec<String>> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..count)
+        .map(|k| {
+            let mut ops = Vec::new();
+            for j in 0..=(next() % 3) {
+                ops.push(format!(
+                    r#"{{"cmd":"insert","rel":"DEPT","row":["d{k}-{j}-{}"]}}"#,
+                    next() % 100
+                ));
+            }
+            if k % 2 == 1 {
+                ops.push(format!(
+                    r#"{{"cmd":"insert","rel":"EMP","row":["e{k}","math"]}}"#
+                ));
+            }
+            ops
+        })
+        .collect()
+}
+
+/// One-shot request against a live server, returning the raw reply line.
+fn one_shot(addr: &str, cmd: &str) -> String {
+    let mut out = Vec::new();
+    depkit_serve::run_script(addr, cmd, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// Run the full crash/recover/differential cycle for one injection
+/// point. The crash is armed to fire during the second client batch (the
+/// seed checkpoint is occurrence 1 for the checkpoint points); the
+/// harness then restarts the server, retries the orphaned batch under
+/// its original token, finishes the schedule, and diffs `dump` +
+/// `health` byte-for-byte against an oracle server that applied exactly
+/// the acknowledged batches.
+fn crash_recover_differential(tag: &str, crash_spec: &str) {
+    let spec = tpath(tag, ".dep");
+    std::fs::write(&spec, SPEC).unwrap();
+    let dir = tpath(tag, ".data");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = start_serve(&spec, &dir, Some(crash_spec));
+    assert!(
+        server
+            .recovered
+            .as_deref()
+            .is_some_and(|r| r.ends_with("fresh=true")),
+        "a fresh dir announces itself as fresh: {:?}",
+        server.recovered
+    );
+    let mut client = harness_client(&server.addr);
+    let all = batches(tag.len() as u64 + 1, 5);
+
+    // Drive batches until the armed crash eats one.
+    let mut acked = 0;
+    let mut crashed = false;
+    for batch in &all {
+        match client.commit_batch(batch) {
+            Ok(ack) => {
+                assert!(!ack.replayed);
+                acked += 1;
+            }
+            Err(_) => {
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(crashed, "{tag}: the armed crash never fired");
+    let mut child = server.child;
+    let status = child.wait().unwrap();
+    assert!(
+        !status.success(),
+        "{tag}: the server must have died by abort, got {status:?}"
+    );
+
+    // Restart: recovery must report, and the orphaned batch must replay
+    // (every injection point fires after the WAL append, so the commit
+    // was durable even though its ack never arrived).
+    let server2 = start_serve(&spec, &dir, None);
+    let recovered = server2
+        .recovered
+        .as_deref()
+        .unwrap_or_else(|| panic!("{tag}: restart must print a recovery line"));
+    assert!(
+        recovered.starts_with("recovered: checkpoint_gen="),
+        "{tag}: {recovered}"
+    );
+    client.reconnect_to(&server2.addr);
+    let ack = client.commit_batch(&all[acked]).unwrap();
+    assert!(
+        ack.replayed,
+        "{tag}: the orphaned batch was durable; the retry must hit the \
+         recovered token table, not re-apply (ack: {ack:?})"
+    );
+    for batch in &all[acked + 1..] {
+        assert!(!client.commit_batch(batch).unwrap().replayed);
+    }
+
+    // The oracle: an in-process, in-memory server fed the seed plus
+    // every batch exactly once.
+    let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO)"]).unwrap();
+    let sigma: Vec<Dependency> = vec!["EMP[DEPT] <= DEPT[DNO]".parse().unwrap()];
+    let cat = CatalogState::new(&schema, &sigma).unwrap();
+    let oracle = Server::start(cat, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let oracle_addr = oracle.local_addr().to_string();
+    let mut feeder = harness_client(&oracle_addr);
+    feeder
+        .commit_batch(&[
+            r#"{"cmd":"insert","rel":"DEPT","row":["math"]}"#.to_owned(),
+            r#"{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}"#.to_owned(),
+        ])
+        .unwrap();
+    for batch in &all {
+        feeder.commit_batch(batch).unwrap();
+    }
+
+    // The headline invariant: recovered state is byte-identical to the
+    // oracle's — rows, generation, and live health counters.
+    assert_eq!(
+        one_shot(&server2.addr, r#"{"cmd":"dump"}"#),
+        one_shot(&oracle_addr, r#"{"cmd":"dump"}"#),
+        "{tag}: recovered dump diverged from the acked-commit oracle"
+    );
+    assert_eq!(
+        one_shot(&server2.addr, r#"{"cmd":"health"}"#),
+        one_shot(&oracle_addr, r#"{"cmd":"health"}"#),
+        "{tag}: recovered health diverged from the acked-commit oracle"
+    );
+
+    let mut child2 = server2.child;
+    child2.kill().ok();
+    child2.wait().ok();
+    oracle.stop().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn crash_after_wal_write_recovers_to_the_oracle() {
+    // Occurrence 2: the seed bypasses the WAL, so appends count client
+    // batches — the crash lands inside the second batch's commit.
+    crash_recover_differential("wal-write", "after-wal-write:2");
+}
+
+#[test]
+fn crash_before_ack_recovers_to_the_oracle() {
+    crash_recover_differential("before-ack", "before-ack:2");
+}
+
+#[test]
+fn crash_mid_checkpoint_recovers_to_the_oracle() {
+    // Occurrence 2: the fresh-dir seed checkpoint is occurrence 1; with
+    // `--checkpoint-every 2` the second client batch triggers the next
+    // checkpoint, which aborts between the tmp write and the rename.
+    crash_recover_differential("mid-ckpt", "mid-checkpoint:2");
+}
+
+#[test]
+fn crash_after_checkpoint_rename_recovers_to_the_oracle() {
+    // Aborts after the checkpoint is published but before the WAL is
+    // reset — recovery must skip replaying frames the checkpoint
+    // already holds.
+    crash_recover_differential("post-ckpt", "after-checkpoint-rename:2");
+}
+
+#[test]
+fn a_hard_kill_while_idle_restarts_cleanly() {
+    let spec = tpath("kill", ".dep");
+    std::fs::write(&spec, SPEC).unwrap();
+    let dir = tpath("kill", ".data");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = start_serve(&spec, &dir, None);
+    let mut client = harness_client(&server.addr);
+    for batch in batches(99, 3) {
+        client.commit_batch(&batch).unwrap();
+    }
+    let before = one_shot(&server.addr, r#"{"cmd":"dump"}"#);
+    let mut child = server.child;
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let server2 = start_serve(&spec, &dir, None);
+    assert!(server2.recovered.is_some(), "a restart reports recovery");
+    assert_eq!(
+        one_shot(&server2.addr, r#"{"cmd":"dump"}"#),
+        before,
+        "state survives SIGKILL byte-for-byte"
+    );
+    let mut child2 = server2.child;
+    child2.kill().ok();
+    child2.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec).ok();
+}

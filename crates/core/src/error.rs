@@ -52,6 +52,10 @@ pub enum CoreError {
     /// An engine was given a dependency kind it does not handle (e.g. the
     /// incremental validator only maintains FDs and INDs).
     UnsupportedDependency(String),
+    /// A durability operation failed: a write-ahead-log append, a
+    /// checkpoint, or a recovery step. The message names the file and
+    /// offset where known, so crash diagnostics stand on their own.
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -91,6 +95,7 @@ impl fmt::Display for CoreError {
             CoreError::UnsupportedDependency(what) => {
                 write!(f, "unsupported dependency kind: {what}")
             }
+            CoreError::Durability(what) => write!(f, "durability failure: {what}"),
         }
     }
 }

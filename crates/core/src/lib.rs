@@ -61,6 +61,16 @@
 //! consolidation passes, and the uniform [`DistinctStream`] iterator that
 //! hides whether an attribute's sorted distinct ids come from RAM or disk.
 //!
+//! ## Durability: write-ahead log and checkpoints
+//!
+//! The [`wal`] module is the on-disk durability layer under the serve
+//! catalog: length-prefixed FNV-1a64-checksummed commit frames
+//! ([`scan_wal`], [`WalWriter`]), checksummed whole-state checkpoints
+//! ([`CheckpointDoc`]) published via the spill-style atomic tmp→rename
+//! protocol, torn-tail vs mid-log-corruption discrimination, and the
+//! [`CrashPlan`] process-abort injection hook the crash-recovery
+//! harness drives.
+//!
 //! ## Infinite relations
 //!
 //! Theorem 4.4 of the paper separates finite from unrestricted implication by
@@ -103,6 +113,7 @@ pub mod schema;
 pub mod spill;
 pub mod symbolic;
 pub mod value;
+pub mod wal;
 
 pub use attr::{Attr, AttrSeq};
 pub use column::{
@@ -123,6 +134,10 @@ pub use spill::{
     SpillDir, SpillStats,
 };
 pub use value::Value;
+pub use wal::{
+    read_checkpoint, scan_wal, CheckpointDoc, CommitFrame, CrashPlan, CrashPoint, FsyncPolicy,
+    WalHeader, WalScan, WalTail, WalWriter,
+};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {

@@ -143,8 +143,10 @@ static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A sibling path of `path` that is unique per process and call — the
-/// scratch name runs are written under before the atomic rename.
-fn tmp_sibling(path: &Path) -> PathBuf {
+/// scratch name runs are written under before the atomic rename. Shared
+/// with [`crate::wal`], whose checkpoint publish follows the same
+/// tmp-then-rename discipline.
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
     let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(format!(".tmp.{}.{}", std::process::id(), n));

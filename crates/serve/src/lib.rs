@@ -10,21 +10,27 @@
 //! * [`json`] — a vendored, std-only line-JSON value type (the build is
 //!   offline; no external JSON dependency exists to link against).
 //! * [`protocol`] — the request/response verbs
-//!   (`begin`/`insert`/`delete`/`query`/`health`/`commit`/`abort`), one JSON
-//!   object per line in each direction.
+//!   (`begin`/`insert`/`delete`/`query`/`health`/`commit`/`abort`/`dump`),
+//!   one JSON object per line in each direction; `commit` optionally
+//!   carries a `(client, token)` idempotency tag.
 //! * [`server`] — the thread-per-connection TCP accept loop with
 //!   structural backpressure (bounded staging per session, bounded
-//!   connection count).
+//!   connection count, capped request lines, read timeouts) and, via
+//!   [`Server::start_durable`], the write-ahead-logged crash-safe mode.
 //! * [`client`] — the scripted client used by `depkit client` and the
-//!   CI smoke transcript.
+//!   CI smoke transcript, plus [`ResilientClient`]: reconnect with
+//!   backoff and token-deduplicated replay, for exactly-once commits
+//!   over lossy connections.
 //! * [`shard`] — cross-process sharded discovery: the coordinator that
 //!   plans column/key-range shards and merges worker-published runs, the
 //!   worker poll loop, and the [`FaultPlan`] fault-injection hook the
 //!   crash-safety tests drive.
 //!
 //! The server adds **no** consistency machinery of its own: isolation,
-//! commit ordering, and O(delta) validation all live in
-//! `depkit_solver::incremental::catalog`; this crate only frames bytes.
+//! commit ordering, O(delta) validation, and durability all live in
+//! `depkit_solver::incremental`; this crate only frames bytes — and, in
+//! durable mode, decides *when* a commit is acknowledged (only after its
+//! write-ahead-log frame is down).
 
 pub mod client;
 pub mod json;
@@ -32,7 +38,7 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::run_script;
+pub use client::{run_script, CommitAck, ResilientClient, RetryConfig};
 pub use json::Json;
 pub use protocol::{parse_request, Request};
 pub use server::{ServeConfig, Server};

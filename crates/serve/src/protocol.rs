@@ -10,8 +10,15 @@
 //! {"cmd":"query"}                                   violations of snapshot + staging
 //! {"cmd":"health"}                                  per-dependency satisfaction ratios
 //! {"cmd":"commit"}                                  apply staging, publish a generation
+//! {"cmd":"commit","client":"c1","token":"t42"}      idempotent commit (safe to retry)
 //! {"cmd":"abort"}                                   drop staging without a trace
+//! {"cmd":"dump"}                                    committed state, sorted (oracle diffs)
 //! ```
+//!
+//! A tagged `commit` carries an idempotency pair: the server remembers
+//! the last `token` per `client`, so a retry after a lost acknowledgement
+//! returns the original outcome (flagged `"replayed":true`) instead of
+//! applying twice. Both fields come together or not at all.
 //!
 //! Row entries are JSON numbers (→ [`Value::Int`]) or strings
 //! (→ [`Value::str`]). Responses are `{"ok":true,...}` on success and
@@ -50,8 +57,17 @@ pub enum Request {
     /// generation (never the session's staging — health is the
     /// observer's view of what commits have done to Σ).
     Health,
-    /// Apply the staged delta and publish a generation.
-    Commit,
+    /// Apply the staged delta and publish a generation. With a
+    /// `(client, token)` tag the commit is idempotent: a retry with the
+    /// same tag returns the original outcome instead of re-applying.
+    Commit {
+        /// The `(client id, commit token)` idempotency pair, if sent.
+        tag: Option<(String, String)>,
+    },
+    /// Dump the committed state at the latest generation: every relation's
+    /// rows, sorted — the differential-oracle view the crash-recovery
+    /// harness compares across restarts.
+    Dump,
     /// Drop the staged delta.
     Abort,
 }
@@ -67,10 +83,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .ok_or_else(|| bad("request must be an object with a string `cmd`"))?;
     match cmd {
         "begin" => Ok(Request::Begin),
-        "commit" => Ok(Request::Commit),
+        "commit" => {
+            let client = v.get("client").and_then(Json::as_str);
+            let token = v.get("token").and_then(Json::as_str);
+            let tag = match (client, token) {
+                (Some(c), Some(t)) => Some((c.to_owned(), t.to_owned())),
+                (None, None) => None,
+                _ => {
+                    return Err(bad(
+                        "commit takes `client` and `token` together or not at all",
+                    ))
+                }
+            };
+            Ok(Request::Commit { tag })
+        }
         "abort" => Ok(Request::Abort),
         "query" => Ok(Request::Query),
         "health" => Ok(Request::Health),
+        "dump" => Ok(Request::Dump),
         "insert" | "delete" => {
             let rel = v
                 .get("rel")
@@ -101,7 +131,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         other => Err(bad(&format!(
-            "unknown cmd `{other}` (expected begin/insert/delete/query/health/commit/abort)"
+            "unknown cmd `{other}` (expected begin/insert/delete/query/health/commit/abort/dump)"
         ))),
     }
 }
@@ -115,8 +145,15 @@ mod tests {
         assert_eq!(parse_request(r#"{"cmd":"begin"}"#).unwrap(), Request::Begin);
         assert_eq!(
             parse_request(r#"{"cmd":"commit"}"#).unwrap(),
-            Request::Commit
+            Request::Commit { tag: None }
         );
+        assert_eq!(
+            parse_request(r#"{"cmd":"commit","client":"c1","token":"t42"}"#).unwrap(),
+            Request::Commit {
+                tag: Some(("c1".to_owned(), "t42".to_owned()))
+            }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"dump"}"#).unwrap(), Request::Dump);
         assert_eq!(parse_request(r#"{"cmd":"abort"}"#).unwrap(), Request::Abort);
         assert_eq!(parse_request(r#"{"cmd":"query"}"#).unwrap(), Request::Query);
         assert_eq!(
@@ -148,5 +185,9 @@ mod tests {
         assert!(e3.contains("numbers or strings"), "got: {e3}");
         let e4 = parse_request(r#"{"cmd":"insert","rel":"R"}"#).unwrap_err();
         assert!(e4.contains("array `row`"), "got: {e4}");
+        let e5 = parse_request(r#"{"cmd":"commit","client":"c1"}"#).unwrap_err();
+        assert!(e5.contains("together or not at all"), "got: {e5}");
+        let e6 = parse_request(r#"{"cmd":"commit","token":"t"}"#).unwrap_err();
+        assert!(e6.contains("together or not at all"), "got: {e6}");
     }
 }

@@ -4,21 +4,44 @@
 //! Each accepted connection speaks the [protocol](crate::protocol) and
 //! owns at most one live [`Session`] at a time; the shared
 //! [`CatalogState`] serializes commits and keeps every session's pinned
-//! snapshot readable. Backpressure is structural: the per-session
-//! staging buffer is bounded ([`ServeConfig::max_staged`] — a client
-//! that keeps staging past it gets errors until it commits or aborts),
-//! and the accept loop refuses connections past
-//! [`ServeConfig::max_connections`] with a one-line error instead of
-//! queueing unboundedly.
+//! snapshot readable. Backpressure and abuse resistance are structural:
+//!
+//! * the per-session staging buffer is bounded
+//!   ([`ServeConfig::max_staged`] — a client that keeps staging past it
+//!   gets errors until it commits or aborts);
+//! * the accept loop refuses connections past
+//!   [`ServeConfig::max_connections`] with a one-line error instead of
+//!   queueing unboundedly;
+//! * request lines are capped at [`ServeConfig::max_line_len`] bytes and
+//!   reads at [`ServeConfig::read_timeout`], so one slow or malicious
+//!   client can neither balloon a handler's memory nor wedge its thread
+//!   — both get a JSON error line and a closed connection.
+//!
+//! ## Durability
+//!
+//! Started via [`Server::start_durable`] with a
+//! [`Durability`] handle, the server becomes crash-safe: the catalog's
+//! commit sink write-ahead-logs every effective commit *before* the
+//! commit reply leaves the handler (ack implies durable), acknowledged
+//! commits are counted toward the periodic checkpoint cadence, and
+//! [`Server::stop`] drains with a final checkpoint. The `DEPKIT_CRASH`
+//! environment hook ([`CrashPlan`]) can abort the process at
+//! `before-ack` (and, inside the durability layer, `after-wal-write` /
+//! `mid-checkpoint` / `after-checkpoint-rename`) — the lever the
+//! crash-recovery harness pulls.
 
 use crate::json::{obj, Json};
 use crate::protocol::{parse_request, Request};
-use depkit_solver::incremental::{CatalogState, Session};
+use depkit_core::delta::DeltaOutcome;
+use depkit_core::value::Value;
+use depkit_core::wal::{CrashPlan, CrashPoint};
+use depkit_solver::incremental::{CatalogState, Durability, Session};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server limits. The defaults are deliberately generous: the catalog
 /// itself is the scaling bottleneck, not the socket layer.
@@ -30,6 +53,14 @@ pub struct ServeConfig {
     /// Maximum staged operations per session; staging past this returns
     /// errors until the client commits or aborts.
     pub max_staged: usize,
+    /// Maximum bytes in one request line; a longer line gets a JSON
+    /// error and a closed connection (the cap bounds per-connection
+    /// buffering no matter what a client streams at us).
+    pub max_line_len: usize,
+    /// How long a handler thread waits for the next request line before
+    /// giving up on the connection with a JSON error. `None` waits
+    /// forever (trusted-network mode).
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -40,8 +71,19 @@ impl Default for ServeConfig {
             // oversubscription — sessions are mostly idle between lines.
             max_connections: 64 * depkit_core::pool::default_threads().max(1),
             max_staged: 65_536,
+            max_line_len: 1 << 20,
+            read_timeout: Some(Duration::from_secs(120)),
         }
     }
+}
+
+/// What every connection handler shares: the catalog, the optional
+/// durability handle (checkpoint cadence), and the crash-injection plan.
+#[derive(Debug)]
+struct ServerCtx {
+    cat: CatalogState,
+    durability: Option<Arc<Durability>>,
+    crash: Arc<CrashPlan>,
 }
 
 /// A running server: the accept loop plus its shutdown switch.
@@ -65,17 +107,45 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: JoinHandle<()>,
+    cat: CatalogState,
+    durability: Option<Arc<Durability>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start accepting connections against `cat`.
+    /// start accepting connections against `cat` — in-memory only; use
+    /// [`Server::start_durable`] for a crash-safe catalog.
     pub fn start(cat: CatalogState, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_durable(cat, addr, cfg, None)
+    }
+
+    /// [`Server::start`], wired to a [`Durability`] handle from
+    /// `Durability::open`: acknowledged commits count toward the
+    /// checkpoint cadence and [`Server::stop`] drains with a final
+    /// checkpoint. The catalog must be the one `open` recovered (its
+    /// commit sink is already appending to the write-ahead log).
+    pub fn start_durable(
+        cat: CatalogState,
+        addr: &str,
+        cfg: ServeConfig,
+        durability: Option<Arc<Durability>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let stop_flag = Arc::clone(&stop);
+        let crash = match &durability {
+            // Share the durability layer's plan so all points draw from
+            // one occurrence counter world.
+            Some(d) => Arc::clone(d.crash_plan()),
+            None => Arc::new(CrashPlan::from_env().map_err(io::Error::other)?),
+        };
+        let ctx = Arc::new(ServerCtx {
+            cat: cat.clone(),
+            durability: durability.clone(),
+            crash,
+        });
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::Acquire) {
@@ -95,10 +165,10 @@ impl Server {
                     );
                     continue;
                 }
-                let cat = cat.clone();
+                let ctx = Arc::clone(&ctx);
                 let active = Arc::clone(&active);
                 std::thread::spawn(move || {
-                    let _ = serve_connection(&cat, stream, cfg.max_staged);
+                    let _ = serve_connection(&ctx, stream, cfg);
                     active.fetch_sub(1, Ordering::AcqRel);
                 });
             }
@@ -107,6 +177,8 @@ impl Server {
             addr,
             stop,
             accept_thread,
+            cat,
+            durability,
         })
     }
 
@@ -115,15 +187,22 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting and join the accept loop. Connections already being
-    /// served run until their client hangs up.
+    /// Stop accepting and join the accept loop, then — when the server
+    /// is durable — drain with a final checkpoint so a clean shutdown
+    /// restarts without WAL replay. Connections already being served run
+    /// until their client hangs up; commits they land after the drain
+    /// checkpoint are still in the write-ahead log.
     pub fn stop(self) -> io::Result<()> {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         self.accept_thread
             .join()
-            .map_err(|_| io::Error::other("accept loop panicked"))
+            .map_err(|_| io::Error::other("accept loop panicked"))?;
+        if let Some(d) = &self.durability {
+            d.checkpoint(&self.cat).map_err(io::Error::other)?;
+        }
+        Ok(())
     }
 }
 
@@ -134,31 +213,153 @@ fn err(message: String) -> Json {
     ])
 }
 
+/// One capped, timeout-aware line read.
+enum LineRead {
+    /// A complete line (newline stripped), within the cap.
+    Line(String),
+    /// The line exceeded the cap; the tail is unread.
+    TooLong,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timeout elapsed before a full line arrived.
+    TimedOut,
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes, buffering only
+/// up to the cap — the defense [`BufRead::read_line`] cannot provide,
+/// since it buffers the whole line before the caller can measure it.
+fn read_capped_line(r: &mut impl BufRead, max: usize, buf: &mut Vec<u8>) -> io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            // A final unterminated line still gets served.
+            return Ok(LineRead::Line(String::from_utf8_lossy(buf).into_owned()));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..i]);
+                r.consume(i + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(buf).into_owned()));
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+    }
+}
+
 /// Drive one connection: read request lines, write response lines, until
-/// the client hangs up. A dropped connection aborts any live session
-/// (its staging is session-local, so nothing leaks).
-fn serve_connection(cat: &CatalogState, stream: TcpStream, max_staged: usize) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+/// the client hangs up, sends an oversized line, or goes quiet past the
+/// read timeout (the latter two get a JSON error, then the connection
+/// closes). A dropped connection aborts any live session (its staging is
+/// session-local, so nothing leaks).
+fn serve_connection(ctx: &ServerCtx, stream: TcpStream, cfg: ServeConfig) -> io::Result<()> {
+    stream.set_read_timeout(cfg.read_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut session: Option<Session> = None;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut buf = Vec::new();
+    loop {
+        match read_capped_line(&mut reader, cfg.max_line_len, &mut buf)? {
+            LineRead::Eof => break,
+            LineRead::TimedOut => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    err(format!(
+                        "read timed out after {:?}: closing connection",
+                        cfg.read_timeout.unwrap_or_default()
+                    ))
+                );
+                break;
+            }
+            LineRead::TooLong => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    err(format!(
+                        "request line exceeds {} bytes: closing connection",
+                        cfg.max_line_len
+                    ))
+                );
+                // Discard (boundedly) the rest of the oversized line:
+                // closing with unread bytes in the receive buffer makes
+                // TCP reset the connection, destroying the queued error
+                // reply before the client can read it.
+                drain_line(&mut reader, cfg.max_line_len.saturating_mul(4).max(1 << 16));
+                break;
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = respond(ctx, &mut session, &line, cfg.max_staged);
+                writeln!(writer, "{response}")?;
+            }
         }
-        let response = respond(cat, &mut session, &line, max_staged);
-        writeln!(writer, "{response}")?;
     }
     Ok(())
 }
 
+/// Discard input up to the next newline (or EOF/error), reading at most
+/// `limit` bytes — enough to empty the receive buffer of a typical
+/// oversized line without letting a hostile stream pin the thread.
+fn drain_line(r: &mut impl BufRead, limit: usize) {
+    let mut discarded = 0;
+    while discarded < limit {
+        let Ok(available) = r.fill_buf() else { return };
+        if available.is_empty() {
+            return;
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                r.consume(i + 1);
+                return;
+            }
+            None => {
+                let n = available.len();
+                r.consume(n);
+                discarded += n;
+            }
+        }
+    }
+}
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Num(*i),
+        Value::Str(s) => Json::Str(s.to_string()),
+        other => Json::Str(other.to_string()),
+    }
+}
+
 /// Execute one request against the connection's session slot.
-fn respond(
-    cat: &CatalogState,
-    session: &mut Option<Session>,
-    line: &str,
-    max_staged: usize,
-) -> Json {
+fn respond(ctx: &ServerCtx, session: &mut Option<Session>, line: &str, max_staged: usize) -> Json {
+    let cat = &ctx.cat;
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return err(e),
@@ -224,17 +425,75 @@ fn respond(
                 ("deps", Json::Arr(deps)),
             ])
         }
-        Request::Commit => {
-            let Some(s) = session.take() else {
-                return err("no active session (send begin first)".into());
-            };
-            let out = s.commit();
+        Request::Dump => {
+            // The committed state only (never staging), every relation's
+            // rows sorted — a canonical form two observers can compare
+            // byte-for-byte, which is exactly what the crash-recovery
+            // differential does across a restart.
+            let snap = cat.snapshot();
+            let db = snap.to_database();
+            let rels: Vec<Json> = db
+                .relations()
+                .iter()
+                .map(|rel| {
+                    let mut rows: Vec<Json> = rel
+                        .tuples()
+                        .map(|t| Json::Arr(t.values().iter().map(value_json).collect()))
+                        .collect();
+                    rows.sort_by_key(Json::to_string);
+                    obj(vec![
+                        ("rel", Json::Str(rel.scheme().name().to_string())),
+                        ("rows", Json::Arr(rows)),
+                    ])
+                })
+                .collect();
             obj(vec![
                 ("ok", Json::Bool(true)),
-                ("generation", Json::Num(out.generation as i64)),
-                ("inserted", Json::Num(out.applied.inserted as i64)),
-                ("deleted", Json::Num(out.applied.deleted as i64)),
+                ("generation", Json::Num(snap.generation() as i64)),
+                ("rels", Json::Arr(rels)),
             ])
+        }
+        Request::Commit { tag } => {
+            // A tagged retry may arrive on a *fresh* connection (the
+            // client reconnected after a lost ack), so the dedup path
+            // must work without a live session: open an empty one and
+            // let the token table answer.
+            let s = match session.take() {
+                Some(s) => s,
+                None => {
+                    if tag.is_none() {
+                        return err("no active session (send begin first)".into());
+                    }
+                    cat.begin()
+                }
+            };
+            let tag_ref = tag.as_ref().map(|(c, t)| (c.as_str(), t.as_str()));
+            match s.commit_tagged(tag_ref) {
+                Ok(out) => {
+                    if !out.replayed && out.applied != DeltaOutcome::default() {
+                        if let Some(d) = &ctx.durability {
+                            // The commit itself is already durable (the
+                            // sink logged it inside the write lock); a
+                            // failed *checkpoint* must not turn a durable
+                            // commit into a client-visible error.
+                            if let Err(e) = d.note_commit(cat) {
+                                eprintln!("depkit serve: checkpoint failed: {e}");
+                            }
+                        }
+                    }
+                    // The commit is applied and logged; the ack is not
+                    // yet on the wire — the lost-ack crash window.
+                    ctx.crash.fire(CrashPoint::BeforeAck);
+                    obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("generation", Json::Num(out.generation as i64)),
+                        ("inserted", Json::Num(out.applied.inserted as i64)),
+                        ("deleted", Json::Num(out.applied.deleted as i64)),
+                        ("replayed", Json::Bool(out.replayed)),
+                    ])
+                }
+                Err(e) => err(e.to_string()),
+            }
         }
         Request::Abort => {
             let Some(s) = session.take() else {
@@ -289,11 +548,20 @@ mod tests {
         CatalogState::new(&schema, &sigma).unwrap()
     }
 
+    fn test_ctx(cat: &CatalogState) -> ServerCtx {
+        ServerCtx {
+            cat: cat.clone(),
+            durability: None,
+            crash: Arc::new(CrashPlan::none()),
+        }
+    }
+
     fn drive(cat: &CatalogState, lines: &[&str]) -> Vec<String> {
+        let ctx = test_ctx(cat);
         let mut session = None;
         lines
             .iter()
-            .map(|l| respond(cat, &mut session, l, 4).to_string())
+            .map(|l| respond(&ctx, &mut session, l, 4).to_string())
             .collect()
     }
 
@@ -404,13 +672,14 @@ mod tests {
     #[test]
     fn staging_is_bounded_for_backpressure() {
         let cat = catalog();
+        let ctx = test_ctx(&cat);
         let mut session = None;
-        assert!(respond(&cat, &mut session, r#"{"cmd":"begin"}"#, 2)
+        assert!(respond(&ctx, &mut session, r#"{"cmd":"begin"}"#, 2)
             .to_string()
             .contains("true"));
         for i in 0..2 {
             let r = respond(
-                &cat,
+                &ctx,
                 &mut session,
                 &format!(r#"{{"cmd":"insert","rel":"DEPT","row":["d{i}"]}}"#),
                 2,
@@ -418,14 +687,120 @@ mod tests {
             assert!(r.to_string().contains(r#""ok":true"#));
         }
         let over = respond(
-            &cat,
+            &ctx,
             &mut session,
             r#"{"cmd":"insert","rel":"DEPT","row":["d9"]}"#,
             2,
         );
         assert!(over.to_string().contains("staging limit reached"));
         // The session is still usable: commit lands the two staged rows.
-        let done = respond(&cat, &mut session, r#"{"cmd":"commit"}"#, 2);
+        let done = respond(&ctx, &mut session, r#"{"cmd":"commit"}"#, 2);
         assert!(done.to_string().contains(r#""inserted":2"#));
+    }
+
+    #[test]
+    fn tagged_commits_deduplicate_and_work_sessionless() {
+        let cat = catalog();
+        let t = drive(
+            &cat,
+            &[
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["math"]}"#,
+                r#"{"cmd":"commit","client":"c1","token":"t1"}"#,
+                // The retry: same tag, fresh staging of the same delta —
+                // and, as after a reconnect, *no* begin first.
+                r#"{"cmd":"commit","client":"c1","token":"t1"}"#,
+                // A new token applies normally again.
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["phys"]}"#,
+                r#"{"cmd":"commit","client":"c1","token":"t2"}"#,
+            ],
+        );
+        assert!(
+            t[2].contains(r#""generation":1,"inserted":1,"deleted":0,"replayed":false"#),
+            "got: {}",
+            t[2]
+        );
+        assert!(
+            t[3].contains(r#""generation":1,"inserted":1,"deleted":0,"replayed":true"#),
+            "retry returns the original ack: {}",
+            t[3]
+        );
+        assert!(t[6].contains(r#""generation":2"#), "got: {}", t[6]);
+        assert_eq!(cat.total_rows(), 2, "no double-apply");
+    }
+
+    #[test]
+    fn dump_renders_sorted_committed_state() {
+        let cat = catalog();
+        let t = drive(
+            &cat,
+            &[
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["math"]}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["art"]}"#,
+                r#"{"cmd":"insert","rel":"EMP","row":["hilbert","math"]}"#,
+                r#"{"cmd":"commit"}"#,
+                r#"{"cmd":"begin"}"#,
+                r#"{"cmd":"insert","rel":"DEPT","row":["uncommitted"]}"#,
+                r#"{"cmd":"dump"}"#,
+            ],
+        );
+        // Dump shows committed state only, rows sorted within relations.
+        assert_eq!(
+            t[7],
+            r#"{"ok":true,"generation":1,"rels":[{"rel":"EMP","rows":[["hilbert","math"]]},{"rel":"DEPT","rows":[["art"],["math"]]}]}"#,
+            "got: {}",
+            t[7]
+        );
+    }
+
+    #[test]
+    fn oversized_request_lines_get_an_error_and_a_closed_connection() {
+        let cat = catalog();
+        let cfg = ServeConfig {
+            max_line_len: 64,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cat, "127.0.0.1:0", cfg).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // A short line works...
+        writeln!(writer, r#"{{"cmd":"health"}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "got: {line}");
+        // ...then a monster line draws the cap error and a close.
+        let huge = format!(
+            r#"{{"cmd":"insert","rel":"DEPT","row":["{}"]}}"#,
+            "x".repeat(500)
+        );
+        writeln!(writer, "{huge}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("exceeds 64 bytes"), "names the cap: {line}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn quiet_connections_time_out_with_an_error() {
+        let cat = catalog();
+        let cfg = ServeConfig {
+            read_timeout: Some(Duration::from_millis(60)),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cat, "127.0.0.1:0", cfg).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Send nothing; the handler should give up on us.
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("read timed out"), "got: {line}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+        server.stop().unwrap();
     }
 }

@@ -61,9 +61,10 @@ use depkit_core::intern::Catalog;
 use depkit_core::relation::Tuple;
 use depkit_core::schema::{DatabaseSchema, RelName};
 use depkit_core::value::Value;
+use depkit_core::wal::CheckpointDoc;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// How many commits between automatic [`VersionedIndex::vacuum`] passes
@@ -148,9 +149,22 @@ struct MutState {
     dep_keys: Vec<GenValue>,
     /// Commits since the last automatic vacuum.
     commits: u64,
+    /// Per-client idempotency table: the last commit token each client
+    /// used and the outcome its commit produced. A retried commit whose
+    /// token matches returns the stored outcome instead of re-applying —
+    /// the serve layer's lost-ack protection. Checkpointed and replayed
+    /// with the rest of the state so dedup survives a crash.
+    tokens: FastMap<String, TokenRecord>,
     /// Reusable projection-key buffer for the write path (no per-op
     /// allocation; the index mutators clone only on first insertion).
     scratch: Vec<u32>,
+}
+
+/// What [`MutState::tokens`] remembers per client.
+#[derive(Debug, Clone)]
+struct TokenRecord {
+    token: String,
+    outcome: CommitOutcome,
 }
 
 /// Everything a [`CatalogState`] handle points at.
@@ -165,6 +179,17 @@ struct Inner {
     ind_left_watch: Vec<Vec<u32>>,
     ind_right_watch: Vec<Vec<u32>>,
     state: RwLock<MutState>,
+    /// The durability hook: every effective commit is offered to the
+    /// sink *inside* the write lock, after the state is stamped and
+    /// before the outcome is returned — so by the time a caller sees an
+    /// acknowledgement, the commit is recorded. `None` for the plain
+    /// in-memory catalog. Lock order: `state` before `sink`, always.
+    sink: Mutex<Option<Box<dyn CommitSink>>>,
+    /// Set when a sink append fails with the state already mutated: the
+    /// in-memory catalog is ahead of the durable log, so every further
+    /// tagged commit is refused (degraded read-only) rather than widening
+    /// the divergence. Cleared only by restarting from the log.
+    sink_poisoned: AtomicBool,
     /// Pinned generation → number of snapshots pinning it.
     pins: Mutex<BTreeMap<u64, usize>>,
     /// The published generation (only advanced inside the write lock).
@@ -680,6 +705,47 @@ pub struct CommitOutcome {
     pub generation: u64,
     /// How many operations changed the catalog.
     pub applied: DeltaOutcome,
+    /// `true` when [`Session::commit_tagged`] recognized the commit
+    /// token as already applied and returned the *original* outcome
+    /// instead of re-applying — the idempotent-retry path. The staged
+    /// delta of a replayed commit is discarded without a trace.
+    pub replayed: bool,
+}
+
+/// One effective commit, as offered to a [`CommitSink`] inside the write
+/// lock: the generation the commit is publishing, the committing
+/// client's idempotency tag (id and token) when it sent one, the staged
+/// delta exactly as committed, and what it changed. Replaying `delta`
+/// through the normal commit path against the state the previous records
+/// produced yields `applied` again — deltas are absolute presence
+/// operations, so the record is a complete redo log entry.
+#[derive(Debug)]
+pub struct CommitRecord<'a> {
+    /// The generation this commit publishes.
+    pub generation: u64,
+    /// `(client id, commit token)` when the committer sent one.
+    pub client: Option<(&'a str, &'a str)>,
+    /// The staged delta, exactly as committed.
+    pub delta: &'a Delta,
+    /// What the delta changed (no-ops excluded).
+    pub applied: DeltaOutcome,
+}
+
+/// A durability hook invoked for every *effective* commit, inside the
+/// writer critical section, after the state is stamped and before the
+/// committer sees its outcome — acknowledgement therefore implies the
+/// sink has recorded the commit (this is where the write-ahead log
+/// lives; see `depkit_solver::incremental::durable`).
+///
+/// An `Err` poisons the catalog: the commit that triggered it still
+/// publishes (the in-memory state is already mutated and must stay
+/// coherent for readers), but the committer gets
+/// [`CoreError::Durability`] instead of an ack, and every subsequent
+/// tagged commit is refused until the process restarts and recovers from
+/// the log.
+pub trait CommitSink: Send + std::fmt::Debug {
+    /// Record one effective commit; the error string names the failure.
+    fn record(&mut self, rec: &CommitRecord<'_>) -> Result<(), String>;
 }
 
 /// The shared, snapshot-isolated FD/IND validation engine — the
@@ -790,6 +856,7 @@ impl CatalogState {
             dep_viol: (0..sigma.len()).map(|_| GenValue::default()).collect(),
             dep_keys: (0..sigma.len()).map(|_| GenValue::default()).collect(),
             commits: 0,
+            tokens: FastMap::default(),
             scratch: Vec::new(),
         };
         Ok(CatalogState {
@@ -803,6 +870,8 @@ impl CatalogState {
                 ind_left_watch,
                 ind_right_watch,
                 state: RwLock::new(state),
+                sink: Mutex::new(None),
+                sink_poisoned: AtomicBool::new(false),
                 pins: Mutex::new(BTreeMap::new()),
                 generation: AtomicU64::new(0),
                 watermark: AtomicU64::new(0),
@@ -901,6 +970,7 @@ impl CatalogState {
         Ok(CommitOutcome {
             generation: finish_commit(inner, &mut st, gen, w, applied),
             applied,
+            replayed: false,
         })
     }
 
@@ -913,6 +983,193 @@ impl CatalogState {
         let mut st = inner.write();
         let gen = inner.generation.load(Ordering::Acquire);
         vacuum_locked(&mut st, gen, &inner.pinned_gens());
+    }
+
+    /// Install (or, with `None`, remove) the durability hook every
+    /// effective commit is offered to — see [`CommitSink`]. The previous
+    /// sink, if any, is dropped.
+    pub fn set_commit_sink(&self, sink: Option<Box<dyn CommitSink>>) {
+        let mut slot = self.inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = sink;
+    }
+
+    /// Whether an earlier [`CommitSink`] failure left the catalog
+    /// degraded read-only (every tagged commit is refused; see
+    /// [`CommitSink`] for the contract).
+    pub fn durability_poisoned(&self) -> bool {
+        self.inner.sink_poisoned.load(Ordering::Acquire)
+    }
+
+    /// Run `f` over a [`CheckpointDoc`] of the current state while the
+    /// catalog is *quiesced*: the read lock is held across the doc build
+    /// and the whole of `f`, so no commit can interleave — the doc, and
+    /// anything `f` does (write it to disk, reset a write-ahead log to
+    /// its generation), observes one consistent cut of the catalog. This
+    /// is the checkpoint primitive of the durability layer.
+    pub fn quiesced<R>(&self, f: impl FnOnce(&CheckpointDoc) -> R) -> R {
+        let inner = &*self.inner;
+        let st = inner.read();
+        let generation = inner.generation.load(Ordering::Acquire);
+        let values = (0..st.values.len() as u32)
+            .map(|id| st.values.resolve(id).clone())
+            .collect();
+        let mut rows = Vec::with_capacity(st.log.len());
+        for log in &st.log {
+            let mut rel = Vec::new();
+            for i in 0..log.born.len() {
+                // A live row has no `died` stamp; a stamped row is dead at
+                // the current generation (stamps never exceed it).
+                if log.died.get(i) == NEVER {
+                    rel.push((
+                        log.born.get(i),
+                        log.attrs.iter().map(|c| c.get(i)).collect(),
+                    ));
+                }
+            }
+            rows.push(rel);
+        }
+        let mut tokens: Vec<(String, String, u64, u64, u64)> = st
+            .tokens
+            .iter()
+            .map(|(c, r)| {
+                (
+                    c.clone(),
+                    r.token.clone(),
+                    r.outcome.generation,
+                    r.outcome.applied.inserted as u64,
+                    r.outcome.applied.deleted as u64,
+                )
+            })
+            .collect();
+        tokens.sort();
+        let doc = CheckpointDoc {
+            schema: inner
+                .schema
+                .schemes()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            sigma: inner.sigma.iter().map(|d| d.to_string()).collect(),
+            generation,
+            values,
+            rows,
+            tokens,
+        };
+        f(&doc)
+    }
+
+    /// Rebuild a catalog from a verified [`CheckpointDoc`] — the
+    /// recovery-on-start path. The doc's spec must match `(schema,
+    /// sigma)` exactly (a checkpoint from a different world is refused
+    /// with [`CoreError::Durability`]); rows are re-inserted through the
+    /// normal stamping path at their original `born` generations, so the
+    /// restored catalog's observable state — snapshots, violation
+    /// counters, `health` — is identical to the catalog that wrote the
+    /// checkpoint, and write-ahead-log replay can continue from
+    /// `doc.generation` exactly as the original commits did.
+    pub fn restore_from_doc(
+        schema: &DatabaseSchema,
+        sigma: &[Dependency],
+        doc: &CheckpointDoc,
+    ) -> Result<Self, CoreError> {
+        let cat = CatalogState::new(schema, sigma)?;
+        let decls: Vec<String> = schema.schemes().iter().map(|s| s.to_string()).collect();
+        if doc.schema != decls {
+            return Err(CoreError::Durability(format!(
+                "checkpoint schema mismatch: catalog declares {decls:?}, checkpoint holds {:?}",
+                doc.schema
+            )));
+        }
+        let sigma_strs: Vec<String> = sigma.iter().map(|d| d.to_string()).collect();
+        if doc.sigma != sigma_strs {
+            return Err(CoreError::Durability(format!(
+                "checkpoint dependency-set mismatch: catalog maintains {sigma_strs:?}, \
+                 checkpoint holds {:?}",
+                doc.sigma
+            )));
+        }
+        if doc.rows.len() != schema.schemes().len() {
+            return Err(CoreError::Durability(format!(
+                "checkpoint holds {} relations, schema declares {}",
+                doc.rows.len(),
+                schema.schemes().len()
+            )));
+        }
+        let inner = &*cat.inner;
+        let mut st = inner.write();
+        for (i, v) in doc.values.iter().enumerate() {
+            let id = st.values.intern(v);
+            if id as usize != i {
+                return Err(CoreError::Durability(format!(
+                    "checkpoint interner out of sequence: value {i} resolved to id {id} \
+                     (duplicate value in checkpoint)"
+                )));
+            }
+        }
+        // Re-insert every live row at its original `born` generation, in
+        // globally non-decreasing `born` order (the generation-stamp
+        // monotonicity the histories require). The sort is stable, so
+        // rows born in the same commit keep their log order.
+        let mut all: Vec<(u64, usize, &Vec<u32>)> = Vec::new();
+        for (r, rel) in doc.rows.iter().enumerate() {
+            let arity = schema.schemes()[r].arity();
+            for (born, row) in rel {
+                if row.len() != arity {
+                    return Err(CoreError::TupleArity {
+                        relation: schema.schemes()[r].name().name().to_owned(),
+                        expected: arity,
+                        actual: row.len(),
+                    });
+                }
+                if *born == 0 || *born > doc.generation {
+                    return Err(CoreError::Durability(format!(
+                        "checkpoint row in `{}` born at generation {born}, outside \
+                         (0, {}]",
+                        schema.schemes()[r].name(),
+                        doc.generation
+                    )));
+                }
+                if let Some(&id) = row.iter().find(|&&id| id as usize >= doc.values.len()) {
+                    return Err(CoreError::Durability(format!(
+                        "checkpoint row in `{}` references value id {id}, but the \
+                         checkpoint interns only {} values",
+                        schema.schemes()[r].name(),
+                        doc.values.len()
+                    )));
+                }
+                all.push((*born, r, row));
+            }
+        }
+        all.sort_by_key(|&(born, _, _)| born);
+        for &(born, r, row) in &all {
+            let vals = st.values.resolve_row(row);
+            if !inner.insert_row(&mut st, r, &vals, born, born - 1) {
+                return Err(CoreError::Durability(format!(
+                    "checkpoint row duplicated in `{}`",
+                    schema.schemes()[r].name()
+                )));
+            }
+        }
+        for (client, token, generation, inserted, deleted) in &doc.tokens {
+            st.tokens.insert(
+                client.clone(),
+                TokenRecord {
+                    token: token.clone(),
+                    outcome: CommitOutcome {
+                        generation: *generation,
+                        applied: DeltaOutcome {
+                            inserted: *inserted as usize,
+                            deleted: *deleted as usize,
+                        },
+                        replayed: false,
+                    },
+                },
+            );
+        }
+        inner.generation.store(doc.generation, Ordering::Release);
+        inner.watermark.store(doc.generation, Ordering::Release);
+        drop(st);
+        Ok(cat)
     }
 }
 
@@ -1243,16 +1500,59 @@ impl Session {
     /// (deletes first, then inserts, both idempotent — see the
     /// [module docs](self) for the commit-order semantics). Consumes the
     /// session and releases its pin.
+    ///
+    /// Equivalent to [`Session::commit_tagged`] with no idempotency tag;
+    /// panics if an installed [`CommitSink`] fails — durability-aware
+    /// callers use `commit_tagged` and handle the error.
     pub fn commit(self) -> CommitOutcome {
+        self.commit_tagged(None)
+            .expect("commit sink failed; use commit_tagged to handle durability errors")
+    }
+
+    /// Commit the staged delta, optionally tagged `(client id, token)`
+    /// for idempotent retry: if the catalog already applied a commit from
+    /// `client` with the same `token`, the staged delta is discarded and
+    /// the *original* outcome returned with
+    /// [`replayed`](CommitOutcome::replayed) set — so a client that lost
+    /// an acknowledgement can safely resend and never double-applies. The
+    /// catalog remembers the most recent token per client; the table is
+    /// checkpointed and write-ahead-logged with the rest of the state, so
+    /// dedup survives a crash.
+    ///
+    /// When a [`CommitSink`] is installed, every effective commit is
+    /// recorded inside the write lock before this method returns; see
+    /// [`CommitSink`] for the failure contract behind the
+    /// [`CoreError::Durability`] this can return.
+    pub fn commit_tagged(self, client: Option<(&str, &str)>) -> Result<CommitOutcome, CoreError> {
         let inner = &*self.snapshot.inner;
-        if self.staged.is_empty() {
+        if self.staged.is_empty() && client.is_none() {
             // Empty-commit fast path: no lock, no index work, no bump.
-            return CommitOutcome {
+            return Ok(CommitOutcome {
                 generation: inner.generation.load(Ordering::Acquire),
                 applied: DeltaOutcome::default(),
-            };
+                replayed: false,
+            });
+        }
+        if inner.sink_poisoned.load(Ordering::Acquire) {
+            return Err(CoreError::Durability(
+                "catalog is read-only: an earlier write-ahead-log failure \
+                 poisoned the commit path (restart to recover)"
+                    .into(),
+            ));
         }
         let mut st = inner.write();
+        // Idempotency check comes first, before anything is applied: a
+        // retried commit must return the original ack, not re-apply.
+        if let Some((c, t)) = client {
+            if let Some(rec) = st.tokens.get(c) {
+                if rec.token == t {
+                    return Ok(CommitOutcome {
+                        replayed: true,
+                        ..rec.outcome
+                    });
+                }
+            }
+        }
         let gen = inner.generation.load(Ordering::Acquire) + 1;
         let w = inner.watermark.load(Ordering::Acquire).min(gen - 1);
         let mut applied = DeltaOutcome::default();
@@ -1268,10 +1568,47 @@ impl Session {
                 applied.inserted += 1;
             }
         }
-        CommitOutcome {
+        // Ack-implies-durable: offer the effective commit to the sink
+        // before the outcome (the ack) escapes the critical section.
+        if applied != DeltaOutcome::default() {
+            let mut sink = inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(s) = sink.as_mut() {
+                let record = CommitRecord {
+                    generation: gen,
+                    client,
+                    delta: &self.staged,
+                    applied,
+                };
+                if let Err(why) = s.record(&record) {
+                    // The state is already stamped at `gen`; publish it so
+                    // in-memory readers stay coherent, but poison the
+                    // catalog — the durable log is now behind the memory
+                    // image, and only a restart-and-recover closes the gap.
+                    inner.sink_poisoned.store(true, Ordering::Release);
+                    drop(sink);
+                    finish_commit(inner, &mut st, gen, w, applied);
+                    return Err(CoreError::Durability(format!(
+                        "write-ahead log append failed ({why}); \
+                         catalog is now read-only until restart"
+                    )));
+                }
+            }
+        }
+        let outcome = CommitOutcome {
             generation: finish_commit(inner, &mut st, gen, w, applied),
             applied,
+            replayed: false,
+        };
+        if let Some((c, t)) = client {
+            st.tokens.insert(
+                c.to_owned(),
+                TokenRecord {
+                    token: t.to_owned(),
+                    outcome,
+                },
+            );
         }
+        Ok(outcome)
         // `self.snapshot` drops here, releasing the pin.
     }
 

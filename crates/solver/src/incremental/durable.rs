@@ -1,0 +1,462 @@
+//! Durable catalogs: recovery-on-start, the write-ahead commit sink,
+//! and periodic checkpoints — the orchestration layer that ties
+//! `depkit_core::wal`'s on-disk formats to the snapshot-isolated
+//! [`CatalogState`].
+//!
+//! A durable catalog directory (`--data-dir` in `depkit serve`) holds
+//! `catalog.ckpt` and `wal.log`; see the [`depkit_core::wal`] module
+//! docs for the formats. [`Durability::open`] is the single entry point:
+//!
+//! 1. load the checkpoint if one exists ([`CatalogState::restore_from_doc`]),
+//! 2. scan the WAL, replay every commit frame stamped after the
+//!    checkpoint through the normal [`Session::commit_tagged`] path
+//!    (asserting each replayed commit re-publishes exactly the logged
+//!    generation), truncate a torn tail, refuse mid-log corruption,
+//! 3. install the [`CommitSink`] that appends every future effective
+//!    commit to the log inside the writer critical section,
+//!
+//! and report what it did as a [`RecoveryReport`]. After `open`, the
+//! invariant the crash harness checks holds: *the catalog's observable
+//! state equals a serial oracle replaying exactly the acknowledged
+//! commits* — an ack is sent only after the commit frame is in the log
+//! (and fsynced, under [`FsyncPolicy::Always`]).
+//!
+//! [`Durability::checkpoint`] quiesces the catalog (read lock held for
+//! the duration), writes the checkpoint through the atomic tmp → rename
+//! publish, then resets the WAL to an empty log based at the checkpoint
+//! generation. A crash between the rename and the reset leaves a new
+//! checkpoint with an old log; recovery handles it by skipping frames at
+//! or below the checkpoint generation.
+//!
+//! [`Session::commit_tagged`]: super::catalog::Session::commit_tagged
+
+use super::catalog::{CatalogState, CommitRecord, CommitSink};
+use depkit_core::dependency::Dependency;
+use depkit_core::error::CoreError;
+use depkit_core::schema::DatabaseSchema;
+use depkit_core::wal::{
+    read_checkpoint, scan_wal, write_checkpoint_tmp, CommitFrame, CrashPlan, CrashPoint,
+    FsyncPolicy, WalHeader, WalTail, WalWriter,
+};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Checkpoint file name inside the data directory.
+pub const CHECKPOINT_FILE: &str = "catalog.ckpt";
+/// Write-ahead log file name inside the data directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// How a durable catalog writes its log and when it checkpoints.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The data directory (created if missing).
+    pub dir: PathBuf,
+    /// When the WAL fsyncs — see [`FsyncPolicy`] for the trade-offs.
+    pub fsync: FsyncPolicy,
+    /// Take a checkpoint (and reset the log) every this many effective
+    /// commits, as counted by [`Durability::note_commit`]. `0` disables
+    /// automatic checkpoints (explicit [`Durability::checkpoint`] calls
+    /// only — shutdown still drains).
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// The default policy for `dir`: fsync every commit, checkpoint
+    /// every 512 effective commits.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 512,
+        }
+    }
+}
+
+/// What [`Durability::open`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the checkpoint that seeded the catalog (`0` when
+    /// there was none).
+    pub checkpoint_gen: u64,
+    /// Commit frames replayed from the WAL tail.
+    pub replayed_commits: u64,
+    /// Bytes truncated from a torn WAL tail, when one was found.
+    pub wal_tail_dropped: Option<u64>,
+    /// `true` when the directory held no prior state at all — the caller
+    /// seeds the catalog and should checkpoint afterwards so the seed
+    /// itself is durable.
+    pub fresh: bool,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovered: checkpoint_gen={}, replayed_commits={}",
+            self.checkpoint_gen, self.replayed_commits
+        )?;
+        if let Some(n) = self.wal_tail_dropped {
+            write!(f, ", torn_tail_bytes={n}")?;
+        }
+        if self.fresh {
+            write!(f, ", fresh=true")?;
+        }
+        Ok(())
+    }
+}
+
+/// The mutable half shared between the commit sink and checkpoints.
+#[derive(Debug)]
+struct WalState {
+    writer: WalWriter,
+}
+
+/// The [`CommitSink`] a durable catalog runs: append the commit frame,
+/// fire the `after-wal-write` crash point. Runs inside the catalog's
+/// writer critical section, so frames land in commit order.
+#[derive(Debug)]
+struct WalSink {
+    shared: Arc<Mutex<WalState>>,
+    crash: Arc<CrashPlan>,
+}
+
+impl CommitSink for WalSink {
+    fn record(&mut self, rec: &CommitRecord<'_>) -> Result<(), String> {
+        let frame = CommitFrame {
+            generation: rec.generation,
+            client: rec.client.map(|(c, _)| c.to_owned()).unwrap_or_default(),
+            token: rec.client.map(|(_, t)| t.to_owned()).unwrap_or_default(),
+            delta: rec.delta.clone(),
+        };
+        let mut ws = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        ws.writer
+            .append_commit(&frame)
+            .map_err(|e| format!("wal append at generation {}: {e}", rec.generation))?;
+        drop(ws);
+        self.crash.fire(CrashPoint::AfterWalAppend);
+        Ok(())
+    }
+}
+
+/// Handle on a durable catalog's on-disk side: the WAL writer shared
+/// with the installed sink, the checkpoint cadence counter, and the
+/// crash-injection plan. Obtained from [`Durability::open`]; share it
+/// with `Arc` (the serve layer hands one to every connection thread).
+#[derive(Debug)]
+pub struct Durability {
+    cfg: DurabilityConfig,
+    ckpt_path: PathBuf,
+    wal_path: PathBuf,
+    shared: Arc<Mutex<WalState>>,
+    crash: Arc<CrashPlan>,
+    /// Effective commits since the last checkpoint.
+    since_checkpoint: AtomicU64,
+    /// Serializes checkpoints (the commit path never takes this).
+    ckpt: Mutex<()>,
+}
+
+fn io_err(what: impl fmt::Display) -> CoreError {
+    CoreError::Durability(what.to_string())
+}
+
+impl Durability {
+    /// Open (or create) the durable catalog in `cfg.dir`: restore the
+    /// newest valid checkpoint, replay the WAL tail, truncate a torn
+    /// tail, install the write-ahead [`CommitSink`], and report what
+    /// happened. Refuses — with a diagnostic naming the file — on
+    /// mid-log corruption, a damaged checkpoint, or a spec that does not
+    /// match `(schema, sigma)`.
+    pub fn open(
+        schema: &DatabaseSchema,
+        sigma: &[Dependency],
+        cfg: DurabilityConfig,
+    ) -> Result<(CatalogState, Arc<Durability>, RecoveryReport), CoreError> {
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| io_err(format!("cannot create data dir {}: {e}", cfg.dir.display())))?;
+        let ckpt_path = cfg.dir.join(CHECKPOINT_FILE);
+        let wal_path = cfg.dir.join(WAL_FILE);
+        let decls: Vec<String> = schema.schemes().iter().map(|s| s.to_string()).collect();
+        let sigma_strs: Vec<String> = sigma.iter().map(|d| d.to_string()).collect();
+
+        let (cat, checkpoint_gen) = if ckpt_path.exists() {
+            let doc = read_checkpoint(&ckpt_path).map_err(io_err)?;
+            let gen = doc.generation;
+            (CatalogState::restore_from_doc(schema, sigma, &doc)?, gen)
+        } else {
+            (CatalogState::new(schema, sigma)?, 0)
+        };
+
+        let mut replayed = 0u64;
+        let mut wal_tail_dropped = None;
+        let had_wal = wal_path.exists();
+        let writer = if had_wal {
+            let scan = scan_wal(&wal_path).map_err(io_err)?;
+            if scan.header.schema != decls || scan.header.sigma != sigma_strs {
+                return Err(io_err(format!(
+                    "{}: write-ahead log was opened for a different spec \
+                     (log declares {:?} / {:?})",
+                    wal_path.display(),
+                    scan.header.schema,
+                    scan.header.sigma
+                )));
+            }
+            for frame in &scan.commits {
+                // Frames at or below the restored generation are already
+                // inside the checkpoint (the crash-between-rename-and-
+                // reset window); everything above replays in order.
+                if frame.generation <= cat.generation() {
+                    continue;
+                }
+                let mut s = cat.begin();
+                s.stage(&frame.delta)?;
+                let client = (!frame.client.is_empty())
+                    .then_some((frame.client.as_str(), frame.token.as_str()));
+                let out = s.commit_tagged(client)?;
+                if out.generation != frame.generation {
+                    return Err(io_err(format!(
+                        "{}: replaying the commit frame stamped generation {} \
+                         produced generation {} — the log does not continue the \
+                         checkpoint it sits beside",
+                        wal_path.display(),
+                        frame.generation,
+                        out.generation
+                    )));
+                }
+                replayed += 1;
+            }
+            let valid_len = match scan.tail {
+                WalTail::Clean => None,
+                WalTail::Torn { offset, dropped } => {
+                    wal_tail_dropped = Some(dropped);
+                    Some(offset)
+                }
+            };
+            WalWriter::open_append(&wal_path, valid_len, cfg.fsync).map_err(io_err)?
+        } else {
+            let header = WalHeader {
+                base_gen: cat.generation(),
+                schema: decls,
+                sigma: sigma_strs,
+            };
+            WalWriter::create(&wal_path, &header, cfg.fsync).map_err(io_err)?
+        };
+
+        let crash = Arc::new(CrashPlan::from_env().map_err(CoreError::Durability)?);
+        let shared = Arc::new(Mutex::new(WalState { writer }));
+        cat.set_commit_sink(Some(Box::new(WalSink {
+            shared: Arc::clone(&shared),
+            crash: Arc::clone(&crash),
+        })));
+        let report = RecoveryReport {
+            checkpoint_gen,
+            replayed_commits: replayed,
+            wal_tail_dropped,
+            fresh: !had_wal && checkpoint_gen == 0,
+        };
+        let dur = Arc::new(Durability {
+            cfg,
+            ckpt_path,
+            wal_path,
+            shared,
+            crash,
+            since_checkpoint: AtomicU64::new(0),
+            ckpt: Mutex::new(()),
+        });
+        Ok((cat, dur, report))
+    }
+
+    /// The crash-injection plan parsed from `DEPKIT_CRASH` at open —
+    /// shared so the serve layer fires the `before-ack` point from the
+    /// same occurrence counter world.
+    pub fn crash_plan(&self) -> &Arc<CrashPlan> {
+        &self.crash
+    }
+
+    /// The data directory this catalog persists into.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Count one acknowledged commit toward the checkpoint cadence and
+    /// checkpoint when the configured interval is reached. Called by the
+    /// serve layer after each successful commit, outside the reply path's
+    /// latency budget only in the interval tick that actually
+    /// checkpoints.
+    pub fn note_commit(&self, cat: &CatalogState) -> Result<(), CoreError> {
+        if self.cfg.checkpoint_every == 0 {
+            return Ok(());
+        }
+        let n = self.since_checkpoint.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.cfg.checkpoint_every {
+            self.checkpoint(cat)?;
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint now: quiesce the catalog, publish the state
+    /// through the atomic tmp → rename protocol, and reset the WAL to an
+    /// empty log based at the checkpoint generation. Commits wait while
+    /// this runs (the quiesce holds the catalog's read lock); crash
+    /// points `mid-checkpoint` and `after-checkpoint-rename` fire here.
+    pub fn checkpoint(&self, cat: &CatalogState) -> Result<u64, CoreError> {
+        let _serial = self.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+        let gen = cat
+            .quiesced(|doc| -> std::io::Result<u64> {
+                let tmp = write_checkpoint_tmp(&self.ckpt_path, doc)?;
+                self.crash.fire(CrashPoint::MidCheckpoint);
+                std::fs::rename(&tmp, &self.ckpt_path)?;
+                self.crash.fire(CrashPoint::AfterCheckpointRename);
+                let header = WalHeader {
+                    base_gen: doc.generation,
+                    schema: doc.schema.clone(),
+                    sigma: doc.sigma.clone(),
+                };
+                let writer = WalWriter::create(&self.wal_path, &header, self.cfg.fsync)?;
+                let mut ws = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                ws.writer = writer;
+                Ok(doc.generation)
+            })
+            .map_err(|e| io_err(format!("checkpoint of {}: {e}", self.ckpt_path.display())))?;
+        self.since_checkpoint.store(0, Ordering::Release);
+        Ok(gen)
+    }
+
+    /// Force the WAL to stable storage (graceful-shutdown path under
+    /// the `interval`/`never` fsync policies).
+    pub fn sync(&self) -> Result<(), CoreError> {
+        let mut ws = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        ws.writer
+            .sync()
+            .map_err(|e| io_err(format!("wal sync: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depkit_core::prelude::*;
+
+    fn spec() -> (DatabaseSchema, Vec<Dependency>) {
+        let schema = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO)"]).unwrap();
+        let sigma = vec!["EMP[DEPT] <= DEPT[DNO]".parse().unwrap()];
+        (schema, sigma)
+    }
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("depkit-durable-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn cfg(dir: &Path) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_open_commits_survive_reopen() {
+        let (schema, sigma) = spec();
+        let dir = tdir("reopen");
+        let (cat, _dur, rep) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        assert!(rep.fresh);
+        for i in 0..5 {
+            let mut s = cat.begin();
+            s.stage_insert("DEPT", Tuple::ints(&[i])).unwrap();
+            if i % 2 == 0 {
+                s.stage_insert(
+                    "EMP",
+                    Tuple::new(vec![Value::str(format!("e{i}")), Value::Int(i)]),
+                )
+                .unwrap();
+            }
+            s.commit_tagged(None).unwrap();
+        }
+        let before_db = cat.snapshot().to_database();
+        let before_health = cat.snapshot().health();
+        let before_gen = cat.generation();
+        drop(cat);
+
+        // A process crash is modeled by reopening without any shutdown.
+        let (cat2, _dur2, rep2) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        assert!(!rep2.fresh);
+        assert_eq!(rep2.checkpoint_gen, 0);
+        assert_eq!(rep2.replayed_commits, 5);
+        assert_eq!(cat2.generation(), before_gen);
+        assert_eq!(cat2.snapshot().to_database(), before_db);
+        assert_eq!(cat2.snapshot().health(), before_health);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_resets_the_wal_and_reopen_skips_it() {
+        let (schema, sigma) = spec();
+        let dir = tdir("ckpt");
+        let (cat, dur, _) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        for i in 0..4 {
+            let mut s = cat.begin();
+            s.stage_insert("DEPT", Tuple::ints(&[i])).unwrap();
+            s.commit_tagged(None).unwrap();
+        }
+        let gen = dur.checkpoint(&cat).unwrap();
+        assert_eq!(gen, 4);
+        // Two more commits land in the fresh post-checkpoint log.
+        for i in 10..12 {
+            let mut s = cat.begin();
+            s.stage_insert("DEPT", Tuple::ints(&[i])).unwrap();
+            s.commit_tagged(None).unwrap();
+        }
+        let before = cat.snapshot().to_database();
+        drop(cat);
+        let (cat2, _d, rep) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        assert_eq!(rep.checkpoint_gen, 4);
+        assert_eq!(rep.replayed_commits, 2);
+        assert_eq!(cat2.snapshot().to_database(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_tokens_deduplicate_across_restart() {
+        let (schema, sigma) = spec();
+        let dir = tdir("tokens");
+        let (cat, _dur, _) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        let mut s = cat.begin();
+        s.stage_insert("DEPT", Tuple::ints(&[7])).unwrap();
+        let first = s.commit_tagged(Some(("alice", "tok-1"))).unwrap();
+        assert!(!first.replayed);
+        drop(cat);
+        let (cat2, _d, _) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+        // The retry after the (simulated) lost ack must not double-apply.
+        let mut s = cat2.begin();
+        s.stage_insert("DEPT", Tuple::ints(&[7])).unwrap();
+        let retry = s.commit_tagged(Some(("alice", "tok-1"))).unwrap();
+        assert!(retry.replayed);
+        assert_eq!(retry.generation, first.generation);
+        assert_eq!(retry.applied, first.applied);
+        assert_eq!(cat2.generation(), first.generation);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_refuses_a_different_spec() {
+        let (schema, sigma) = spec();
+        let dir = tdir("spec");
+        {
+            let (cat, _dur, _) = Durability::open(&schema, &sigma, cfg(&dir)).unwrap();
+            let mut s = cat.begin();
+            s.stage_insert("DEPT", Tuple::ints(&[1])).unwrap();
+            s.commit_tagged(None).unwrap();
+        }
+        let other = DatabaseSchema::parse(&["EMP(NAME, DEPT)", "DEPT(DNO, CITY)"]).unwrap();
+        let err = Durability::open(&other, &sigma, cfg(&dir)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("different spec"), "got: {msg}");
+        assert!(msg.contains("wal.log"), "names the file: {msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

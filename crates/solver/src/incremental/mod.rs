@@ -37,8 +37,13 @@
 //! deltas against one shared catalog — the shape `depkit serve` runs.
 
 pub mod catalog;
+pub mod durable;
 
-pub use catalog::{CatalogState, CommitOutcome, DepHealth, FrozenRelation, Session, Snapshot};
+pub use catalog::{
+    CatalogState, CommitOutcome, CommitRecord, CommitSink, DepHealth, FrozenRelation, Session,
+    Snapshot,
+};
+pub use durable::{Durability, DurabilityConfig, RecoveryReport};
 
 use depkit_core::column::{ColumnCursor, RelationColumns};
 use depkit_core::database::Database;

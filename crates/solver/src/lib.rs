@@ -68,7 +68,8 @@ pub use discover::{discover, Discovery, DiscoveryConfig, DiscoveryStats};
 pub use fd::FdEngine;
 pub use finite::FiniteEngine;
 pub use incremental::{
-    full_violations, CatalogState, CommitOutcome, Session, Snapshot, Validator, ViolationKey,
+    full_violations, CatalogState, CommitOutcome, CommitSink, Durability, DurabilityConfig,
+    RecoveryReport, Session, Snapshot, Validator, ViolationKey,
 };
 pub use ind::{Expression, IndSolver, SearchStats};
 pub use interact::Saturator;
